@@ -1,0 +1,171 @@
+// Benchmarks: one per table/figure of the paper's evaluation. Each
+// benchmark regenerates the corresponding artifact through the same
+// code path as cmd/hamsbench; the reported ns/op is the cost of
+// producing the whole figure at the benchmark scale. Run the CLI with
+// a larger -scale for publication-shaped numbers (EXPERIMENTS.md).
+package hams
+
+import (
+	"testing"
+
+	"hams/internal/experiments"
+)
+
+// benchOpts keeps `go test -bench=.` under a few minutes end to end.
+var benchOpts = experiments.Options{Scale: 5e-7, Seed: 42}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table3().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig5(benchOpts)) != 3 {
+			b.Fatal("Fig5")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig16(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig17(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig18(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig19(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig20(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig20(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Headline(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMoSHit measures the steady-state NVDIMM-hit path of the
+// public API (the latency the paper calls "DRAM-like").
+func BenchmarkMoSHit(b *testing.B) {
+	cfg := DefaultConfig(Extend, Tight)
+	cfg.NVDIMM.DRAM.Capacity = 64 * MiB
+	cfg.PinnedBytes = 16 * MiB
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := m.Write(0, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Read(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMoSMissFill measures the hardware miss path (NVMe fill
+// composed by the controller).
+func BenchmarkMoSMissFill(b *testing.B) {
+	cfg := DefaultConfig(Extend, Tight)
+	cfg.NVDIMM.DRAM.Capacity = 64 * MiB
+	cfg.PinnedBytes = 16 * MiB
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	stride := m.PageBytes() * uint64(m.Stats().Accesses+1)
+	_ = stride
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := (uint64(i) * m.PageBytes()) % (m.Capacity() - 64)
+		if _, err := m.Read(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

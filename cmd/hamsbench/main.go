@@ -1,0 +1,100 @@
+// Command hamsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hamsbench [-scale 3e-6] [-seed 42] <target> [target...]
+//
+// Targets: table1 table2 table3 fig5 fig6 fig7 fig10 fig16 fig17
+// fig18 fig19 fig20 headline all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hams/internal/experiments"
+	"hams/internal/stats"
+)
+
+func main() {
+	scale := flag.Float64("scale", 3e-6, "instruction-count scale vs Table III")
+	seed := flag.Int64("seed", 42, "workload random seed")
+	flag.Parse()
+	targets := flag.Args()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hamsbench [-scale S] [-seed N] <table1|table2|table3|fig5|fig6|fig7|fig10|fig16|fig17|fig18|fig19|fig20|headline|ablation|all>")
+		os.Exit(2)
+	}
+	o := experiments.Options{Scale: *scale, Seed: *seed}
+	for _, tgt := range targets {
+		if tgt == "all" {
+			for _, t := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
+				"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation"} {
+				run(t, o)
+			}
+			continue
+		}
+		run(tgt, o)
+	}
+}
+
+func run(target string, o experiments.Options) {
+	start := time.Now()
+	var tables []*stats.Table
+	var err error
+	switch target {
+	case "table1":
+		tables = []*stats.Table{experiments.Table1()}
+	case "table2":
+		tables = []*stats.Table{experiments.Table2()}
+	case "table3":
+		tables = []*stats.Table{experiments.Table3()}
+	case "fig5":
+		tables = experiments.Fig5(o)
+	case "fig6":
+		tables, err = experiments.Fig6(o)
+	case "fig7":
+		tables, err = experiments.Fig7(o)
+	case "fig10":
+		var t *stats.Table
+		t, err = experiments.Fig10(o)
+		tables = []*stats.Table{t}
+	case "fig16":
+		tables, err = experiments.Fig16(o)
+	case "fig17":
+		var t *stats.Table
+		t, err = experiments.Fig17(o)
+		tables = []*stats.Table{t}
+	case "fig18":
+		var t *stats.Table
+		t, err = experiments.Fig18(o)
+		tables = []*stats.Table{t}
+	case "fig19":
+		var t *stats.Table
+		t, err = experiments.Fig19(o)
+		tables = []*stats.Table{t}
+	case "fig20":
+		tables, err = experiments.Fig20(o)
+	case "headline":
+		var t *stats.Table
+		t, err = experiments.Headline(o)
+		tables = []*stats.Table{t}
+	case "ablation":
+		var t *stats.Table
+		t, err = experiments.Ablation(o)
+		tables = []*stats.Table{t}
+	default:
+		fmt.Fprintf(os.Stderr, "hamsbench: unknown target %q\n", target)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hamsbench: %s: %v\n", target, err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+	fmt.Printf("(%s generated in %v)\n\n", target, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,86 @@
+// Command hamsrecover demonstrates the HAMS persistency control end to
+// end (Figure 15): it writes records into the MoS space, forces
+// evictions so NVMe writes are in flight, cuts the power mid-DMA,
+// recovers by replaying the journal-tagged submission-queue entries out
+// of the persisted NVDIMM image, and verifies every record.
+//
+// Usage:
+//
+//	hamsrecover [-records 64] [-skip-recovery]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hams"
+)
+
+func main() {
+	records := flag.Int("records", 64, "number of records to write before the power failure")
+	skip := flag.Bool("skip-recovery", false, "skip the journal replay to show what would be lost")
+	flag.Parse()
+
+	cfg := hams.DefaultConfig(hams.Extend, hams.Tight)
+	// A small instance keeps the demo fast while still forcing
+	// evictions: 32 MiB NVDIMM, 64 KiB pages.
+	cfg.NVDIMM.DRAM.Capacity = 32 * hams.MiB
+	cfg.PinnedBytes = 8 * hams.MiB
+	cfg.PageBytes = 64 * hams.KiB
+	cfg.SSD.Geometry.BlocksPerPln = 256
+	m, err := hams.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hamsrecover:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("MoS space: %.1f GB over a %d-entry NVDIMM cache\n",
+		float64(m.Capacity())/float64(hams.GiB), (cfg.NVDIMM.DRAM.Capacity-cfg.PinnedBytes)/cfg.PageBytes)
+
+	record := func(i int) (uint64, []byte) {
+		addr := uint64(i) * 3 * cfg.PageBytes * 8 // spread across entries
+		return addr % (m.Capacity() - 64), []byte(fmt.Sprintf("record-%04d", i))
+	}
+
+	for i := 0; i < *records; i++ {
+		addr, data := record(i)
+		if _, err := m.Write(addr, data); err != nil {
+			fmt.Fprintln(os.Stderr, "write:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d records; controller stats: %d misses, %d evictions\n",
+		*records, m.Stats().Misses, m.Stats().Evictions)
+
+	rep := m.PowerFail()
+	fmt.Printf("POWER FAILURE at t=%v: %d NVMe command(s) in flight, %d torn write(s), NVDIMM backup took %v\n",
+		m.Now(), rep.InFlight, rep.TornWrites, rep.BackupTime)
+
+	if *skip {
+		fmt.Println("skipping recovery (-skip-recovery)")
+	} else {
+		rec, err := m.Recover()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recover:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("RECOVERY: restore %v, %d journal-tagged command(s) found, %d replayed\n",
+			rec.RestoreTime, rec.Pending, rec.Replayed)
+	}
+
+	bad := 0
+	for i := 0; i < *records; i++ {
+		addr, want := record(i)
+		got := make([]byte, len(want))
+		m.Peek(addr, got)
+		if string(got) != string(want) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		fmt.Printf("verified: all %d records intact after the power cycle\n", *records)
+		return
+	}
+	fmt.Printf("DATA LOSS: %d of %d records corrupted or missing\n", bad, *records)
+	os.Exit(1)
+}

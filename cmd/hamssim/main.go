@@ -1,0 +1,62 @@
+// Command hamssim runs one workload on one platform and dumps the full
+// statistics: throughput, IPC, latency decomposition, cache behaviour
+// and the energy breakdown.
+//
+// Usage:
+//
+//	hamssim [-scale 3e-6] [-seed 42] [-page 131072] <platform> <workload>
+//
+// Platforms: mmap optane-P optane-M flatflash-P flatflash-M nvdimm-C
+// hams-LP hams-LE hams-TP hams-TE oracle ull-direct ull-buff
+// Workloads: seqRd rndRd seqWr rndWr seqSel rndSel seqIns rndIns
+// update BFS KMN NN
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hams/internal/cpu"
+	"hams/internal/experiments"
+	"hams/internal/platform"
+)
+
+func main() {
+	scale := flag.Float64("scale", 3e-6, "instruction-count scale vs Table III")
+	seed := flag.Int64("seed", 42, "workload random seed")
+	page := flag.Uint64("page", 0, "HAMS MoS page bytes (0 = 128 KiB default)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: hamssim [flags] <platform> <workload>")
+		os.Exit(2)
+	}
+	platName, wlName := flag.Arg(0), flag.Arg(1)
+	o := experiments.Options{Scale: *scale, Seed: *seed}
+	r, err := experiments.Run(platName, wlName, o, platform.Options{HAMSPage: *page}, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hamssim: %v\n", err)
+		os.Exit(1)
+	}
+	st := r.CPU
+	fmt.Printf("platform     %s\nworkload     %s\n", r.Platform, r.Workload)
+	fmt.Printf("instructions %d\n", st.Instructions)
+	fmt.Printf("elapsed      %v\n", st.Elapsed)
+	fmt.Printf("IPC          %.4f\n", st.IPC(cpu.DefaultConfig()))
+	fmt.Printf("MIPS         %.1f\n", st.MIPS())
+	fmt.Printf("work units   %d (%.0f/s)\n", r.Units, r.UnitsPerSec())
+	fmt.Printf("mem accesses %d (L1 %.1f%%, L2 %.1f%% hit)\n", st.MemAccesses,
+		pct(st.L1Hits, st.L1Hits+st.L1Misses), pct(st.L2Hits, st.L2Hits+st.L2Misses))
+	fmt.Printf("mem stall    %v\n", st.MemStall)
+	fmt.Printf("breakdown    OS=%v mem=%v DMA=%v SSD=%v\n", st.OSTime, st.MemTime, st.DMATime, st.SSDTime)
+	e := r.Energy
+	fmt.Printf("energy (J)   CPU=%.3f NVDIMM=%.3f intDRAM=%.3f ZNAND=%.3f total=%.3f\n",
+		e.CPU, e.NVDIMM, e.InternalDRAM, e.ZNAND, e.Total())
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

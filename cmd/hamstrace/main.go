@@ -1,0 +1,127 @@
+// Command hamstrace records Table III workload streams into the binary
+// trace format and inspects existing traces, so experiment inputs can
+// be frozen and replayed bit-identically.
+//
+// Usage:
+//
+//	hamstrace record [-scale 1e-6] [-seed 42] [-thread 0] <workload> <file>
+//	hamstrace info <file>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hams/internal/mem"
+	"hams/internal/trace"
+	"hams/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hamstrace record [-scale S] [-seed N] [-thread K] <workload> <file>")
+	fmt.Fprintln(os.Stderr, "       hamstrace info <file>")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	scale := fs.Float64("scale", 1e-6, "instruction-count scale vs Table III")
+	seed := fs.Int64("seed", 42, "workload random seed")
+	thread := fs.Int("thread", 0, "which thread's stream to record")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	spec, err := workload.ByName(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	o := workload.DefaultOptions()
+	o.Scale = *scale
+	o.Seed = *seed
+	streams := spec.Streams(o)
+	if *thread < 0 || *thread >= len(streams) {
+		fatal(fmt.Errorf("thread %d out of range (workload has %d)", *thread, len(streams)))
+	}
+	f, err := os.Create(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := trace.Record(f, streams[*thread])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d steps of %s (thread %d) to %s\n", n, spec.Name, *thread, fs.Arg(1))
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var steps, accesses, loads, stores, compute int64
+	var bytes uint64
+	minAddr, maxAddr := ^uint64(0), uint64(0)
+	for {
+		s, ok := r.Next()
+		if !ok {
+			break
+		}
+		steps++
+		compute += s.Compute
+		for _, a := range s.Acc {
+			accesses++
+			bytes += uint64(a.Size)
+			if a.Op == mem.Read {
+				loads++
+			} else {
+				stores++
+			}
+			if a.Addr < minAddr {
+				minAddr = a.Addr
+			}
+			if a.End() > maxAddr {
+				maxAddr = a.End()
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("steps        %d\n", steps)
+	fmt.Printf("accesses     %d (%d loads, %d stores)\n", accesses, loads, stores)
+	fmt.Printf("compute      %d instructions\n", compute)
+	fmt.Printf("bytes moved  %d\n", bytes)
+	if accesses > 0 {
+		fmt.Printf("addr range   [%#x, %#x)\n", minAddr, maxAddr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hamstrace:", err)
+	os.Exit(1)
+}

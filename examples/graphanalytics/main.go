@@ -1,0 +1,144 @@
+// Graph analytics on HAMS as a working-memory expansion: a CSR graph
+// larger than the NVDIMM is laid out in the MoS space and traversed
+// with BFS using plain loads — the OS-transparent memory-expansion
+// use-case of §I. The NVDIMM cache absorbs frontier locality while
+// cold adjacency lists stream from the ULL-Flash archive in hardware.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"hams"
+)
+
+// csrGraph lays out a synthetic power-law-ish graph in MoS space:
+// an offsets array (8 B per vertex + 1) followed by the edge array
+// (4 B per edge).
+type csrGraph struct {
+	m        *hams.MoS
+	vertices uint64
+	edges    uint64
+	edgeBase uint64
+}
+
+func buildGraph(m *hams.MoS, vertices, degree uint64) (*csrGraph, error) {
+	g := &csrGraph{m: m, vertices: vertices}
+	g.edgeBase = (vertices + 1) * 8
+	var off uint64
+	rng := uint64(99991)
+	// Write offsets and per-vertex adjacency in batched stores.
+	offBuf := make([]byte, 8)
+	for v := uint64(0); v <= vertices; v++ {
+		binary.LittleEndian.PutUint64(offBuf, off)
+		if _, err := m.Write(v*8, offBuf); err != nil {
+			return nil, err
+		}
+		if v == vertices {
+			break
+		}
+		d := degree/2 + (v % degree) // varied degrees
+		adj := make([]byte, d*4)
+		for e := uint64(0); e < d; e++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			// Mostly-local neighbors: graph partitions have locality.
+			nb := (v + (rng>>33)%1024 + 1) % vertices
+			binary.LittleEndian.PutUint32(adj[e*4:], uint32(nb))
+		}
+		if _, err := m.Write(g.edgeBase+off*4, adj); err != nil {
+			return nil, err
+		}
+		off += d
+	}
+	g.edges = off
+	return g, nil
+}
+
+func (g *csrGraph) neighbors(v uint64) ([]uint32, error) {
+	var ob [16]byte
+	if _, err := g.m.Read(v*8, ob[:]); err != nil {
+		return nil, err
+	}
+	lo := binary.LittleEndian.Uint64(ob[0:])
+	hi := binary.LittleEndian.Uint64(ob[8:])
+	if hi <= lo {
+		return nil, nil
+	}
+	raw := make([]byte, (hi-lo)*4)
+	if _, err := g.m.Read(g.edgeBase+lo*4, raw); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, hi-lo)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	}
+	return out, nil
+}
+
+// bfs runs a level-synchronous BFS from src and returns the number of
+// reached vertices and the frontier depth.
+func (g *csrGraph) bfs(src uint64) (reached, depth int, err error) {
+	visited := make(map[uint64]bool, 1024)
+	frontier := []uint64{src}
+	visited[src] = true
+	for len(frontier) > 0 {
+		depth++
+		var next []uint64
+		for _, v := range frontier {
+			nbs, err := g.neighbors(v)
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, nb := range nbs {
+				if !visited[uint64(nb)] {
+					visited[uint64(nb)] = true
+					next = append(next, uint64(nb))
+				}
+			}
+		}
+		frontier = next
+		if depth > 64 {
+			break
+		}
+	}
+	return len(visited), depth, nil
+}
+
+func main() {
+	cfg := hams.DefaultConfig(hams.Extend, hams.Tight)
+	// 16 MiB NVDIMM cache vs a graph an order of magnitude larger:
+	// true memory expansion.
+	cfg.NVDIMM.DRAM.Capacity = 24 * hams.MiB
+	cfg.PinnedBytes = 8 * hams.MiB
+	cfg.PageBytes = 64 * hams.KiB
+	m, err := hams.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const vertices = 400_000
+	const degree = 24
+	fmt.Printf("building a %d-vertex CSR graph in the MoS space...\n", vertices)
+	g, err := buildGraph(m, vertices, degree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	footprint := (g.vertices+1)*8 + g.edges*4
+	fmt.Printf("graph: %d edges, %.1f MB footprint vs %.0f MB NVDIMM cache\n",
+		g.edges, float64(footprint)/1e6,
+		float64(cfg.NVDIMM.DRAM.Capacity-cfg.PinnedBytes)/1e6)
+
+	buildStats := m.Stats()
+	start := m.Now()
+	reached, depth, err := g.bfs(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("\nBFS: reached %d vertices in %d levels, %v simulated\n",
+		reached, depth, m.Now()-start)
+	fmt.Printf("traversal accesses: %d (%.1f%% NVDIMM hit rate, %d hardware fills)\n",
+		st.Accesses-buildStats.Accesses, st.HitRate()*100, st.Fills-buildStats.Fills)
+	fmt.Println("\nno mmap, no page faults, no filesystem — the MCH did all of it.")
+}

@@ -1,0 +1,157 @@
+// Package hams is the public API of the HAMS reproduction: a
+// hardware-automated Memory-over-Storage (MoS) system that aggregates
+// an NVDIMM-N and an ultra-low-latency flash archive into one large,
+// byte-addressable, persistent memory space (Zhang et al., ISCA 2021).
+//
+// The package exposes three things:
+//
+//   - MoS — a functional HAMS instance: a byte-addressable address
+//     space backed by the simulated NVDIMM cache + ULL-Flash archive,
+//     with working power-failure recovery (journal-tag replay);
+//   - the evaluation platforms and workloads of the paper (§VI-A),
+//     for building custom studies;
+//   - the experiment harness that regenerates every table and figure
+//     (see EXPERIMENTS.md and cmd/hamsbench).
+package hams
+
+import (
+	"fmt"
+
+	"hams/internal/core"
+	"hams/internal/mem"
+	"hams/internal/sim"
+)
+
+// Capacity units re-exported for configuration convenience.
+const (
+	KiB = mem.KiB
+	MiB = mem.MiB
+	GiB = mem.GiB
+)
+
+// Time is a simulation timestamp in nanoseconds.
+type Time = sim.Time
+
+// Mode selects the persistency strategy.
+type Mode = core.Mode
+
+// Topology selects the datapath.
+type Topology = core.Topology
+
+// Re-exported mode/topology values (§VI-A platform naming).
+const (
+	Extend  = core.Extend  // parallel NVMe + journal-tag recovery (…E)
+	Persist = core.Persist // FUA + single outstanding I/O (…P)
+	Loose   = core.Loose   // ULL-Flash behind PCIe 3.0 x4 (hams-L…)
+	Tight   = core.Tight   // ULL-Flash on the shared DDR4 bus (hams-T…)
+)
+
+// Config configures a MoS instance. The zero value is invalid; start
+// from DefaultConfig.
+type Config = core.Config
+
+// DefaultConfig returns the paper's Table II configuration (8 GB
+// NVDIMM, 800 GB-class Z-NAND archive, 128 KB MoS pages) in the given
+// mode and topology.
+func DefaultConfig(m Mode, t Topology) Config { return core.DefaultConfig(m, t) }
+
+// AccessResult reports the timing of one memory request.
+type AccessResult = core.AccessResult
+
+// Stats aggregates controller activity.
+type Stats = core.Stats
+
+// MoS is one HAMS instance: a byte-addressable, persistent address
+// space as large as the flash archive, served at NVDIMM speed on hits.
+type MoS struct {
+	ctl *core.Controller
+	now sim.Time
+}
+
+// New builds a MoS from cfg.
+func New(cfg Config) (*MoS, error) {
+	ctl, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MoS{ctl: ctl}, nil
+}
+
+// Capacity returns the MoS address-space size in bytes.
+func (m *MoS) Capacity() uint64 { return m.ctl.Capacity() }
+
+// PageBytes returns the MoS cache page size.
+func (m *MoS) PageBytes() uint64 { return m.ctl.PageBytes() }
+
+// Now returns the instance's virtual clock.
+func (m *MoS) Now() Time { return m.now }
+
+// Stats returns controller counters (hits, misses, evictions, latency
+// decomposition, recovery replays).
+func (m *MoS) Stats() Stats { return m.ctl.Stats() }
+
+// Write stores p at addr, advancing the virtual clock by the modeled
+// access latency.
+func (m *MoS) Write(addr uint64, p []byte) (AccessResult, error) {
+	r, err := m.ctl.Write(m.now, addr, p)
+	if err != nil {
+		return r, err
+	}
+	m.now = r.Done
+	return r, nil
+}
+
+// Read fills p from addr, advancing the virtual clock.
+func (m *MoS) Read(addr uint64, p []byte) (AccessResult, error) {
+	r, err := m.ctl.Read(m.now, addr, p)
+	if err != nil {
+		return r, err
+	}
+	m.now = r.Done
+	return r, nil
+}
+
+// Peek reads the current content without timing effects (debugging /
+// verification).
+func (m *MoS) Peek(addr uint64, p []byte) { m.ctl.PeekData(addr, p) }
+
+// PowerFailReport summarizes a simulated power failure.
+type PowerFailReport = core.PowerFailReport
+
+// RecoverReport summarizes the power-up recovery procedure.
+type RecoverReport = core.RecoverReport
+
+// PowerFail simulates a sudden power loss at the current virtual time:
+// in-flight DMAs are lost (torn on the device), the NVDIMM image —
+// including the pinned region with the journal-tagged NVMe queues — is
+// preserved by the supercap.
+func (m *MoS) PowerFail() PowerFailReport {
+	return m.ctl.PowerFail(m.now)
+}
+
+// Recover executes the Figure 15 power-up procedure: restore the
+// NVDIMM image, scan the persisted submission queue for set journal
+// tags, and re-issue every incomplete command.
+func (m *MoS) Recover() (RecoverReport, error) {
+	rep, err := m.ctl.Recover(m.now)
+	if err != nil {
+		return rep, err
+	}
+	if rep.Done > m.now {
+		m.now = rep.Done
+	}
+	return rep, nil
+}
+
+// Advance moves the virtual clock forward (e.g. to model think time
+// between requests); it never rewinds.
+func (m *MoS) Advance(d Time) {
+	if d > 0 {
+		m.now += d
+	}
+}
+
+// String describes the instance.
+func (m *MoS) String() string {
+	return fmt.Sprintf("MoS(%s, %.0f GB, now=%v)", m.ctl, float64(m.Capacity())/float64(GiB), m.now)
+}

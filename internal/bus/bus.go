@@ -1,0 +1,127 @@
+// Package bus models the shared DDR4 channel of advanced HAMS: the
+// HAMS controller, one or more NVDIMMs and the unboxed ULL-Flash all
+// hang off one memory bus. Arbitration between the memory controller
+// and the NVMe controller uses the paper's lock register (§IV-C), and
+// commands reach the flash device over the register-based interface —
+// a 64 B NVMe command delivered as a DDR4 write burst (Figure 12).
+package bus
+
+import (
+	"errors"
+
+	"hams/internal/sim"
+)
+
+// Config carries the DDR4 electrical budget for the shared channel.
+type Config struct {
+	GBs        float64  // channel bandwidth
+	TCK        sim.Time // clock period (command cycles are counted in tCK)
+	BurstBeats int      // beats per burst (BL8)
+}
+
+// DDR4Channel returns the paper's shared-channel budget.
+func DDR4Channel() Config { return Config{GBs: 20, TCK: 1, BurstBeats: 8} }
+
+// SharedBus is the arbitrated DDR4 channel.
+type SharedBus struct {
+	cfg Config
+	bus *sim.Resource
+
+	lock       bool // lock register: NVMe controller owns the bus
+	lockSets   int64
+	lockWaits  int64
+	cmdBursts  int64
+	dataMoved  int64
+	lockedTime sim.Time
+	lockSince  sim.Time
+}
+
+// New builds the shared channel.
+func New(cfg Config) *SharedBus {
+	if cfg.GBs == 0 {
+		cfg = DDR4Channel()
+	}
+	return &SharedBus{cfg: cfg, bus: sim.NewResource()}
+}
+
+// ErrLocked is returned when the memory controller attempts a transfer
+// while the NVMe controller holds the lock register.
+var ErrLocked = errors.New("bus: lock register held by NVMe controller")
+
+// Locked reports the lock-register state.
+func (b *SharedBus) Locked() bool { return b.lock }
+
+// SetLock asserts the lock register at time t (HAMS grants the bus to
+// the NVMe controller for a DMA).
+func (b *SharedBus) SetLock(t sim.Time) {
+	if !b.lock {
+		b.lock = true
+		b.lockSets++
+		b.lockSince = t
+	}
+}
+
+// ReleaseLock deasserts the lock register at time t.
+func (b *SharedBus) ReleaseLock(t sim.Time) {
+	if b.lock {
+		b.lock = false
+		b.lockedTime += t - b.lockSince
+	}
+}
+
+// SendCommand delivers one 64 B NVMe command over the register-based
+// interface: deselect NVDIMM (1 tCK), write command setup (1 tCK),
+// then an 8-beat data burst carrying the 64 bytes. Returns completion.
+func (b *SharedBus) SendCommand(t sim.Time) sim.Time {
+	setup := 2 * b.cfg.TCK
+	burst := sim.Bandwidth(64, b.cfg.GBs)
+	if beats := sim.Time(b.cfg.BurstBeats) * b.cfg.TCK; burst < beats {
+		burst = beats
+	}
+	_, done := b.bus.Acquire(t, setup+burst)
+	b.cmdBursts++
+	return done
+}
+
+// DMA streams bytes across the channel on behalf of the NVMe
+// controller. The caller must hold the lock register; this is asserted
+// because a violation is a hazard bug, not a recoverable condition.
+func (b *SharedBus) DMA(t sim.Time, bytes int64) sim.Time {
+	if !b.lock {
+		panic("bus: DMA without lock register held")
+	}
+	_, done := b.bus.Acquire(t, sim.Bandwidth(bytes, b.cfg.GBs))
+	b.dataMoved += bytes
+	return done
+}
+
+// MemAccess reserves the channel for a memory-controller transfer of
+// bytes. If the lock register is held, the transfer is delayed to
+// lockFreeAt (the caller learns when the DMA completes and retries);
+// it returns ErrLocked so the cache logic can account the stall.
+func (b *SharedBus) MemAccess(t sim.Time, bytes int64) (sim.Time, error) {
+	if b.lock {
+		b.lockWaits++
+		return t, ErrLocked
+	}
+	_, done := b.bus.Acquire(t, sim.Bandwidth(bytes, b.cfg.GBs))
+	b.dataMoved += bytes
+	return done, nil
+}
+
+// Stats exposes arbitration counters.
+type Stats struct {
+	LockSets   int64
+	LockWaits  int64
+	CmdBursts  int64
+	DataMoved  int64
+	LockedTime sim.Time
+}
+
+// Stats returns a copy of the counters.
+func (b *SharedBus) Stats() Stats {
+	return Stats{
+		LockSets: b.lockSets, LockWaits: b.lockWaits,
+		CmdBursts: b.cmdBursts, DataMoved: b.dataMoved, LockedTime: b.lockedTime,
+	}
+}

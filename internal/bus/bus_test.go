@@ -1,0 +1,115 @@
+package bus
+
+import (
+	"testing"
+
+	"hams/internal/sim"
+)
+
+func TestLockRegisterLifecycle(t *testing.T) {
+	b := New(DDR4Channel())
+	if b.Locked() {
+		t.Fatal("new bus must be unlocked")
+	}
+	b.SetLock(100)
+	if !b.Locked() {
+		t.Fatal("SetLock failed")
+	}
+	b.SetLock(110) // idempotent
+	b.ReleaseLock(200)
+	if b.Locked() {
+		t.Fatal("ReleaseLock failed")
+	}
+	st := b.Stats()
+	if st.LockSets != 1 {
+		t.Fatalf("LockSets = %d, want 1 (idempotent)", st.LockSets)
+	}
+	if st.LockedTime != 100 {
+		t.Fatalf("LockedTime = %v, want 100", st.LockedTime)
+	}
+}
+
+func TestMemAccessBlockedWhileLocked(t *testing.T) {
+	b := New(DDR4Channel())
+	b.SetLock(0)
+	if _, err := b.MemAccess(10, 64); err != ErrLocked {
+		t.Fatalf("err = %v, want ErrLocked", err)
+	}
+	b.ReleaseLock(50)
+	done, err := b.MemAccess(50, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 50 {
+		t.Fatalf("done = %v", done)
+	}
+	if b.Stats().LockWaits != 1 {
+		t.Fatalf("LockWaits = %d", b.Stats().LockWaits)
+	}
+}
+
+func TestDMARequiresLock(t *testing.T) {
+	b := New(DDR4Channel())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DMA without lock must panic (hazard bug)")
+		}
+	}()
+	b.DMA(0, 4096)
+}
+
+func TestDMABandwidth(t *testing.T) {
+	b := New(DDR4Channel())
+	b.SetLock(0)
+	// 128 KiB at 20 GB/s ≈ 6554 ns.
+	done := b.DMA(0, 128*1024)
+	want := sim.Bandwidth(128*1024, 20)
+	if done != want {
+		t.Fatalf("done = %v, want %v", done, want)
+	}
+}
+
+func TestSendCommandCost(t *testing.T) {
+	b := New(DDR4Channel())
+	done := b.SendCommand(0)
+	// 2 command cycles + max(64B burst, 8 beats) >= 8 ns at 1ns tCK.
+	if done < 10 {
+		t.Fatalf("command burst too cheap: %v", done)
+	}
+	if done > 100 {
+		t.Fatalf("command burst too expensive: %v", done)
+	}
+	if b.Stats().CmdBursts != 1 {
+		t.Fatal("CmdBursts not counted")
+	}
+}
+
+func TestBusSerializesDMAAndCommands(t *testing.T) {
+	b := New(DDR4Channel())
+	b.SetLock(0)
+	d1 := b.DMA(0, 4096)
+	b.ReleaseLock(d1)
+	// A command burst issued at t=0 must queue behind the DMA.
+	d2 := b.SendCommand(0)
+	if d2 <= d1 {
+		t.Fatalf("command (%v) overlapped DMA (%v)", d2, d1)
+	}
+}
+
+func TestDataMovedAccounting(t *testing.T) {
+	b := New(DDR4Channel())
+	b.SetLock(0)
+	b.DMA(0, 1000)
+	b.ReleaseLock(1000)
+	b.MemAccess(2000, 500)
+	if got := b.Stats().DataMoved; got != 1500 {
+		t.Fatalf("DataMoved = %d", got)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	b := New(Config{})
+	if done := b.SendCommand(0); done <= 0 {
+		t.Fatal("default config must be usable")
+	}
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+
+	"hams/internal/mem"
+	"hams/internal/nvme"
+	"hams/internal/sim"
+)
+
+// AccessResult reports the timing of one MMU request.
+type AccessResult struct {
+	Done   sim.Time
+	Hit    bool
+	Wait   sim.Time // time parked behind busy bits / persist serialization
+	NVDIMM sim.Time // NVDIMM array time on the critical path
+	DMA    sim.Time // interface/DMA transfer time on the critical path
+	SSD    sim.Time // device-internal (HIL/buffer/flash) time
+}
+
+// Access serves one MMU memory request arriving at time t, timing
+// only (no data movement into caller buffers). Requests must be
+// presented in nondecreasing arrival order (the multi-core driver
+// guarantees this). The returned AccessResult carries the completion
+// time and the latency decomposition used by Fig. 18.
+func (c *Controller) Access(t sim.Time, a mem.Access) (AccessResult, error) {
+	return c.run(t, a, nil)
+}
+
+func errBeyondCapacity(a mem.Access, cap uint64) error {
+	return fmt.Errorf("core: access %v beyond MoS capacity %d", a, cap)
+}
+
+func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, error) {
+	start := t
+	idx, tag := c.indexOf(a.Addr)
+	e := &c.tags[idx]
+
+	var res AccessResult
+
+	if e.valid && e.tag == tag {
+		// Hit — but another core's fill for this tag may still be in
+		// flight; the request parks until the data is resident.
+		if e.readyAt > t {
+			c.stats.WaitQ++
+			res.Wait += e.readyAt - t
+			t = e.readyAt
+			c.engine.AdvanceTo(t)
+		}
+		res.Hit = true
+		done := c.demandAccess(t, c.cacheAddr(idx)+a.Addr%c.cfg.PageBytes, a.Size, a.Op)
+		if a.Op == mem.Write {
+			e.dirty = true
+		}
+		res.NVDIMM += done - t
+		res.Done = done + c.cfg.NotifyLat
+		c.stats.TotalTime += res.Done - start
+		return res, nil
+	}
+
+	// Miss on a busy entry: park in the wait queue until the in-flight
+	// commands complete (Figure 14). This avoids the eviction hazard
+	// and suppresses redundant evictions — after the wait the dirty
+	// data has already been evicted, so no second evict is composed.
+	if e.busy && e.busyUntil > t {
+		c.stats.WaitQ++
+		c.stats.RedundantSquashed++
+		res.Wait += e.busyUntil - t
+		t = e.busyUntil
+		c.engine.AdvanceTo(t)
+	}
+
+	// Persist mode serializes: wait for the previous I/O to retire.
+	if c.cfg.Mode == Persist && c.lastIODone > t {
+		res.Wait += c.lastIODone - t
+		t = c.lastIODone
+		c.engine.AdvanceTo(t)
+	}
+
+	now := t
+	var evictComplete sim.Time
+
+	// Evict the present page if dirty.
+	if e.valid && e.dirty {
+		d, r, err := c.evict(now, idx)
+		if err != nil {
+			return res, err
+		}
+		evictComplete = d
+		res.DMA += r.DMA
+		res.NVDIMM += r.NVDIMM
+		res.SSD += r.SSD
+		c.stats.Evictions++
+	}
+
+	// Fill the target page, unless the write covers the whole page.
+	fullPageWrite := a.Op == mem.Write && uint64(a.Size) >= c.cfg.PageBytes &&
+		a.Addr%c.cfg.PageBytes == 0
+	fillDone := now
+	var fillComplete sim.Time
+	if fullPageWrite {
+		c.stats.FullPageWrites++
+	} else {
+		d, cp, r, err := c.fill(now, idx, tag)
+		if err != nil {
+			return res, err
+		}
+		fillDone = d
+		fillComplete = cp
+		res.DMA += r.DMA
+		res.NVDIMM += r.NVDIMM
+		res.SSD += r.SSD
+		c.stats.Fills++
+	}
+
+	// Install the new mapping. The entry stays busy until every
+	// in-flight command for it completes; the data itself is usable
+	// from fillDone.
+	busyUntil := fillComplete
+	if evictComplete > busyUntil {
+		busyUntil = evictComplete
+	}
+	e.tag = tag
+	e.valid = true
+	e.dirty = a.Op == mem.Write
+	e.readyAt = fillDone
+	e.busy = busyUntil > now
+	e.busyUntil = busyUntil
+	if e.busy {
+		eIdx := idx
+		c.engine.Schedule(busyUntil, func(sim.Time) {
+			if c.tags[eIdx].busyUntil <= busyUntil {
+				c.tags[eIdx].busy = false
+			}
+		})
+	}
+	if c.cfg.Mode == Persist && busyUntil > c.lastIODone {
+		c.lastIODone = busyUntil
+	}
+
+	// The MMU resumes once the fill data is in NVDIMM: perform the
+	// demand access against the cache page.
+	done := c.demandAccess(fillDone, c.cacheAddr(idx)+a.Addr%c.cfg.PageBytes, a.Size, a.Op)
+	res.NVDIMM += done - fillDone
+	res.Done = done + c.cfg.NotifyLat
+	c.stats.TotalTime += res.Done - start
+	return res, nil
+}
+
+// demandAccess is an MMU-side NVDIMM access; in tight topology it must
+// wait for any NVMe-controller DMA holding the lock register.
+func (c *Controller) demandAccess(t sim.Time, addr uint64, size uint32, op mem.Op) sim.Time {
+	if c.cfg.Topology == Tight && c.lockFreeAt > t {
+		t = c.lockFreeAt
+	}
+	return c.nvdimm.Access(t, addr, size, op)
+}
+
+type pathCost struct {
+	NVDIMM sim.Time
+	DMA    sim.Time
+	SSD    sim.Time
+}
+
+// evict clones the victim page into the PRP pool, composes an NVMe
+// write, and transfers the clone to the device. In extend mode the
+// transfer runs in the background (the caller only waits if it touches
+// the same entry again); in persist mode it carries FUA.
+func (c *Controller) evict(t sim.Time, idx int) (sim.Time, pathCost, error) {
+	var pc pathCost
+	e := &c.tags[idx]
+	victimAddr := e.tag * c.cfg.PageBytes
+	cacheAddr := c.cacheAddr(idx)
+
+	prpAddr, ok := c.prp.Alloc()
+	if !ok {
+		// Pool exhausted: wait for the oldest in-flight command.
+		t = c.drainOldest(t)
+		prpAddr, ok = c.prp.Alloc()
+		if !ok {
+			return t, pc, fmt.Errorf("core: PRP pool exhausted")
+		}
+	}
+
+	// Clone page into the pinned region (read + write inside NVDIMM).
+	rd := c.nvdimm.Bulk(t, cacheAddr, uint32(c.cfg.PageBytes), mem.Read)
+	wr := c.nvdimm.Bulk(rd, prpAddr, uint32(c.cfg.PageBytes), mem.Write)
+	c.nvdimm.Store().Copy(prpAddr, cacheAddr, c.cfg.PageBytes)
+	pc.NVDIMM += wr - t
+
+	cmd := nvme.Command{
+		Opcode: nvme.OpWrite,
+		PRP:    prpAddr,
+		LBA:    victimAddr,
+		Length: uint32(c.cfg.PageBytes),
+		FUA:    c.cfg.Mode == Persist,
+	}
+	cid, err := c.qp.Submit(cmd)
+	if err != nil {
+		return t, pc, fmt.Errorf("core: submit evict: %w", err)
+	}
+	// The device fetches the SQE as soon as the doorbell lands; the
+	// journal tag stays set in the persisted slot until completion.
+	c.qp.DeviceFetch()
+	cmdDelivered := c.deliverCommand(wr + c.cfg.ComposeLat)
+	pc.DMA += cmdDelivered - wr - c.cfg.ComposeLat
+
+	// Device pulls the clone from NVDIMM (DMA), then programs flash.
+	// The content is frozen by the PRP clone, so the functional write
+	// can happen now; a power failure before the completion event
+	// models the lost DMA by tearing these LBAs (see recovery.go).
+	xferDone := c.dmaHostToDev(cmdDelivered, int64(c.cfg.PageBytes))
+	pc.DMA += xferDone - cmdDelivered
+	clone := make([]byte, c.cfg.PageBytes)
+	c.nvdimm.Store().ReadAt(prpAddr, clone)
+	devDone, err := c.devWrite(xferDone, victimAddr, clone, cmd.FUA)
+	if err != nil {
+		return t, pc, err
+	}
+	pc.SSD += devDone - xferDone
+	complete := c.notifyCompletion(devDone)
+
+	inf := &inflight{cmd: cmd, entry: idx, prpAddr: prpAddr, done: complete}
+	inf.cmd.CID = cid
+	c.inflight[cid] = inf
+	c.engine.Schedule(complete, func(sim.Time) { c.completeWrite(cid) })
+	return complete, pc, nil
+}
+
+// fill composes an NVMe read that moves the target page from the
+// device into the NVDIMM cache entry. It returns the time the data is
+// resident (the MMU may resume) and the time the command retires (CQ
+// posted, journal cleared).
+func (c *Controller) fill(t sim.Time, idx int, tag uint64) (sim.Time, sim.Time, pathCost, error) {
+	var pc pathCost
+	pageAddr := tag * c.cfg.PageBytes
+	cacheAddr := c.cacheAddr(idx)
+
+	cmd := nvme.Command{
+		Opcode: nvme.OpRead,
+		PRP:    cacheAddr,
+		LBA:    pageAddr,
+		Length: uint32(c.cfg.PageBytes),
+	}
+	cid, err := c.qp.Submit(cmd)
+	if err != nil {
+		return t, t, pc, fmt.Errorf("core: submit fill: %w", err)
+	}
+	c.qp.DeviceFetch()
+	cmdDelivered := c.deliverCommand(t + c.cfg.ComposeLat)
+	pc.DMA += cmdDelivered - t
+
+	// Device reads the page (timing + data), DMA to NVDIMM. The DMA
+	// stream and the NVDIMM write pipeline TLP by TLP: in tight
+	// topology the bus transfer IS the NVDIMM write; in loose
+	// topology the DDR4 landing overlaps the PCIe stream.
+	devDone, data := c.devRead(cmdDelivered, pageAddr)
+	pc.SSD += devDone - cmdDelivered
+	xferDone := c.dmaDevToHost(devDone, int64(c.cfg.PageBytes))
+	landDone := xferDone
+	if c.cfg.Topology == Loose {
+		bulkDone := c.nvdimm.Bulk(devDone, cacheAddr, uint32(c.cfg.PageBytes), mem.Write)
+		if bulkDone > landDone {
+			landDone = bulkDone
+		}
+	}
+	pc.DMA += landDone - devDone
+	c.nvdimm.Store().WriteAt(cacheAddr, data[:min(uint64(len(data)), c.cfg.PageBytes)])
+
+	complete := c.notifyCompletion(landDone)
+	inf := &inflight{cmd: cmd, entry: idx, prpAddr: cacheAddr, done: complete}
+	inf.cmd.CID = cid
+	c.inflight[cid] = inf
+	c.engine.Schedule(complete, func(sim.Time) { c.completeRead(cid) })
+	return landDone, complete, pc, nil
+}
+
+// completeWrite fires at a write command's completion time: the CQ
+// entry posts, the journal tag clears and the PRP clone is released.
+func (c *Controller) completeWrite(cid uint16) {
+	inf, ok := c.inflight[cid]
+	if !ok {
+		return
+	}
+	delete(c.inflight, cid)
+	_ = c.qp.DeviceComplete(cid, 0)
+	_, _ = c.qp.HostReap()
+	c.prp.Free(inf.prpAddr)
+}
+
+// completeRead fires at a fill's completion: post CQ + clear journal.
+func (c *Controller) completeRead(cid uint16) {
+	if _, ok := c.inflight[cid]; !ok {
+		return
+	}
+	delete(c.inflight, cid)
+	_ = c.qp.DeviceComplete(cid, 0)
+	_, _ = c.qp.HostReap()
+}
+
+// drainOldest advances time to the earliest in-flight completion to
+// free a PRP slot under pool pressure.
+func (c *Controller) drainOldest(t sim.Time) sim.Time {
+	var oldest sim.Time = sim.MaxTime
+	for _, inf := range c.inflight {
+		if inf.done < oldest {
+			oldest = inf.done
+		}
+	}
+	if oldest == sim.MaxTime {
+		return t
+	}
+	if oldest > t {
+		t = oldest
+	}
+	c.engine.AdvanceTo(t)
+	return t
+}
+
+// deliverCommand charges the cost of getting a 64 B NVMe command (and
+// its doorbell) to the device.
+func (c *Controller) deliverCommand(t sim.Time) sim.Time {
+	switch c.cfg.Topology {
+	case Tight:
+		return c.dbus.SendCommand(t)
+	default:
+		return c.link.MMIOWrite(t) // doorbell; device then fetches the SQE
+	}
+}
+
+// dmaHostToDev moves bytes NVDIMM -> device.
+func (c *Controller) dmaHostToDev(t sim.Time, bytes int64) sim.Time {
+	switch c.cfg.Topology {
+	case Tight:
+		c.dbus.SetLock(t)
+		done := c.dbus.DMA(t, bytes)
+		c.dbus.ReleaseLock(done)
+		if done > c.lockFreeAt {
+			c.lockFreeAt = done
+		}
+		return done
+	default:
+		// The NVDIMM read-out overlaps the PCIe stream (per-TLP
+		// store-and-forward), so the transfer completes at the later
+		// of the two pipelines.
+		rd := c.nvdimm.Bulk(t, 0, uint32(bytes), mem.Read)
+		ld := c.link.ToDevice(t, bytes)
+		if rd > ld {
+			return rd
+		}
+		return ld
+	}
+}
+
+// dmaDevToHost moves bytes device -> NVDIMM.
+func (c *Controller) dmaDevToHost(t sim.Time, bytes int64) sim.Time {
+	switch c.cfg.Topology {
+	case Tight:
+		c.dbus.SetLock(t)
+		done := c.dbus.DMA(t, bytes)
+		c.dbus.ReleaseLock(done)
+		if done > c.lockFreeAt {
+			c.lockFreeAt = done
+		}
+		return done
+	default:
+		return c.link.ToHost(t, bytes)
+	}
+}
+
+// notifyCompletion charges the completion signal (MSI over PCIe, or a
+// register poll on the DDR4 bus).
+func (c *Controller) notifyCompletion(t sim.Time) sim.Time {
+	switch c.cfg.Topology {
+	case Tight:
+		return t + c.cfg.NotifyLat
+	default:
+		return c.link.MSI(t)
+	}
+}
+
+// devRead performs the device read (timing and data) for a fill.
+func (c *Controller) devRead(t sim.Time, mosAddr uint64) (sim.Time, []byte) {
+	devPage := c.dev.PageBytes()
+	n := c.cfg.PageBytes / devPage
+	if n == 0 {
+		n = 1
+	}
+	buf := make([]byte, c.cfg.PageBytes)
+	done := t
+	for i := uint64(0); i < n; i++ {
+		lba := mosAddr/devPage + i
+		d, data := c.dev.Read(t, lba, 0)
+		copy(buf[i*devPage:], data)
+		if d > done {
+			done = d
+		}
+	}
+	return done, buf
+}
+
+// devWrite programs one MoS page as PageBytes/devPage device pages;
+// the HIL splits the request and the FTL stripes the sub-pages across
+// channels, so they largely overlap (§II-C).
+func (c *Controller) devWrite(t sim.Time, mosAddr uint64, data []byte, fua bool) (sim.Time, error) {
+	devPage := c.dev.PageBytes()
+	done := t
+	for off := uint64(0); off < uint64(len(data)); off += devPage {
+		end := off + devPage
+		if end > uint64(len(data)) {
+			end = uint64(len(data))
+		}
+		d, err := c.dev.Write(t, (mosAddr+off)/devPage, data[off:end], fua)
+		if err != nil {
+			return done, fmt.Errorf("core: device write: %w", err)
+		}
+		if d > done {
+			done = d
+		}
+	}
+	return done, nil
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

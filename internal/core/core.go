@@ -1,0 +1,291 @@
+// Package core implements the paper's contribution: the HAMS
+// (Hardware Automated Memory-over-Storage) controller that lives in
+// the memory-controller hub. It aggregates an NVDIMM-N and a ULL-Flash
+// archive into one byte-addressable MoS address space, fronted by a
+// direct-mapped NVDIMM cache whose tag bits (valid/dirty/busy) ride
+// with the cache lines. Misses are handled entirely in hardware by
+// composing NVMe commands into a pinned, MMU-invisible NVDIMM region;
+// eviction hazards are avoided with PRP-pool cloning, a busy bit, and
+// a wait queue; persistency is guaranteed either by FUA serialization
+// (persist mode) or by journal tags replayed after power failure
+// (extend mode). Loose topology moves data over PCIe; tight topology
+// ("advanced HAMS") moves it over a shared DDR4 bus under a lock
+// register with a buffer-less ULL-Flash.
+package core
+
+import (
+	"fmt"
+
+	"hams/internal/bus"
+	"hams/internal/dram"
+	"hams/internal/mem"
+	"hams/internal/nvme"
+	"hams/internal/pcie"
+	"hams/internal/sim"
+	"hams/internal/ssd"
+)
+
+// Mode selects the persistency strategy (§VI-A platforms).
+type Mode int
+
+const (
+	// Extend mode: parallel NVMe usage; persistency via journal tags.
+	Extend Mode = iota
+	// Persist mode: FUA on every write, one I/O in flight at a time.
+	Persist
+)
+
+func (m Mode) String() string {
+	if m == Persist {
+		return "persist"
+	}
+	return "extend"
+}
+
+// Topology selects the datapath (baseline vs advanced HAMS).
+type Topology int
+
+const (
+	// Loose: ULL-Flash behind PCIe 3.0 x4; SSD keeps its internal DRAM.
+	Loose Topology = iota
+	// Tight: ULL-Flash on the shared DDR4 bus, buffer-less, lock register.
+	Tight
+)
+
+func (t Topology) String() string {
+	if t == Tight {
+		return "tight"
+	}
+	return "loose"
+}
+
+// Config assembles a HAMS instance.
+type Config struct {
+	PageBytes   uint64 // MoS cache page (paper default 128 KB)
+	PinnedBytes uint64 // MMU-invisible region (paper: ~512 MB)
+	PRPSlots    int    // clone buffers in the PRP pool
+	Mode        Mode
+	Topology    Topology
+
+	NVDIMM dram.NVDIMMConfig
+	SSD    ssd.Config
+	PCIe   pcie.Config
+	Bus    bus.Config
+
+	// NotifyLat is the cost of signalling the MMU that a stalled
+	// instruction may retry (command/address bus toggle).
+	NotifyLat sim.Time
+	// ComposeLat is the cost of composing one NVMe command in the
+	// queue engine (fills opcode/PRP/LBA/length fields).
+	ComposeLat sim.Time
+}
+
+// DefaultConfig returns the paper's Table II configuration in the
+// given mode/topology: 8 GB NVDIMM, ULL-Flash archive, 128 KB pages.
+func DefaultConfig(m Mode, tp Topology) Config {
+	c := Config{
+		PageBytes:   128 * mem.KiB,
+		PinnedBytes: 512 * mem.MiB,
+		PRPSlots:    64,
+		Mode:        m,
+		Topology:    tp,
+		NVDIMM:      dram.NVDIMMConfig{DRAM: dram.DefaultConfig()},
+		PCIe:        pcie.Gen3x4(),
+		Bus:         bus.DDR4Channel(),
+		NotifyLat:   10,
+		ComposeLat:  20,
+	}
+	if tp == Tight {
+		c.SSD = ssd.ULLFlashNoBuffer()
+	} else {
+		c.SSD = ssd.ULLFlash()
+	}
+	return c
+}
+
+// tagEntry is one MoS tag-array line: tag + V/D/B bits (Figure 11).
+// busyUntil mirrors the busy bit in time: the bit is set while an NVMe
+// command for this entry is in flight and cleared by the completion
+// event.
+type tagEntry struct {
+	tag       uint64
+	valid     bool
+	dirty     bool
+	busy      bool
+	busyUntil sim.Time // last in-flight command for this entry completes
+	readyAt   sim.Time // fill data resident in NVDIMM from this time
+}
+
+// inflight tracks one outstanding NVMe command for hazard management
+// and power-failure replay.
+type inflight struct {
+	cmd     nvme.Command
+	entry   int
+	prpAddr uint64 // clone location for writes; fill target for reads
+	done    sim.Time
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Accesses          int64
+	Hits              int64
+	Misses            int64
+	Evictions         int64
+	RedundantSquashed int64 // evictions suppressed by the busy bit
+	WaitQ             int64 // requests parked in the wait queue
+	Fills             int64
+	FullPageWrites    int64 // misses that skipped the fill (write covers page)
+
+	// Latency decomposition (Fig. 18): time attributed to NVDIMM
+	// accesses, to interface/DMA transfers, and to SSD internals.
+	NVDIMMTime sim.Time
+	DMATime    sim.Time
+	SSDTime    sim.Time
+	WaitTime   sim.Time
+	TotalTime  sim.Time
+
+	Replayed int64 // commands re-issued by power-failure recovery
+}
+
+// HitRate returns hits/accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Controller is one HAMS instance.
+type Controller struct {
+	cfg    Config
+	engine *sim.Engine
+	nvdimm *dram.NVDIMM
+	dev    *ssd.Device
+	link   *pcie.Link     // loose topology
+	dbus   *bus.SharedBus // tight topology
+
+	qp  *nvme.QueuePair
+	prp *nvme.PRPPool
+
+	tags       []tagEntry
+	cacheBytes uint64 // NVDIMM bytes used as MoS cache
+	pinnedBase uint64
+
+	inflight   map[uint16]*inflight
+	lastIODone sim.Time // persist-mode serialization point
+	lockFreeAt sim.Time // tight topology: DMA holds the shared bus
+
+	stats Stats
+}
+
+// New builds a controller. The pinned region is laid out at the top of
+// the NVDIMM: queue pair first, then the PRP pool (Figure 9).
+func New(cfg Config) (*Controller, error) {
+	if !mem.IsPow2(cfg.PageBytes) {
+		return nil, fmt.Errorf("core: page size %d is not a power of two", cfg.PageBytes)
+	}
+	nv := dram.NewNVDIMM(cfg.NVDIMM)
+	if cfg.PinnedBytes >= nv.Capacity() {
+		return nil, fmt.Errorf("core: pinned region %d exceeds NVDIMM %d", cfg.PinnedBytes, nv.Capacity())
+	}
+	if cfg.PRPSlots <= 0 {
+		cfg.PRPSlots = 64
+	}
+	c := &Controller{
+		cfg:      cfg,
+		engine:   sim.NewEngine(),
+		nvdimm:   nv,
+		dev:      ssd.New(cfg.SSD),
+		inflight: make(map[uint16]*inflight),
+	}
+	c.cacheBytes = nv.Capacity() - cfg.PinnedBytes
+	c.cacheBytes = mem.AlignDown(c.cacheBytes, cfg.PageBytes)
+	c.pinnedBase = c.cacheBytes
+	c.tags = make([]tagEntry, c.cacheBytes/cfg.PageBytes)
+
+	layout := nvme.DefaultLayout(c.pinnedBase)
+	c.qp = nvme.NewQueuePair(nv.Store(), layout)
+	prpBase := mem.AlignUp(layout.CQBase+16+8*1024, cfg.PageBytes)
+	c.prp = nvme.NewPRPPool(prpBase, cfg.PageBytes, cfg.PRPSlots)
+	if prpBase+c.prp.Footprint() > nv.Capacity() {
+		return nil, fmt.Errorf("core: pinned region too small for PRP pool")
+	}
+
+	switch cfg.Topology {
+	case Loose:
+		c.link = pcie.New(cfg.PCIe)
+	case Tight:
+		c.dbus = bus.New(cfg.Bus)
+	}
+	return c, nil
+}
+
+// Capacity returns the MoS address-space size exposed to the MMU —
+// the exported capacity of the ULL-Flash archive (§IV-A).
+func (c *Controller) Capacity() uint64 { return c.dev.Capacity() }
+
+// PageBytes returns the MoS cache page size.
+func (c *Controller) PageBytes() uint64 { return c.cfg.PageBytes }
+
+// CacheEntries returns the number of tag-array entries.
+func (c *Controller) CacheEntries() int { return len(c.tags) }
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Device exposes the archive (for energy accounting).
+func (c *Controller) Device() *ssd.Device { return c.dev }
+
+// NVDIMM exposes the module (for energy accounting).
+func (c *Controller) NVDIMM() *dram.NVDIMM { return c.nvdimm }
+
+// BusStats exposes lock-register statistics in tight topology.
+func (c *Controller) BusStats() bus.Stats {
+	if c.dbus == nil {
+		return bus.Stats{}
+	}
+	return c.dbus.Stats()
+}
+
+// Outstanding returns in-flight NVMe command count (tests).
+func (c *Controller) Outstanding() int { return len(c.inflight) }
+
+// Warm installs the pages covering [base, base+size) into the MoS
+// tag array as valid and clean, without charging time — used by the
+// experiment harness to reach the steady-state residency a full-length
+// (paper-scale) run would have built up.
+func (c *Controller) Warm(base, size uint64) {
+	if size == 0 {
+		return
+	}
+	end := base + size
+	if end > c.Capacity() {
+		end = c.Capacity()
+	}
+	for addr := mem.AlignDown(base, c.cfg.PageBytes); addr < end; addr += c.cfg.PageBytes {
+		idx, tag := c.indexOf(addr)
+		e := &c.tags[idx]
+		if e.busy || (e.valid && e.dirty) {
+			continue // never disturb live state
+		}
+		e.tag = tag
+		e.valid = true
+		e.dirty = false
+		e.readyAt = 0
+		e.busyUntil = 0
+	}
+}
+
+func (c *Controller) indexOf(addr uint64) (idx int, tag uint64) {
+	page := addr / c.cfg.PageBytes
+	return int(page % uint64(len(c.tags))), page
+}
+
+func (c *Controller) cacheAddr(idx int) uint64 {
+	return uint64(idx) * c.cfg.PageBytes
+}
+
+func (c *Controller) String() string {
+	return fmt.Sprintf("hams(%s,%s, %dKB pages, %d entries)",
+		c.cfg.Mode, c.cfg.Topology, c.cfg.PageBytes/1024, len(c.tags))
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hams/internal/dram"
+	"hams/internal/flash"
+	"hams/internal/ftl"
+	"hams/internal/mem"
+	"hams/internal/sim"
+	"hams/internal/ssd"
+)
+
+// testConfig returns a scaled-down HAMS: 4 MiB NVDIMM cache (64 KiB
+// pinned), 16 KiB MoS pages, tiny but real ULL-Flash.
+func testConfig(m Mode, tp Topology) Config {
+	cfg := DefaultConfig(m, tp)
+	cfg.PageBytes = 16 * mem.KiB
+	cfg.PinnedBytes = 2 * mem.MiB
+	cfg.PRPSlots = 16
+	cfg.NVDIMM.DRAM.Capacity = 8 * mem.MiB
+	g := flash.Geometry{
+		Channels: 4, PackagesPerC: 1, DiesPerPkg: 2, PlanesPerDie: 1,
+		BlocksPerPln: 32, PagesPerBlk: 32, PageBytes: 4096,
+	}
+	cfg.SSD.Geometry = g
+	cfg.SSD.FTL = ftl.DefaultConfig()
+	if tp == Tight {
+		cfg.SSD.BufferBytes = 0
+	} else {
+		cfg.SSD.BufferBytes = 1 * mem.MiB
+	}
+	return cfg
+}
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testConfig(Extend, Loose)
+	cfg.PageBytes = 3000 // not a power of two
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for non-pow2 page size")
+	}
+	cfg = testConfig(Extend, Loose)
+	cfg.PinnedBytes = cfg.NVDIMM.DRAM.Capacity + 1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for oversized pinned region")
+	}
+}
+
+func TestCapacityIsArchiveCapacity(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	if c.Capacity() == 0 {
+		t.Fatal("zero MoS capacity")
+	}
+	dev := ssd.New(testConfig(Extend, Loose).SSD)
+	if c.Capacity() != dev.Capacity() {
+		t.Fatalf("MoS capacity %d != archive %d", c.Capacity(), dev.Capacity())
+	}
+	// MoS space must exceed the NVDIMM cache: that's the expansion.
+	if c.Capacity() <= uint64(c.CacheEntries())*c.PageBytes() {
+		t.Fatal("MoS space does not exceed NVDIMM cache")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	r1, err := c.Access(0, mem.Access{Addr: 0x1000, Size: 64, Op: mem.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Hit {
+		t.Fatal("first access must miss")
+	}
+	r2, err := c.Access(r1.Done, mem.Access{Addr: 0x1040, Size: 64, Op: mem.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit {
+		t.Fatal("second access to same page must hit")
+	}
+	// Hit latency must be DRAM-like: orders of magnitude below miss.
+	hitLat := r2.Done - r1.Done
+	missLat := r1.Done
+	if hitLat*10 > missLat {
+		t.Fatalf("hit %v vs miss %v: expected >10x gap", hitLat, missLat)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDataRoundTripThroughCache(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	payload := []byte("memory over storage, byte addressable")
+	w, err := c.Write(0, 0x2000, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := c.Read(w.Done, 0x2000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDataSurvivesEviction(t *testing.T) {
+	cfg := testConfig(Extend, Loose)
+	c := mustNew(t, cfg)
+	entries := uint64(c.CacheEntries())
+	payload := []byte("dirty page headed to flash")
+	w, _ := c.Write(0, 0x0, payload)
+	// Conflict: same index, different tag -> evicts page 0.
+	conflictAddr := entries * cfg.PageBytes
+	r, err := c.Access(w.Done, mem.Access{Addr: conflictAddr, Size: 64, Op: mem.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+	// Read page 0 back: must be refetched from the archive intact.
+	got := make([]byte, len(payload))
+	rd, err := c.Read(r.Done+sim.Second, 0x0, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Hit {
+		t.Fatal("must miss after eviction")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("post-eviction got %q", got)
+	}
+}
+
+func TestCleanEvictionComposesNoWrite(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	entries := uint64(c.CacheEntries())
+	// Read-only resident page: clean.
+	r1, _ := c.Access(0, mem.Access{Addr: 0, Size: 64, Op: mem.Read})
+	// Conflict evicts it; clean pages need no NVMe write.
+	c.Access(r1.Done, mem.Access{Addr: entries * c.PageBytes(), Size: 64, Op: mem.Read})
+	if c.Stats().Evictions != 0 {
+		t.Fatalf("clean replacement must not evict, got %d", c.Stats().Evictions)
+	}
+}
+
+func TestPersistModeSerializesMisses(t *testing.T) {
+	ce := mustNew(t, testConfig(Extend, Loose))
+	cp := mustNew(t, testConfig(Persist, Loose))
+	// Two concurrent misses to different entries at t=0 and t=1.
+	doMisses := func(c *Controller) sim.Time {
+		var last sim.Time
+		for i := 0; i < 4; i++ {
+			r, err := c.Access(sim.Time(i), mem.Access{Addr: uint64(i) * c.PageBytes(), Size: 64, Op: mem.Write})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Done > last {
+				last = r.Done
+			}
+		}
+		return last
+	}
+	de := doMisses(ce)
+	dp := doMisses(cp)
+	if dp <= de {
+		t.Fatalf("persist mode (%v) must be slower than extend (%v)", dp, de)
+	}
+}
+
+func TestTightTopologyFasterOnMisses(t *testing.T) {
+	// Advanced HAMS moves miss data over DDR4 (20 GB/s) instead of
+	// PCIe (4 GB/s): the transfer component of a miss must shrink.
+	cl := mustNew(t, testConfig(Extend, Loose))
+	ct := mustNew(t, testConfig(Extend, Tight))
+	var dl, dt sim.Time
+	var now sim.Time
+	for i := 0; i < 8; i++ {
+		r, err := cl.Access(now, mem.Access{Addr: uint64(i) * cl.PageBytes(), Size: 64, Op: mem.Read})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dl += r.DMA
+		now = r.Done
+	}
+	now = 0
+	for i := 0; i < 8; i++ {
+		r, err := ct.Access(now, mem.Access{Addr: uint64(i) * ct.PageBytes(), Size: 64, Op: mem.Read})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt += r.DMA
+		now = r.Done
+	}
+	if dt >= dl {
+		t.Fatalf("tight DMA time (%v) must beat loose (%v)", dt, dl)
+	}
+}
+
+func TestBusyBitBlocksConflictingMiss(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	entries := uint64(c.CacheEntries())
+	// Dirty page 0.
+	w, _ := c.Write(0, 0, []byte{1})
+	// Miss on the same entry: evict in flight. A second miss on the
+	// same entry immediately after must park in the wait queue.
+	r1, _ := c.Access(w.Done, mem.Access{Addr: entries * c.PageBytes(), Size: 64, Op: mem.Write})
+	_, _ = c.Access(w.Done+1, mem.Access{Addr: 2 * entries * c.PageBytes(), Size: 64, Op: mem.Write})
+	_ = r1
+	if c.Stats().WaitQ == 0 {
+		t.Fatal("expected wait-queue parking on busy entry")
+	}
+	if c.Stats().RedundantSquashed == 0 {
+		t.Fatal("expected redundant-eviction suppression")
+	}
+}
+
+func TestAccessBeyondCapacityFails(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	_, err := c.Access(0, mem.Access{Addr: c.Capacity(), Size: 64, Op: mem.Read})
+	if err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	var now sim.Time
+	for i := 0; i < 100; i++ {
+		r, err := c.Access(now, mem.Access{Addr: uint64(i%4) * 64, Size: 64, Op: mem.Read})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = r.Done
+	}
+	if hr := c.Stats().HitRate(); hr < 0.98 {
+		t.Fatalf("hit rate %f for a 1-page working set", hr)
+	}
+}
+
+func TestLatencyDecompositionSums(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	r, err := c.Access(0, mem.Access{Addr: 0, Size: 64, Op: mem.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.Wait + r.NVDIMM + r.DMA + r.SSD
+	total := r.Done
+	// Decomposition must cover most of the miss latency (small fixed
+	// costs like compose/notify are outside the three buckets).
+	if sum > total {
+		t.Fatalf("components %v exceed total %v", sum, total)
+	}
+	if float64(sum) < 0.85*float64(total) {
+		t.Fatalf("components %v cover too little of total %v", sum, total)
+	}
+}
+
+func TestStraddlingAccessTouchesTwoPages(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	addr := c.PageBytes() - 32
+	r, err := c.Access(0, mem.Access{Addr: addr, Size: 64, Op: mem.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Fills != 2 {
+		t.Fatalf("fills = %d, want 2 (straddle)", c.Stats().Fills)
+	}
+	_ = r
+}
+
+func TestPeekDataMatchesTimedRead(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	payload := []byte("peek me")
+	w, _ := c.Write(0, 12345, payload)
+	got := make([]byte, len(payload))
+	c.PeekData(12345, got)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("resident peek got %q", got)
+	}
+	// Evict and peek again: must read through to the archive.
+	entries := uint64(c.CacheEntries())
+	c.Access(w.Done, mem.Access{Addr: 12345 + entries*c.PageBytes(), Size: 8, Op: mem.Write})
+	got2 := make([]byte, len(payload))
+	c.PeekData(12345, got2)
+	if !bytes.Equal(got2, payload) {
+		t.Fatalf("archive peek got %q", got2)
+	}
+}
+
+// Property: HAMS behaves as a linearizable byte store under random
+// single-threaded reads/writes at random addresses.
+func TestMoSLinearizabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(testConfig(Extend, Loose))
+		if err != nil {
+			return false
+		}
+		span := uint64(64) * c.PageBytes() // larger than the cache
+		shadow := make(map[uint64]byte)
+		var now sim.Time
+		for i := 0; i < 120; i++ {
+			addr := uint64(rng.Intn(int(span)))
+			n := rng.Intn(40) + 1
+			if addr+uint64(n) > span {
+				n = int(span - addr)
+			}
+			if rng.Intn(2) == 0 {
+				buf := make([]byte, n)
+				rng.Read(buf)
+				r, err := c.Write(now, addr, buf)
+				if err != nil {
+					return false
+				}
+				now = r.Done
+				for j, b := range buf {
+					shadow[addr+uint64(j)] = b
+				}
+			} else {
+				buf := make([]byte, n)
+				r, err := c.Read(now, addr, buf)
+				if err != nil {
+					return false
+				}
+				now = r.Done
+				for j, b := range buf {
+					if want := shadow[addr+uint64(j)]; b != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completion times are monotone with arrival times for
+// in-order single-stream access.
+func TestMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(testConfig(Extend, Tight))
+		if err != nil {
+			return false
+		}
+		span := uint64(32) * c.PageBytes()
+		var now sim.Time
+		for i := 0; i < 60; i++ {
+			addr := uint64(rng.Intn(int(span) - 64))
+			op := mem.Read
+			if rng.Intn(2) == 1 {
+				op = mem.Write
+			}
+			r, err := c.Access(now, mem.Access{Addr: addr, Size: 64, Op: op})
+			if err != nil {
+				return false
+			}
+			if r.Done < now {
+				return false
+			}
+			now = r.Done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Persist.String() != "persist" || Extend.String() != "extend" {
+		t.Fatal("Mode.String")
+	}
+	if Loose.String() != "loose" || Tight.String() != "tight" {
+		t.Fatal("Topology.String")
+	}
+	c := mustNew(t, testConfig(Extend, Tight))
+	if c.String() == "" {
+		t.Fatal("Controller.String")
+	}
+}
+
+var _ = dram.DDR42133 // keep import for config construction below

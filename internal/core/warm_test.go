@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"hams/internal/mem"
+	"hams/internal/sim"
+)
+
+func TestWarmMakesRangeHit(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Tight))
+	span := uint64(8) * c.PageBytes()
+	c.Warm(0, span)
+	var now sim.Time
+	for addr := uint64(0); addr < span; addr += c.PageBytes() {
+		r, err := c.Access(now, mem.Access{Addr: addr, Size: 64, Op: mem.Read})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Hit {
+			t.Fatalf("warmed page at %#x missed", addr)
+		}
+		now = r.Done
+	}
+	if c.Stats().Misses != 0 {
+		t.Fatalf("misses = %d after warm", c.Stats().Misses)
+	}
+}
+
+func TestWarmDoesNotClobberDirtyState(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Tight))
+	payload := []byte("dirty before warm")
+	w, err := c.Write(0, 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warming the conflicting tag must not replace a dirty entry (the
+	// data would be silently lost).
+	conflict := uint64(c.CacheEntries()) * c.PageBytes()
+	c.Warm(conflict, c.PageBytes())
+	got := make([]byte, len(payload))
+	r, err := c.Read(w.Done, 0, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Hit {
+		t.Fatal("dirty page displaced by Warm")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("data lost: %q", got)
+	}
+}
+
+func TestWarmClampsToCapacity(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Loose))
+	c.Warm(c.Capacity()-c.PageBytes(), 100*c.PageBytes()) // overruns capacity
+	c.Warm(0, 0)                                          // no-op
+}
+
+func TestPRPPoolPressureDrains(t *testing.T) {
+	// With a tiny PRP pool, a burst of dirty evictions must drain the
+	// oldest in-flight command instead of failing.
+	cfg := testConfig(Extend, Loose)
+	cfg.PRPSlots = 2
+	c := mustNew(t, cfg)
+	entries := uint64(c.CacheEntries())
+	var now sim.Time
+	// Dirty many conflicting entries, then force back-to-back evicts.
+	for round := uint64(0); round < 6; round++ {
+		for i := uint64(0); i < 4; i++ {
+			addr := (round*entries + i) * c.PageBytes()
+			if addr >= c.Capacity() {
+				break
+			}
+			r, err := c.Write(now, addr, []byte{byte(round)})
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			now = r.Done
+		}
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions exercised")
+	}
+}
+
+func TestMultiCoreInterleavedAccess(t *testing.T) {
+	// Emulate the 4-core driver: interleaved in-order arrivals from
+	// four logical cores with overlapping working sets.
+	c := mustNew(t, testConfig(Extend, Tight))
+	times := make([]sim.Time, 4)
+	span := uint64(32) * c.PageBytes()
+	for step := 0; step < 200; step++ {
+		// Pick the core with the smallest local time.
+		core := 0
+		for i, ct := range times {
+			if ct < times[core] {
+				core = i
+			}
+			_ = ct
+		}
+		addr := (uint64(step*97+core*13) % (span - 64))
+		op := mem.Read
+		if step%3 == 0 {
+			op = mem.Write
+		}
+		r, err := c.Access(times[core], mem.Access{Addr: addr, Size: 64, Op: op})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Done < times[core] {
+			t.Fatalf("time went backwards: %v -> %v", times[core], r.Done)
+		}
+		times[core] = r.Done
+	}
+	st := c.Stats()
+	if st.Accesses != 200 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+}
+
+func TestPersistModeWaitAccounting(t *testing.T) {
+	c := mustNew(t, testConfig(Persist, Loose))
+	// Back-to-back misses at nearly the same time: the second must
+	// record wait time from serialization.
+	r1, err := c.Access(0, mem.Access{Addr: 0, Size: 64, Op: mem.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r1
+	r2, err := c.Access(1, mem.Access{Addr: c.PageBytes(), Size: 64, Op: mem.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Wait == 0 {
+		t.Fatal("persist-mode serialization recorded no wait")
+	}
+	if c.Stats().WaitTime == 0 {
+		t.Fatal("WaitTime not accumulated")
+	}
+}
+
+func TestFullPageWriteSkipsFill(t *testing.T) {
+	c := mustNew(t, testConfig(Extend, Tight))
+	buf := make([]byte, c.PageBytes())
+	if _, err := c.Write(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.FullPageWrites != 1 {
+		t.Fatalf("FullPageWrites = %d", st.FullPageWrites)
+	}
+	if st.Fills != 0 {
+		t.Fatalf("full-page write still filled: %d", st.Fills)
+	}
+}

@@ -1,0 +1,284 @@
+package cpu
+
+import (
+	"hams/internal/mem"
+	"hams/internal/sim"
+)
+
+// Step is one unit of workload progress on a core: some non-memory
+// compute instructions followed by memory accesses.
+type Step struct {
+	Compute int64 // non-memory instructions
+	Acc     []mem.Access
+}
+
+// Stream feeds one core. Next returns false when the thread finishes.
+type Stream interface {
+	Next() (Step, bool)
+}
+
+// MemSystem is the platform under test. Access returns the completion
+// time and a latency decomposition for the breakdown figures.
+type MemSystem interface {
+	Access(t sim.Time, a mem.Access) (MemResult, error)
+}
+
+// MemResult decomposes one memory-system access.
+type MemResult struct {
+	Done sim.Time
+	OS   sim.Time // software-stack time (mmap path)
+	Mem  sim.Time // DRAM/NVDIMM array time
+	DMA  sim.Time // interface transfer time
+	SSD  sim.Time // device-internal time
+}
+
+// TLBConfig sizes the per-core TLB. A small page size shrinks TLB
+// coverage and raises walk traffic — the effect the paper cites for
+// the 4 KB point of Fig. 20a.
+type TLBConfig struct {
+	Entries   int
+	Ways      int
+	PageBytes uint64
+	MissLat   sim.Time // page-walk penalty (PTEs mostly cache-resident)
+}
+
+// DefaultTLB is a 1024-entry, 4-way TLB over 4 KiB pages.
+func DefaultTLB() TLBConfig {
+	return TLBConfig{Entries: 1024, Ways: 4, PageBytes: 4 * mem.KiB, MissLat: 40}
+}
+
+// Config sets the core parameters (Table II).
+type Config struct {
+	Cores  int
+	FreqHz float64
+	CPI    float64 // base CPI of non-memory instructions
+	L1     CacheConfig
+	L2     CacheConfig
+	L1Lat  sim.Time
+	L2Lat  sim.Time
+	TLB    TLBConfig
+}
+
+// DefaultConfig is the quad-core ARM v8 @ 2 GHz of Table II.
+func DefaultConfig() Config {
+	return Config{
+		Cores:  4,
+		FreqHz: 2e9,
+		CPI:    1.0,
+		L1:     L1D64K(),
+		L2:     L2_2M(),
+		L1Lat:  2,  // ~4 cycles
+		L2Lat:  10, // ~20 cycles
+		TLB:    DefaultTLB(),
+	}
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Instructions int64
+	MemAccesses  int64
+	L1Hits       int64
+	L1Misses     int64
+	L2Hits       int64
+	L2Misses     int64
+	TLBHits      int64
+	TLBMisses    int64
+	Elapsed      sim.Time
+	ComputeTime  sim.Time
+	MemStall     sim.Time
+	BusyTime     sim.Time // sum over cores of non-idle time
+
+	OSTime  sim.Time
+	MemTime sim.Time
+	DMATime sim.Time
+	SSDTime sim.Time
+}
+
+// IPC returns aggregate instructions per core-cycle.
+func (s Stats) IPC(cfg Config) float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	cycles := float64(s.Elapsed) * cfg.FreqHz / 1e9 * float64(cfg.Cores)
+	return float64(s.Instructions) / cycles
+}
+
+// MIPS returns millions of instructions per second of wall time.
+func (s Stats) MIPS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Instructions) / (float64(s.Elapsed) / 1e3) // instr/ns*1e3
+}
+
+type coreState struct {
+	stream Stream
+	l1     *Cache
+	tlb    *Cache // a TLB is a small set-associative cache of pages
+	now    sim.Time
+	done   bool
+}
+
+// Runner drives N cores against one memory system.
+type Runner struct {
+	cfg Config
+	mem MemSystem
+	l2  *Cache
+}
+
+// NewRunner builds a runner.
+func NewRunner(cfg Config, m MemSystem) *Runner {
+	return &Runner{cfg: cfg, mem: m, l2: NewCache(cfg.L2)}
+}
+
+// Run executes the streams (one per core; extra streams are ignored,
+// missing ones leave cores idle) until all are exhausted. Cores are
+// advanced in global time order so the shared memory system always
+// sees nondecreasing arrival times.
+func (r *Runner) Run(streams []Stream) (Stats, error) {
+	var st Stats
+	cores := make([]*coreState, 0, r.cfg.Cores)
+	for i := 0; i < r.cfg.Cores && i < len(streams); i++ {
+		cs := &coreState{stream: streams[i], l1: NewCache(r.cfg.L1)}
+		if r.cfg.TLB.Entries > 0 {
+			cs.tlb = NewCache(CacheConfig{
+				SizeBytes: uint64(r.cfg.TLB.Entries) * r.cfg.TLB.PageBytes,
+				Ways:      r.cfg.TLB.Ways,
+				LineBytes: r.cfg.TLB.PageBytes,
+			})
+		}
+		cores = append(cores, cs)
+	}
+	if len(cores) == 0 {
+		return st, nil
+	}
+	nsPerInstr := r.cfg.CPI / r.cfg.FreqHz * 1e9
+
+	active := len(cores)
+	for active > 0 {
+		// Pick the core with the smallest local time.
+		var c *coreState
+		for _, cs := range cores {
+			if cs.done {
+				continue
+			}
+			if c == nil || cs.now < c.now {
+				c = cs
+			}
+		}
+		step, ok := c.stream.Next()
+		if !ok {
+			c.done = true
+			active--
+			continue
+		}
+		// Compute phase.
+		if step.Compute > 0 {
+			d := sim.Time(float64(step.Compute) * nsPerInstr)
+			c.now += d
+			st.ComputeTime += d
+			st.Instructions += step.Compute
+		}
+		// Memory phase: one load/store instruction per cache line
+		// touched (an 8 B load and a 64 B line are both one
+		// instruction; a 4 KiB copy is 64 of them).
+		for _, a := range step.Acc {
+			lines := int64(mem.AlignUp(a.Addr+uint64(a.Size), r.cfg.L1.LineBytes)-mem.AlignDown(a.Addr, r.cfg.L1.LineBytes)) / int64(r.cfg.L1.LineBytes)
+			if lines < 1 {
+				lines = 1
+			}
+			st.Instructions += lines
+			st.MemAccesses++
+			done, mr, err := r.serveAccess(c, a, &st)
+			if err != nil {
+				return st, err
+			}
+			stall := done - c.now
+			if stall > 0 {
+				st.MemStall += stall
+			}
+			c.now = done
+			st.OSTime += mr.OS
+			st.MemTime += mr.Mem
+			st.DMATime += mr.DMA
+			st.SSDTime += mr.SSD
+		}
+	}
+	for _, cs := range cores {
+		if cs.now > st.Elapsed {
+			st.Elapsed = cs.now
+		}
+		st.BusyTime += cs.now
+	}
+	st.L2Hits = r.l2.Hits()
+	st.L2Misses = r.l2.Misses()
+	for _, cs := range cores {
+		st.L1Hits += cs.l1.Hits()
+		st.L1Misses += cs.l1.Misses()
+	}
+	return st, nil
+}
+
+// serveAccess walks one access through L1/L2 and, on an L2 miss,
+// through the memory system (including dirty-victim write-backs).
+func (r *Runner) serveAccess(c *coreState, a mem.Access, st *Stats) (sim.Time, MemResult, error) {
+	now := c.now
+	line := c.l1.LineBytes()
+	start := mem.AlignDown(a.Addr, line)
+	end := mem.AlignUp(a.Addr+uint64(a.Size), line)
+	var agg MemResult
+	// Address translation: a TLB miss pays the page-walk penalty once
+	// per page touched by the access.
+	if c.tlb != nil {
+		pstart := mem.AlignDown(a.Addr, r.cfg.TLB.PageBytes)
+		pend := mem.AlignUp(a.Addr+uint64(a.Size), r.cfg.TLB.PageBytes)
+		for pa := pstart; pa < pend; pa += r.cfg.TLB.PageBytes {
+			if hit, _, _ := c.tlb.Lookup(pa, false); !hit {
+				now += r.cfg.TLB.MissLat
+				st.TLBMisses++
+			} else {
+				st.TLBHits++
+			}
+		}
+	}
+	for la := start; la < end; la += line {
+		write := a.Op == mem.Write
+		l1hit, v1, d1 := c.l1.Lookup(la, write)
+		now += r.cfg.L1Lat
+		if l1hit {
+			continue
+		}
+		if d1 {
+			// Dirty L1 victim drains into the (mostly inclusive) L2.
+			if h2, v2, dd2 := r.l2.Lookup(v1, true); !h2 && dd2 {
+				if _, err := r.mem.Access(now, mem.Access{Addr: v2, Size: uint32(line), Op: mem.Write}); err != nil {
+					return now, agg, err
+				}
+			}
+		}
+		l2hit, v2, d2 := r.l2.Lookup(la, write)
+		now += r.cfg.L2Lat
+		if l2hit {
+			continue
+		}
+		if d2 {
+			// L2 dirty victim writes back to the memory system. The
+			// write-back buffer hides it from the core's critical path
+			// but it still occupies the memory system.
+			if _, err := r.mem.Access(now, mem.Access{Addr: v2, Size: uint32(line), Op: mem.Write}); err != nil {
+				return now, agg, err
+			}
+		}
+		// L2 miss: fetch the line from the memory system.
+		mr, err := r.mem.Access(now, mem.Access{Addr: la, Size: uint32(line), Op: mem.Read})
+		if err != nil {
+			return now, agg, err
+		}
+		agg.OS += mr.OS
+		agg.Mem += mr.Mem
+		agg.DMA += mr.DMA
+		agg.SSD += mr.SSD
+		now = mr.Done
+	}
+	return now, agg, nil
+}

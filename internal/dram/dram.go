@@ -1,0 +1,239 @@
+// Package dram models a DDR4 channel with bank-level timing (row-buffer
+// hits and misses, burst transfers) plus the NVDIMM-N wrapper: the same
+// DRAM devices augmented with a supercapacitor and a private flash chip
+// that back up / restore the full DRAM image across power failures.
+package dram
+
+import (
+	"fmt"
+
+	"hams/internal/mem"
+	"hams/internal/sim"
+)
+
+// Timing carries the DDR4 device timing parameters, in nanoseconds.
+// Defaults correspond to DDR4-2133 (the NVDIMM module in the paper's
+// testbed) with the paper's 20 GB/s per-channel budget.
+type Timing struct {
+	TRCD   sim.Time // activate-to-read
+	TCL    sim.Time // CAS latency
+	TRP    sim.Time // precharge
+	TBurst sim.Time // 8-beat burst transfer time for one 64 B line
+	BusGBs float64  // channel bandwidth for streamed (DMA) transfers
+}
+
+// DDR42133 returns the timing for a DDR4-2133 RDIMM.
+func DDR42133() Timing {
+	return Timing{TRCD: 14, TCL: 14, TRP: 14, TBurst: 4, BusGBs: 20}
+}
+
+// Config describes one DRAM channel.
+type Config struct {
+	Timing      Timing
+	Capacity    uint64 // bytes
+	Banks       int    // banks per channel (rank-level detail folded in)
+	RowBytes    uint64 // row-buffer size per bank
+	LineBytes   uint64 // access granularity for demand accesses
+	Functional  bool   // allocate a backing SparseStore
+	OpenPagePol bool   // keep rows open between accesses (open-page policy)
+}
+
+// DefaultConfig returns the 8 GB NVDIMM channel used throughout the
+// paper's evaluation (Table II).
+func DefaultConfig() Config {
+	return Config{
+		Timing:      DDR42133(),
+		Capacity:    8 * mem.GiB,
+		Banks:       16,
+		RowBytes:    8 * mem.KiB,
+		LineBytes:   64,
+		Functional:  true,
+		OpenPagePol: true,
+	}
+}
+
+// Stats aggregates channel activity counters used by the energy model
+// and the evaluation breakdowns.
+type Stats struct {
+	Reads       int64
+	Writes      int64
+	RowHits     int64
+	RowMisses   int64
+	BytesRead   int64
+	BytesWrite  int64
+	BulkOps     int64
+	BusBusy     sim.Time
+	TotalAccess sim.Time // accumulated service latency (for AMAT shares)
+}
+
+type bank struct {
+	openRow  int64 // -1 when closed
+	nextFree sim.Time
+}
+
+// DDR4 is one DRAM channel. It is not safe for concurrent use; the
+// simulation driver serializes accesses in time order.
+type DDR4 struct {
+	cfg   Config
+	banks []bank
+	bus   *sim.Resource
+	store *mem.SparseStore
+	stats Stats
+}
+
+// New builds a channel from cfg, applying defaults for zero fields.
+func New(cfg Config) *DDR4 {
+	if cfg.Banks <= 0 {
+		cfg.Banks = 16
+	}
+	if cfg.RowBytes == 0 {
+		cfg.RowBytes = 8 * mem.KiB
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 64
+	}
+	if cfg.Timing.BusGBs == 0 {
+		cfg.Timing = DDR42133()
+	}
+	d := &DDR4{
+		cfg:   cfg,
+		banks: make([]bank, cfg.Banks),
+		bus:   sim.NewResource(),
+	}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	if cfg.Functional {
+		d.store = mem.NewSparseStore()
+	}
+	return d
+}
+
+// Capacity returns the channel capacity in bytes.
+func (d *DDR4) Capacity() uint64 { return d.cfg.Capacity }
+
+// LineBytes returns the demand-access granularity.
+func (d *DDR4) LineBytes() uint64 { return d.cfg.LineBytes }
+
+// Store exposes the functional backing store (nil if not functional).
+func (d *DDR4) Store() *mem.SparseStore { return d.store }
+
+// Stats returns a copy of the accumulated counters.
+func (d *DDR4) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the activity counters (bank/bus state is kept).
+func (d *DDR4) ResetStats() { d.stats = Stats{} }
+
+func (d *DDR4) bankOf(addr uint64) (idx int, row int64) {
+	rowID := addr / d.cfg.RowBytes
+	return int(rowID % uint64(len(d.banks))), int64(rowID / uint64(len(d.banks)))
+}
+
+// Access performs a demand access of size bytes at addr, split into
+// LineBytes bursts. It returns the completion time. Data movement is
+// purely a timing operation; use ReadAt/WriteAt for functional data.
+func (d *DDR4) Access(t sim.Time, addr uint64, size uint32, op mem.Op) sim.Time {
+	if size == 0 {
+		return t
+	}
+	done := t
+	line := d.cfg.LineBytes
+	start := mem.AlignDown(addr, line)
+	end := mem.AlignUp(addr+uint64(size), line)
+	for a := start; a < end; a += line {
+		done = d.accessLine(done, a, op)
+	}
+	d.stats.TotalAccess += done - t
+	if op == mem.Read {
+		d.stats.BytesRead += int64(size)
+	} else {
+		d.stats.BytesWrite += int64(size)
+	}
+	return done
+}
+
+func (d *DDR4) accessLine(t sim.Time, addr uint64, op mem.Op) sim.Time {
+	bi, row := d.bankOf(addr)
+	b := &d.banks[bi]
+	at := t
+	if b.nextFree > at {
+		at = b.nextFree
+	}
+	var svc sim.Time
+	switch {
+	case d.cfg.OpenPagePol && b.openRow == row:
+		d.stats.RowHits++
+		svc = d.cfg.Timing.TCL + d.cfg.Timing.TBurst
+	case b.openRow == -1:
+		d.stats.RowMisses++
+		svc = d.cfg.Timing.TRCD + d.cfg.Timing.TCL + d.cfg.Timing.TBurst
+	default:
+		d.stats.RowMisses++
+		svc = d.cfg.Timing.TRP + d.cfg.Timing.TRCD + d.cfg.Timing.TCL + d.cfg.Timing.TBurst
+	}
+	if d.cfg.OpenPagePol {
+		b.openRow = row
+	} else {
+		b.openRow = -1
+	}
+	// The data beats occupy the shared channel bus.
+	_, busDone := d.bus.Acquire(at+svc-d.cfg.Timing.TBurst, d.cfg.Timing.TBurst)
+	if busDone < at+svc {
+		busDone = at + svc
+	}
+	b.nextFree = busDone
+	d.stats.BusBusy += d.cfg.Timing.TBurst
+	if op == mem.Read {
+		d.stats.Reads++
+	} else {
+		d.stats.Writes++
+	}
+	return busDone
+}
+
+// Bulk models a streamed DMA transfer of size bytes (e.g. an NVMe PRP
+// transfer into the NVDIMM or a backup flush). It charges one row
+// activation plus bandwidth-limited occupancy of the channel bus.
+func (d *DDR4) Bulk(t sim.Time, addr uint64, size uint32, op mem.Op) sim.Time {
+	if size == 0 {
+		return t
+	}
+	setup := d.cfg.Timing.TRCD + d.cfg.Timing.TCL
+	xfer := sim.Bandwidth(int64(size), d.cfg.Timing.BusGBs)
+	_, done := d.bus.Acquire(t+setup, xfer)
+	d.stats.BulkOps++
+	d.stats.BusBusy += xfer
+	if op == mem.Read {
+		d.stats.Reads++
+		d.stats.BytesRead += int64(size)
+	} else {
+		d.stats.Writes++
+		d.stats.BytesWrite += int64(size)
+	}
+	d.stats.TotalAccess += done - t
+	return done
+}
+
+// BusPeek returns when the channel bus would be free for an arrival at t.
+func (d *DDR4) BusPeek(t sim.Time) sim.Time { return d.bus.Peek(t) }
+
+// ReadAt / WriteAt move functional data. They panic if the channel was
+// built without a backing store, which indicates a wiring bug.
+func (d *DDR4) ReadAt(addr uint64, p []byte) {
+	if d.store == nil {
+		panic("dram: ReadAt on non-functional channel")
+	}
+	d.store.ReadAt(addr, p)
+}
+
+func (d *DDR4) WriteAt(addr uint64, p []byte) {
+	if d.store == nil {
+		panic("dram: WriteAt on non-functional channel")
+	}
+	d.store.WriteAt(addr, p)
+}
+
+func (d *DDR4) String() string {
+	return fmt.Sprintf("DDR4(%.0fGB, %d banks, %.0fGB/s)",
+		float64(d.cfg.Capacity)/float64(mem.GiB), len(d.banks), d.cfg.Timing.BusGBs)
+}

@@ -1,0 +1,113 @@
+// Package energy implements the component-level energy accounting of
+// §VI-A: CPU and cache energy in the McPAT style (busy/idle power ×
+// time), NVDIMM/DRAM energy from per-access and background terms in
+// the MICRON power-calculator style, SSD-internal DRAM background
+// power (the paper: the internal DRAM draws 17 % more power than a
+// 32-chip flash complex), and Z-NAND per-operation energies derived
+// from datasheet numbers.
+package energy
+
+import (
+	"hams/internal/dram"
+	"hams/internal/flash"
+	"hams/internal/sim"
+)
+
+// Params carries the power/energy coefficients.
+type Params struct {
+	// CPU (per core).
+	CPUBusyW float64
+	CPUIdleW float64
+
+	// DRAM / NVDIMM.
+	DRAMActivatePJ float64 // per row activation (miss)
+	DRAMRWPJPerB   float64 // per byte transferred
+	DRAMBackgndW   float64 // per module background
+
+	// SSD-internal DRAM (when present).
+	InternalDRAMW float64
+
+	// Z-NAND / flash per-op energies.
+	FlashReadUJ  float64
+	FlashProgUJ  float64
+	FlashEraseUJ float64
+	FlashIdleW   float64
+}
+
+// DefaultParams returns coefficients consistent with the paper's
+// sources (McPAT for a 2 GHz quad-core, MICRON TN-40-07 for DDR4,
+// Z-NAND ISSCC numbers for flash).
+func DefaultParams() Params {
+	flashComplexW := 2.0 // 32-chip complex ballpark idle+active mix
+	return Params{
+		CPUBusyW:       4.0,
+		CPUIdleW:       1.2,
+		DRAMActivatePJ: 350,
+		DRAMRWPJPerB:   25,
+		DRAMBackgndW:   1.5,
+		InternalDRAMW:  flashComplexW * 1.17, // +17% over the flash complex
+		FlashReadUJ:    8,
+		FlashProgUJ:    45,
+		FlashEraseUJ:   120,
+		FlashIdleW:     0.4,
+	}
+}
+
+// Breakdown is the Fig. 19 decomposition, in joules.
+type Breakdown struct {
+	CPU          float64
+	NVDIMM       float64 // system memory (DRAM or NVDIMM)
+	InternalDRAM float64
+	ZNAND        float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.CPU + b.NVDIMM + b.InternalDRAM + b.ZNAND
+}
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.CPU += o.CPU
+	b.NVDIMM += o.NVDIMM
+	b.InternalDRAM += o.InternalDRAM
+	b.ZNAND += o.ZNAND
+}
+
+// Inputs gathers the activity counters of one run.
+type Inputs struct {
+	Elapsed    sim.Time
+	Cores      int
+	CPUBusy    sim.Time // summed busy time across cores
+	DRAM       dram.Stats
+	Flash      flash.Stats
+	HasIntDRAM bool
+}
+
+// Compute converts activity into joules.
+func Compute(p Params, in Inputs) Breakdown {
+	var b Breakdown
+	secs := in.Elapsed.Seconds()
+	busySecs := in.CPUBusy.Seconds()
+	idleSecs := float64(in.Cores)*secs - busySecs
+	if idleSecs < 0 {
+		idleSecs = 0
+	}
+	b.CPU = p.CPUBusyW*busySecs + p.CPUIdleW*idleSecs
+
+	activations := float64(in.DRAM.RowMisses)
+	bytes := float64(in.DRAM.BytesRead + in.DRAM.BytesWrite)
+	b.NVDIMM = activations*p.DRAMActivatePJ*1e-12 +
+		bytes*p.DRAMRWPJPerB*1e-12 +
+		p.DRAMBackgndW*secs
+
+	if in.HasIntDRAM {
+		b.InternalDRAM = p.InternalDRAMW * secs
+	}
+
+	b.ZNAND = float64(in.Flash.Reads)*p.FlashReadUJ*1e-6 +
+		float64(in.Flash.Programs)*p.FlashProgUJ*1e-6 +
+		float64(in.Flash.Erases)*p.FlashEraseUJ*1e-6 +
+		p.FlashIdleW*secs
+	return b
+}

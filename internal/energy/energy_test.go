@@ -1,0 +1,81 @@
+package energy
+
+import (
+	"testing"
+
+	"hams/internal/dram"
+	"hams/internal/flash"
+	"hams/internal/sim"
+)
+
+func TestComputeComponentsPositive(t *testing.T) {
+	p := DefaultParams()
+	in := Inputs{
+		Elapsed: sim.Second,
+		Cores:   4,
+		CPUBusy: 2 * sim.Second,
+		DRAM:    dram.Stats{RowMisses: 1000, BytesRead: 1 << 20, BytesWrite: 1 << 20},
+		Flash:   flash.Stats{Reads: 100, Programs: 50, Erases: 2},
+	}
+	b := Compute(p, in)
+	if b.CPU <= 0 || b.NVDIMM <= 0 || b.ZNAND <= 0 {
+		t.Fatalf("non-positive components: %+v", b)
+	}
+	if b.InternalDRAM != 0 {
+		t.Fatal("no internal DRAM requested")
+	}
+	in.HasIntDRAM = true
+	b2 := Compute(p, in)
+	if b2.InternalDRAM <= 0 {
+		t.Fatal("internal DRAM energy missing")
+	}
+	if b2.Total() <= b.Total() {
+		t.Fatal("internal DRAM must add energy")
+	}
+}
+
+func TestIdleEnergyChargedWhenCoresWait(t *testing.T) {
+	p := DefaultParams()
+	busy := Compute(p, Inputs{Elapsed: sim.Second, Cores: 4, CPUBusy: 4 * sim.Second})
+	idle := Compute(p, Inputs{Elapsed: sim.Second, Cores: 4, CPUBusy: 0})
+	if idle.CPU >= busy.CPU {
+		t.Fatalf("idle CPU energy (%f) must be below busy (%f)", idle.CPU, busy.CPU)
+	}
+	if idle.CPU <= 0 {
+		t.Fatal("idle cores still draw power")
+	}
+}
+
+func TestIdleClampNonNegative(t *testing.T) {
+	p := DefaultParams()
+	// CPUBusy exceeding Cores*Elapsed must not produce negative idle.
+	b := Compute(p, Inputs{Elapsed: sim.Second, Cores: 1, CPUBusy: 5 * sim.Second})
+	if b.CPU < p.CPUBusyW*5 {
+		t.Fatalf("CPU energy %f below busy floor", b.CPU)
+	}
+}
+
+func TestMoreFlashOpsMoreEnergy(t *testing.T) {
+	p := DefaultParams()
+	small := Compute(p, Inputs{Elapsed: sim.Second, Flash: flash.Stats{Programs: 10}})
+	big := Compute(p, Inputs{Elapsed: sim.Second, Flash: flash.Stats{Programs: 1000}})
+	if big.ZNAND <= small.ZNAND {
+		t.Fatal("program energy not accumulating")
+	}
+}
+
+func TestBreakdownAddAndTotal(t *testing.T) {
+	a := Breakdown{CPU: 1, NVDIMM: 2, InternalDRAM: 3, ZNAND: 4}
+	b := Breakdown{CPU: 10, NVDIMM: 20, InternalDRAM: 30, ZNAND: 40}
+	a.Add(b)
+	if a.Total() != 110 {
+		t.Fatalf("Total = %f", a.Total())
+	}
+}
+
+func TestInternalDRAMPowerIs17PercentOverFlashComplex(t *testing.T) {
+	p := DefaultParams()
+	if p.InternalDRAMW <= 2.0 || p.InternalDRAMW > 2.35 {
+		t.Fatalf("InternalDRAMW = %f, want ~2.0*1.17", p.InternalDRAMW)
+	}
+}

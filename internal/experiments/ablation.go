@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hams/internal/mem"
+	"hams/internal/platform"
+	"hams/internal/stats"
+)
+
+// Ablation quantifies the design choices DESIGN.md calls out, each as
+// a throughput ratio against the corresponding default configuration.
+//
+//   - hardware automation: hams-LE vs the §VII software-assisted
+//     variant (hams-SW) that takes a page fault per miss;
+//   - Z-NAND medium: the archive with Z-NAND vs conventional TLC;
+//   - channel parallelism: 16 vs 4 flash channels;
+//   - PRP clone pool: 64 vs 4 slots (hazard-management headroom);
+//   - MoS page size: 128 KiB vs 4 KiB and 1 MiB (Fig. 20a endpoints).
+func Ablation(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Ablation: design choices (throughput ratio, variant / default)",
+		"design choice", "workload", "default", "variant", "ratio")
+
+	type row struct {
+		label    string
+		workload string
+		basePlat string
+		baseOpt  platform.Options
+		varPlat  string
+		varOpt   platform.Options
+	}
+	rows := []row{
+		{"hardware automation (vs page-fault per miss)", "update",
+			"hams-LE", platform.Options{}, "hams-SW", platform.Options{}},
+		{"hardware automation (vs page-fault per miss)", "seqRd",
+			"hams-LE", platform.Options{}, "hams-SW", platform.Options{}},
+		{"Z-NAND medium (vs TLC archive)", "seqRd",
+			"hams-TE", platform.Options{}, "hams-TE", platform.Options{ArchiveTLC: true}},
+		{"Z-NAND medium (vs TLC archive)", "rndIns",
+			"hams-TE", platform.Options{}, "hams-TE", platform.Options{ArchiveTLC: true}},
+		{"16 flash channels (vs 4)", "seqRd",
+			"hams-TE", platform.Options{}, "hams-TE", platform.Options{ArchiveChannels: 4}},
+		{"PRP pool 64 slots (vs 4)", "rndIns",
+			"hams-LE", platform.Options{}, "hams-LE", platform.Options{HAMSPRPSlots: 4}},
+		{"128 KiB MoS page (vs 4 KiB)", "seqSel",
+			"hams-TE", platform.Options{}, "hams-TE", platform.Options{HAMSPage: 4 * mem.KiB}},
+		{"128 KiB MoS page (vs 1 MiB)", "rndIns",
+			"hams-TE", platform.Options{}, "hams-TE", platform.Options{HAMSPage: mem.MiB}},
+	}
+	for _, r := range rows {
+		base, err := Run(r.basePlat, r.workload, o, r.baseOpt, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, err := Run(r.varPlat, r.workload, o, r.varOpt, nil)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if base.UnitsPerSec() > 0 {
+			ratio = v.UnitsPerSec() / base.UnitsPerSec()
+		}
+		t.AddRow(r.label, r.workload,
+			fmt.Sprintf("%s %.0f/s", r.basePlat, base.UnitsPerSec()),
+			fmt.Sprintf("%.0f/s", v.UnitsPerSec()),
+			stats.Ratio(ratio))
+	}
+	return t, nil
+}

@@ -1,0 +1,176 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§III and §VI). Each FigN function runs the
+// relevant workload × platform matrix and renders the same rows/series
+// the paper plots; EXPERIMENTS.md records paper-vs-measured shapes.
+package experiments
+
+import (
+	"fmt"
+
+	"hams/internal/cpu"
+	"hams/internal/energy"
+	"hams/internal/platform"
+	"hams/internal/sim"
+	"hams/internal/stats"
+	"hams/internal/workload"
+)
+
+// Options tunes a harness invocation.
+type Options struct {
+	// Scale multiplies Table III instruction counts (default 3e-6).
+	Scale float64
+	// Seed fixes workload randomness.
+	Seed int64
+}
+
+// DefaultOptions returns harness defaults sized so the full figure set
+// completes in minutes on a laptop.
+func DefaultOptions() Options { return Options{Scale: 3e-6, Seed: 42} }
+
+func (o Options) wl() workload.Options {
+	w := workload.DefaultOptions()
+	if o.Scale > 0 {
+		w.Scale = o.Scale
+	}
+	w.Seed = o.Seed
+	return w
+}
+
+// RunResult captures one workload × platform run.
+type RunResult struct {
+	Platform string
+	Workload string
+	CPU      cpu.Stats
+	Units    int64 // pages (micro/Rodinia) or SQL ops
+	Energy   energy.Breakdown
+	Plat     platform.Platform
+}
+
+// UnitsPerSec returns work items per second of simulated time.
+func (r RunResult) UnitsPerSec() float64 {
+	secs := r.CPU.Elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Units) / secs
+}
+
+// Run executes one workload on one platform.
+func Run(platName, wlName string, o Options, popt platform.Options, wopt *workload.Options) (RunResult, error) {
+	spec, err := workload.ByName(wlName)
+	if err != nil {
+		return RunResult{}, err
+	}
+	plat, err := platform.New(platName, popt)
+	if err != nil {
+		return RunResult{}, err
+	}
+	wo := o.wl()
+	if wopt != nil {
+		wo = *wopt
+	}
+	for _, hr := range spec.HotRegions(wo) {
+		plat.Warm(hr.Base, hr.Size)
+	}
+	streams := spec.Streams(wo)
+	ccfg := cpu.DefaultConfig()
+	// The system page size sets the MMU translation granularity
+	// (Fig. 20a varies it): HAMS maps MoS pages; everything else runs
+	// on the 4 KiB default.
+	if pg := mappingPage(platName, popt); pg != 0 {
+		ccfg.TLB.PageBytes = pg
+	}
+	runner := cpu.NewRunner(ccfg, plat)
+	st, err := runner.Run(streams)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("%s on %s: %w", wlName, platName, err)
+	}
+	var units int64
+	for _, s := range streams {
+		if p, ok := s.(workload.Progress); ok {
+			units += p.Units()
+		}
+	}
+	in := plat.EnergyInputs()
+	in.Elapsed = st.Elapsed
+	in.Cores = cpu.DefaultConfig().Cores
+	in.CPUBusy = busyTime(st)
+	eb := energy.Compute(energy.DefaultParams(), in)
+	return RunResult{
+		Platform: platName, Workload: wlName,
+		CPU: st, Units: units, Energy: eb, Plat: plat,
+	}, nil
+}
+
+// mappingPage returns the MMU page size a platform maps with.
+func mappingPage(platName string, popt platform.Options) uint64 {
+	switch platName {
+	case "hams-LP", "hams-LE", "hams-TP", "hams-TE", "hams-SW":
+		if popt.HAMSPage != 0 {
+			return popt.HAMSPage
+		}
+		return 128 * 1024
+	default:
+		return 0
+	}
+}
+
+// busyTime estimates the cores' active (non-stalled) time: compute
+// plus cache-access time. Memory-system stalls count as idle — for
+// mmap the process is context-switched out; for hardware paths the
+// core clock-gates in the stall.
+func busyTime(st cpu.Stats) sim.Time {
+	cfg := cpu.DefaultConfig()
+	cache := sim.Time(st.L1Hits+st.L1Misses)*cfg.L1Lat +
+		sim.Time(st.L2Hits+st.L2Misses)*cfg.L2Lat
+	return st.ComputeTime + cache
+}
+
+// workloadsOf filters Table III by suite kinds.
+func workloadsOf(kinds ...workload.Kind) []workload.Spec {
+	var out []workload.Spec
+	for _, s := range workload.All() {
+		for _, k := range kinds {
+			if s.Kind == k {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// Table1 renders the paper's feature-comparison table (static).
+func Table1() *stats.Table {
+	t := stats.NewTable("Table I: persistent-memory feature comparison",
+		"type", "capacity", "OS intervention", "performance", "byte-addressable")
+	t.AddRow("NVDIMM-N", "low", "no", "DRAM-like", "yes")
+	t.AddRow("NVDIMM-F", "high", "yes", "slow", "no")
+	t.AddRow("NVDIMM-P", "medium", "yes", "medium", "yes")
+	t.AddRow("HAMS", "high", "no", "DRAM-like", "yes")
+	return t
+}
+
+// Table2 renders the simulator configuration (Table II).
+func Table2() *stats.Table {
+	t := stats.NewTable("Table II: simulated system", "component", "configuration")
+	t.AddRow("CPU", "quad-core, 2 GHz, base CPI 1.0")
+	t.AddRow("cache", "64KB L1D per core / 2MB shared L2")
+	t.AddRow("memory", "NVDIMM-N, DDR4-2133, 8 GB, 128 KB MoS pages")
+	t.AddRow("storage", "ULL-Flash, 512 MB buffer, 800 GB-class")
+	t.AddRow("flash", "Z-NAND: 3 us read, 100 us program")
+	t.AddRow("interconnect", "PCIe 3.0 x4 (loose) / shared DDR4 (tight)")
+	return t
+}
+
+// Table3 renders the workload characteristics (Table III).
+func Table3() *stats.Table {
+	t := stats.NewTable("Table III: workload characteristics",
+		"workload", "suite", "threads", "instr (paper)", "load", "store", "dataset")
+	for _, s := range workload.All() {
+		t.AddRow(s.Name, s.Kind.String(), fmt.Sprint(s.Threads),
+			fmt.Sprintf("%dG", s.Instructions/1e9),
+			stats.F(s.LoadRatio), stats.F(s.StoreRatio),
+			fmt.Sprintf("%dGB", s.DatasetBytes>>30))
+	}
+	return t
+}

@@ -1,0 +1,304 @@
+// Package ftl implements a page-level flash translation layer: LBA to
+// PPN mapping, round-robin plane striping for write allocation, greedy
+// garbage collection with over-provisioning, and wear/WAF accounting.
+// Functional page data flows through the FTL into the flash array, so
+// reads return exactly the bytes written — the property the HAMS
+// persistency experiments rely on.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"hams/internal/flash"
+	"hams/internal/sim"
+)
+
+// Config tunes the FTL.
+type Config struct {
+	// OPBlocksPerPlane is the per-plane reserve kept out of the
+	// exported capacity so GC always has destination space.
+	OPBlocksPerPlane int
+	// GCLowWater triggers GC when a plane's free-block count drops to
+	// this value.
+	GCLowWater int
+}
+
+// DefaultConfig returns a 2-block reserve / low-water of 1.
+func DefaultConfig() Config { return Config{OPBlocksPerPlane: 2, GCLowWater: 2} }
+
+// ErrFull is returned when no garbage can be collected (every mapped
+// page valid) and the device has no free pages left.
+var ErrFull = errors.New("ftl: device full")
+
+type activeBlock struct {
+	block    int // -1 when none
+	nextPage int
+}
+
+// Stats carries FTL activity counters.
+type Stats struct {
+	HostReads    int64
+	HostWrites   int64
+	GCWrites     int64 // relocations
+	GCRuns       int64
+	Erases       int64
+	UnmappedRead int64
+}
+
+// FTL is the translation layer over one flash array.
+type FTL struct {
+	arr *flash.Array
+	geo flash.Geometry
+	cfg Config
+
+	l2p map[uint64]flash.PPN
+	p2l map[flash.PPN]uint64
+
+	free    [][]int // per plane: free block indices
+	active  []activeBlock
+	valid   []int // per global block: valid page count
+	planeRR int   // round-robin allocation cursor
+
+	stats Stats
+}
+
+// New wraps arr with a translation layer.
+func New(arr *flash.Array, cfg Config) *FTL {
+	g := arr.Geo
+	f := &FTL{
+		arr:    arr,
+		geo:    g,
+		cfg:    cfg,
+		l2p:    make(map[uint64]flash.PPN),
+		p2l:    make(map[flash.PPN]uint64),
+		free:   make([][]int, g.Planes()),
+		active: make([]activeBlock, g.Planes()),
+		valid:  make([]int, g.Blocks()),
+	}
+	for p := range f.free {
+		blocks := make([]int, g.BlocksPerPln)
+		for b := range blocks {
+			blocks[b] = b
+		}
+		f.free[p] = blocks
+		f.active[p] = activeBlock{block: -1}
+	}
+	return f
+}
+
+// PageBytes returns the mapping granularity.
+func (f *FTL) PageBytes() uint64 { return f.geo.PageBytes }
+
+// ExportedPages returns the logical capacity in pages (raw minus OP).
+func (f *FTL) ExportedPages() uint64 {
+	op := uint64(f.cfg.OPBlocksPerPlane * f.geo.Planes() * f.geo.PagesPerBlk)
+	return f.geo.TotalPages() - op
+}
+
+// Stats returns a copy of the counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// WAF returns the write amplification factor observed so far.
+func (f *FTL) WAF() float64 {
+	if f.stats.HostWrites == 0 {
+		return 1
+	}
+	return float64(f.stats.HostWrites+f.stats.GCWrites) / float64(f.stats.HostWrites)
+}
+
+// Mapped reports whether lba has been written.
+func (f *FTL) Mapped(lba uint64) bool {
+	_, ok := f.l2p[lba]
+	return ok
+}
+
+// planeCoords returns the Addr template for a global plane index.
+func (f *FTL) planeCoords(plane int) flash.Addr {
+	g := f.geo
+	pln := plane % g.PlanesPerDie
+	rest := plane / g.PlanesPerDie
+	die := rest % g.DiesPerPkg
+	rest /= g.DiesPerPkg
+	pkg := rest % g.PackagesPerC
+	ch := rest / g.PackagesPerC
+	return flash.Addr{Channel: ch, Package: pkg, Die: die, Plane: pln}
+}
+
+func (f *FTL) blockIndex(plane, block int) int {
+	return plane*f.geo.BlocksPerPln + block
+}
+
+// allocate returns the next PPN to program in the given plane, pulling
+// a fresh block when the active one fills. Returns false if the plane
+// has no free block and no active space.
+func (f *FTL) allocate(plane int) (flash.PPN, bool) {
+	ab := &f.active[plane]
+	if ab.block == -1 || ab.nextPage >= f.geo.PagesPerBlk {
+		if len(f.free[plane]) == 0 {
+			return 0, false
+		}
+		ab.block = f.free[plane][0]
+		f.free[plane] = f.free[plane][1:]
+		ab.nextPage = 0
+	}
+	ad := f.planeCoords(plane)
+	ad.Block = ab.block
+	ad.Page = ab.nextPage
+	ab.nextPage++
+	return f.geo.Compose(ad), true
+}
+
+// invalidate drops the mapping of an old PPN (overwrite or trim).
+func (f *FTL) invalidate(p flash.PPN) {
+	delete(f.p2l, p)
+	ad := f.geo.Decompose(p)
+	plane := f.geo.GlobalDie(ad)*f.geo.PlanesPerDie + ad.Plane
+	f.valid[f.blockIndex(plane, ad.Block)]--
+}
+
+// Write stores data (one logical page) at lba, arriving at t. It
+// returns the completion time of the program, including any garbage
+// collection performed inline.
+func (f *FTL) Write(t sim.Time, lba uint64, data []byte) (sim.Time, error) {
+	plane := f.planeRR
+	f.planeRR = (f.planeRR + 1) % f.geo.Planes()
+
+	now := t
+	if len(f.free[plane]) <= f.cfg.GCLowWater {
+		var err error
+		now, err = f.collect(now, plane)
+		if err != nil {
+			return now, err
+		}
+	}
+	ppn, ok := f.allocate(plane)
+	if !ok {
+		return now, ErrFull
+	}
+	if old, dup := f.l2p[lba]; dup {
+		f.invalidate(old)
+	}
+	done, err := f.arr.ProgramPage(now, ppn, data)
+	if err != nil {
+		return done, fmt.Errorf("ftl: allocation handed out a dirty page: %w", err)
+	}
+	f.l2p[lba] = ppn
+	f.p2l[ppn] = lba
+	ad := f.geo.Decompose(ppn)
+	pl := f.geo.GlobalDie(ad)*f.geo.PlanesPerDie + ad.Plane
+	f.valid[f.blockIndex(pl, ad.Block)]++
+	f.stats.HostWrites++
+	return done, nil
+}
+
+// Read returns the data stored at lba (up to `bytes` transferred; 0 =
+// full page) and the completion time. Reading an unwritten LBA returns
+// a zero page but still pays the flash read — the evaluation
+// preconditions the media ("we completely wrote all data-blocks into
+// the flash-media", §VI-A), so every exported LBA is backed by a
+// physical page. The pseudo-mapping lba→ppn preserves the channel
+// striping of sequential preconditioning.
+func (f *FTL) Read(t sim.Time, lba uint64, bytes uint32) (sim.Time, []byte) {
+	ppn, ok := f.l2p[lba]
+	if !ok {
+		f.stats.UnmappedRead++
+		pseudo := flash.PPN(lba % f.geo.TotalPages())
+		done, _ := f.arr.ReadPage(t, pseudo, bytes)
+		return done, make([]byte, f.geo.PageBytes)
+	}
+	done, data := f.arr.ReadPage(t, ppn, bytes)
+	f.stats.HostReads++
+	return done, data
+}
+
+// Peek returns the data stored at lba without any timing effect.
+func (f *FTL) Peek(lba uint64) []byte {
+	ppn, ok := f.l2p[lba]
+	if !ok {
+		return make([]byte, f.geo.PageBytes)
+	}
+	return f.arr.PeekPage(ppn)
+}
+
+// Trim discards the mapping for lba.
+func (f *FTL) Trim(lba uint64) {
+	if ppn, ok := f.l2p[lba]; ok {
+		f.invalidate(ppn)
+		delete(f.l2p, lba)
+	}
+}
+
+// collect performs greedy GC in one plane until the free count rises
+// above the low-water mark: pick the closed block with the fewest valid
+// pages, relocate its valid pages, erase it.
+func (f *FTL) collect(t sim.Time, plane int) (sim.Time, error) {
+	now := t
+	for len(f.free[plane]) <= f.cfg.GCLowWater {
+		victim := f.pickVictim(plane)
+		if victim < 0 {
+			if len(f.free[plane]) > 0 {
+				return now, nil // nothing to collect but we can still write
+			}
+			return now, ErrFull
+		}
+		f.stats.GCRuns++
+		// Relocate valid pages.
+		ad := f.planeCoords(plane)
+		ad.Block = victim
+		for pg := 0; pg < f.geo.PagesPerBlk; pg++ {
+			ad.Page = pg
+			ppn := f.geo.Compose(ad)
+			lba, live := f.p2l[ppn]
+			if !live {
+				continue
+			}
+			rdDone, data := f.arr.ReadPage(now, ppn, 0)
+			dst, ok := f.allocate(plane)
+			if !ok {
+				return now, ErrFull
+			}
+			progDone, err := f.arr.ProgramPage(rdDone, dst, data)
+			if err != nil {
+				return now, fmt.Errorf("ftl gc: %w", err)
+			}
+			f.invalidate(ppn)
+			f.l2p[lba] = dst
+			f.p2l[dst] = lba
+			adDst := f.geo.Decompose(dst)
+			pl := f.geo.GlobalDie(adDst)*f.geo.PlanesPerDie + adDst.Plane
+			f.valid[f.blockIndex(pl, adDst.Block)]++
+			f.stats.GCWrites++
+			now = progDone
+		}
+		ad.Page = 0
+		now = f.arr.EraseBlock(now, f.geo.Compose(ad))
+		f.stats.Erases++
+		f.free[plane] = append(f.free[plane], victim)
+	}
+	return now, nil
+}
+
+// pickVictim returns the closed block in plane with the fewest valid
+// pages that is not the active block and not free, or -1 when every
+// candidate is fully valid (nothing reclaimable) or none exists.
+func (f *FTL) pickVictim(plane int) int {
+	freeSet := make(map[int]bool, len(f.free[plane]))
+	for _, b := range f.free[plane] {
+		freeSet[b] = true
+	}
+	best, bestValid := -1, f.geo.PagesPerBlk
+	for b := 0; b < f.geo.BlocksPerPln; b++ {
+		if freeSet[b] || b == f.active[plane].block {
+			continue
+		}
+		v := f.valid[f.blockIndex(plane, b)]
+		if v < bestValid {
+			best, bestValid = b, v
+		}
+	}
+	return best
+}
+
+// FreeBlocks returns the free-block count of a plane (for tests).
+func (f *FTL) FreeBlocks(plane int) int { return len(f.free[plane]) }

@@ -1,0 +1,231 @@
+package ftl
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hams/internal/flash"
+	"hams/internal/sim"
+)
+
+func tinyArray() *flash.Array {
+	g := flash.Geometry{
+		Channels: 2, PackagesPerC: 1, DiesPerPkg: 1, PlanesPerDie: 1,
+		BlocksPerPln: 8, PagesPerBlk: 8, PageBytes: 4096,
+	}
+	return flash.New(g, flash.ZNAND())
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := New(tinyArray(), DefaultConfig())
+	data := []byte("lba 42 payload")
+	done, err := f.Write(0, 42, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got := f.Read(done, 42, 0)
+	if !bytes.Equal(got[:len(data)], data) {
+		t.Fatalf("got %q", got[:len(data)])
+	}
+	if !f.Mapped(42) {
+		t.Fatal("Mapped(42) = false")
+	}
+}
+
+func TestUnmappedReadIsZeroButPaysMedia(t *testing.T) {
+	f := New(tinyArray(), DefaultConfig())
+	done, got := f.Read(100, 7, 0)
+	// Preconditioned-media model: the read costs a flash access even
+	// though no host data was ever written there.
+	if done < 100+flash.ZNAND().TRead {
+		t.Fatalf("unmapped read too cheap: %v", done-100)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unmapped read must be zero")
+		}
+	}
+	if f.Stats().UnmappedRead != 1 {
+		t.Fatal("UnmappedRead not counted")
+	}
+}
+
+func TestOverwriteReturnsNewData(t *testing.T) {
+	f := New(tinyArray(), DefaultConfig())
+	var now sim.Time
+	for i := 0; i < 5; i++ {
+		d, err := f.Write(now, 9, []byte(fmt.Sprintf("version %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+	}
+	_, got := f.Read(now, 9, 0)
+	if !bytes.Equal(got[:9], []byte("version 4")) {
+		t.Fatalf("got %q", got[:9])
+	}
+}
+
+func TestTrim(t *testing.T) {
+	f := New(tinyArray(), DefaultConfig())
+	f.Write(0, 5, []byte{1})
+	f.Trim(5)
+	if f.Mapped(5) {
+		t.Fatal("still mapped after trim")
+	}
+	_, got := f.Read(0, 5, 0)
+	if got[0] != 0 {
+		t.Fatal("trimmed LBA must read zero")
+	}
+	f.Trim(5) // double trim is a no-op
+}
+
+func TestGCReclaimsOverwrittenSpace(t *testing.T) {
+	f := New(tinyArray(), DefaultConfig())
+	// Logical capacity is tiny; hammer one small LBA set far beyond
+	// raw capacity. Without GC this would exhaust free blocks.
+	var now sim.Time
+	for i := 0; i < 500; i++ {
+		d, err := f.Write(now, uint64(i%8), []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		now = d
+	}
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("expected GC to run")
+	}
+	if f.WAF() < 1 {
+		t.Fatalf("WAF = %f", f.WAF())
+	}
+	// Data integrity after heavy GC.
+	for l := uint64(0); l < 8; l++ {
+		_, got := f.Read(now, l, 0)
+		last := 499 - ((499 - int(l)) % 8) // last i < 500 with i%8 == l
+		if want := byte(last); got[0] != want {
+			t.Fatalf("lba %d = %d, want %d", l, got[0], want)
+		}
+	}
+}
+
+func TestDeviceFullWithAllValidData(t *testing.T) {
+	f := New(tinyArray(), Config{OPBlocksPerPlane: 0, GCLowWater: 0})
+	var now sim.Time
+	var err error
+	total := int(f.ExportedPages()) + 2*8*8 // beyond raw capacity, unique LBAs
+	full := false
+	for i := 0; i < total; i++ {
+		now, err = f.Write(now, uint64(i), []byte{1})
+		if err == ErrFull {
+			full = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !full {
+		t.Fatal("expected ErrFull when all data valid")
+	}
+}
+
+func TestWritesStripeAcrossPlanes(t *testing.T) {
+	f := New(tinyArray(), DefaultConfig())
+	d0, _ := f.Write(0, 0, []byte{1})
+	d1, _ := f.Write(0, 1, []byte{2})
+	// Two planes (2 channels x 1 die x 1 plane): consecutive writes
+	// should land on different channels and overlap almost fully.
+	if d1 > d0+sim.Bandwidth(4096, flash.ZNAND().ChanGBs)+100 {
+		t.Fatalf("writes serialized: %v vs %v", d0, d1)
+	}
+}
+
+func TestExportedPagesExcludesOP(t *testing.T) {
+	arr := tinyArray()
+	f := New(arr, DefaultConfig())
+	raw := arr.Geo.TotalPages()
+	if f.ExportedPages() >= raw {
+		t.Fatalf("exported %d >= raw %d", f.ExportedPages(), raw)
+	}
+}
+
+func TestWAFStartsAtOne(t *testing.T) {
+	f := New(tinyArray(), DefaultConfig())
+	if f.WAF() != 1 {
+		t.Fatalf("WAF = %f", f.WAF())
+	}
+}
+
+// Property: after an arbitrary write/overwrite/trim sequence, every
+// mapped LBA reads back the last value written.
+func TestFTLLinearizabilityProperty(t *testing.T) {
+	f2 := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := New(tinyArray(), DefaultConfig())
+		shadow := make(map[uint64]byte)
+		var now sim.Time
+		for i := 0; i < 300; i++ {
+			lba := uint64(rng.Intn(12))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := byte(rng.Intn(256))
+				d, err := f.Write(now, lba, []byte{v})
+				if err != nil {
+					return false
+				}
+				now = d
+				shadow[lba] = v
+			case 2:
+				f.Trim(lba)
+				delete(shadow, lba)
+			}
+		}
+		for lba, v := range shadow {
+			_, got := f.Read(now, lba, 0)
+			if got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: valid-page accounting never goes negative and GC preserves
+// the invariant that every l2p entry has a consistent reverse mapping.
+func TestMappingBijectionProperty(t *testing.T) {
+	f2 := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := New(tinyArray(), DefaultConfig())
+		var now sim.Time
+		for i := 0; i < 200; i++ {
+			d, err := f.Write(now, uint64(rng.Intn(10)), []byte{byte(i)})
+			if err != nil {
+				return false
+			}
+			now = d
+		}
+		// Spot-check bijection through the public API: every mapped
+		// LBA must read back *something* unique (programmed bytes).
+		seen := make(map[byte]bool)
+		for l := uint64(0); l < 10; l++ {
+			if !f.Mapped(l) {
+				continue
+			}
+			_, got := f.Read(now, l, 0)
+			if seen[got[0]] {
+				return false // two LBAs resolved to the same page
+			}
+			seen[got[0]] = true
+		}
+		return true
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

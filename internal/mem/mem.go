@@ -1,0 +1,93 @@
+// Package mem defines the memory access vocabulary shared by every
+// device model, and a sparse byte-addressable page store used to give
+// the simulated devices functional (data-carrying) behaviour.
+package mem
+
+import "fmt"
+
+// Op distinguishes reads from writes.
+type Op uint8
+
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Access is one memory reference as seen by the memory system: a byte
+// address in the 64-bit MoS address space, a size, and a direction.
+type Access struct {
+	Addr uint64
+	Size uint32
+	Op   Op
+}
+
+func (a Access) String() string {
+	return fmt.Sprintf("%s %dB @ 0x%x", a.Op, a.Size, a.Addr)
+}
+
+// End returns the first byte address past the access.
+func (a Access) End() uint64 { return a.Addr + uint64(a.Size) }
+
+// Common capacity units (binary).
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+)
+
+// AlignDown rounds addr down to a multiple of align (a power of two).
+func AlignDown(addr uint64, align uint64) uint64 { return addr &^ (align - 1) }
+
+// AlignUp rounds addr up to a multiple of align (a power of two).
+func AlignUp(addr uint64, align uint64) uint64 {
+	return (addr + align - 1) &^ (align - 1)
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// Log2 returns floor(log2(v)) for v > 0.
+func Log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// SplitByPage decomposes an access into per-page sub-accesses of at
+// most pageSize bytes, each contained within one pageSize-aligned page.
+// pageSize must be a power of two.
+func SplitByPage(a Access, pageSize uint64) []Access {
+	if uint64(a.Size) == 0 {
+		return nil
+	}
+	first := AlignDown(a.Addr, pageSize)
+	last := AlignDown(a.End()-1, pageSize)
+	if first == last {
+		return []Access{a}
+	}
+	var out []Access
+	addr := a.Addr
+	remain := uint64(a.Size)
+	for remain > 0 {
+		pageEnd := AlignDown(addr, pageSize) + pageSize
+		n := pageEnd - addr
+		if n > remain {
+			n = remain
+		}
+		out = append(out, Access{Addr: addr, Size: uint32(n), Op: a.Op})
+		addr += n
+		remain -= n
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package mem
+
+// SparseStore is a byte-addressable backing store that allocates 4 KiB
+// frames lazily. It lets the simulator model terabyte address spaces
+// (the 800 GB ULL-Flash archive, an 8 GB NVDIMM) while only paying for
+// pages a workload actually touches. Unwritten bytes read as zero.
+type SparseStore struct {
+	frames map[uint64]*[frameSize]byte
+}
+
+const frameSize = 4 * KiB
+
+// NewSparseStore returns an empty store.
+func NewSparseStore() *SparseStore {
+	return &SparseStore{frames: make(map[uint64]*[frameSize]byte)}
+}
+
+// ReadAt copies len(p) bytes starting at addr into p.
+func (s *SparseStore) ReadAt(addr uint64, p []byte) {
+	for len(p) > 0 {
+		fid := addr / frameSize
+		off := addr % frameSize
+		n := frameSize - off
+		if n > uint64(len(p)) {
+			n = uint64(len(p))
+		}
+		if f, ok := s.frames[fid]; ok {
+			copy(p[:n], f[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		addr += n
+	}
+}
+
+// WriteAt copies p into the store starting at addr.
+func (s *SparseStore) WriteAt(addr uint64, p []byte) {
+	for len(p) > 0 {
+		fid := addr / frameSize
+		off := addr % frameSize
+		n := frameSize - off
+		if n > uint64(len(p)) {
+			n = uint64(len(p))
+		}
+		f, ok := s.frames[fid]
+		if !ok {
+			f = new([frameSize]byte)
+			s.frames[fid] = f
+		}
+		copy(f[off:off+n], p[:n])
+		p = p[n:]
+		addr += n
+	}
+}
+
+// Copy moves n bytes from src to dst within the store, tolerating
+// overlap (used for page clones into the PRP pool).
+func (s *SparseStore) Copy(dst, src uint64, n uint64) {
+	if n == 0 || dst == src {
+		return
+	}
+	buf := make([]byte, n)
+	s.ReadAt(src, buf)
+	s.WriteAt(dst, buf)
+}
+
+// Zero clears n bytes starting at addr.
+func (s *SparseStore) Zero(addr, n uint64) {
+	zero := make([]byte, 4*KiB)
+	for n > 0 {
+		c := uint64(len(zero))
+		if c > n {
+			c = n
+		}
+		s.WriteAt(addr, zero[:c])
+		addr += c
+		n -= c
+	}
+}
+
+// Frames returns the number of allocated 4 KiB frames (resident set).
+func (s *SparseStore) Frames() int { return len(s.frames) }
+
+// Snapshot returns a deep copy of the store. Used to model the NVDIMM
+// supercap backup image taken at power failure.
+func (s *SparseStore) Snapshot() *SparseStore {
+	c := NewSparseStore()
+	for fid, f := range s.frames {
+		nf := *f
+		c.frames[fid] = &nf
+	}
+	return c
+}
+
+// Restore replaces the contents of s with the snapshot's contents.
+func (s *SparseStore) Restore(snap *SparseStore) {
+	s.frames = make(map[uint64]*[frameSize]byte, len(snap.frames))
+	for fid, f := range snap.frames {
+		nf := *f
+		s.frames[fid] = &nf
+	}
+}

@@ -1,0 +1,255 @@
+// Package nvme implements the NVMe structures HAMS manages in hardware:
+// 64-byte command encode/decode (with the paper's journal tag carried
+// in a reserved byte), submission/completion rings whose slots and
+// head/tail pointers live as real bytes inside a backing store (the
+// pinned NVDIMM region), doorbells, and the PRP pool allocator used to
+// clone pages out of the MoS cache during DMA.
+package nvme
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Store is the byte-addressable medium holding the queue structures.
+// *mem.SparseStore satisfies it; so does any NVDIMM functional store.
+type Store interface {
+	ReadAt(addr uint64, p []byte)
+	WriteAt(addr uint64, p []byte)
+}
+
+// Opcode follows the NVM command set encoding.
+type Opcode uint8
+
+const (
+	OpFlush Opcode = 0x00
+	OpWrite Opcode = 0x01
+	OpRead  Opcode = 0x02
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpFlush:
+		return "flush"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("op(%#x)", uint8(o))
+	}
+}
+
+// CommandBytes is the NVMe submission-entry size.
+const CommandBytes = 64
+
+// CompletionBytes is the NVMe completion-entry size.
+const CompletionBytes = 16
+
+// Command is one submission-queue entry. HAMS fills the opcode, the
+// NVDIMM address into PRP, the SSD address into LBA and the page size
+// into Length (§V-B); FUA and the journal tag ride in flag bytes.
+type Command struct {
+	Opcode  Opcode
+	CID     uint16 // command identifier
+	FUA     bool   // force unit access (persist mode)
+	Journal bool   // journal tag: 1 while the request is in flight
+	PRP     uint64 // host (NVDIMM) byte address of the data buffer
+	LBA     uint64 // storage logical block address (byte address here)
+	Length  uint32 // transfer size in bytes
+}
+
+// Encode serializes the command into its 64-byte wire format.
+//
+//	offset 0   opcode
+//	offset 1   flags: bit0 FUA, bit1 journal tag (reserved area per §V-C)
+//	offset 2   CID (le16)
+//	offset 8   PRP  (le64)
+//	offset 16  LBA  (le64)
+//	offset 24  Length (le32)
+//	rest       reserved, zero
+func (c Command) Encode() [CommandBytes]byte {
+	var b [CommandBytes]byte
+	b[0] = byte(c.Opcode)
+	var fl byte
+	if c.FUA {
+		fl |= 1
+	}
+	if c.Journal {
+		fl |= 2
+	}
+	b[1] = fl
+	binary.LittleEndian.PutUint16(b[2:], c.CID)
+	binary.LittleEndian.PutUint64(b[8:], c.PRP)
+	binary.LittleEndian.PutUint64(b[16:], c.LBA)
+	binary.LittleEndian.PutUint32(b[24:], c.Length)
+	return b
+}
+
+// DecodeCommand parses a 64-byte submission entry.
+func DecodeCommand(b []byte) Command {
+	var c Command
+	c.Opcode = Opcode(b[0])
+	c.FUA = b[1]&1 != 0
+	c.Journal = b[1]&2 != 0
+	c.CID = binary.LittleEndian.Uint16(b[2:])
+	c.PRP = binary.LittleEndian.Uint64(b[8:])
+	c.LBA = binary.LittleEndian.Uint64(b[16:])
+	c.Length = binary.LittleEndian.Uint32(b[24:])
+	return c
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	CID    uint16
+	Status uint8 // 0 = success
+	SQHead uint16
+}
+
+// Encode serializes the completion into its 16-byte format.
+func (c Completion) Encode() [CompletionBytes]byte {
+	var b [CompletionBytes]byte
+	binary.LittleEndian.PutUint16(b[0:], c.CID)
+	b[2] = c.Status
+	binary.LittleEndian.PutUint16(b[4:], c.SQHead)
+	return b
+}
+
+// DecodeCompletion parses a 16-byte completion entry.
+func DecodeCompletion(b []byte) Completion {
+	return Completion{
+		CID:    binary.LittleEndian.Uint16(b[0:]),
+		Status: b[2],
+		SQHead: binary.LittleEndian.Uint16(b[4:]),
+	}
+}
+
+// ringHeaderBytes precedes the slots: head (le32) then tail (le32).
+// Persisting the pointers in the store is what lets HAMS detect
+// pending requests after a power failure (§IV-B).
+const ringHeaderBytes = 16
+
+// Ring is a FIFO of fixed-size slots materialized in a Store.
+type Ring struct {
+	store     Store
+	base      uint64
+	slotBytes int
+	entries   uint32
+}
+
+// NewRing lays a ring over store at base with the given slot size and
+// entry count. The caller owns zeroing the region on first use.
+func NewRing(store Store, base uint64, slotBytes int, entries uint32) *Ring {
+	if entries == 0 {
+		panic("nvme: ring needs at least one entry")
+	}
+	return &Ring{store: store, base: base, slotBytes: slotBytes, entries: entries}
+}
+
+// Footprint returns the byte size of the ring in the store.
+func (r *Ring) Footprint() uint64 {
+	return ringHeaderBytes + uint64(r.slotBytes)*uint64(r.entries)
+}
+
+// Entries returns the ring capacity.
+func (r *Ring) Entries() uint32 { return r.entries }
+
+func (r *Ring) head() uint32 {
+	var b [4]byte
+	r.store.ReadAt(r.base, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *Ring) tail() uint32 {
+	var b [4]byte
+	r.store.ReadAt(r.base+4, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *Ring) setHead(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v%r.entries)
+	r.store.WriteAt(r.base, b[:])
+}
+
+func (r *Ring) setTail(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v%r.entries)
+	r.store.WriteAt(r.base+4, b[:])
+}
+
+// Head and Tail expose the persisted pointers.
+func (r *Ring) Head() uint32 { return r.head() }
+func (r *Ring) Tail() uint32 { return r.tail() }
+
+func (r *Ring) slotAddr(i uint32) uint64 {
+	return r.base + ringHeaderBytes + uint64(i%r.entries)*uint64(r.slotBytes)
+}
+
+// Len returns the number of occupied slots.
+func (r *Ring) Len() uint32 {
+	h, t := r.head(), r.tail()
+	if t >= h {
+		return t - h
+	}
+	return r.entries - h + t
+}
+
+// Full reports whether a push would overrun (one slot kept open).
+func (r *Ring) Full() bool { return r.Len() == r.entries-1 }
+
+// Empty reports whether the ring has no occupied slots.
+func (r *Ring) Empty() bool { return r.head() == r.tail() }
+
+// ErrRingFull is returned when pushing into a full ring.
+var ErrRingFull = errors.New("nvme: ring full")
+
+// Push writes a slot at the tail and advances the tail pointer.
+func (r *Ring) Push(slot []byte) error {
+	if len(slot) != r.slotBytes {
+		return fmt.Errorf("nvme: slot size %d, ring holds %d", len(slot), r.slotBytes)
+	}
+	if r.Full() {
+		return ErrRingFull
+	}
+	t := r.tail()
+	r.store.WriteAt(r.slotAddr(t), slot)
+	r.setTail(t + 1)
+	return nil
+}
+
+// Pop reads the slot at the head and advances the head pointer.
+func (r *Ring) Pop() ([]byte, bool) {
+	if r.Empty() {
+		return nil, false
+	}
+	h := r.head()
+	buf := make([]byte, r.slotBytes)
+	r.store.ReadAt(r.slotAddr(h), buf)
+	r.setHead(h + 1)
+	return buf, true
+}
+
+// PeekAt reads slot i (absolute index) without moving pointers. Used
+// by recovery scans and journal-tag clearing.
+func (r *Ring) PeekAt(i uint32) []byte {
+	buf := make([]byte, r.slotBytes)
+	r.store.ReadAt(r.slotAddr(i), buf)
+	return buf
+}
+
+// WriteAtSlot overwrites slot i in place (journal-tag clear).
+func (r *Ring) WriteAtSlot(i uint32, slot []byte) {
+	r.store.WriteAt(r.slotAddr(i), slot)
+}
+
+// Reset zeroes the pointers (used when recovery allocates a new pair).
+func (r *Ring) Reset() {
+	r.setHead(0)
+	r.setTail(0)
+	zero := make([]byte, r.slotBytes)
+	for i := uint32(0); i < r.entries; i++ {
+		r.store.WriteAt(r.slotAddr(i), zero)
+	}
+}

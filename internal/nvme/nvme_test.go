@@ -1,0 +1,278 @@
+package nvme
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hams/internal/mem"
+)
+
+func TestCommandCodecRoundTrip(t *testing.T) {
+	f := func(op uint8, cid uint16, fua, jr bool, prp, lba uint64, n uint32) bool {
+		c := Command{
+			Opcode: Opcode(op), CID: cid, FUA: fua, Journal: jr,
+			PRP: prp, LBA: lba, Length: n,
+		}
+		enc := c.Encode()
+		return DecodeCommand(enc[:]) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletionCodecRoundTrip(t *testing.T) {
+	f := func(cid uint16, st uint8, h uint16) bool {
+		c := Completion{CID: cid, Status: st, SQHead: h}
+		enc := c.Encode()
+		return DecodeCompletion(enc[:]) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" || OpFlush.String() != "flush" {
+		t.Fatal("opcode strings")
+	}
+	if Opcode(0x99).String() == "" {
+		t.Fatal("unknown opcode must still format")
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	s := mem.NewSparseStore()
+	r := NewRing(s, 0, CommandBytes, 8)
+	for i := 0; i < 7; i++ { // capacity-1 usable
+		c := Command{CID: uint16(i)}
+		enc := c.Encode()
+		if err := r.Push(enc[:]); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if !r.Full() {
+		t.Fatal("ring should be full at entries-1")
+	}
+	c := Command{CID: 99}
+	enc := c.Encode()
+	if err := r.Push(enc[:]); err != ErrRingFull {
+		t.Fatalf("push into full ring: %v", err)
+	}
+	for i := 0; i < 7; i++ {
+		raw, ok := r.Pop()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if got := DecodeCommand(raw).CID; got != uint16(i) {
+			t.Fatalf("pop %d: CID %d", i, got)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	s := mem.NewSparseStore()
+	r := NewRing(s, 4096, CommandBytes, 4)
+	for round := 0; round < 10; round++ {
+		c := Command{CID: uint16(round)}
+		enc := c.Encode()
+		if err := r.Push(enc[:]); err != nil {
+			t.Fatal(err)
+		}
+		raw, ok := r.Pop()
+		if !ok || DecodeCommand(raw).CID != uint16(round) {
+			t.Fatalf("round %d", round)
+		}
+	}
+	if !r.Empty() {
+		t.Fatal("ring should be empty")
+	}
+}
+
+func TestRingPointersPersistInStore(t *testing.T) {
+	s := mem.NewSparseStore()
+	r := NewRing(s, 0, CommandBytes, 8)
+	c := Command{CID: 5}
+	enc := c.Encode()
+	r.Push(enc[:])
+	r.Push(enc[:])
+	r.Pop()
+	// Re-materialize a ring over the same store bytes: pointers and
+	// slots must survive — this is the power-failure property.
+	r2 := NewRing(s, 0, CommandBytes, 8)
+	if r2.Head() != 1 || r2.Tail() != 2 {
+		t.Fatalf("head=%d tail=%d, want 1,2", r2.Head(), r2.Tail())
+	}
+	if r2.Len() != 1 {
+		t.Fatalf("Len = %d", r2.Len())
+	}
+}
+
+func TestQueuePairSubmitFetchComplete(t *testing.T) {
+	s := mem.NewSparseStore()
+	qp := NewQueuePair(s, DefaultLayout(0))
+	cid, err := qp.Submit(Command{Opcode: OpWrite, LBA: 0x1000, PRP: 0x2000, Length: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d", qp.Outstanding())
+	}
+	cmd, ok := qp.DeviceFetch()
+	if !ok || cmd.CID != cid || cmd.Opcode != OpWrite || !cmd.Journal {
+		t.Fatalf("fetched %+v", cmd)
+	}
+	if err := qp.DeviceComplete(cid, 0); err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := qp.HostReap()
+	if !ok || comp.CID != cid || comp.Status != 0 {
+		t.Fatalf("reaped %+v", comp)
+	}
+	if qp.Outstanding() != 0 {
+		t.Fatal("still outstanding after reap")
+	}
+	sq, cq := qp.Doorbells()
+	if sq != 1 || cq != 1 || qp.MSIs() != 1 {
+		t.Fatalf("doorbells sq=%d cq=%d msi=%d", sq, cq, qp.MSIs())
+	}
+}
+
+func TestJournalTagClearedOnReap(t *testing.T) {
+	s := mem.NewSparseStore()
+	qp := NewQueuePair(s, DefaultLayout(0))
+	cid, _ := qp.Submit(Command{Opcode: OpWrite, LBA: 1, Length: 4096})
+	qp.DeviceFetch()
+	if n := len(qp.PendingJournal()); n != 1 {
+		t.Fatalf("pending = %d, want 1", n)
+	}
+	qp.DeviceComplete(cid, 0)
+	qp.HostReap()
+	if n := len(qp.PendingJournal()); n != 0 {
+		t.Fatalf("pending after reap = %d, want 0", n)
+	}
+}
+
+func TestPendingJournalSurvivesPowerFailure(t *testing.T) {
+	s := mem.NewSparseStore()
+	qp := NewQueuePair(s, DefaultLayout(0))
+	// Three commands; complete only the middle one. (Fig. 15 phase 1.)
+	c1, _ := qp.Submit(Command{Opcode: OpWrite, LBA: 100, Length: 4096})
+	c2, _ := qp.Submit(Command{Opcode: OpWrite, LBA: 200, Length: 4096})
+	c3, _ := qp.Submit(Command{Opcode: OpRead, LBA: 300, Length: 4096})
+	_ = c1
+	_ = c3
+	qp.DeviceFetch()
+	qp.DeviceFetch()
+	qp.DeviceFetch()
+	qp.DeviceComplete(c2, 0)
+	qp.HostReap()
+
+	// Power failure: the store bytes survive (NVDIMM). Rebuild the
+	// pair over the same bytes and scan.
+	qp2 := NewQueuePair(s, DefaultLayout(0))
+	pending := qp2.PendingJournal()
+	if len(pending) != 2 {
+		t.Fatalf("pending = %d, want 2", len(pending))
+	}
+	lbas := map[uint64]bool{pending[0].LBA: true, pending[1].LBA: true}
+	if !lbas[100] || !lbas[300] {
+		t.Fatalf("recovered wrong commands: %+v", pending)
+	}
+}
+
+func TestDefaultLayoutSizes(t *testing.T) {
+	l := DefaultLayout(0)
+	if l.SQEntries != 512 {
+		t.Fatalf("SQ entries = %d, want 512 (32KB/64B)", l.SQEntries)
+	}
+	if l.CQEntries != 512 {
+		t.Fatalf("CQ entries = %d, want 512 (8KB/16B)", l.CQEntries)
+	}
+	if l.CQBase <= l.SQBase {
+		t.Fatal("CQ must follow SQ")
+	}
+}
+
+func TestPRPPoolAllocFree(t *testing.T) {
+	p := NewPRPPool(0x1000, 4096, 3)
+	var addrs []uint64
+	for i := 0; i < 3; i++ {
+		a, ok := p.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		addrs = append(addrs, a)
+	}
+	if _, ok := p.Alloc(); ok {
+		t.Fatal("alloc from empty pool succeeded")
+	}
+	if p.InUse() != 3 {
+		t.Fatalf("InUse = %d", p.InUse())
+	}
+	// All addresses distinct and slot-aligned within the pool.
+	seen := map[uint64]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatal("duplicate address")
+		}
+		seen[a] = true
+		if (a-0x1000)%4096 != 0 {
+			t.Fatalf("misaligned address %#x", a)
+		}
+	}
+	p.Free(addrs[1])
+	if p.InUse() != 2 {
+		t.Fatal("free did not release")
+	}
+	a, ok := p.Alloc()
+	if !ok || a != addrs[1] {
+		t.Fatalf("realloc got %#x, want %#x", a, addrs[1])
+	}
+	p.Free(0xdeadbeef) // unknown address: no-op
+	if p.InUse() != 3 {
+		t.Fatal("bogus free changed state")
+	}
+}
+
+func TestPRPPoolFootprint(t *testing.T) {
+	p := NewPRPPool(0, 128*1024, 64)
+	if p.Footprint() != 64*128*1024 {
+		t.Fatalf("Footprint = %d", p.Footprint())
+	}
+	if p.Capacity() != 64 {
+		t.Fatalf("Capacity = %d", p.Capacity())
+	}
+}
+
+// Property: ring Len() is always consistent with push/pop history.
+func TestRingLenProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		s := mem.NewSparseStore()
+		r := NewRing(s, 0, CompletionBytes, 16)
+		want := 0
+		for _, push := range ops {
+			if push {
+				c := Completion{CID: 1}
+				enc := c.Encode()
+				if err := r.Push(enc[:]); err == nil {
+					want++
+				}
+			} else {
+				if _, ok := r.Pop(); ok {
+					want--
+				}
+			}
+			if int(r.Len()) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

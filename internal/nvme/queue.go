@@ -1,0 +1,189 @@
+package nvme
+
+import "fmt"
+
+// QueuePair couples one submission queue with its completion queue,
+// matching the paper's pinned-region layout: SQ range 32 KB, CQ range
+// 8 KB (Figure 9). Doorbell rings are modeled as counters; the timing
+// cost of a doorbell write is charged by the caller.
+type QueuePair struct {
+	SQ *Ring
+	CQ *Ring
+
+	sqDoorbells int64
+	cqDoorbells int64
+	msiCount    int64
+
+	nextCID uint16
+	// slotOf remembers which SQ slot a CID was written to, so the
+	// completion path can clear the right journal tag in place.
+	slotOf map[uint16]uint32
+}
+
+// QueueLayout sizes a pair within a pinned region.
+type QueueLayout struct {
+	SQBase    uint64
+	CQBase    uint64
+	SQEntries uint32
+	CQEntries uint32
+}
+
+// DefaultLayout places a 32 KiB SQ and an 8 KiB CQ at base.
+func DefaultLayout(base uint64) QueueLayout {
+	sqEntries := uint32((32 * 1024) / CommandBytes)
+	cqEntries := uint32((8 * 1024) / CompletionBytes)
+	return QueueLayout{
+		SQBase:    base,
+		CQBase:    base + 32*1024 + ringHeaderBytes,
+		SQEntries: sqEntries,
+		CQEntries: cqEntries,
+	}
+}
+
+// NewQueuePair materializes a pair in store.
+func NewQueuePair(store Store, l QueueLayout) *QueuePair {
+	return &QueuePair{
+		SQ:     NewRing(store, l.SQBase, CommandBytes, l.SQEntries),
+		CQ:     NewRing(store, l.CQBase, CompletionBytes, l.CQEntries),
+		slotOf: make(map[uint16]uint32),
+	}
+}
+
+// Submit assigns a CID, sets the journal tag, writes the command into
+// the SQ and rings the doorbell. It returns the assigned CID.
+func (qp *QueuePair) Submit(cmd Command) (uint16, error) {
+	cmd.CID = qp.nextCID
+	cmd.Journal = true
+	slot := qp.SQ.Tail()
+	enc := cmd.Encode()
+	if err := qp.SQ.Push(enc[:]); err != nil {
+		return 0, err
+	}
+	qp.slotOf[cmd.CID] = slot
+	qp.nextCID++
+	qp.sqDoorbells++
+	return cmd.CID, nil
+}
+
+// DeviceFetch pops the next command from the SQ (device side).
+func (qp *QueuePair) DeviceFetch() (Command, bool) {
+	raw, ok := qp.SQ.Pop()
+	if !ok {
+		return Command{}, false
+	}
+	return DecodeCommand(raw), true
+}
+
+// DeviceComplete posts a completion for cid and raises an MSI.
+func (qp *QueuePair) DeviceComplete(cid uint16, status uint8) error {
+	c := Completion{CID: cid, Status: status, SQHead: uint16(qp.SQ.Head())}
+	enc := c.Encode()
+	if err := qp.CQ.Push(enc[:]); err != nil {
+		return err
+	}
+	qp.msiCount++
+	return nil
+}
+
+// HostReap drains one completion: it clears the journal tag of the
+// matching SQ slot in place (§V-C) and advances the CQ head, then
+// rings the CQ doorbell. Returns the completion and ok.
+func (qp *QueuePair) HostReap() (Completion, bool) {
+	raw, ok := qp.CQ.Pop()
+	if !ok {
+		return Completion{}, false
+	}
+	c := DecodeCompletion(raw)
+	if slot, known := qp.slotOf[c.CID]; known {
+		sc := DecodeCommand(qp.SQ.PeekAt(slot))
+		if sc.CID == c.CID {
+			sc.Journal = false
+			enc := sc.Encode()
+			qp.SQ.WriteAtSlot(slot, enc[:])
+		}
+		delete(qp.slotOf, c.CID)
+	}
+	qp.cqDoorbells++
+	return c, true
+}
+
+// PendingJournal scans every SQ slot and returns the commands whose
+// journal tag is still set — exactly the recovery scan HAMS performs
+// on power-up (Figure 15, phase 2).
+func (qp *QueuePair) PendingJournal() []Command {
+	var out []Command
+	for i := uint32(0); i < qp.SQ.Entries(); i++ {
+		c := DecodeCommand(qp.SQ.PeekAt(i))
+		if c.Journal && c.Opcode != OpFlush {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Doorbells and MSIs report protocol activity (used for overhead
+// accounting and tests).
+func (qp *QueuePair) Doorbells() (sq, cq int64) { return qp.sqDoorbells, qp.cqDoorbells }
+func (qp *QueuePair) MSIs() int64               { return qp.msiCount }
+
+// Outstanding returns the number of submitted-but-unreaped commands.
+func (qp *QueuePair) Outstanding() int { return len(qp.slotOf) }
+
+func (qp *QueuePair) String() string {
+	return fmt.Sprintf("qp(sq %d/%d, cq %d/%d, outstanding %d)",
+		qp.SQ.Len(), qp.SQ.Entries(), qp.CQ.Len(), qp.CQ.Entries(), qp.Outstanding())
+}
+
+// PRPPool allocates fixed-size clone buffers from the pinned region.
+// HAMS clones a victim page into the pool before handing its address
+// to the NVMe controller, so in-place cache updates can never corrupt
+// an in-flight DMA (§V-B, Figure 14).
+type PRPPool struct {
+	base     uint64
+	slot     uint64
+	capacity int
+	free     []int
+	inUse    map[uint64]int
+}
+
+// NewPRPPool carves capacity slots of slotBytes each from base.
+func NewPRPPool(base, slotBytes uint64, capacity int) *PRPPool {
+	p := &PRPPool{base: base, slot: slotBytes, capacity: capacity, inUse: make(map[uint64]int)}
+	for i := capacity - 1; i >= 0; i-- {
+		p.free = append(p.free, i)
+	}
+	return p
+}
+
+// Alloc reserves a slot, returning its byte address in the store.
+func (p *PRPPool) Alloc() (uint64, bool) {
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	i := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	addr := p.base + uint64(i)*p.slot
+	p.inUse[addr] = i
+	return addr, true
+}
+
+// Free releases a previously allocated slot. Freeing an unknown
+// address is a no-op (idempotent completion paths).
+func (p *PRPPool) Free(addr uint64) {
+	if i, ok := p.inUse[addr]; ok {
+		delete(p.inUse, addr)
+		p.free = append(p.free, i)
+	}
+}
+
+// InUse returns the number of live slots.
+func (p *PRPPool) InUse() int { return len(p.inUse) }
+
+// Base returns the pool's base address in the store.
+func (p *PRPPool) Base() uint64 { return p.base }
+
+// Capacity returns the slot count.
+func (p *PRPPool) Capacity() int { return p.capacity }
+
+// Footprint returns the pool's byte size.
+func (p *PRPPool) Footprint() uint64 { return p.slot * uint64(p.capacity) }

@@ -1,0 +1,128 @@
+package osmodel
+
+import (
+	"testing"
+
+	"hams/internal/mem"
+	"hams/internal/sim"
+)
+
+func testCfg() Config {
+	c := DefaultConfig()
+	c.DRAM.Capacity = 64 * mem.MiB
+	c.CachePages = 64
+	c.ReadAhead = 4
+	return c
+}
+
+func TestFaultCostDominatesMiss(t *testing.T) {
+	m := New(testCfg())
+	r := m.Access(0, mem.Access{Addr: 0, Size: 64, Op: mem.Read})
+	if r.Hit {
+		t.Fatal("first access must fault")
+	}
+	// The software budget (15.5+ us) must show up.
+	if r.OS < 15*sim.Microsecond {
+		t.Fatalf("OS time %v, want >= 15us", r.OS)
+	}
+	if r.Done < r.OS {
+		t.Fatalf("total %v below OS time %v", r.Done, r.OS)
+	}
+}
+
+func TestPageCacheHitIsCheap(t *testing.T) {
+	m := New(testCfg())
+	r1 := m.Access(0, mem.Access{Addr: 0, Size: 64, Op: mem.Read})
+	r2 := m.Access(r1.Done, mem.Access{Addr: 64, Size: 64, Op: mem.Read})
+	if !r2.Hit {
+		t.Fatal("second access must hit the page cache")
+	}
+	if hit := r2.Done - r1.Done; hit > sim.Microsecond {
+		t.Fatalf("page-cache hit took %v", hit)
+	}
+	if r2.OS != 0 {
+		t.Fatalf("hit charged OS time %v", r2.OS)
+	}
+}
+
+func TestReadAheadHelpsSequential(t *testing.T) {
+	m := New(testCfg())
+	var now sim.Time
+	// Touch 8 consecutive pages; read-ahead (4) should amortize.
+	for i := 0; i < 8; i++ {
+		r := m.Access(now, mem.Access{Addr: uint64(i) * 4096, Size: 64, Op: mem.Read})
+		now = r.Done
+	}
+	seqFaults := m.Stats().Faults
+
+	m2 := New(testCfg())
+	now = 0
+	// 8 scattered pages: every one faults.
+	for i := 0; i < 8; i++ {
+		r := m2.Access(now, mem.Access{Addr: uint64(i*97+5) * 4096, Size: 64, Op: mem.Read})
+		now = r.Done
+	}
+	rndFaults := m2.Stats().Faults
+	if seqFaults >= rndFaults {
+		t.Fatalf("sequential faults (%d) must be fewer than random (%d)", seqFaults, rndFaults)
+	}
+	if m.Stats().ReadAheads == 0 {
+		t.Fatal("read-ahead never triggered")
+	}
+}
+
+func TestLRUEvictionBounded(t *testing.T) {
+	cfg := testCfg()
+	cfg.CachePages = 8
+	cfg.ReadAhead = 1
+	m := New(cfg)
+	var now sim.Time
+	for i := 0; i < 50; i++ {
+		r := m.Access(now, mem.Access{Addr: uint64(i) * 4096 * 3, Size: 64, Op: mem.Write})
+		now = r.Done
+	}
+	// Re-touching an old page must fault again (it was evicted).
+	before := m.Stats().Faults
+	m.Access(now, mem.Access{Addr: 0, Size: 64, Op: mem.Read})
+	if m.Stats().Faults != before+1 {
+		t.Fatal("old page should have been evicted")
+	}
+	if m.Stats().Writebacks == 0 {
+		t.Fatal("dirty evictions must write back")
+	}
+}
+
+func TestPeriodicWriteback(t *testing.T) {
+	cfg := testCfg()
+	cfg.WritebackN = 4
+	m := New(cfg)
+	var now sim.Time
+	for i := 0; i < 12; i++ {
+		r := m.Access(now, mem.Access{Addr: uint64(i%2) * 4096, Size: 8, Op: mem.Write})
+		now = r.Done
+	}
+	if m.Stats().Writebacks == 0 {
+		t.Fatal("periodic persistency flush never ran")
+	}
+}
+
+func TestStraddlingAccessFaultsBothPages(t *testing.T) {
+	cfg := testCfg()
+	cfg.ReadAhead = 1
+	m := New(cfg)
+	m.Access(0, mem.Access{Addr: 4090, Size: 12, Op: mem.Read})
+	if m.Stats().Faults != 2 {
+		t.Fatalf("faults = %d, want 2", m.Stats().Faults)
+	}
+}
+
+func TestCostsTotal(t *testing.T) {
+	c := DefaultCosts()
+	want := c.FaultEntry + 2*c.ContextSwitch + c.Filesystem + c.BlkMq + c.Driver
+	if c.Total() != want {
+		t.Fatalf("Total = %v", c.Total())
+	}
+	if c.Total() < 15*sim.Microsecond || c.Total() > 20*sim.Microsecond {
+		t.Fatalf("default software budget %v outside the paper's 15-20us", c.Total())
+	}
+}

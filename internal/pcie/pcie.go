@@ -1,0 +1,102 @@
+// Package pcie models a PCIe link as used by NVMe storage: per-lane
+// bandwidth, transaction-layer-packet (TLP) framing overhead and a
+// maximum payload that forces large transfers to be segmented. The
+// paper's key architectural point is that this 4 GB/s path (PCIe 3.0
+// x4) caps baseline HAMS on cache misses while DDR4 offers 20 GB/s.
+package pcie
+
+import (
+	"fmt"
+
+	"hams/internal/sim"
+)
+
+// Config describes the link.
+type Config struct {
+	Lanes       int
+	LaneGBs     float64  // effective per-lane bandwidth
+	MaxPayload  int64    // TLP payload limit (bytes)
+	TLPOverhead sim.Time // framing/encode time per TLP
+	PropDelay   sim.Time // one-way propagation + root-complex latency
+}
+
+// Gen3x4 is the paper's storage link: 4 lanes, ~1 GB/s each.
+func Gen3x4() Config {
+	return Config{Lanes: 4, LaneGBs: 1.0, MaxPayload: 4096, TLPOverhead: 50, PropDelay: 250}
+}
+
+// SATA6G approximates a SATA 3.0 device link (600 MB/s, AHCI framing).
+func SATA6G() Config {
+	return Config{Lanes: 1, LaneGBs: 0.55, MaxPayload: 8192, TLPOverhead: 400, PropDelay: 1500}
+}
+
+// Link is a full-duplex point-to-point link; each direction is one
+// FCFS resource.
+type Link struct {
+	cfg  Config
+	up   *sim.Resource // device -> host
+	down *sim.Resource // host -> device
+	sent int64
+	rcvd int64
+}
+
+// New builds a link.
+func New(cfg Config) *Link {
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 1
+	}
+	return &Link{cfg: cfg, up: sim.NewResource(), down: sim.NewResource()}
+}
+
+// GBs returns the aggregate link bandwidth.
+func (l *Link) GBs() float64 { return float64(l.cfg.Lanes) * l.cfg.LaneGBs }
+
+func (l *Link) xferTime(bytes int64) sim.Time {
+	if bytes <= 0 {
+		return l.cfg.TLPOverhead
+	}
+	var t sim.Time
+	for bytes > 0 {
+		n := bytes
+		if n > l.cfg.MaxPayload {
+			n = l.cfg.MaxPayload
+		}
+		t += l.cfg.TLPOverhead + sim.Bandwidth(n, l.GBs())
+		bytes -= n
+	}
+	return t
+}
+
+// ToDevice transfers bytes host->device starting at t; returns arrival.
+func (l *Link) ToDevice(t sim.Time, bytes int64) sim.Time {
+	_, done := l.down.Acquire(t, l.xferTime(bytes))
+	l.sent += bytes
+	return done + l.cfg.PropDelay
+}
+
+// ToHost transfers bytes device->host starting at t; returns arrival.
+func (l *Link) ToHost(t sim.Time, bytes int64) sim.Time {
+	_, done := l.up.Acquire(t, l.xferTime(bytes))
+	l.rcvd += bytes
+	return done + l.cfg.PropDelay
+}
+
+// MMIOWrite models a posted register write (e.g. a doorbell): it only
+// pays propagation, no payload streaming.
+func (l *Link) MMIOWrite(t sim.Time) sim.Time {
+	_, done := l.down.Acquire(t, l.cfg.TLPOverhead)
+	return done + l.cfg.PropDelay
+}
+
+// MSI models the device raising a message-signaled interrupt.
+func (l *Link) MSI(t sim.Time) sim.Time {
+	_, done := l.up.Acquire(t, l.cfg.TLPOverhead)
+	return done + l.cfg.PropDelay
+}
+
+// BytesMoved reports totals (host->device, device->host).
+func (l *Link) BytesMoved() (down, up int64) { return l.sent, l.rcvd }
+
+func (l *Link) String() string {
+	return fmt.Sprintf("pcie(x%d, %.1fGB/s)", l.cfg.Lanes, l.GBs())
+}

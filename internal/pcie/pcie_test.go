@@ -1,0 +1,88 @@
+package pcie
+
+import (
+	"testing"
+
+	"hams/internal/sim"
+)
+
+func TestGen3x4Bandwidth(t *testing.T) {
+	l := New(Gen3x4())
+	if l.GBs() != 4.0 {
+		t.Fatalf("GBs = %f", l.GBs())
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	l := New(Gen3x4())
+	d4k := l.ToHost(0, 4096)
+	l2 := New(Gen3x4())
+	d64k := l2.ToHost(0, 65536)
+	if d64k <= d4k {
+		t.Fatalf("64K (%v) must take longer than 4K (%v)", d64k, d4k)
+	}
+	// 64 KiB = 16 TLPs: segmentation overhead must appear.
+	raw := sim.Bandwidth(65536, 4)
+	if d64k <= raw {
+		t.Fatalf("64K transfer (%v) must exceed raw bandwidth time (%v)", d64k, raw)
+	}
+}
+
+func TestDirectionsIndependent(t *testing.T) {
+	l := New(Gen3x4())
+	up := l.ToHost(0, 4096)
+	down := l.ToDevice(0, 4096)
+	// Full duplex: both directions at t=0 finish at the same time.
+	if up != down {
+		t.Fatalf("up=%v down=%v; directions must not contend", up, down)
+	}
+}
+
+func TestSameDirectionSerializes(t *testing.T) {
+	l := New(Gen3x4())
+	d1 := l.ToHost(0, 4096)
+	d2 := l.ToHost(0, 4096)
+	if d2 <= d1 {
+		t.Fatalf("second transfer (%v) must queue behind first (%v)", d2, d1)
+	}
+}
+
+func TestMMIOAndMSICheap(t *testing.T) {
+	l := New(Gen3x4())
+	dm := l.MMIOWrite(0)
+	l2 := New(Gen3x4())
+	dd := l2.ToDevice(0, 4096)
+	if dm >= dd {
+		t.Fatalf("doorbell (%v) must be cheaper than 4K payload (%v)", dm, dd)
+	}
+	if msi := l.MSI(1000); msi <= 1000 {
+		t.Fatal("MSI must take time")
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	l := New(Gen3x4())
+	l.ToDevice(0, 100)
+	l.ToHost(0, 200)
+	down, up := l.BytesMoved()
+	if down != 100 || up != 200 {
+		t.Fatalf("down=%d up=%d", down, up)
+	}
+}
+
+func TestSATASlowerThanPCIe(t *testing.T) {
+	nvme := New(Gen3x4())
+	sata := New(SATA6G())
+	dn := nvme.ToHost(0, 65536)
+	ds := sata.ToHost(0, 65536)
+	if ds <= dn {
+		t.Fatalf("SATA (%v) must be slower than PCIe x4 (%v)", ds, dn)
+	}
+}
+
+func TestZeroByteTransferStillFramed(t *testing.T) {
+	l := New(Gen3x4())
+	if d := l.ToHost(0, 0); d <= 0 {
+		t.Fatal("zero-byte transfer must still pay framing + propagation")
+	}
+}

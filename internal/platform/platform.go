@@ -1,0 +1,297 @@
+// Package platform assembles the eleven evaluated systems of §VI-A
+// behind one interface: mmap (the MMF baseline), optane-P/M,
+// flatflash-P/M, nvdimm-C, the four HAMS variants (hams-LP/LE/TP/TE)
+// and the 512 GB-NVDIMM oracle — plus the §III-C bypass strategies
+// (NVDIMM / ULL / ULL-buff) used by Fig. 7b.
+package platform
+
+import (
+	"fmt"
+
+	"hams/internal/core"
+	"hams/internal/cpu"
+	"hams/internal/dram"
+	"hams/internal/energy"
+	"hams/internal/flash"
+	"hams/internal/mem"
+	"hams/internal/osmodel"
+	"hams/internal/pcie"
+	"hams/internal/sim"
+	"hams/internal/ssd"
+)
+
+// Platform is a memory system under test.
+type Platform interface {
+	cpu.MemSystem
+	Name() string
+	// Warm pre-populates the platform's caches with a hot address
+	// range, untimed — the harness's stand-in for the steady state a
+	// full-length run would reach (see EXPERIMENTS.md).
+	Warm(base, size uint64)
+	// EnergyInputs folds the platform's device activity into the
+	// energy model's inputs (CPU fields are filled by the harness).
+	EnergyInputs() energy.Inputs
+}
+
+// Options tunes platform construction.
+type Options struct {
+	// HAMSPage overrides the MoS page size (Fig. 20a); 0 = 128 KiB.
+	HAMSPage uint64
+	// HAMSPRPSlots overrides the PRP clone-pool size (ablation).
+	HAMSPRPSlots int
+	// ArchiveChannels overrides the ULL-Flash channel count (ablation).
+	ArchiveChannels int
+	// ArchiveTLC swaps the archive medium to conventional TLC flash
+	// (ablation: what HAMS would be without Z-NAND).
+	ArchiveTLC bool
+	// MmapSSD selects the storage behind the MMF baseline:
+	// "ull" (default), "nvme", "sata" (Fig. 6).
+	MmapSSD string
+	// OracleBytes sizes the oracle NVDIMM (default 512 GiB).
+	OracleBytes uint64
+}
+
+// Names lists the Fig. 16 platform order.
+func Names() []string {
+	return []string{
+		"mmap", "flatflash-P", "flatflash-M", "hams-LP", "hams-LE",
+		"nvdimm-C", "optane-P", "optane-M", "hams-TP", "hams-TE", "oracle",
+	}
+}
+
+// New constructs a platform by its paper name.
+func New(name string, o Options) (Platform, error) {
+	switch name {
+	case "mmap":
+		return newMmap(o)
+	case "oracle":
+		return newOracle(o)
+	case "hams-LP":
+		return newHAMS(core.Persist, core.Loose, o)
+	case "hams-LE":
+		return newHAMS(core.Extend, core.Loose, o)
+	case "hams-TP":
+		return newHAMS(core.Persist, core.Tight, o)
+	case "hams-TE":
+		return newHAMS(core.Extend, core.Tight, o)
+	case "optane-P":
+		return newOptane(false), nil
+	case "optane-M":
+		return newOptane(true), nil
+	case "flatflash-P":
+		return newFlatFlash(false), nil
+	case "flatflash-M":
+		return newFlatFlash(true), nil
+	case "nvdimm-C":
+		return newNVDIMMC(), nil
+	case "hams-SW":
+		return newHAMSSoftware(o)
+	case "ull-direct":
+		return newULLDirect(false), nil
+	case "ull-buff":
+		return newULLDirect(true), nil
+	default:
+		return nil, fmt.Errorf("platform: unknown platform %q", name)
+	}
+}
+
+// ---------------------------------------------------------------------
+// mmap: the MMF software baseline.
+
+type mmapPlatform struct {
+	mmf *osmodel.MMF
+}
+
+func newMmap(o Options) (*mmapPlatform, error) {
+	cfg := osmodel.DefaultConfig()
+	switch o.MmapSSD {
+	case "", "ull":
+		cfg.SSD = ssd.ULLFlash()
+		cfg.Link = pcie.Gen3x4()
+	case "nvme":
+		cfg.SSD = ssd.NVMeSSD()
+		cfg.Link = pcie.Gen3x4()
+	case "sata":
+		cfg.SSD = ssd.SATASSD()
+		cfg.Link = pcie.SATA6G()
+	default:
+		return nil, fmt.Errorf("platform: unknown mmap SSD %q", o.MmapSSD)
+	}
+	return &mmapPlatform{mmf: osmodel.New(cfg)}, nil
+}
+
+func (p *mmapPlatform) Name() string { return "mmap" }
+
+func (p *mmapPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, error) {
+	r := p.mmf.Access(t, a)
+	return cpu.MemResult{Done: r.Done, OS: r.OS, Mem: r.Mem, SSD: r.SSD}, nil
+}
+
+// Warm pre-populates the OS page cache.
+func (p *mmapPlatform) Warm(base, size uint64) { p.mmf.Warm(base, size) }
+
+func (p *mmapPlatform) EnergyInputs() energy.Inputs {
+	return energy.Inputs{
+		DRAM:       p.mmf.DRAM().Stats(),
+		Flash:      p.mmf.Device().FlashStats(),
+		HasIntDRAM: p.mmf.Device().HasBuffer(),
+	}
+}
+
+// MMF exposes the underlying model (Fig. 7a uses its breakdown).
+func (p *mmapPlatform) MMF() *osmodel.MMF { return p.mmf }
+
+// ---------------------------------------------------------------------
+// oracle: a 512 GB NVDIMM serving everything at DRAM speed.
+
+type oraclePlatform struct {
+	d *dram.DDR4
+}
+
+func newOracle(o Options) (*oraclePlatform, error) {
+	cfg := dram.DefaultConfig()
+	cfg.Functional = false
+	cfg.Capacity = 512 * mem.GiB
+	if o.OracleBytes != 0 {
+		cfg.Capacity = o.OracleBytes
+	}
+	return &oraclePlatform{d: dram.New(cfg)}, nil
+}
+
+func (p *oraclePlatform) Name() string { return "oracle" }
+
+func (p *oraclePlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, error) {
+	done := p.d.Access(t, a.Addr, a.Size, a.Op)
+	return cpu.MemResult{Done: done, Mem: done - t}, nil
+}
+
+// Warm is a no-op: the oracle NVDIMM holds everything already.
+func (p *oraclePlatform) Warm(base, size uint64) {}
+
+func (p *oraclePlatform) EnergyInputs() energy.Inputs {
+	return energy.Inputs{DRAM: p.d.Stats()}
+}
+
+// ---------------------------------------------------------------------
+// hams-*: the four HAMS variants wrap the core controller.
+
+type hamsPlatform struct {
+	name string
+	ctl  *core.Controller
+}
+
+func newHAMS(m core.Mode, tp core.Topology, o Options) (*hamsPlatform, error) {
+	cfg := core.DefaultConfig(m, tp)
+	if o.HAMSPage != 0 {
+		cfg.PageBytes = o.HAMSPage
+	}
+	if o.HAMSPRPSlots != 0 {
+		cfg.PRPSlots = o.HAMSPRPSlots
+	}
+	if o.ArchiveChannels != 0 {
+		cfg.SSD.Geometry.Channels = o.ArchiveChannels
+	}
+	if o.ArchiveTLC {
+		cfg.SSD.Timing = flash.VNANDTLC()
+	}
+	ctl, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	name := "hams-"
+	if tp == core.Loose {
+		name += "L"
+	} else {
+		name += "T"
+	}
+	if m == core.Persist {
+		name += "P"
+	} else {
+		name += "E"
+	}
+	return &hamsPlatform{name: name, ctl: ctl}, nil
+}
+
+func (p *hamsPlatform) Name() string { return p.name }
+
+func (p *hamsPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, error) {
+	r, err := p.ctl.Access(t, a)
+	if err != nil {
+		return cpu.MemResult{}, err
+	}
+	return cpu.MemResult{
+		Done: r.Done,
+		Mem:  r.NVDIMM,
+		DMA:  r.DMA,
+		SSD:  r.SSD + r.Wait,
+	}, nil
+}
+
+// Warm installs the range into the MoS tag array as clean/valid.
+func (p *hamsPlatform) Warm(base, size uint64) { p.ctl.Warm(base, size) }
+
+func (p *hamsPlatform) EnergyInputs() energy.Inputs {
+	return energy.Inputs{
+		DRAM:       p.ctl.NVDIMM().Stats(),
+		Flash:      p.ctl.Device().FlashStats(),
+		HasIntDRAM: p.ctl.Device().HasBuffer(),
+	}
+}
+
+// Controller exposes the HAMS core (Fig. 18 reads its stats).
+func (p *hamsPlatform) Controller() *core.Controller { return p.ctl }
+
+// ---------------------------------------------------------------------
+// hams-SW: the software-assisted alternative the paper dismisses in
+// §VII — the same NVDIMM-cache-over-ULL-Flash datapath, but every
+// cache miss is a page fault the OS must service (context switches and
+// fault handling on the critical path). The gap to hams-LE measures
+// the value of hardware automation.
+
+type hamsSWPlatform struct {
+	ctl   *core.Controller
+	costs osmodel.Costs
+}
+
+func newHAMSSoftware(o Options) (*hamsSWPlatform, error) {
+	cfg := core.DefaultConfig(core.Extend, core.Loose)
+	if o.HAMSPage != 0 {
+		cfg.PageBytes = o.HAMSPage
+	}
+	ctl, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &hamsSWPlatform{ctl: ctl, costs: osmodel.DefaultCosts()}, nil
+}
+
+func (p *hamsSWPlatform) Name() string { return "hams-SW" }
+
+func (p *hamsSWPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, error) {
+	r, err := p.ctl.Access(t, a)
+	if err != nil {
+		return cpu.MemResult{}, err
+	}
+	res := cpu.MemResult{Done: r.Done, Mem: r.NVDIMM, DMA: r.DMA, SSD: r.SSD + r.Wait}
+	if !r.Hit {
+		// The OS services the fault: trap + switches around the block.
+		sw := p.costs.FaultEntry + 2*p.costs.ContextSwitch
+		res.Done += sw
+		res.OS += sw
+	}
+	return res, nil
+}
+
+// Warm installs the hot range into the MoS tag array.
+func (p *hamsSWPlatform) Warm(base, size uint64) { p.ctl.Warm(base, size) }
+
+func (p *hamsSWPlatform) EnergyInputs() energy.Inputs {
+	return energy.Inputs{
+		DRAM:       p.ctl.NVDIMM().Stats(),
+		Flash:      p.ctl.Device().FlashStats(),
+		HasIntDRAM: p.ctl.Device().HasBuffer(),
+	}
+}
+
+// Controller exposes the core (shared with hamsPlatform for stats).
+func (p *hamsSWPlatform) Controller() *core.Controller { return p.ctl }

@@ -1,0 +1,147 @@
+package sim
+
+// Resource models a single FCFS server. A request arriving at time t
+// with service time s begins at max(t, nextFree) and completes at
+// begin+s. Arrivals must be presented in nondecreasing time order for
+// the FCFS semantics to be exact; the multi-core driver guarantees this
+// by always advancing the core with the smallest local time.
+type Resource struct {
+	nextFree Time
+	busy     Time // accumulated busy time, for utilization stats
+	served   int64
+	waited   Time // accumulated queueing delay
+}
+
+// NewResource returns an idle resource.
+func NewResource() *Resource { return &Resource{} }
+
+// Acquire reserves the server for a request arriving at t with service
+// time service. It returns the start and completion times.
+func (r *Resource) Acquire(t, service Time) (start, done Time) {
+	start = t
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	done = start + service
+	r.nextFree = done
+	r.busy += service
+	r.served++
+	r.waited += start - t
+	return start, done
+}
+
+// Peek returns the time at which a request arriving at t would start
+// service, without reserving anything.
+func (r *Resource) Peek(t Time) Time {
+	if r.nextFree > t {
+		return r.nextFree
+	}
+	return t
+}
+
+// NextFree returns the time at which the server becomes idle.
+func (r *Resource) NextFree() Time { return r.nextFree }
+
+// BusyTime returns the total time the server has spent in service.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Served returns the number of requests serviced.
+func (r *Resource) Served() int64 { return r.served }
+
+// QueueDelay returns the accumulated time requests spent waiting.
+func (r *Resource) QueueDelay() Time { return r.waited }
+
+// Utilization returns busy time divided by elapsed time up to now.
+func (r *Resource) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(now)
+}
+
+// Reset returns the resource to the idle state and clears statistics.
+func (r *Resource) Reset() { *r = Resource{} }
+
+// Pool models k identical FCFS servers (e.g. flash dies behind one
+// scheduler, or the per-queue parallelism of an NVMe device). A request
+// is dispatched to the earliest-free server.
+type Pool struct {
+	servers []Time
+	busy    Time
+	served  int64
+}
+
+// NewPool returns a pool of k idle servers. k must be >= 1.
+func NewPool(k int) *Pool {
+	if k < 1 {
+		k = 1
+	}
+	return &Pool{servers: make([]Time, k)}
+}
+
+// Size returns the number of servers in the pool.
+func (p *Pool) Size() int { return len(p.servers) }
+
+// Acquire dispatches a request arriving at t with the given service
+// time to the earliest-free server, returning start and completion.
+func (p *Pool) Acquire(t, service Time) (start, done Time) {
+	best := 0
+	for i, nf := range p.servers {
+		if nf < p.servers[best] {
+			best = i
+		}
+		_ = nf
+	}
+	start = t
+	if p.servers[best] > start {
+		start = p.servers[best]
+	}
+	done = start + service
+	p.servers[best] = done
+	p.busy += service
+	p.served++
+	return start, done
+}
+
+// AcquireServer reserves a specific server (e.g. a die addressed by the
+// FTL). It returns start and completion times.
+func (p *Pool) AcquireServer(i int, t, service Time) (start, done Time) {
+	start = t
+	if p.servers[i] > start {
+		start = p.servers[i]
+	}
+	done = start + service
+	p.servers[i] = done
+	p.busy += service
+	p.served++
+	return start, done
+}
+
+// ServerNextFree returns when server i becomes idle.
+func (p *Pool) ServerNextFree(i int) Time { return p.servers[i] }
+
+// BusyTime returns the total service time accumulated across servers.
+func (p *Pool) BusyTime() Time { return p.busy }
+
+// Served returns the number of requests serviced.
+func (p *Pool) Served() int64 { return p.served }
+
+// Reset idles every server and clears statistics.
+func (p *Pool) Reset() {
+	for i := range p.servers {
+		p.servers[i] = 0
+	}
+	p.busy = 0
+	p.served = 0
+}
+
+// Bandwidth converts a byte count and a rate in GB/s into a transfer
+// duration. Rates are decimal gigabytes (1e9 bytes) per second, as in
+// the paper's interface budgets (PCIe 3.0 x4 = 4 GB/s, DDR4 = 20 GB/s).
+func Bandwidth(bytes int64, gbps float64) Time {
+	if gbps <= 0 || bytes <= 0 {
+		return 0
+	}
+	ns := float64(bytes) / gbps // bytes / (bytes/ns) since 1 GB/s = 1 B/ns
+	return Time(ns + 0.5)
+}

@@ -1,0 +1,181 @@
+// Package sim provides the timing substrate used by every device model
+// in the HAMS simulator: a virtual nanosecond clock, an event heap for
+// deferred state mutation, and occupancy-based queueing resources.
+//
+// The simulator uses a hybrid style. Device service times are computed
+// analytically by Resource/Pool occupancy models (a request arriving at
+// time t on a busy server starts at max(t, nextFree)), which is exact
+// for FCFS servers fed with nondecreasing arrival times. Anything that
+// must mutate shared state at a future instant (busy-bit clearing,
+// wait-queue release, refresh windows) is registered on the Engine's
+// event heap and applied lazily by AdvanceTo before the next access.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in nanoseconds.
+type Time int64
+
+// Common durations, in nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time in microseconds as a float.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(1<<63 - 1)
+
+// Event is a deferred callback. Fn runs when the engine clock reaches At.
+type Event struct {
+	At Time
+	Fn func(Time)
+
+	seq int64 // tie-break so equal-time events run in schedule order
+	idx int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the event heap.
+// The zero value is ready to use at time zero.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at time at. Scheduling in the past (at <
+// now) runs the callback at the current time on the next AdvanceTo.
+func (e *Engine) Schedule(at Time, fn func(Time)) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After registers fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func(Time)) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 || ev.idx >= len(e.events) || e.events[ev.idx] != ev {
+		return
+	}
+	heap.Remove(&e.events, ev.idx)
+	ev.idx = -1
+}
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// NextEventAt returns the timestamp of the earliest pending event, or
+// MaxTime when the heap is empty.
+func (e *Engine) NextEventAt() Time {
+	if len(e.events) == 0 {
+		return MaxTime
+	}
+	return e.events[0].At
+}
+
+// AdvanceTo moves the clock forward to t, firing every event with
+// At <= t in timestamp order. Events scheduled by fired callbacks are
+// honored if they also fall at or before t. AdvanceTo never moves the
+// clock backwards.
+func (e *Engine) AdvanceTo(t Time) {
+	for len(e.events) > 0 && e.events[0].At <= t {
+		ev := heap.Pop(&e.events).(*Event)
+		ev.idx = -1
+		if ev.At > e.now {
+			e.now = ev.At
+		}
+		ev.Fn(e.now)
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Drain fires every pending event in order and leaves the clock at the
+// time of the last event. It returns the number of events fired.
+func (e *Engine) Drain() int {
+	n := 0
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		ev.idx = -1
+		if ev.At > e.now {
+			e.now = ev.At
+		}
+		ev.Fn(e.now)
+		n++
+	}
+	return n
+}
+
+// Reset clears all pending events and rewinds the clock to zero.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.events = nil
+	e.seq = 0
+}

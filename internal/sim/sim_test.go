@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(30, func(now Time) { fired = append(fired, now) })
+	e.Schedule(10, func(now Time) { fired = append(fired, now) })
+	e.Schedule(20, func(now Time) { fired = append(fired, now) })
+	e.AdvanceTo(25)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 20 {
+		t.Fatalf("fired = %v, want [10 20]", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25", e.Now())
+	}
+	e.AdvanceTo(100)
+	if len(fired) != 3 || fired[2] != 30 {
+		t.Fatalf("fired = %v, want third event at 30", fired)
+	}
+}
+
+func TestEqualTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(Time) { order = append(order, i) })
+	}
+	e.AdvanceTo(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(100)
+	var at Time = -1
+	e.Schedule(50, func(now Time) { at = now })
+	e.AdvanceTo(100)
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want 100", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func(now Time) {
+		fired = append(fired, now)
+		e.Schedule(now+5, func(n2 Time) { fired = append(fired, n2) })
+	})
+	e.AdvanceTo(20)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestNestedSchedulingBeyondHorizonDefers(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func(now Time) {
+		e.Schedule(now+100, func(n2 Time) { fired = append(fired, n2) })
+	})
+	e.AdvanceTo(20)
+	if len(fired) != 0 {
+		t.Fatalf("event beyond horizon fired early: %v", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.AdvanceTo(200)
+	if len(fired) != 1 || fired[0] != 110 {
+		t.Fatalf("fired = %v, want [110]", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func(Time) { fired = true })
+	e.Cancel(ev)
+	e.AdvanceTo(20)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and cancel-after-fire must not panic.
+	e.Cancel(ev)
+	ev2 := e.Schedule(30, func(Time) {})
+	e.AdvanceTo(40)
+	e.Cancel(ev2)
+}
+
+func TestDrain(t *testing.T) {
+	e := NewEngine()
+	for i := 1; i <= 5; i++ {
+		e.Schedule(Time(i*10), func(Time) {})
+	}
+	n := e.Drain()
+	if n != 5 {
+		t.Fatalf("Drain fired %d, want 5", n)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %v, want 50", e.Now())
+	}
+}
+
+func TestAdvanceToNeverRewinds(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(100)
+	e.AdvanceTo(50)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100 (no rewind)", e.Now())
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(Time) {})
+	e.AdvanceTo(5)
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d", e.Now(), e.Pending())
+	}
+}
+
+func TestResourceFCFS(t *testing.T) {
+	r := NewResource()
+	s, d := r.Acquire(0, 10)
+	if s != 0 || d != 10 {
+		t.Fatalf("first: start=%v done=%v", s, d)
+	}
+	// Arrives while busy: queues.
+	s, d = r.Acquire(5, 10)
+	if s != 10 || d != 20 {
+		t.Fatalf("second: start=%v done=%v, want 10,20", s, d)
+	}
+	// Arrives after idle: starts immediately.
+	s, d = r.Acquire(50, 5)
+	if s != 50 || d != 55 {
+		t.Fatalf("third: start=%v done=%v, want 50,55", s, d)
+	}
+	if r.Served() != 3 {
+		t.Fatalf("Served() = %d, want 3", r.Served())
+	}
+	if r.BusyTime() != 25 {
+		t.Fatalf("BusyTime() = %v, want 25", r.BusyTime())
+	}
+	if r.QueueDelay() != 5 {
+		t.Fatalf("QueueDelay() = %v, want 5", r.QueueDelay())
+	}
+}
+
+func TestResourcePeekDoesNotReserve(t *testing.T) {
+	r := NewResource()
+	r.Acquire(0, 100)
+	if got := r.Peek(10); got != 100 {
+		t.Fatalf("Peek(10) = %v, want 100", got)
+	}
+	if got := r.Peek(200); got != 200 {
+		t.Fatalf("Peek(200) = %v, want 200", got)
+	}
+	if r.Served() != 1 {
+		t.Fatal("Peek changed state")
+	}
+}
+
+func TestPoolDispatchesToEarliestFree(t *testing.T) {
+	p := NewPool(2)
+	_, d1 := p.Acquire(0, 10)
+	_, d2 := p.Acquire(0, 10)
+	if d1 != 10 || d2 != 10 {
+		t.Fatalf("two servers should run in parallel: %v %v", d1, d2)
+	}
+	s3, d3 := p.Acquire(0, 10)
+	if s3 != 10 || d3 != 20 {
+		t.Fatalf("third request: start=%v done=%v, want 10,20", s3, d3)
+	}
+}
+
+func TestPoolAcquireServer(t *testing.T) {
+	p := NewPool(4)
+	_, d := p.AcquireServer(2, 5, 7)
+	if d != 12 {
+		t.Fatalf("done = %v, want 12", d)
+	}
+	if p.ServerNextFree(2) != 12 {
+		t.Fatalf("ServerNextFree(2) = %v", p.ServerNextFree(2))
+	}
+	if p.ServerNextFree(0) != 0 {
+		t.Fatalf("ServerNextFree(0) = %v, want 0", p.ServerNextFree(0))
+	}
+	s, _ := p.AcquireServer(2, 5, 1)
+	if s != 12 {
+		t.Fatalf("queued start = %v, want 12", s)
+	}
+}
+
+func TestPoolMinSize(t *testing.T) {
+	p := NewPool(0)
+	if p.Size() != 1 {
+		t.Fatalf("Size() = %d, want clamped to 1", p.Size())
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	// 4 KB at 4 GB/s = 1024 ns.
+	if got := Bandwidth(4096, 4); got != 1024 {
+		t.Fatalf("Bandwidth(4096, 4) = %v, want 1024", got)
+	}
+	// 4 KB at 20 GB/s ≈ 205 ns (rounded).
+	if got := Bandwidth(4096, 20); got != 205 {
+		t.Fatalf("Bandwidth(4096, 20) = %v, want 205", got)
+	}
+	if got := Bandwidth(0, 4); got != 0 {
+		t.Fatalf("Bandwidth(0,4) = %v, want 0", got)
+	}
+	if got := Bandwidth(100, 0); got != 0 {
+		t.Fatalf("Bandwidth(100,0) = %v, want 0", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+// Property: for any set of events, AdvanceTo(max) fires all of them in
+// nondecreasing timestamp order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		var max Time
+		for _, r := range raw {
+			at := Time(r)
+			if at > max {
+				max = at
+			}
+			e.Schedule(at, func(now Time) { fired = append(fired, now) })
+		}
+		e.AdvanceTo(max)
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a FCFS resource fed nondecreasing arrivals never has a
+// request start before its arrival nor before the previous completion.
+func TestResourceFCFSProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewResource()
+		var arrive, prevDone Time
+		for i := 0; i < int(n); i++ {
+			arrive += Time(rng.Intn(50))
+			svc := Time(rng.Intn(30) + 1)
+			start, done := r.Acquire(arrive, svc)
+			if start < arrive || start < prevDone || done != start+svc {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Pool of k servers is work-conserving: total busy time
+// never exceeds k * makespan, and equals the sum of service times.
+func TestPoolWorkConservationProperty(t *testing.T) {
+	f := func(seed int64, n uint8, k uint8) bool {
+		servers := int(k%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPool(servers)
+		var arrive, makespan, totalSvc Time
+		for i := 0; i < int(n); i++ {
+			arrive += Time(rng.Intn(20))
+			svc := Time(rng.Intn(30) + 1)
+			totalSvc += svc
+			_, done := p.Acquire(arrive, svc)
+			if done > makespan {
+				makespan = done
+			}
+		}
+		if p.BusyTime() != totalSvc {
+			return false
+		}
+		return p.BusyTime() <= Time(servers)*makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

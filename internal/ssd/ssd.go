@@ -1,0 +1,382 @@
+// Package ssd assembles a solid-state drive from the firmware layers
+// the paper describes (§II-C): a host interface layer (HIL) that parses
+// commands and splits requests, an internal DRAM buffer/cache in front
+// of the channels, the FTL, and the flash interface layer (FIL) —
+// realized by the flash array's channel/die occupancy model. Device
+// configs are provided for the ULL-Flash (Z-NAND, 512 MB buffer), the
+// buffer-less ULL-Flash of advanced HAMS, an Intel-750-class NVMe SSD
+// and a SATA SSD.
+package ssd
+
+import (
+	"container/list"
+	"fmt"
+
+	"hams/internal/flash"
+	"hams/internal/ftl"
+	"hams/internal/sim"
+)
+
+// Config describes one device.
+type Config struct {
+	Name        string
+	Geometry    flash.Geometry
+	Timing      flash.Timing
+	FTL         ftl.Config
+	BufferBytes uint64   // internal DRAM buffer capacity; 0 = none
+	BufferGBs   float64  // internal DRAM bandwidth
+	BufferLat   sim.Time // internal DRAM access setup
+	HILOverhead sim.Time // firmware time per command
+	HILSlots    int      // firmware parallelism
+	Supercap    bool     // flush buffer to flash on power failure
+}
+
+// ULLFlash returns the 800 GB-class Z-NAND archive with its 512 MB
+// internal DRAM (Table II). The Z-NAND dual-channel 2 KB striping
+// (§II-C: a 4 KB request is split across two channels, halving DMA
+// latency) is folded into the channel transfer rate.
+func ULLFlash() Config {
+	t := flash.ZNAND()
+	t.ChanGBs *= 2 // dual-channel 2 KB striping halves transfer time
+	return Config{
+		Name:        "ULL-Flash",
+		Geometry:    flash.ULLGeometry(),
+		Timing:      t,
+		FTL:         ftl.DefaultConfig(),
+		BufferBytes: 512 << 20,
+		BufferGBs:   12.8,
+		BufferLat:   100,
+		HILOverhead: 1 * sim.Microsecond,
+		HILSlots:    4,
+		Supercap:    true,
+	}
+}
+
+// ULLFlashNoBuffer is the advanced-HAMS variant: internal DRAM removed
+// (the NVDIMM buffers instead), command/address/data registers front
+// the flash (§IV-C).
+func ULLFlashNoBuffer() Config {
+	c := ULLFlash()
+	c.Name = "ULL-Flash (bufferless)"
+	c.BufferBytes = 0
+	return c
+}
+
+// NVMeSSD approximates the Intel 750 baseline: TLC-class media, fewer
+// channels, a throughput-oriented firmware with higher per-command
+// cost.
+func NVMeSSD() Config {
+	g := flash.ULLGeometry()
+	g.Channels = 8
+	g.PackagesPerC = 1 // 16 dies: the shallower parallelism that makes
+	// its latency climb with queue depth (Fig. 5b)
+	return Config{
+		Name:        "NVMe-SSD",
+		Geometry:    g,
+		Timing:      flash.VNANDTLC(),
+		FTL:         ftl.DefaultConfig(),
+		BufferBytes: 512 << 20,
+		BufferGBs:   8,
+		BufferLat:   150,
+		HILOverhead: 5 * sim.Microsecond,
+		HILSlots:    8,
+	}
+}
+
+// SATASSD approximates the SATA baseline (the link cost lives in
+// pcie.SATA6G; media here is slower TLC with shallow parallelism).
+func SATASSD() Config {
+	g := flash.ULLGeometry()
+	g.Channels = 4
+	t := flash.VNANDTLC()
+	t.ChanGBs = 0.4
+	return Config{
+		Name:        "SATA-SSD",
+		Geometry:    g,
+		Timing:      t,
+		FTL:         ftl.DefaultConfig(),
+		BufferBytes: 256 << 20,
+		BufferGBs:   4,
+		BufferLat:   300,
+		HILOverhead: 20 * sim.Microsecond,
+		HILSlots:    1,
+	}
+}
+
+// Stats carries device-level counters.
+type Stats struct {
+	Reads, Writes  int64
+	BufferHits     int64
+	BufferMisses   int64
+	BufferEvicts   int64
+	Flushes        int64
+	FUAWrites      int64
+	DirtyLost      int64 // dirty buffer pages dropped at power failure
+	BufferResident int
+}
+
+type bufEntry struct {
+	lba   uint64
+	data  []byte
+	dirty bool
+	elem  *list.Element
+}
+
+// Device is one SSD.
+type Device struct {
+	cfg Config
+	arr *flash.Array
+	ftl *ftl.FTL
+
+	hil    *sim.Pool
+	bufBus *sim.Resource
+	buf    map[uint64]*bufEntry
+	lru    *list.List // front = most recent
+	bufCap int        // entries
+
+	stats Stats
+}
+
+// New builds a device from cfg.
+func New(cfg Config) *Device {
+	if cfg.HILSlots <= 0 {
+		cfg.HILSlots = 1
+	}
+	arr := flash.New(cfg.Geometry, cfg.Timing)
+	d := &Device{
+		cfg:    cfg,
+		arr:    arr,
+		ftl:    ftl.New(arr, cfg.FTL),
+		hil:    sim.NewPool(cfg.HILSlots),
+		bufBus: sim.NewResource(),
+	}
+	if cfg.BufferBytes > 0 {
+		d.buf = make(map[uint64]*bufEntry)
+		d.lru = list.New()
+		d.bufCap = int(cfg.BufferBytes / cfg.Geometry.PageBytes)
+	}
+	return d
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// PageBytes returns the device's logical page size.
+func (d *Device) PageBytes() uint64 { return d.cfg.Geometry.PageBytes }
+
+// HasBuffer reports whether the device carries internal DRAM.
+func (d *Device) HasBuffer() bool { return d.bufCap > 0 }
+
+// Capacity returns the exported capacity in bytes.
+func (d *Device) Capacity() uint64 {
+	return d.ftl.ExportedPages() * d.cfg.Geometry.PageBytes
+}
+
+// Stats returns a copy of the counters with residency filled in.
+func (d *Device) Stats() Stats {
+	s := d.stats
+	if d.buf != nil {
+		s.BufferResident = len(d.buf)
+	}
+	return s
+}
+
+// FTLStats exposes the translation-layer counters.
+func (d *Device) FTLStats() ftl.Stats { return d.ftl.Stats() }
+
+// FlashStats exposes the media counters (for the energy model).
+func (d *Device) FlashStats() flash.Stats { return d.arr.Stats() }
+
+// hilEnter charges firmware parse/split time.
+func (d *Device) hilEnter(t sim.Time) sim.Time {
+	_, done := d.hil.Acquire(t, d.cfg.HILOverhead)
+	return done
+}
+
+func (d *Device) bufAccess(t sim.Time, bytes int64) sim.Time {
+	_, done := d.bufBus.Acquire(t+d.cfg.BufferLat, sim.Bandwidth(bytes, d.cfg.BufferGBs))
+	return done
+}
+
+// bufInsert places a page in the internal DRAM, evicting the LRU dirty
+// page to flash when full. Returns the time the insert completes (the
+// eviction program runs in the background on the flash resources).
+func (d *Device) bufInsert(t sim.Time, lba uint64, data []byte, dirty bool) sim.Time {
+	if e, ok := d.buf[lba]; ok {
+		e.data = data
+		e.dirty = e.dirty || dirty
+		d.lru.MoveToFront(e.elem)
+		return d.bufAccess(t, int64(len(data)))
+	}
+	for len(d.buf) >= d.bufCap {
+		back := d.lru.Back()
+		victim := back.Value.(*bufEntry)
+		d.lru.Remove(back)
+		delete(d.buf, victim.lba)
+		d.stats.BufferEvicts++
+		if victim.dirty {
+			// Background write-back: occupies flash, does not gate t.
+			if _, err := d.ftl.Write(t, victim.lba, victim.data); err != nil {
+				// Media full: surface by dropping; callers see ErrFull
+				// on their own writes. Data loss accounting only.
+				d.stats.DirtyLost++
+			}
+		}
+	}
+	e := &bufEntry{lba: lba, data: data, dirty: dirty}
+	e.elem = d.lru.PushFront(e)
+	d.buf[lba] = e
+	return d.bufAccess(t, int64(len(data)))
+}
+
+// Write stores one logical page. With fua (or on a buffer-less
+// device) the data is programmed to flash before completion; otherwise
+// it completes once it lands in the internal DRAM.
+func (d *Device) Write(t sim.Time, lba uint64, data []byte, fua bool) (sim.Time, error) {
+	now := d.hilEnter(t)
+	d.stats.Writes++
+	if fua {
+		d.stats.FUAWrites++
+	}
+	if d.bufCap > 0 && !fua {
+		return d.bufInsert(now, lba, cloneBytes(data), true), nil
+	}
+	if d.bufCap > 0 {
+		// FUA on a buffered device: write through.
+		done := d.bufInsert(now, lba, cloneBytes(data), false)
+		fdone, err := d.ftl.Write(done, lba, data)
+		if err != nil {
+			return fdone, err
+		}
+		if e, ok := d.buf[lba]; ok {
+			e.dirty = false
+		}
+		return fdone, nil
+	}
+	return d.ftl.Write(now, lba, data)
+}
+
+// Read returns one logical page (first `bytes` transferred; 0 = all).
+func (d *Device) Read(t sim.Time, lba uint64, bytes uint32) (sim.Time, []byte) {
+	now := d.hilEnter(t)
+	d.stats.Reads++
+	n := int64(bytes)
+	if n == 0 || n > int64(d.PageBytes()) {
+		n = int64(d.PageBytes())
+	}
+	if d.bufCap > 0 {
+		if e, ok := d.buf[lba]; ok {
+			d.stats.BufferHits++
+			d.lru.MoveToFront(e.elem)
+			return d.bufAccess(now, n), cloneBytes(e.data)
+		}
+		d.stats.BufferMisses++
+		done, data := d.ftl.Read(now, lba, bytes)
+		done = d.bufInsert(done, lba, data, false)
+		return done, cloneBytes(data)
+	}
+	return d.ftl.Read(now, lba, bytes)
+}
+
+// Flush forces every dirty buffered page to flash, returning when the
+// last program completes.
+func (d *Device) Flush(t sim.Time) sim.Time {
+	d.stats.Flushes++
+	now := d.hilEnter(t)
+	latest := now
+	if d.buf == nil {
+		return latest
+	}
+	for _, e := range d.buf {
+		if !e.dirty {
+			continue
+		}
+		done, err := d.ftl.Write(now, e.lba, e.data)
+		if err == nil {
+			e.dirty = false
+			if done > latest {
+				latest = done
+			}
+		}
+	}
+	return latest
+}
+
+// Peek returns the current content of lba (buffer first, then flash)
+// without any timing effect.
+func (d *Device) Peek(lba uint64) []byte {
+	if d.buf != nil {
+		if e, ok := d.buf[lba]; ok {
+			return cloneBytes(e.data)
+		}
+	}
+	return d.ftl.Peek(lba)
+}
+
+// Trim drops lba from the buffer and the FTL mapping. Used to model a
+// torn write: a DMA that was in flight when power failed leaves the
+// target page unreadable until the journal replay rewrites it.
+func (d *Device) Trim(lba uint64) {
+	if d.buf != nil {
+		if e, ok := d.buf[lba]; ok {
+			d.lru.Remove(e.elem)
+			delete(d.buf, lba)
+		}
+	}
+	d.ftl.Trim(lba)
+}
+
+// DropCaches flushes dirty pages and empties the internal DRAM buffer
+// (used by device characterization so reads exercise the flash path,
+// as they do once the working set exceeds the 512 MB buffer).
+func (d *Device) DropCaches(t sim.Time) sim.Time {
+	done := d.Flush(t)
+	if d.buf != nil {
+		d.buf = make(map[uint64]*bufEntry)
+		d.lru = list.New()
+	}
+	return done
+}
+
+// PowerFail models sudden power loss. With a supercap the internal
+// DRAM is streamed to flash (data preserved); without one, dirty pages
+// are lost. It returns the number of dirty pages that were at risk.
+func (d *Device) PowerFail() int {
+	if d.buf == nil {
+		return 0
+	}
+	dirty := 0
+	for _, e := range d.buf {
+		if !e.dirty {
+			continue
+		}
+		dirty++
+		if d.cfg.Supercap {
+			if _, err := d.ftl.Write(0, e.lba, e.data); err == nil {
+				e.dirty = false
+				continue
+			}
+		}
+		d.stats.DirtyLost++
+	}
+	if !d.cfg.Supercap {
+		// Volatile buffer contents are gone.
+		d.buf = make(map[uint64]*bufEntry)
+		d.lru = list.New()
+	}
+	return dirty
+}
+
+// DirtyLost reports pages dropped across the device's lifetime.
+func (d *Device) DirtyLost() int64 { return d.stats.DirtyLost }
+
+func cloneBytes(b []byte) []byte {
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(%.0fGB, buffer %dMB)", d.cfg.Name,
+		float64(d.Capacity())/(1<<30), d.cfg.BufferBytes>>20)
+}

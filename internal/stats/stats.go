@@ -1,0 +1,187 @@
+// Package stats provides the result-presentation utilities shared by
+// the experiment harness: fixed-width table rendering (the rows the
+// paper's figures plot), latency histograms, and normalized-breakdown
+// helpers.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hams/internal/sim"
+)
+
+// Table renders aligned rows for the harness output.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %g
+// niceties applied by the caller via Fmt helpers.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// F formats a float with 3 significant-ish decimals.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Ratio formats "x1.97"-style speedups.
+func Ratio(v float64) string { return fmt.Sprintf("x%.2f", v) }
+
+// Histogram accumulates latency samples into exponential buckets.
+type Histogram struct {
+	buckets []int64
+	count   int64
+	sum     sim.Time
+	max     sim.Time
+	samples []sim.Time // reservoir for percentiles
+}
+
+const histBuckets = 40
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]int64, histBuckets)}
+}
+
+// Add records one latency sample.
+func (h *Histogram) Add(v sim.Time) {
+	if v < 0 {
+		v = 0
+	}
+	b := 0
+	for x := v; x > 0 && b < histBuckets-1; x >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < 4096 {
+		h.samples = append(h.samples, v)
+	} else {
+		// Deterministic reservoir: overwrite pseudo-randomly.
+		h.samples[int(h.count)%4096] = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Max returns the maximum sample.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Percentile returns an approximate percentile (0 < p <= 100) from the
+// sample reservoir.
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	cp := make([]sim.Time, len(h.samples))
+	copy(cp, h.samples)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(p / 100 * float64(len(cp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// Normalize scales values so that base maps to 1.0; used by the
+// "normalized to mmap" figures.
+func Normalize(values []float64, base float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		if base != 0 {
+			out[i] = v / base
+		}
+	}
+	return out
+}
+
+// Shares converts components to fractions of their sum.
+func Shares(parts ...float64) []float64 {
+	var sum float64
+	for _, p := range parts {
+		sum += p
+	}
+	out := make([]float64, len(parts))
+	if sum <= 0 {
+		return out
+	}
+	for i, p := range parts {
+		out[i] = p / sum
+	}
+	return out
+}

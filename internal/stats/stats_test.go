@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"hams/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig. X", "workload", "mmap", "hams-TE")
+	tb.AddRow("seqRd", "43.1", "109.4")
+	tb.AddRow("rndWr", "12.0", "40.2")
+	out := tb.String()
+	if !strings.Contains(out, "## Fig. X") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every data line must be at least as wide as the
+	// header line's first column width.
+	if !strings.HasPrefix(lines[3], "seqRd") {
+		t.Fatalf("row mangled: %q", lines[3])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0) != "0" {
+		t.Fatal("F(0)")
+	}
+	if F(12345) != "12345" {
+		t.Fatalf("F(12345) = %s", F(12345))
+	}
+	if F(42.123) != "42.1" {
+		t.Fatalf("F(42.123) = %s", F(42.123))
+	}
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F(1.23456) = %s", F(1.23456))
+	}
+	if Pct(0.943) != "94.3%" {
+		t.Fatalf("Pct = %s", Pct(0.943))
+	}
+	if Ratio(1.97) != "x1.97" {
+		t.Fatalf("Ratio = %s", Ratio(1.97))
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i * 10))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != sim.Time(505) {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 400 || p50 > 600 {
+		t.Fatalf("P50 = %v", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 900 {
+		t.Fatalf("P99 = %v", p99)
+	}
+	if h.Percentile(0) > h.Percentile(100) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Add(-5)
+	if h.Max() != 0 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramEmptyPercentile(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must return zeros")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 8}, 2)
+	if out[0] != 1 || out[1] != 2 || out[2] != 4 {
+		t.Fatalf("out = %v", out)
+	}
+	z := Normalize([]float64{1}, 0)
+	if z[0] != 0 {
+		t.Fatal("zero base must yield zeros")
+	}
+}
+
+func TestShares(t *testing.T) {
+	s := Shares(1, 1, 2)
+	if s[0] != 0.25 || s[1] != 0.25 || s[2] != 0.5 {
+		t.Fatalf("s = %v", s)
+	}
+	z := Shares(0, 0)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero-sum shares must be zeros")
+	}
+}

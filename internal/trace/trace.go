@@ -1,0 +1,154 @@
+// Package trace records and replays memory-access streams in a compact
+// binary format, so experiment inputs can be captured once and re-run
+// bit-identically across platforms or library versions.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hams/internal/cpu"
+	"hams/internal/mem"
+)
+
+// magic identifies the stream format; version gates decoding.
+const (
+	magic   = 0x48414D53 // "HAMS"
+	version = 1
+)
+
+// Writer serializes steps.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter writes a stream header and returns the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteStep appends one step: varint-free fixed encoding —
+// compute (8B), access count (4B), then 13B per access.
+func (t *Writer) WriteStep(s cpu.Step) error {
+	if t.err != nil {
+		return t.err
+	}
+	var b [12]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(s.Compute))
+	binary.LittleEndian.PutUint32(b[8:], uint32(len(s.Acc)))
+	if _, err := t.w.Write(b[:]); err != nil {
+		t.err = err
+		return err
+	}
+	var ab [13]byte
+	for _, a := range s.Acc {
+		binary.LittleEndian.PutUint64(ab[0:], a.Addr)
+		binary.LittleEndian.PutUint32(ab[8:], a.Size)
+		ab[12] = byte(a.Op)
+		if _, err := t.w.Write(ab[:]); err != nil {
+			t.err = err
+			return err
+		}
+	}
+	t.n++
+	return nil
+}
+
+// Steps returns the number of steps written.
+func (t *Writer) Steps() int64 { return t.n }
+
+// Flush drains the buffer.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// ErrBadHeader marks a stream that is not a HAMS trace.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// Reader decodes a stream; it implements cpu.Stream.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, ErrBadHeader
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements cpu.Stream: it returns the next step, or ok=false at
+// end of stream (or on a decode error, retrievable via Err).
+func (t *Reader) Next() (cpu.Step, bool) {
+	if t.err != nil {
+		return cpu.Step{}, false
+	}
+	var b [12]byte
+	if _, err := io.ReadFull(t.r, b[:]); err != nil {
+		if err != io.EOF {
+			t.err = err
+		}
+		return cpu.Step{}, false
+	}
+	s := cpu.Step{Compute: int64(binary.LittleEndian.Uint64(b[0:]))}
+	n := binary.LittleEndian.Uint32(b[8:])
+	var ab [13]byte
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(t.r, ab[:]); err != nil {
+			t.err = fmt.Errorf("trace: truncated access: %w", err)
+			return cpu.Step{}, false
+		}
+		s.Acc = append(s.Acc, mem.Access{
+			Addr: binary.LittleEndian.Uint64(ab[0:]),
+			Size: binary.LittleEndian.Uint32(ab[8:]),
+			Op:   mem.Op(ab[12]),
+		})
+	}
+	return s, true
+}
+
+// Err returns the first decode error, if any.
+func (t *Reader) Err() error { return t.err }
+
+// Record drains a stream into w, returning the number of steps.
+func Record(w io.Writer, s cpu.Stream) (int64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		step, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := tw.WriteStep(step); err != nil {
+			return tw.Steps(), err
+		}
+	}
+	return tw.Steps(), tw.Flush()
+}

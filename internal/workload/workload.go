@@ -1,0 +1,219 @@
+// Package workload generates the paper's 12 evaluation workloads
+// (Table III): the mmap microbenchmark (seqRd/rndRd/seqWr/rndWr,
+// page-granular), the SQLite benchmark (seqSel/rndSel/seqIns/rndIns/
+// update, fine-grained 8–100 B accesses over a B-tree-shaped address
+// model), and three Rodinia kernels (BFS, KMN, NN). Each workload
+// reproduces the instruction counts, load/store ratios, thread counts
+// and dataset sizes of Table III; the harness scales instruction
+// counts down (documented in EXPERIMENTS.md) since absolute run length
+// does not affect the reported ratios.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hams/internal/cpu"
+	"hams/internal/mem"
+)
+
+// Kind groups workloads by suite.
+type Kind int
+
+const (
+	Micro Kind = iota
+	SQLite
+	Rodinia
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Micro:
+		return "micro"
+	case SQLite:
+		return "sqlite"
+	default:
+		return "rodinia"
+	}
+}
+
+// Spec describes one workload with its Table III characteristics.
+type Spec struct {
+	Name         string
+	Kind         Kind
+	Threads      int
+	Instructions int64   // paper instruction count
+	LoadRatio    float64 // fraction of instructions that are loads
+	StoreRatio   float64 // fraction that are stores
+	DatasetBytes uint64
+	Sequential   bool
+	WriteHeavy   bool
+}
+
+// All returns the 12 workloads of Table III.
+func All() []Spec {
+	const g = 1_000_000_000
+	return []Spec{
+		{Name: "seqRd", Kind: Micro, Threads: 1, Instructions: 67 * g, LoadRatio: 0.28, StoreRatio: 0.43, DatasetBytes: 16 * mem.GiB, Sequential: true},
+		{Name: "rndRd", Kind: Micro, Threads: 4, Instructions: 69 * g, LoadRatio: 0.27, StoreRatio: 0.37, DatasetBytes: 16 * mem.GiB},
+		{Name: "seqWr", Kind: Micro, Threads: 1, Instructions: 67 * g, LoadRatio: 0.28, StoreRatio: 0.43, DatasetBytes: 16 * mem.GiB, Sequential: true, WriteHeavy: true},
+		{Name: "rndWr", Kind: Micro, Threads: 4, Instructions: 69 * g, LoadRatio: 0.27, StoreRatio: 0.37, DatasetBytes: 16 * mem.GiB, WriteHeavy: true},
+		{Name: "seqSel", Kind: SQLite, Threads: 1, Instructions: 213 * g, LoadRatio: 0.26, StoreRatio: 0.20, DatasetBytes: 11 * mem.GiB, Sequential: true},
+		{Name: "rndSel", Kind: SQLite, Threads: 1, Instructions: 213 * g, LoadRatio: 0.26, StoreRatio: 0.20, DatasetBytes: 11 * mem.GiB},
+		{Name: "seqIns", Kind: SQLite, Threads: 1, Instructions: 40 * g, LoadRatio: 0.25, StoreRatio: 0.21, DatasetBytes: 11 * mem.GiB, Sequential: true, WriteHeavy: true},
+		{Name: "rndIns", Kind: SQLite, Threads: 1, Instructions: 44 * g, LoadRatio: 0.25, StoreRatio: 0.21, DatasetBytes: 11 * mem.GiB, WriteHeavy: true},
+		{Name: "update", Kind: SQLite, Threads: 1, Instructions: 244 * g, LoadRatio: 0.26, StoreRatio: 0.20, DatasetBytes: 11 * mem.GiB, WriteHeavy: true},
+		{Name: "BFS", Kind: Rodinia, Threads: 4, Instructions: 192 * g, LoadRatio: 0.21, StoreRatio: 0.04, DatasetBytes: 9 * mem.GiB},
+		{Name: "KMN", Kind: Rodinia, Threads: 4, Instructions: 38 * g, LoadRatio: 0.27, StoreRatio: 0.03, DatasetBytes: 5 * mem.GiB, Sequential: true},
+		{Name: "NN", Kind: Rodinia, Threads: 4, Instructions: 145 * g, LoadRatio: 0.16, StoreRatio: 0.05, DatasetBytes: 7 * mem.GiB, Sequential: true},
+	}
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names returns all workload names in Table III order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Options tunes stream generation.
+type Options struct {
+	// Scale multiplies the paper instruction count (default 1e-5:
+	// 244 G instructions become 2.44 M).
+	Scale float64
+	// Seed makes streams deterministic.
+	Seed int64
+	// HotFraction is the share of random accesses that fall into the
+	// hot region (locality model); HotBytes is its size.
+	HotFraction float64
+	HotBytes    uint64
+	// DatasetBytes overrides the Table III footprint (used by the
+	// Fig. 20b 44 GB stress test); 0 keeps the spec value.
+	DatasetBytes uint64
+	// PageBytes is the microbenchmark transfer unit.
+	PageBytes uint64
+}
+
+// DefaultOptions returns the harness defaults.
+func DefaultOptions() Options {
+	return Options{
+		Scale:       1e-5,
+		Seed:        42,
+		HotFraction: 0.80, // cold-traffic rate; yields ~90-95% NVDIMM hit rate
+		HotBytes:    1 * mem.GiB,
+		PageBytes:   4 * mem.KiB,
+	}
+}
+
+// Streams materializes per-thread access streams for the workload.
+func (s Spec) Streams(o Options) []cpu.Stream {
+	if o.Scale == 0 {
+		o.Scale = 1e-5
+	}
+	if o.PageBytes == 0 {
+		o.PageBytes = 4 * mem.KiB
+	}
+	if o.HotBytes == 0 {
+		o.HotBytes = 4 * mem.GiB
+	}
+	ds := s.DatasetBytes
+	if o.DatasetBytes != 0 {
+		ds = o.DatasetBytes
+	}
+	perThread := int64(float64(s.Instructions) * o.Scale / float64(s.Threads))
+	out := make([]cpu.Stream, s.Threads)
+	for i := 0; i < s.Threads; i++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(i)*7919))
+		base := spanFor(i, s.Threads, ds)
+		switch s.Kind {
+		case Micro:
+			out[i] = newMicroStream(s, o, rng, base, perThread)
+		case SQLite:
+			out[i] = newKVStream(s, o, rng, ds, perThread)
+		default:
+			out[i] = newRodiniaStream(s, o, rng, base, perThread)
+		}
+	}
+	return out
+}
+
+// Region is an address range a workload keeps hot.
+type Region struct {
+	Base, Size uint64
+}
+
+// HotRegions returns the address ranges the workload re-touches — the
+// working set that is resident once the run reaches steady state. The
+// harness pre-warms platform caches with these ranges to stand in for
+// the paper's 38-244 G-instruction warm phase (EXPERIMENTS.md).
+func (s Spec) HotRegions(o Options) []Region {
+	if o.HotBytes == 0 {
+		o.HotBytes = DefaultOptions().HotBytes
+	}
+	ds := s.DatasetBytes
+	if o.DatasetBytes != 0 {
+		ds = o.DatasetBytes
+	}
+	if s.Kind == SQLite {
+		inner := Region{Base: 0, Size: 64 * mem.MiB}
+		if s.Sequential {
+			// Sequential scans/inserts walk fresh leaves; only the
+			// inner nodes stay hot.
+			return []Region{inner}
+		}
+		// Inner nodes plus the hot (low-key) end of the leaf space.
+		hot := uint64(1<<22) * 256
+		if hot > ds-64*mem.MiB {
+			hot = ds - 64*mem.MiB
+		}
+		return []Region{inner, {Base: 64 * mem.MiB, Size: hot}}
+	}
+	if s.Sequential {
+		// Streaming workloads have no steady-state residency: every
+		// page is touched once and replaced.
+		return nil
+	}
+	var out []Region
+	for i := 0; i < s.Threads; i++ {
+		sp := spanFor(i, s.Threads, ds)
+		n := o.HotBytes
+		if n > sp.size {
+			n = sp.size
+		}
+		out = append(out, Region{Base: sp.base, Size: n})
+	}
+	return out
+}
+
+// spanFor partitions the dataset across threads.
+func spanFor(i, n int, ds uint64) span {
+	sz := ds / uint64(n)
+	return span{base: uint64(i) * sz, size: sz}
+}
+
+type span struct {
+	base, size uint64
+}
+
+// pick returns a random address within the span with hot/cold skew.
+func (sp span) pick(rng *rand.Rand, hotFrac float64, hotBytes uint64, align uint64) uint64 {
+	limit := sp.size
+	if hotBytes < limit && rng.Float64() < hotFrac {
+		limit = hotBytes
+	}
+	a := sp.base + uint64(rng.Int63n(int64(limit)))
+	return mem.AlignDown(a, align)
+}
