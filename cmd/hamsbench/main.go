@@ -5,7 +5,10 @@
 //	hamsbench [-scale 3e-6] [-seed 42] <target> [target...]
 //
 // Targets: table1 table2 table3 fig5 fig6 fig7 fig10 fig16 fig17
-// fig18 fig19 fig20 headline all
+// fig18 fig19 fig20 headline sweep all
+//
+// sweep runs the associativity × shard grid (MoS cache geometry) on
+// the random microbenchmarks and rndIns.
 package main
 
 import (
@@ -24,14 +27,14 @@ func main() {
 	flag.Parse()
 	targets := flag.Args()
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hamsbench [-scale S] [-seed N] <table1|table2|table3|fig5|fig6|fig7|fig10|fig16|fig17|fig18|fig19|fig20|headline|ablation|all>")
+		fmt.Fprintln(os.Stderr, "usage: hamsbench [-scale S] [-seed N] <table1|table2|table3|fig5|fig6|fig7|fig10|fig16|fig17|fig18|fig19|fig20|headline|ablation|sweep|all>")
 		os.Exit(2)
 	}
 	o := experiments.Options{Scale: *scale, Seed: *seed}
 	for _, tgt := range targets {
 		if tgt == "all" {
 			for _, t := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
-				"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation"} {
+				"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation", "sweep"} {
 				run(t, o)
 			}
 			continue
@@ -85,6 +88,8 @@ func run(target string, o experiments.Options) {
 		var t *stats.Table
 		t, err = experiments.Ablation(o)
 		tables = []*stats.Table{t}
+	case "sweep":
+		tables, err = experiments.AssocShardSweep(o)
 	default:
 		fmt.Fprintf(os.Stderr, "hamsbench: unknown target %q\n", target)
 		os.Exit(2)

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	hamssim [-scale 3e-6] [-seed 42] [-page 131072] <platform> <workload>
+//	hamssim [-scale 3e-6] [-seed 42] [-page 131072] [-ways 1] [-banks 1]
+//	        [-policy lru|clock|random] <platform> <workload>
 //
 // Platforms: mmap optane-P optane-M flatflash-P flatflash-M nvdimm-C
 // hams-LP hams-LE hams-TP hams-TE oracle ull-direct ull-buff
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"hams/internal/core/tagstore"
 	"hams/internal/cpu"
 	"hams/internal/experiments"
 	"hams/internal/platform"
@@ -26,14 +28,23 @@ func main() {
 	scale := flag.Float64("scale", 3e-6, "instruction-count scale vs Table III")
 	seed := flag.Int64("seed", 42, "workload random seed")
 	page := flag.Uint64("page", 0, "HAMS MoS page bytes (0 = 128 KiB default)")
+	ways := flag.Int("ways", 0, "HAMS tag-array associativity (0 = direct-mapped)")
+	banks := flag.Int("banks", 0, "HAMS controller banks (0 = single bank)")
+	policy := flag.String("policy", "lru", "HAMS replacement policy: lru|clock|random")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: hamssim [flags] <platform> <workload>")
 		os.Exit(2)
 	}
+	pol, err := tagstore.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hamssim: %v\n", err)
+		os.Exit(2)
+	}
 	platName, wlName := flag.Arg(0), flag.Arg(1)
 	o := experiments.Options{Scale: *scale, Seed: *seed}
-	r, err := experiments.Run(platName, wlName, o, platform.Options{HAMSPage: *page}, nil)
+	popt := platform.Options{HAMSPage: *page, HAMSWays: *ways, HAMSBanks: *banks, HAMSPolicy: pol}
+	r, err := experiments.Run(platName, wlName, o, popt, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hamssim: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module hams
+
+go 1.24

@@ -46,13 +46,27 @@ const (
 	Tight   = core.Tight   // ULL-Flash on the shared DDR4 bus (hams-T…)
 )
 
+// Replacement selects the tag-array victim policy when Config.Ways > 1.
+type Replacement = core.Replacement
+
+// Re-exported replacement policies for set-associative MoS caches.
+const (
+	LRU    = core.LRU    // least-recently-used (default)
+	Clock  = core.Clock  // second-chance sweep
+	Random = core.Random // uniform, deterministic per seed
+)
+
 // Config configures a MoS instance. The zero value is invalid; start
-// from DefaultConfig.
+// from DefaultConfig. Beyond the paper's Table II knobs, the cache
+// organization is configurable: Ways (associativity), Replacement
+// (victim policy) and Banks (independent controller banks the MoS
+// page space is interleaved across). The defaults — one direct-mapped
+// bank — reproduce the paper's Figure 11 organization exactly.
 type Config = core.Config
 
 // DefaultConfig returns the paper's Table II configuration (8 GB
-// NVDIMM, 800 GB-class Z-NAND archive, 128 KB MoS pages) in the given
-// mode and topology.
+// NVDIMM, 800 GB-class Z-NAND archive, 128 KB MoS pages, one
+// direct-mapped bank) in the given mode and topology.
 func DefaultConfig(m Mode, t Topology) Config { return core.DefaultConfig(m, t) }
 
 // AccessResult reports the timing of one memory request.

@@ -21,8 +21,10 @@ type AccessResult struct {
 // Access serves one MMU memory request arriving at time t, timing
 // only (no data movement into caller buffers). Requests must be
 // presented in nondecreasing arrival order (the multi-core driver
-// guarantees this). The returned AccessResult carries the completion
-// time and the latency decomposition used by Fig. 18.
+// guarantees this); the front-end router additionally clamps each
+// bank's arrivals so every bank observes nondecreasing times. The
+// returned AccessResult carries the completion time and the latency
+// decomposition used by Fig. 18.
 func (c *Controller) Access(t sim.Time, a mem.Access) (AccessResult, error) {
 	return c.run(t, a, nil)
 }
@@ -31,49 +33,66 @@ func errBeyondCapacity(a mem.Access, cap uint64) error {
 	return fmt.Errorf("core: access %v beyond MoS capacity %d", a, cap)
 }
 
-func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, error) {
+// accessPage serves one page-granular part of a request on the bank
+// that owns it. It returns the timing result and the NVDIMM byte
+// address of the cache page that served the part (for functional
+// copies).
+func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64, error) {
 	start := t
-	idx, tag := c.indexOf(a.Addr)
-	e := &c.tags[idx]
+	page := a.Addr / c.cfg.PageBytes
+	b, set := c.route(page)
+
+	// Front-end router: each bank sees nondecreasing arrival times.
+	if t < b.lastArrival {
+		t = b.lastArrival
+	}
+	b.lastArrival = t
 
 	var res AccessResult
 
-	if e.valid && e.tag == tag {
+	if slot, ok := b.tags.Lookup(set, page); ok {
+		e := b.tags.Entry(slot)
 		// Hit — but another core's fill for this tag may still be in
 		// flight; the request parks until the data is resident.
-		if e.readyAt > t {
+		if e.ReadyAt > t {
 			c.stats.WaitQ++
-			res.Wait += e.readyAt - t
-			t = e.readyAt
+			res.Wait += e.ReadyAt - t
+			t = e.ReadyAt
 			c.engine.AdvanceTo(t)
 		}
 		res.Hit = true
-		done := c.demandAccess(t, c.cacheAddr(idx)+a.Addr%c.cfg.PageBytes, a.Size, a.Op)
+		cacheAddr := c.cacheAddr(b, slot)
+		done := c.demandAccess(t, cacheAddr+a.Addr%c.cfg.PageBytes, a.Size, a.Op)
 		if a.Op == mem.Write {
-			e.dirty = true
+			e.Dirty = true
 		}
+		b.tags.Touch(slot)
 		res.NVDIMM += done - t
 		res.Done = done + c.cfg.NotifyLat
 		c.stats.TotalTime += res.Done - start
-		return res, nil
+		return res, cacheAddr, nil
 	}
 
-	// Miss on a busy entry: park in the wait queue until the in-flight
+	// Miss: pick the victim way. When every way in the set is busy the
+	// request parks in the wait queue until the earliest in-flight
 	// commands complete (Figure 14). This avoids the eviction hazard
 	// and suppresses redundant evictions — after the wait the dirty
 	// data has already been evicted, so no second evict is composed.
-	if e.busy && e.busyUntil > t {
+	slot := b.tags.Victim(set)
+	e := b.tags.Entry(slot)
+	if e.Busy && e.BusyUntil > t {
 		c.stats.WaitQ++
 		c.stats.RedundantSquashed++
-		res.Wait += e.busyUntil - t
-		t = e.busyUntil
+		res.Wait += e.BusyUntil - t
+		t = e.BusyUntil
 		c.engine.AdvanceTo(t)
 	}
 
-	// Persist mode serializes: wait for the previous I/O to retire.
-	if c.cfg.Mode == Persist && c.lastIODone > t {
-		res.Wait += c.lastIODone - t
-		t = c.lastIODone
+	// Persist mode serializes per bank: wait for the bank's previous
+	// I/O to retire.
+	if c.cfg.Mode == Persist && b.lastIODone > t {
+		res.Wait += b.lastIODone - t
+		t = b.lastIODone
 		c.engine.AdvanceTo(t)
 	}
 
@@ -81,10 +100,10 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, error) 
 	var evictComplete sim.Time
 
 	// Evict the present page if dirty.
-	if e.valid && e.dirty {
-		d, r, err := c.evict(now, idx)
+	if e.Valid && e.Dirty {
+		d, r, err := c.evict(b, now, slot)
 		if err != nil {
-			return res, err
+			return res, 0, err
 		}
 		evictComplete = d
 		res.DMA += r.DMA
@@ -101,9 +120,9 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, error) 
 	if fullPageWrite {
 		c.stats.FullPageWrites++
 	} else {
-		d, cp, r, err := c.fill(now, idx, tag)
+		d, cp, r, err := c.fill(b, now, slot, page)
 		if err != nil {
-			return res, err
+			return res, 0, err
 		}
 		fillDone = d
 		fillComplete = cp
@@ -120,31 +139,35 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, error) 
 	if evictComplete > busyUntil {
 		busyUntil = evictComplete
 	}
-	e.tag = tag
-	e.valid = true
-	e.dirty = a.Op == mem.Write
-	e.readyAt = fillDone
-	e.busy = busyUntil > now
-	e.busyUntil = busyUntil
-	if e.busy {
-		eIdx := idx
+	e.Tag = page
+	e.Valid = true
+	e.Dirty = a.Op == mem.Write
+	e.ReadyAt = fillDone
+	e.Busy = busyUntil > now
+	e.BusyUntil = busyUntil
+	b.tags.Touch(slot)
+	if e.Busy {
+		eSlot := slot
+		eBank := b
 		c.engine.Schedule(busyUntil, func(sim.Time) {
-			if c.tags[eIdx].busyUntil <= busyUntil {
-				c.tags[eIdx].busy = false
+			en := eBank.tags.Entry(eSlot)
+			if en.BusyUntil <= busyUntil {
+				en.Busy = false
 			}
 		})
 	}
-	if c.cfg.Mode == Persist && busyUntil > c.lastIODone {
-		c.lastIODone = busyUntil
+	if c.cfg.Mode == Persist && busyUntil > b.lastIODone {
+		b.lastIODone = busyUntil
 	}
 
 	// The MMU resumes once the fill data is in NVDIMM: perform the
 	// demand access against the cache page.
-	done := c.demandAccess(fillDone, c.cacheAddr(idx)+a.Addr%c.cfg.PageBytes, a.Size, a.Op)
+	cacheAddr := c.cacheAddr(b, slot)
+	done := c.demandAccess(fillDone, cacheAddr+a.Addr%c.cfg.PageBytes, a.Size, a.Op)
 	res.NVDIMM += done - fillDone
 	res.Done = done + c.cfg.NotifyLat
 	c.stats.TotalTime += res.Done - start
-	return res, nil
+	return res, cacheAddr, nil
 }
 
 // demandAccess is an MMU-side NVDIMM access; in tight topology it must
@@ -162,21 +185,21 @@ type pathCost struct {
 	SSD    sim.Time
 }
 
-// evict clones the victim page into the PRP pool, composes an NVMe
-// write, and transfers the clone to the device. In extend mode the
-// transfer runs in the background (the caller only waits if it touches
-// the same entry again); in persist mode it carries FUA.
-func (c *Controller) evict(t sim.Time, idx int) (sim.Time, pathCost, error) {
+// evict clones the victim page into the bank's PRP pool, composes an
+// NVMe write, and transfers the clone to the device. In extend mode
+// the transfer runs in the background (the caller only waits if it
+// touches the same entry again); in persist mode it carries FUA.
+func (c *Controller) evict(b *bank, t sim.Time, slot int) (sim.Time, pathCost, error) {
 	var pc pathCost
-	e := &c.tags[idx]
-	victimAddr := e.tag * c.cfg.PageBytes
-	cacheAddr := c.cacheAddr(idx)
+	e := b.tags.Entry(slot)
+	victimAddr := e.Tag * c.cfg.PageBytes
+	cacheAddr := c.cacheAddr(b, slot)
 
-	prpAddr, ok := c.prp.Alloc()
+	prpAddr, ok := b.prp.Alloc()
 	if !ok {
-		// Pool exhausted: wait for the oldest in-flight command.
-		t = c.drainOldest(t)
-		prpAddr, ok = c.prp.Alloc()
+		// Pool exhausted: wait for the bank's oldest in-flight command.
+		t = c.drainOldest(b, t)
+		prpAddr, ok = b.prp.Alloc()
 		if !ok {
 			return t, pc, fmt.Errorf("core: PRP pool exhausted")
 		}
@@ -195,13 +218,13 @@ func (c *Controller) evict(t sim.Time, idx int) (sim.Time, pathCost, error) {
 		Length: uint32(c.cfg.PageBytes),
 		FUA:    c.cfg.Mode == Persist,
 	}
-	cid, err := c.qp.Submit(cmd)
+	cid, err := b.qp.Submit(cmd)
 	if err != nil {
 		return t, pc, fmt.Errorf("core: submit evict: %w", err)
 	}
 	// The device fetches the SQE as soon as the doorbell lands; the
 	// journal tag stays set in the persisted slot until completion.
-	c.qp.DeviceFetch()
+	b.qp.DeviceFetch()
 	cmdDelivered := c.deliverCommand(wr + c.cfg.ComposeLat)
 	pc.DMA += cmdDelivered - wr - c.cfg.ComposeLat
 
@@ -220,21 +243,21 @@ func (c *Controller) evict(t sim.Time, idx int) (sim.Time, pathCost, error) {
 	pc.SSD += devDone - xferDone
 	complete := c.notifyCompletion(devDone)
 
-	inf := &inflight{cmd: cmd, entry: idx, prpAddr: prpAddr, done: complete}
+	inf := &inflight{cmd: cmd, slot: slot, prpAddr: prpAddr, done: complete}
 	inf.cmd.CID = cid
-	c.inflight[cid] = inf
-	c.engine.Schedule(complete, func(sim.Time) { c.completeWrite(cid) })
+	b.inflight[cid] = inf
+	c.engine.Schedule(complete, func(sim.Time) { c.completeWrite(b, cid) })
 	return complete, pc, nil
 }
 
 // fill composes an NVMe read that moves the target page from the
-// device into the NVDIMM cache entry. It returns the time the data is
+// device into the NVDIMM cache slot. It returns the time the data is
 // resident (the MMU may resume) and the time the command retires (CQ
 // posted, journal cleared).
-func (c *Controller) fill(t sim.Time, idx int, tag uint64) (sim.Time, sim.Time, pathCost, error) {
+func (c *Controller) fill(b *bank, t sim.Time, slot int, page uint64) (sim.Time, sim.Time, pathCost, error) {
 	var pc pathCost
-	pageAddr := tag * c.cfg.PageBytes
-	cacheAddr := c.cacheAddr(idx)
+	pageAddr := page * c.cfg.PageBytes
+	cacheAddr := c.cacheAddr(b, slot)
 
 	cmd := nvme.Command{
 		Opcode: nvme.OpRead,
@@ -242,11 +265,11 @@ func (c *Controller) fill(t sim.Time, idx int, tag uint64) (sim.Time, sim.Time, 
 		LBA:    pageAddr,
 		Length: uint32(c.cfg.PageBytes),
 	}
-	cid, err := c.qp.Submit(cmd)
+	cid, err := b.qp.Submit(cmd)
 	if err != nil {
 		return t, t, pc, fmt.Errorf("core: submit fill: %w", err)
 	}
-	c.qp.DeviceFetch()
+	b.qp.DeviceFetch()
 	cmdDelivered := c.deliverCommand(t + c.cfg.ComposeLat)
 	pc.DMA += cmdDelivered - t
 
@@ -268,41 +291,41 @@ func (c *Controller) fill(t sim.Time, idx int, tag uint64) (sim.Time, sim.Time, 
 	c.nvdimm.Store().WriteAt(cacheAddr, data[:min(uint64(len(data)), c.cfg.PageBytes)])
 
 	complete := c.notifyCompletion(landDone)
-	inf := &inflight{cmd: cmd, entry: idx, prpAddr: cacheAddr, done: complete}
+	inf := &inflight{cmd: cmd, slot: slot, prpAddr: cacheAddr, done: complete}
 	inf.cmd.CID = cid
-	c.inflight[cid] = inf
-	c.engine.Schedule(complete, func(sim.Time) { c.completeRead(cid) })
+	b.inflight[cid] = inf
+	c.engine.Schedule(complete, func(sim.Time) { c.completeRead(b, cid) })
 	return landDone, complete, pc, nil
 }
 
 // completeWrite fires at a write command's completion time: the CQ
 // entry posts, the journal tag clears and the PRP clone is released.
-func (c *Controller) completeWrite(cid uint16) {
-	inf, ok := c.inflight[cid]
+func (c *Controller) completeWrite(b *bank, cid uint16) {
+	inf, ok := b.inflight[cid]
 	if !ok {
 		return
 	}
-	delete(c.inflight, cid)
-	_ = c.qp.DeviceComplete(cid, 0)
-	_, _ = c.qp.HostReap()
-	c.prp.Free(inf.prpAddr)
+	delete(b.inflight, cid)
+	_ = b.qp.DeviceComplete(cid, 0)
+	_, _ = b.qp.HostReap()
+	b.prp.Free(inf.prpAddr)
 }
 
 // completeRead fires at a fill's completion: post CQ + clear journal.
-func (c *Controller) completeRead(cid uint16) {
-	if _, ok := c.inflight[cid]; !ok {
+func (c *Controller) completeRead(b *bank, cid uint16) {
+	if _, ok := b.inflight[cid]; !ok {
 		return
 	}
-	delete(c.inflight, cid)
-	_ = c.qp.DeviceComplete(cid, 0)
-	_, _ = c.qp.HostReap()
+	delete(b.inflight, cid)
+	_ = b.qp.DeviceComplete(cid, 0)
+	_, _ = b.qp.HostReap()
 }
 
-// drainOldest advances time to the earliest in-flight completion to
-// free a PRP slot under pool pressure.
-func (c *Controller) drainOldest(t sim.Time) sim.Time {
+// drainOldest advances time to the bank's earliest in-flight
+// completion to free a PRP slot under pool pressure.
+func (c *Controller) drainOldest(b *bank, t sim.Time) sim.Time {
 	var oldest sim.Time = sim.MaxTime
-	for _, inf := range c.inflight {
+	for _, inf := range b.inflight {
 		if inf.done < oldest {
 			oldest = inf.done
 		}
@@ -419,11 +442,4 @@ func (c *Controller) devWrite(t sim.Time, mosAddr uint64, data []byte, fua bool)
 		}
 	}
 	return done, nil
-}
-
-func min(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }

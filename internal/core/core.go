@@ -1,22 +1,31 @@
 // Package core implements the paper's contribution: the HAMS
 // (Hardware Automated Memory-over-Storage) controller that lives in
 // the memory-controller hub. It aggregates an NVDIMM-N and a ULL-Flash
-// archive into one byte-addressable MoS address space, fronted by a
-// direct-mapped NVDIMM cache whose tag bits (valid/dirty/busy) ride
-// with the cache lines. Misses are handled entirely in hardware by
-// composing NVMe commands into a pinned, MMU-invisible NVDIMM region;
-// eviction hazards are avoided with PRP-pool cloning, a busy bit, and
-// a wait queue; persistency is guaranteed either by FUA serialization
+// archive into one byte-addressable MoS address space, fronted by an
+// NVDIMM cache whose tag bits (valid/dirty/busy) ride with the cache
+// lines. Misses are handled entirely in hardware by composing NVMe
+// commands into a pinned, MMU-invisible NVDIMM region; eviction
+// hazards are avoided with PRP-pool cloning, a busy bit, and a wait
+// queue; persistency is guaranteed either by FUA serialization
 // (persist mode) or by journal tags replayed after power failure
 // (extend mode). Loose topology moves data over PCIe; tight topology
 // ("advanced HAMS") moves it over a shared DDR4 bus under a lock
 // register with a buffer-less ULL-Flash.
+//
+// The cache organization is a policy layer, not a constant: the tag
+// array geometry (direct-mapped through N-way set-associative with
+// LRU/CLOCK/random replacement, internal/core/tagstore) and the bank
+// count (the MoS page space page-interleaved across K independent
+// controller banks, each with its own tag array, NVMe queue pair and
+// PRP clone pool) are Config knobs. The default — one bank, one way —
+// reproduces the paper's Figure 11 organization exactly.
 package core
 
 import (
 	"fmt"
 
 	"hams/internal/bus"
+	"hams/internal/core/tagstore"
 	"hams/internal/dram"
 	"hams/internal/mem"
 	"hams/internal/nvme"
@@ -59,13 +68,33 @@ func (t Topology) String() string {
 	return "loose"
 }
 
+// Replacement re-exports the tagstore policy for configuration.
+type Replacement = tagstore.Policy
+
+// Replacement policy values.
+const (
+	LRU    = tagstore.LRU
+	Clock  = tagstore.Clock
+	Random = tagstore.Random
+)
+
 // Config assembles a HAMS instance.
 type Config struct {
 	PageBytes   uint64 // MoS cache page (paper default 128 KB)
 	PinnedBytes uint64 // MMU-invisible region (paper: ~512 MB)
-	PRPSlots    int    // clone buffers in the PRP pool
+	PRPSlots    int    // clone buffers in each bank's PRP pool
 	Mode        Mode
 	Topology    Topology
+
+	// Ways is the tag-array associativity; 0 or 1 = direct-mapped
+	// (the paper's Figure 11 organization).
+	Ways int
+	// Replacement selects the victim policy when Ways > 1.
+	Replacement Replacement
+	// Banks page-interleaves the MoS space across this many
+	// independent controller banks, each with its own tag array, NVMe
+	// queue pair and PRP pool; 0 or 1 = the paper's single bank.
+	Banks int
 
 	NVDIMM dram.NVDIMMConfig
 	SSD    ssd.Config
@@ -81,7 +110,8 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's Table II configuration in the
-// given mode/topology: 8 GB NVDIMM, ULL-Flash archive, 128 KB pages.
+// given mode/topology: 8 GB NVDIMM, ULL-Flash archive, 128 KB pages,
+// one direct-mapped bank.
 func DefaultConfig(m Mode, tp Topology) Config {
 	c := Config{
 		PageBytes:   128 * mem.KiB,
@@ -89,6 +119,8 @@ func DefaultConfig(m Mode, tp Topology) Config {
 		PRPSlots:    64,
 		Mode:        m,
 		Topology:    tp,
+		Ways:        1,
+		Banks:       1,
 		NVDIMM:      dram.NVDIMMConfig{DRAM: dram.DefaultConfig()},
 		PCIe:        pcie.Gen3x4(),
 		Bus:         bus.DDR4Channel(),
@@ -103,35 +135,44 @@ func DefaultConfig(m Mode, tp Topology) Config {
 	return c
 }
 
-// tagEntry is one MoS tag-array line: tag + V/D/B bits (Figure 11).
-// busyUntil mirrors the busy bit in time: the bit is set while an NVMe
-// command for this entry is in flight and cleared by the completion
-// event.
-type tagEntry struct {
-	tag       uint64
-	valid     bool
-	dirty     bool
-	busy      bool
-	busyUntil sim.Time // last in-flight command for this entry completes
-	readyAt   sim.Time // fill data resident in NVDIMM from this time
-}
-
 // inflight tracks one outstanding NVMe command for hazard management
 // and power-failure replay.
 type inflight struct {
 	cmd     nvme.Command
-	entry   int
+	slot    int
 	prpAddr uint64 // clone location for writes; fill target for reads
 	done    sim.Time
 }
 
-// Stats aggregates controller activity.
+// bank is one independent controller bank: a slice of the NVDIMM cache
+// with its own tag array, queue pair, PRP clone pool, in-flight table
+// and persist-mode serialization point. The front-end router steers
+// MoS pages to banks by page-interleaving (page mod Banks).
+type bank struct {
+	id        int
+	tags      *tagstore.Store
+	qp        *nvme.QueuePair
+	prp       *nvme.PRPPool
+	inflight  map[uint16]*inflight
+	cacheBase uint64 // NVDIMM byte offset of this bank's cache slice
+	qBase     uint64 // this bank's queue-pair base in the pinned region
+
+	lastIODone  sim.Time // persist-mode serialization point (per bank)
+	lastArrival sim.Time // router-enforced nondecreasing arrivals
+}
+
+// Stats aggregates controller activity across all banks.
 type Stats struct {
 	Accesses          int64
 	Hits              int64
 	Misses            int64
 	Evictions         int64
-	RedundantSquashed int64 // evictions suppressed by the busy bit
+	// RedundantSquashed counts misses that parked on a busy victim
+	// way. In the 1-way organization these are exactly the redundant
+	// evictions the busy bit suppresses (Figure 14); with Ways > 1 a
+	// busy victim only occurs when every way is in flight, and the
+	// wait may still be followed by a genuine eviction.
+	RedundantSquashed int64
 	WaitQ             int64 // requests parked in the wait queue
 	Fills             int64
 	FullPageWrites    int64 // misses that skipped the fill (write covers page)
@@ -164,22 +205,18 @@ type Controller struct {
 	link   *pcie.Link     // loose topology
 	dbus   *bus.SharedBus // tight topology
 
-	qp  *nvme.QueuePair
-	prp *nvme.PRPPool
-
-	tags       []tagEntry
+	banks      []*bank
 	cacheBytes uint64 // NVDIMM bytes used as MoS cache
 	pinnedBase uint64
 
-	inflight   map[uint16]*inflight
-	lastIODone sim.Time // persist-mode serialization point
 	lockFreeAt sim.Time // tight topology: DMA holds the shared bus
 
 	stats Stats
 }
 
 // New builds a controller. The pinned region is laid out at the top of
-// the NVDIMM: queue pair first, then the PRP pool (Figure 9).
+// the NVDIMM: each bank's queue pair, then its PRP pool (Figure 9),
+// banks back to back.
 func New(cfg Config) (*Controller, error) {
 	if !mem.IsPow2(cfg.PageBytes) {
 		return nil, fmt.Errorf("core: page size %d is not a power of two", cfg.PageBytes)
@@ -191,24 +228,57 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.PRPSlots <= 0 {
 		cfg.PRPSlots = 64
 	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 1
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 1
+	}
 	c := &Controller{
-		cfg:      cfg,
-		engine:   sim.NewEngine(),
-		nvdimm:   nv,
-		dev:      ssd.New(cfg.SSD),
-		inflight: make(map[uint16]*inflight),
+		cfg:    cfg,
+		engine: sim.NewEngine(),
+		nvdimm: nv,
+		dev:    ssd.New(cfg.SSD),
 	}
 	c.cacheBytes = nv.Capacity() - cfg.PinnedBytes
 	c.cacheBytes = mem.AlignDown(c.cacheBytes, cfg.PageBytes)
 	c.pinnedBase = c.cacheBytes
-	c.tags = make([]tagEntry, c.cacheBytes/cfg.PageBytes)
 
-	layout := nvme.DefaultLayout(c.pinnedBase)
-	c.qp = nvme.NewQueuePair(nv.Store(), layout)
-	prpBase := mem.AlignUp(layout.CQBase+16+8*1024, cfg.PageBytes)
-	c.prp = nvme.NewPRPPool(prpBase, cfg.PageBytes, cfg.PRPSlots)
-	if prpBase+c.prp.Footprint() > nv.Capacity() {
-		return nil, fmt.Errorf("core: pinned region too small for PRP pool")
+	totalEntries := int(c.cacheBytes / cfg.PageBytes)
+	perBank := totalEntries / cfg.Banks
+	perBank -= perBank % cfg.Ways
+	if perBank <= 0 {
+		return nil, fmt.Errorf("core: cache of %d pages cannot host %d banks × %d ways",
+			totalEntries, cfg.Banks, cfg.Ways)
+	}
+
+	qBase := c.pinnedBase
+	for i := 0; i < cfg.Banks; i++ {
+		tags, err := tagstore.New(tagstore.Config{
+			Entries: perBank,
+			Ways:    cfg.Ways,
+			Policy:  cfg.Replacement,
+			Seed:    int64(i) + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: bank %d: %w", i, err)
+		}
+		layout := nvme.DefaultLayout(qBase)
+		prpBase := mem.AlignUp(layout.CQBase+16+8*1024, cfg.PageBytes)
+		pool := nvme.NewPRPPool(prpBase, cfg.PageBytes, cfg.PRPSlots)
+		if prpBase+pool.Footprint() > nv.Capacity() {
+			return nil, fmt.Errorf("core: pinned region too small for PRP pool")
+		}
+		c.banks = append(c.banks, &bank{
+			id:        i,
+			tags:      tags,
+			qp:        nvme.NewQueuePair(nv.Store(), layout),
+			prp:       pool,
+			inflight:  make(map[uint16]*inflight),
+			cacheBase: uint64(i) * uint64(perBank) * cfg.PageBytes,
+			qBase:     qBase,
+		})
+		qBase = mem.AlignUp(prpBase+pool.Footprint(), cfg.PageBytes)
 	}
 
 	switch cfg.Topology {
@@ -227,8 +297,21 @@ func (c *Controller) Capacity() uint64 { return c.dev.Capacity() }
 // PageBytes returns the MoS cache page size.
 func (c *Controller) PageBytes() uint64 { return c.cfg.PageBytes }
 
-// CacheEntries returns the number of tag-array entries.
-func (c *Controller) CacheEntries() int { return len(c.tags) }
+// CacheEntries returns the total number of tag-array entries across
+// all banks.
+func (c *Controller) CacheEntries() int {
+	n := 0
+	for _, b := range c.banks {
+		n += b.tags.Len()
+	}
+	return n
+}
+
+// Banks returns the controller bank count.
+func (c *Controller) Banks() int { return len(c.banks) }
+
+// Ways returns the tag-array associativity.
+func (c *Controller) Ways() int { return c.banks[0].tags.Ways() }
 
 // Stats returns a copy of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
@@ -247,13 +330,20 @@ func (c *Controller) BusStats() bus.Stats {
 	return c.dbus.Stats()
 }
 
-// Outstanding returns in-flight NVMe command count (tests).
-func (c *Controller) Outstanding() int { return len(c.inflight) }
+// Outstanding returns in-flight NVMe command count across banks (tests).
+func (c *Controller) Outstanding() int {
+	n := 0
+	for _, b := range c.banks {
+		n += len(b.inflight)
+	}
+	return n
+}
 
 // Warm installs the pages covering [base, base+size) into the MoS
-// tag array as valid and clean, without charging time — used by the
+// tag arrays as valid and clean, without charging time — used by the
 // experiment harness to reach the steady-state residency a full-length
-// (paper-scale) run would have built up.
+// (paper-scale) run would have built up. Live state is never
+// disturbed: busy entries and dirty ways survive warming.
 func (c *Controller) Warm(base, size uint64) {
 	if size == 0 {
 		return
@@ -263,29 +353,60 @@ func (c *Controller) Warm(base, size uint64) {
 		end = c.Capacity()
 	}
 	for addr := mem.AlignDown(base, c.cfg.PageBytes); addr < end; addr += c.cfg.PageBytes {
-		idx, tag := c.indexOf(addr)
-		e := &c.tags[idx]
-		if e.busy || (e.valid && e.dirty) {
-			continue // never disturb live state
+		page := addr / c.cfg.PageBytes
+		b, set := c.route(page)
+		if slot, ok := b.tags.Lookup(set, page); ok {
+			e := b.tags.Entry(slot)
+			if e.Busy || e.Dirty {
+				continue // never disturb live state
+			}
+			e.ReadyAt = 0
+			e.BusyUntil = 0
+			b.tags.Touch(slot)
+			continue
 		}
-		e.tag = tag
-		e.valid = true
-		e.dirty = false
-		e.readyAt = 0
-		e.busyUntil = 0
+		slot, ok := b.tags.WarmVictim(set)
+		if !ok {
+			continue // every way dirty or busy
+		}
+		e := b.tags.Entry(slot)
+		e.Tag = page
+		e.Valid = true
+		e.Dirty = false
+		e.ReadyAt = 0
+		e.BusyUntil = 0
+		e.Busy = false
+		b.tags.Touch(slot)
 	}
 }
 
-func (c *Controller) indexOf(addr uint64) (idx int, tag uint64) {
-	page := addr / c.cfg.PageBytes
-	return int(page % uint64(len(c.tags))), page
+// bankOf routes a MoS page to its bank (page-interleaved).
+func (c *Controller) bankOf(page uint64) *bank {
+	return c.banks[page%uint64(len(c.banks))]
 }
 
-func (c *Controller) cacheAddr(idx int) uint64 {
-	return uint64(idx) * c.cfg.PageBytes
+// bankKey is the bank-local page number used for set indexing. With
+// one bank it is the page number itself, matching the seed's
+// direct-mapped index.
+func (c *Controller) bankKey(page uint64) uint64 {
+	return page / uint64(len(c.banks))
+}
+
+// route resolves a MoS page to its owning bank and tag-array set —
+// the single source of truth for the front-end address mapping shared
+// by the timed path, Warm and PeekData.
+func (c *Controller) route(page uint64) (*bank, int) {
+	b := c.bankOf(page)
+	return b, b.tags.SetFor(c.bankKey(page))
+}
+
+// cacheAddr returns the NVDIMM byte address of a bank slot's page.
+func (c *Controller) cacheAddr(b *bank, slot int) uint64 {
+	return b.cacheBase + uint64(slot)*c.cfg.PageBytes
 }
 
 func (c *Controller) String() string {
-	return fmt.Sprintf("hams(%s,%s, %dKB pages, %d entries)",
-		c.cfg.Mode, c.cfg.Topology, c.cfg.PageBytes/1024, len(c.tags))
+	return fmt.Sprintf("hams(%s,%s, %dKB pages, %d entries, %d×%d-way)",
+		c.cfg.Mode, c.cfg.Topology, c.cfg.PageBytes/1024, c.CacheEntries(),
+		len(c.banks), c.banks[0].tags.Ways())
 }

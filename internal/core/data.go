@@ -39,13 +39,12 @@ func (c *Controller) run(t sim.Time, a mem.Access, fn func(part mem.Access, cach
 	res.Hit = true
 	first := true
 	for _, part := range mem.SplitByPage(a, c.cfg.PageBytes) {
-		r, err := c.accessPage(t, part)
+		r, cacheAddr, err := c.accessPage(t, part)
 		if err != nil {
 			return res, err
 		}
 		if fn != nil {
-			idx, _ := c.indexOf(part.Addr)
-			fn(part, c.cacheAddr(idx)+part.Addr%c.cfg.PageBytes)
+			fn(part, cacheAddr+part.Addr%c.cfg.PageBytes)
 		}
 		res.Done = r.Done
 		if first {
@@ -75,14 +74,15 @@ func (c *Controller) run(t sim.Time, a mem.Access, fn func(part mem.Access, cach
 
 // PeekData returns the current functional content of the MoS address
 // range without any timing effect — reads through the NVDIMM cache to
-// the archive. Used by verification and examples.
+// the archive. The tag-array probe does not update replacement state.
+// Used by verification and examples.
 func (c *Controller) PeekData(addr uint64, p []byte) {
 	for _, part := range mem.SplitByPage(mem.Access{Addr: addr, Size: uint32(len(p)), Op: mem.Read}, c.cfg.PageBytes) {
 		off := part.Addr - addr
-		idx, tag := c.indexOf(part.Addr)
-		e := &c.tags[idx]
-		if e.valid && e.tag == tag {
-			cacheAddr := c.cacheAddr(idx) + part.Addr%c.cfg.PageBytes
+		page := part.Addr / c.cfg.PageBytes
+		b, set := c.route(page)
+		if slot, ok := b.tags.Lookup(set, page); ok {
+			cacheAddr := c.cacheAddr(b, slot) + part.Addr%c.cfg.PageBytes
 			c.nvdimm.Store().ReadAt(cacheAddr, p[off:off+uint64(part.Size)])
 			continue
 		}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+
+	"hams/internal/mem"
+	"hams/internal/sim"
+)
+
+// The tagstore/bank refactor must not change the timing of the paper's
+// configuration: DefaultConfig (one bank, one way, direct-mapped) has
+// to reproduce the pre-refactor controller bit-for-bit. The goldens
+// below were recorded by running this exact sequence — mixed
+// hits/misses, dirty evictions, busy-bit waits, a straddling access, a
+// full-page write, a power failure with journal replay, and
+// post-recovery traffic — against the seed implementation (commit
+// 99b542d) on DefaultConfig in all three mode/topology combinations.
+
+type parityStep struct {
+	label  string
+	done   sim.Time
+	hit    bool
+	wait   sim.Time
+	nvdimm sim.Time
+	dma    sim.Time
+	ssd    sim.Time
+}
+
+type parityGolden struct {
+	steps [8]parityStep
+
+	pfInFlight, pfTorn, pfDirtyFlushed int
+	pfBackup                           sim.Time
+
+	recRestore sim.Time
+	recPending int
+	recReplay  int
+	recDone    sim.Time
+
+	post [2]parityStep
+
+	stats Stats
+}
+
+var parityGoldens = map[string]parityGolden{
+	"extend/loose": {
+		steps: [8]parityStep{
+			{"w0", 51027, false, 0, 32, 34938, 16047},
+			{"r-hit", 51055, true, 0, 18, 0, 0},
+			{"w-conflict", 158080, false, 230, 13182, 117688, 35337},
+			{"w-conflict2", 265147, false, 271, 13182, 117688, 35337},
+			{"r-straddle", 420802, false, 272, 13242, 152626, 48917},
+			{"w-fullpage", 457928, false, 0, 37116, 0, 0},
+			{"w5", 508969, false, 0, 46, 34938, 16047},
+			{"w5-conflict", 616008, false, 243, 13182, 117688, 35337},
+		},
+		pfInFlight: 1, pfTorn: 0, pfBackup: 10737418240, pfDirtyFlushed: 128,
+		recRestore: 10737418240, recPending: 1, recReplay: 1, recDone: 11738052171,
+		post: [2]parityStep{
+			{"w-post", 11738103212, false, 0, 46, 34938, 16047},
+			{"r-post", 11738103240, true, 0, 18, 0, 0},
+		},
+		stats: Stats{
+			Accesses: 10, Hits: 2, Misses: 8, Evictions: 4,
+			RedundantSquashed: 4, WaitQ: 4, Fills: 8, FullPageWrites: 1,
+			NVDIMMTime: 90064, DMATime: 610504, SSDTime: 203069,
+			WaitTime: 1016, TotalTime: 667075, Replayed: 1,
+		},
+	},
+	"persist/loose": {
+		steps: [8]parityStep{
+			{"w0", 51027, false, 0, 32, 34938, 16047},
+			{"r-hit", 51055, true, 0, 18, 0, 0},
+			{"w-conflict", 360635, false, 230, 13182, 117688, 447601},
+			{"w-conflict2", 668977, false, 271, 13182, 117688, 446321},
+			{"r-straddle", 1024409, false, 530, 13242, 352145, 258626},
+			{"w-fullpage", 1061779, false, 244, 37116, 0, 0},
+			{"w5", 1112820, false, 0, 46, 34938, 16047},
+			{"w5-conflict", 1421988, false, 243, 13182, 117688, 447175},
+		},
+		pfInFlight: 1, pfTorn: 0, pfBackup: 10737418240, pfDirtyFlushed: 0,
+		recRestore: 10737418240, recPending: 1, recReplay: 1, recDone: 11738858151,
+		post: [2]parityStep{
+			{"w-post", 11738909192, false, 0, 46, 34938, 16047},
+			{"r-post", 11738909220, true, 0, 18, 0, 0},
+		},
+		stats: Stats{
+			Accesses: 10, Hits: 2, Misses: 8, Evictions: 4,
+			RedundantSquashed: 4, WaitQ: 4, Fills: 8, FullPageWrites: 1,
+			NVDIMMTime: 90064, DMATime: 810023, SSDTime: 1647864,
+			WaitTime: 1518, TotalTime: 1473055, Replayed: 1,
+		},
+	},
+	"extend/tight": {
+		steps: [8]parityStep{
+			{"w0", 19333, false, 0, 32, 6584, 12707},
+			{"r-hit", 19361, true, 0, 18, 0, 0},
+			{"w-conflict", 265933, false, 0, 13182, 32876, 439181},
+			{"w-conflict2", 512506, false, 0, 13182, 32876, 439181},
+			{"r-straddle", 762520, false, 0, 13242, 39460, 435969},
+			{"w-fullpage", 799646, false, 0, 37116, 0, 0},
+			{"w5", 818993, false, 0, 46, 6584, 12707},
+			{"w5-conflict", 1068980, false, 0, 13182, 32876, 442595},
+		},
+		pfInFlight: 0, pfTorn: 0, pfBackup: 10737418240, pfDirtyFlushed: 0,
+		recRestore: 10737418240, recPending: 0, recReplay: 0, recDone: 11738487221,
+		post: [2]parityStep{
+			{"w-post", 11738506568, false, 0, 46, 6584, 12707},
+			{"r-post", 11738506596, true, 0, 18, 0, 0},
+		},
+		stats: Stats{
+			Accesses: 10, Hits: 2, Misses: 8, Evictions: 4,
+			RedundantSquashed: 0, WaitQ: 0, Fills: 8, FullPageWrites: 1,
+			NVDIMMTime: 90064, DMATime: 157840, SSDTime: 1795047,
+			WaitTime: 0, TotalTime: 1088353, Replayed: 0,
+		},
+	},
+}
+
+func TestSeedParityDefaultConfig(t *testing.T) {
+	combos := []struct {
+		m  Mode
+		tp Topology
+	}{{Extend, Loose}, {Persist, Loose}, {Extend, Tight}}
+	for _, combo := range combos {
+		name := combo.m.String() + "/" + combo.tp.String()
+		t.Run(name, func(t *testing.T) {
+			golden, ok := parityGoldens[name]
+			if !ok {
+				t.Fatalf("no golden for %s", name)
+			}
+			cfg := DefaultConfig(combo.m, combo.tp)
+			if cfg.Banks != 1 || cfg.Ways != 1 {
+				t.Fatalf("DefaultConfig must stay 1 bank / 1 way, got %d/%d", cfg.Banks, cfg.Ways)
+			}
+			c := mustNew(t, cfg)
+			if c.CacheEntries() != 61440 {
+				t.Fatalf("entry count changed: %d", c.CacheEntries())
+			}
+			P := c.PageBytes()
+			E := uint64(c.CacheEntries())
+
+			var now sim.Time
+			check := func(i int, r AccessResult, err error, want parityStep) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("step %d (%s): %v", i, want.label, err)
+				}
+				got := parityStep{want.label, r.Done, r.Hit, r.Wait, r.NVDIMM, r.DMA, r.SSD}
+				if got != want {
+					t.Fatalf("step %d (%s):\n got %+v\nwant %+v", i, want.label, got, want)
+				}
+				now = r.Done
+			}
+
+			r, err := c.Write(now, 0, []byte("seed parity payload A"))
+			check(0, r, err, golden.steps[0])
+			r, err = c.Read(now, 64, make([]byte, 64))
+			check(1, r, err, golden.steps[1])
+			r, err = c.Write(now, E*P, []byte("conflict B"))
+			check(2, r, err, golden.steps[2])
+			r, err = c.Write(now+1, 2*E*P+128, []byte("conflict C"))
+			check(3, r, err, golden.steps[3])
+			r, err = c.Read(now, P-32, make([]byte, 64))
+			check(4, r, err, golden.steps[4])
+			r, err = c.Write(now, 3*P, make([]byte, P))
+			check(5, r, err, golden.steps[5])
+			r, err = c.Write(now, 5*P, []byte("D"))
+			check(6, r, err, golden.steps[6])
+			r, err = c.Write(now+1, (5+E)*P, []byte("E"))
+			check(7, r, err, golden.steps[7])
+
+			failAt := now + 1
+			pf := c.PowerFail(failAt)
+			if pf.InFlight != golden.pfInFlight || pf.TornWrites != golden.pfTorn ||
+				pf.BackupTime != golden.pfBackup || pf.DirtyFlushed != golden.pfDirtyFlushed {
+				t.Fatalf("power-fail report %+v, want {%d %d %v %d}", pf,
+					golden.pfInFlight, golden.pfTorn, golden.pfBackup, golden.pfDirtyFlushed)
+			}
+			rec, err := c.Recover(failAt + sim.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.RestoreTime != golden.recRestore || rec.Pending != golden.recPending ||
+				rec.Replayed != golden.recReplay || rec.Done != golden.recDone {
+				t.Fatalf("recover report %+v, want {%v %d %d %v}", rec,
+					golden.recRestore, golden.recPending, golden.recReplay, golden.recDone)
+			}
+			now = rec.Done
+
+			r, err = c.Write(now, 7*P+9, []byte("post-recovery"))
+			check(8, r, err, golden.post[0])
+			r, err = c.Read(now, 7*P+9, make([]byte, 13))
+			check(9, r, err, golden.post[1])
+
+			if st := c.Stats(); st != golden.stats {
+				t.Fatalf("stats drifted:\n got %+v\nwant %+v", st, golden.stats)
+			}
+			buf := make([]byte, 21)
+			c.PeekData(0, buf)
+			if string(buf) != "seed parity payload A" {
+				t.Fatalf("functional content drifted: %q", buf)
+			}
+			_ = mem.KiB
+		})
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hams/internal/core/tagstore"
+	"hams/internal/mem"
+	"hams/internal/sim"
+)
+
+// assocConfig returns the scaled-down test config with the given cache
+// organization.
+func assocConfig(m Mode, tp Topology, ways, banks int, pol tagstore.Policy) Config {
+	cfg := testConfig(m, tp)
+	cfg.Ways = ways
+	cfg.Banks = banks
+	cfg.Replacement = pol
+	return cfg
+}
+
+func TestSetAssociativityAbsorbsConflictMisses(t *testing.T) {
+	// Two pages that map to the same direct-mapped set, accessed
+	// alternately: direct-mapped thrashes, 2-way holds both.
+	run := func(ways int) Stats {
+		c := mustNew(t, assocConfig(Extend, Loose, ways, 1, tagstore.LRU))
+		entries := uint64(c.CacheEntries())
+		// Same set in both geometries: stride by entries pages keeps
+		// the set index equal for ways=1, and entries/2 sets still
+		// collide for ways=2 (entries % sets == 0).
+		a0, a1 := uint64(0), entries*c.PageBytes()
+		var now sim.Time
+		for i := 0; i < 20; i++ {
+			addr := a0
+			if i%2 == 1 {
+				addr = a1
+			}
+			r, err := c.Access(now, mem.Access{Addr: addr, Size: 64, Op: mem.Write})
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = r.Done
+		}
+		return c.Stats()
+	}
+	direct := run(1)
+	assoc := run(2)
+	if direct.Hits >= assoc.Hits {
+		t.Fatalf("2-way hits (%d) must beat direct-mapped (%d) on a ping-pong conflict",
+			assoc.Hits, direct.Hits)
+	}
+	if assoc.Misses != 2 {
+		t.Fatalf("2-way must miss only compulsorily: %d misses", assoc.Misses)
+	}
+	if direct.Evictions == 0 || assoc.Evictions != 0 {
+		t.Fatalf("evictions: direct %d (want >0), 2-way %d (want 0)",
+			direct.Evictions, assoc.Evictions)
+	}
+}
+
+func TestBankRoutingPageInterleaves(t *testing.T) {
+	c := mustNew(t, assocConfig(Extend, Loose, 1, 4, tagstore.LRU))
+	if c.Banks() != 4 {
+		t.Fatalf("banks = %d", c.Banks())
+	}
+	for page := uint64(0); page < 16; page++ {
+		b := c.bankOf(page)
+		if b.id != int(page%4) {
+			t.Fatalf("page %d routed to bank %d", page, b.id)
+		}
+	}
+}
+
+func TestShardedDataRoundTrip(t *testing.T) {
+	// Functional correctness with every geometry knob turned: write
+	// more distinct pages than the cache holds (guaranteeing dirty
+	// evictions by pigeonhole), reading back along the way.
+	for _, pol := range []tagstore.Policy{tagstore.LRU, tagstore.Clock, tagstore.Random} {
+		c := mustNew(t, assocConfig(Extend, Loose, 4, 4, pol))
+		P := c.PageBytes()
+		spanPages := c.Capacity() / P
+		shadow := make(map[uint64]byte)
+		var now sim.Time
+		n := c.CacheEntries() + 64 // > every slot in the cache
+		addrOf := func(i int) uint64 {
+			// Stride 7 pages is coprime with the 1920-page MoS space:
+			// every iteration hits a distinct page.
+			return (uint64(i) * 7 % spanPages) * P
+		}
+		for i := 0; i < n; i++ {
+			addr := addrOf(i)
+			buf := []byte(fmt.Sprintf("payload-%d-%v", i, pol))
+			r, err := c.Write(now, addr, buf)
+			if err != nil {
+				t.Fatalf("%v: %v", pol, err)
+			}
+			now = r.Done
+			for j, bt := range buf {
+				shadow[addr+uint64(j)] = bt
+			}
+			if i%4 == 3 {
+				back := addrOf(i - 2)
+				buf := make([]byte, 24)
+				r, err := c.Read(now, back, buf)
+				if err != nil {
+					t.Fatalf("%v: %v", pol, err)
+				}
+				now = r.Done
+				for j, bt := range buf {
+					if want := shadow[back+uint64(j)]; bt != want {
+						t.Fatalf("%v: byte %d at %#x = %d, want %d", pol, j, back, bt, want)
+					}
+				}
+			}
+		}
+		if c.Stats().Evictions == 0 {
+			t.Fatalf("%v: wrote %d distinct pages into a %d-slot cache but no evictions",
+				pol, n, c.CacheEntries())
+		}
+	}
+}
+
+func TestPerBankPersistSerialization(t *testing.T) {
+	// In persist mode misses serialize per bank: three back-to-back
+	// misses land on bank 0, bank 1, bank 0. The bank-1 miss slips
+	// past bank 0's outstanding I/O (the seed's global serialization
+	// point would have parked it); the second bank-0 miss must wait.
+	cfg := assocConfig(Persist, Loose, 1, 2, tagstore.LRU)
+	c := mustNew(t, cfg)
+	P := c.PageBytes()
+
+	if _, err := c.Access(0, mem.Access{Addr: 0, Size: 64, Op: mem.Write}); err != nil {
+		t.Fatal(err)
+	}
+	rB, err := c.Access(1, mem.Access{Addr: P, Size: 64, Op: mem.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rB.Wait != 0 {
+		t.Fatalf("cross-bank persist miss waited %v behind bank 0's I/O", rB.Wait)
+	}
+	r2, err := c.Access(2, mem.Access{Addr: 2 * P, Size: 64, Op: mem.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Wait == 0 {
+		t.Fatal("same-bank persist miss did not serialize")
+	}
+}
+
+func TestRouterClampsPerBankArrivals(t *testing.T) {
+	// The router guarantees each bank sees nondecreasing arrivals even
+	// if interleaved cross-bank traffic jitters slightly backwards.
+	c := mustNew(t, assocConfig(Extend, Loose, 1, 2, tagstore.LRU))
+	P := c.PageBytes()
+	r, err := c.Access(100, mem.Access{Addr: 0, Size: 64, Op: mem.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same bank, earlier timestamp: completion must not precede the
+	// earlier request's observable state.
+	r2, err := c.Access(r.Done, mem.Access{Addr: 2 * P, Size: 64, Op: mem.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Done < r.Done {
+		t.Fatalf("bank time went backwards: %v then %v", r.Done, r2.Done)
+	}
+}
+
+func TestMultiBankRecoveryReplaysEveryBank(t *testing.T) {
+	// Force an in-flight dirty eviction on several banks, fail, and
+	// verify the journal replay restores every bank's victim page.
+	cfg := assocConfig(Extend, Tight, 1, 2, tagstore.LRU)
+	c := mustNew(t, cfg)
+	P := c.PageBytes()
+	entriesPerBank := uint64(c.CacheEntries() / c.Banks())
+
+	payload0 := []byte("bank zero dirty page")
+	payload1 := []byte("bank one dirty page")
+	w0, err := c.Write(0, 0, payload0) // page 0 -> bank 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := c.Write(w0.Done, P, payload1) // page 1 -> bank 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflict in each bank: same bank, same set. For bank 0 that is
+	// page 2*entriesPerBank (key = entriesPerBank ≡ 0 mod sets), for
+	// bank 1 page 2*entriesPerBank+1.
+	conflict0 := 2 * entriesPerBank * P
+	conflict1 := conflict0 + P
+	// Issue the conflicting misses back to back (the router keeps each
+	// bank's arrivals nondecreasing) so both banks' eviction DMAs are
+	// still in flight when the power dies.
+	if _, err := c.Access(w1.Done, mem.Access{Addr: conflict0, Size: 64, Op: mem.Write}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Access(w1.Done+1, mem.Access{Addr: conflict1, Size: 64, Op: mem.Write}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Outstanding() < 2 {
+		t.Fatalf("outstanding = %d, want in-flight evictions on both banks", c.Outstanding())
+	}
+
+	failAt := w1.Done + 2
+	pf := c.PowerFail(failAt)
+	if pf.TornWrites < 2 {
+		t.Fatalf("torn writes = %d, want both banks' evictions torn", pf.TornWrites)
+	}
+	rec, err := c.Recover(failAt + sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Pending < 2 || rec.Replayed != rec.Pending {
+		t.Fatalf("recovery %+v: want >= 2 pending, all replayed", rec)
+	}
+	got0 := make([]byte, len(payload0))
+	c.PeekData(0, got0)
+	if !bytes.Equal(got0, payload0) {
+		t.Fatalf("bank 0 victim lost: %q", got0)
+	}
+	got1 := make([]byte, len(payload1))
+	c.PeekData(P, got1)
+	if !bytes.Equal(got1, payload1) {
+		t.Fatalf("bank 1 victim lost: %q", got1)
+	}
+}
+
+func TestPowerCycleWithAssociativityAndBanks(t *testing.T) {
+	// Full power cycle on a 2-way, 2-bank instance: the system keeps
+	// working and the journal clears.
+	c := mustNew(t, assocConfig(Extend, Tight, 2, 2, tagstore.LRU))
+	w, err := c.Write(0, 12345, []byte("assoc+bank survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PowerFail(w.Done + 1)
+	rec, err := c.Recover(w.Done + sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second cycle finds a clean journal.
+	c.PowerFail(rec.Done + sim.Second)
+	rec2, err := c.Recover(rec.Done + 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Pending != 0 {
+		t.Fatalf("journal not cleared across banks: %d pending", rec2.Pending)
+	}
+	got := make([]byte, 19)
+	c.PeekData(12345, got)
+	if string(got) != "assoc+bank survivor" {
+		t.Fatalf("data lost: %q", got)
+	}
+}
+
+func TestWaysBanksAccessors(t *testing.T) {
+	c := mustNew(t, assocConfig(Extend, Loose, 4, 2, tagstore.Clock))
+	if c.Ways() != 4 || c.Banks() != 2 {
+		t.Fatalf("ways=%d banks=%d", c.Ways(), c.Banks())
+	}
+	if c.String() == "" {
+		t.Fatal("String")
+	}
+	// Geometry must divide the cache exactly across banks.
+	if c.CacheEntries()%2 != 0 {
+		t.Fatalf("entries %d not divisible across banks", c.CacheEntries())
+	}
+}
+
+func TestBankGeometryValidation(t *testing.T) {
+	cfg := testConfig(Extend, Loose)
+	cfg.Banks = 1 << 20 // more banks than cache pages
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for more banks than pages")
+	}
+}

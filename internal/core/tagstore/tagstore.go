@@ -1,0 +1,274 @@
+// Package tagstore implements the MoS tag array as a configurable
+// cache-organization layer. The seed hardwired a single direct-mapped
+// tag array into the controller (faithful to Figure 11); production
+// systems treat geometry (sets × ways) and replacement policy as
+// knobs. This package generalizes the tag array along both axes while
+// keeping the per-entry state (tag + V/D/B bits, busy/ready horizons)
+// exactly as the paper describes, so a 1-way store is bit-for-bit the
+// seed's direct-mapped array.
+package tagstore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hams/internal/sim"
+)
+
+// Policy selects the replacement policy used when every way in a set
+// is valid. With Ways == 1 the policy is irrelevant (direct-mapped).
+type Policy int
+
+const (
+	// LRU evicts the least-recently-touched way.
+	LRU Policy = iota
+	// Clock runs a second-chance sweep over the set's ways.
+	Clock
+	// Random picks a way uniformly (deterministic, seeded).
+	Random
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Clock:
+		return "clock"
+	case Random:
+		return "random"
+	default:
+		return "lru"
+	}
+}
+
+// ParsePolicy maps a CLI-style name to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "lru":
+		return LRU, nil
+	case "clock":
+		return Clock, nil
+	case "random", "rand":
+		return Random, nil
+	default:
+		return LRU, fmt.Errorf("tagstore: unknown replacement policy %q", s)
+	}
+}
+
+// Entry is one tag-array line: tag + V/D/B bits (Figure 11). BusyUntil
+// mirrors the busy bit in time: the bit is set while an NVMe command
+// for this entry is in flight and cleared by the completion event.
+// ReadyAt is the instant the fill data is resident in NVDIMM.
+type Entry struct {
+	Tag       uint64
+	Valid     bool
+	Dirty     bool
+	Busy      bool
+	BusyUntil sim.Time
+	ReadyAt   sim.Time
+}
+
+// Config sizes a store.
+type Config struct {
+	Entries int    // total slots; rounded down to a multiple of Ways
+	Ways    int    // associativity; 0 or 1 = direct-mapped
+	Policy  Policy // replacement policy for Ways > 1
+	Seed    int64  // determinism for the Random policy
+}
+
+// Store is a set-associative tag array. Slot numbering is
+// set*Ways + way; the caller maps slots to NVDIMM cache page addresses.
+type Store struct {
+	entries []Entry
+	ways    int
+	sets    int
+	policy  Policy
+
+	stamp []uint64 // LRU recency per slot
+	tick  uint64
+	ref   []bool // CLOCK reference bit per slot
+	hand  []int  // CLOCK hand per set
+	rng   *rand.Rand
+}
+
+// New builds a store. Entries not divisible by Ways are truncated to
+// the largest smaller multiple (the controller sizes the cache region
+// from Len afterwards).
+func New(cfg Config) (*Store, error) {
+	if cfg.Ways <= 0 {
+		cfg.Ways = 1
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets <= 0 {
+		return nil, fmt.Errorf("tagstore: %d entries cannot hold a %d-way set", cfg.Entries, cfg.Ways)
+	}
+	n := sets * cfg.Ways
+	s := &Store{
+		entries: make([]Entry, n),
+		ways:    cfg.Ways,
+		sets:    sets,
+		policy:  cfg.Policy,
+		stamp:   make([]uint64, n),
+	}
+	switch cfg.Policy {
+	case Clock:
+		s.ref = make([]bool, n)
+		s.hand = make([]int, sets)
+	case Random:
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return s, nil
+}
+
+// Len returns the total slot count (sets × ways).
+func (s *Store) Len() int { return len(s.entries) }
+
+// Sets returns the set count.
+func (s *Store) Sets() int { return s.sets }
+
+// Ways returns the associativity.
+func (s *Store) Ways() int { return s.ways }
+
+// Policy returns the replacement policy.
+func (s *Store) Policy() Policy { return s.policy }
+
+// SetFor maps a set key (the controller passes the bank-local page
+// number) to its set index.
+func (s *Store) SetFor(key uint64) int { return int(key % uint64(s.sets)) }
+
+// Entry returns the entry at slot for in-place mutation.
+func (s *Store) Entry(slot int) *Entry { return &s.entries[slot] }
+
+// Lookup scans set for a valid entry holding tag. It does not update
+// recency state (PeekData and recovery scans must not perturb the
+// policy); callers Touch on a real hit.
+func (s *Store) Lookup(set int, tag uint64) (slot int, ok bool) {
+	base := set * s.ways
+	for w := 0; w < s.ways; w++ {
+		e := &s.entries[base+w]
+		if e.Valid && e.Tag == tag {
+			return base + w, true
+		}
+	}
+	return -1, false
+}
+
+// Touch records a use of slot (hit or install) for the policy.
+func (s *Store) Touch(slot int) {
+	s.tick++
+	s.stamp[slot] = s.tick
+	if s.ref != nil {
+		s.ref[slot] = true
+	}
+}
+
+// Victim selects the slot a miss on set installs into:
+//
+//  1. an invalid way, if any (no eviction needed);
+//  2. otherwise the policy's choice among the non-busy ways;
+//  3. otherwise (every way busy) the way whose in-flight commands
+//     retire first — the caller parks in the wait queue until then.
+func (s *Store) Victim(set int) int {
+	base := set * s.ways
+	for w := 0; w < s.ways; w++ {
+		if !s.entries[base+w].Valid {
+			return base + w
+		}
+	}
+	if slot := s.pick(set, false); slot >= 0 {
+		return slot
+	}
+	// All ways busy: wait for the earliest to drain.
+	best := base
+	for w := 1; w < s.ways; w++ {
+		if s.entries[base+w].BusyUntil < s.entries[best].BusyUntil {
+			best = base + w
+		}
+	}
+	return best
+}
+
+// WarmVictim selects a slot Warm may install into without disturbing
+// live state: an invalid way, else a clean non-busy way by policy.
+// ok is false when every way is dirty or busy.
+func (s *Store) WarmVictim(set int) (slot int, ok bool) {
+	base := set * s.ways
+	for w := 0; w < s.ways; w++ {
+		if !s.entries[base+w].Valid {
+			return base + w, true
+		}
+	}
+	if slot := s.pick(set, true); slot >= 0 {
+		return slot, true
+	}
+	return -1, false
+}
+
+// pick applies the policy over set's valid non-busy ways (and, when
+// cleanOnly, non-dirty ways). Returns -1 when no way qualifies.
+func (s *Store) pick(set int, cleanOnly bool) int {
+	base := set * s.ways
+	usable := func(w int) bool {
+		e := &s.entries[base+w]
+		return !e.Busy && (!cleanOnly || !e.Dirty)
+	}
+	switch s.policy {
+	case Clock:
+		// Second chance: sweep up to two revolutions; the first clears
+		// referenced bits, the second is guaranteed to find a victim
+		// among the usable ways (if any).
+		for i := 0; i < 2*s.ways; i++ {
+			w := s.hand[set]
+			s.hand[set] = (w + 1) % s.ways
+			if !usable(w) {
+				continue
+			}
+			if s.ref[base+w] {
+				s.ref[base+w] = false
+				continue
+			}
+			return base + w
+		}
+		for w := 0; w < s.ways; w++ {
+			if usable(w) {
+				return base + w
+			}
+		}
+		return -1
+	case Random:
+		var cand []int
+		for w := 0; w < s.ways; w++ {
+			if usable(w) {
+				cand = append(cand, base+w)
+			}
+		}
+		if len(cand) == 0 {
+			return -1
+		}
+		return cand[s.rng.Intn(len(cand))]
+	default: // LRU
+		best := -1
+		for w := 0; w < s.ways; w++ {
+			if !usable(w) {
+				continue
+			}
+			if best < 0 || s.stamp[base+w] < s.stamp[best] {
+				best = base + w
+			}
+		}
+		return best
+	}
+}
+
+// ClearVolatile resets the SRAM-held transient state of every entry
+// after a power failure: busy bits and time horizons die with the
+// power; tags and V/D bits survive in the NVDIMM image.
+func (s *Store) ClearVolatile() {
+	for i := range s.entries {
+		s.entries[i].Busy = false
+		s.entries[i].BusyUntil = 0
+		s.entries[i].ReadyAt = 0
+	}
+}
+
+func (s *Store) String() string {
+	return fmt.Sprintf("tagstore(%d sets × %d ways, %s)", s.sets, s.ways, s.policy)
+}

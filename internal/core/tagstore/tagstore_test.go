@@ -1,0 +1,191 @@
+package tagstore
+
+import (
+	"testing"
+
+	"hams/internal/sim"
+)
+
+func mustNew(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Entries: 2, Ways: 4}); err == nil {
+		t.Fatal("expected error: 2 entries cannot hold a 4-way set")
+	}
+	s := mustNew(t, Config{Entries: 8, Ways: 0}) // 0 ways = direct-mapped
+	if s.Ways() != 1 || s.Sets() != 8 || s.Len() != 8 {
+		t.Fatalf("geometry %d×%d", s.Sets(), s.Ways())
+	}
+	// Non-divisible entry counts truncate.
+	s = mustNew(t, Config{Entries: 10, Ways: 4})
+	if s.Len() != 8 || s.Sets() != 2 {
+		t.Fatalf("truncation: len=%d sets=%d", s.Len(), s.Sets())
+	}
+}
+
+func TestDirectMappedMatchesModulo(t *testing.T) {
+	s := mustNew(t, Config{Entries: 16, Ways: 1})
+	for page := uint64(0); page < 64; page++ {
+		set := s.SetFor(page)
+		if set != int(page%16) {
+			t.Fatalf("page %d -> set %d, want %d", page, set, page%16)
+		}
+		if v := s.Victim(set); v != set {
+			t.Fatalf("direct-mapped victim %d != set %d", v, set)
+		}
+	}
+}
+
+func TestLookupFindsAnyWay(t *testing.T) {
+	s := mustNew(t, Config{Entries: 8, Ways: 4})
+	// Install tags 10, 20, 30 into set 0 at different ways.
+	for i, tag := range []uint64{10, 20, 30} {
+		slot := s.Victim(0)
+		if slot != i {
+			t.Fatalf("install %d: victim %d, want invalid way %d", tag, slot, i)
+		}
+		e := s.Entry(slot)
+		e.Tag = tag
+		e.Valid = true
+		s.Touch(slot)
+	}
+	for _, tag := range []uint64{10, 20, 30} {
+		if _, ok := s.Lookup(0, tag); !ok {
+			t.Fatalf("tag %d not found", tag)
+		}
+	}
+	if _, ok := s.Lookup(0, 99); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func fillSet(s *Store, set int, ways int) {
+	for w := 0; w < ways; w++ {
+		slot := set*ways + w
+		e := s.Entry(slot)
+		e.Tag = uint64(100 + w)
+		e.Valid = true
+		s.Touch(slot)
+	}
+}
+
+func TestLRUVictimIsLeastRecentlyTouched(t *testing.T) {
+	s := mustNew(t, Config{Entries: 4, Ways: 4, Policy: LRU})
+	fillSet(s, 0, 4)
+	// Touch ways 0,1,3 again: way 2 is now least recent.
+	s.Touch(0)
+	s.Touch(1)
+	s.Touch(3)
+	if v := s.Victim(0); v != 2 {
+		t.Fatalf("LRU victim %d, want 2", v)
+	}
+}
+
+func TestLRUSkipsBusyWays(t *testing.T) {
+	s := mustNew(t, Config{Entries: 4, Ways: 4, Policy: LRU})
+	fillSet(s, 0, 4)
+	s.Entry(0).Busy = true // way 0 is oldest but busy
+	if v := s.Victim(0); v == 0 {
+		t.Fatal("victim selected a busy way while non-busy ways exist")
+	}
+}
+
+func TestAllWaysBusyPicksEarliestDrain(t *testing.T) {
+	s := mustNew(t, Config{Entries: 4, Ways: 4, Policy: LRU})
+	fillSet(s, 0, 4)
+	for w := 0; w < 4; w++ {
+		e := s.Entry(w)
+		e.Busy = true
+		e.BusyUntil = 100 - sim.Time(w) // way 3 drains first
+	}
+	if v := s.Victim(0); v != 3 {
+		t.Fatalf("victim %d, want earliest-draining way 3", v)
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	s := mustNew(t, Config{Entries: 4, Ways: 4, Policy: Clock})
+	fillSet(s, 0, 4) // every ref bit set by Touch
+	// First victim pass clears all refs, wraps, and evicts way 0.
+	if v := s.Victim(0); v != 0 {
+		t.Fatalf("clock victim %d, want 0", v)
+	}
+	// Re-reference way 1: the hand (now at 1) grants it a second
+	// chance and takes way 2.
+	s.Touch(1)
+	if v := s.Victim(0); v != 2 {
+		t.Fatalf("clock victim %d, want 2", v)
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	pick := func(seed int64) []int {
+		s := mustNew(t, Config{Entries: 8, Ways: 8, Policy: Random, Seed: seed})
+		fillSet(s, 0, 8)
+		var out []int
+		for i := 0; i < 16; i++ {
+			out = append(out, s.Victim(0))
+		}
+		return out
+	}
+	a, b := pick(7), pick(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random policy not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestWarmVictimRefusesDirtyAndBusy(t *testing.T) {
+	s := mustNew(t, Config{Entries: 2, Ways: 2, Policy: LRU})
+	fillSet(s, 0, 2)
+	s.Entry(0).Dirty = true
+	s.Entry(1).Busy = true
+	if _, ok := s.WarmVictim(0); ok {
+		t.Fatal("WarmVictim offered a dirty or busy way")
+	}
+	s.Entry(1).Busy = false
+	slot, ok := s.WarmVictim(0)
+	if !ok || slot != 1 {
+		t.Fatalf("WarmVictim = %d,%v; want clean way 1", slot, ok)
+	}
+}
+
+func TestClearVolatile(t *testing.T) {
+	s := mustNew(t, Config{Entries: 4, Ways: 2})
+	e := s.Entry(1)
+	e.Valid = true
+	e.Dirty = true
+	e.Busy = true
+	e.BusyUntil = 99
+	e.ReadyAt = 42
+	s.ClearVolatile()
+	if e.Busy || e.BusyUntil != 0 || e.ReadyAt != 0 {
+		t.Fatal("volatile state survived")
+	}
+	if !e.Valid || !e.Dirty {
+		t.Fatal("persistent V/D bits lost")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{"": LRU, "lru": LRU, "clock": Clock, "random": Random, "rand": Random} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("fifo"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+	if LRU.String() != "lru" || Clock.String() != "clock" || Random.String() != "random" {
+		t.Fatal("Policy.String")
+	}
+}

@@ -51,6 +51,51 @@ func TestWarmDoesNotClobberDirtyState(t *testing.T) {
 	}
 }
 
+func TestWarmDoesNotClobberBusyEntry(t *testing.T) {
+	// An entry with an in-flight NVMe command (busy bit set) must be
+	// left alone by Warm: re-tagging it would detach the completion
+	// event from the entry it updates.
+	c := mustNew(t, testConfig(Extend, Tight))
+	payload := []byte("dirty then evicted")
+	w, err := c.Write(0, 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict := uint64(c.CacheEntries()) * c.PageBytes()
+	// Miss on the same entry: the eviction is in flight and the entry
+	// is busy with the conflict tag installed.
+	r, err := c.Access(w.Done, mem.Access{Addr: conflict, Size: 64, Op: mem.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Outstanding() == 0 {
+		t.Fatal("expected in-flight command")
+	}
+	// Warming the original page targets the busy entry: it must skip.
+	c.Warm(0, c.PageBytes())
+	r2, err := c.Access(r.Done+sim.Second, mem.Access{Addr: conflict, Size: 8, Op: mem.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit {
+		t.Fatal("busy entry was re-tagged by Warm")
+	}
+	// The original page must have been genuinely evicted, not faked
+	// resident by Warm.
+	r3, err := c.Access(r2.Done, mem.Access{Addr: 0, Size: 8, Op: mem.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Hit {
+		t.Fatal("Warm installed a stale mapping over a busy entry")
+	}
+	got := make([]byte, len(payload))
+	c.PeekData(0, got)
+	if string(got) != string(payload) {
+		t.Fatalf("evicted data lost: %q", got)
+	}
+}
+
 func TestWarmClampsToCapacity(t *testing.T) {
 	c := mustNew(t, testConfig(Extend, Loose))
 	c.Warm(c.Capacity()-c.PageBytes(), 100*c.PageBytes()) // overruns capacity

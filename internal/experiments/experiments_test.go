@@ -192,6 +192,44 @@ func TestHitRateNearPaper(t *testing.T) {
 	}
 }
 
+// Acceptance: a set-associative sharded geometry must strictly beat
+// the seed's direct-mapped single bank on the rndWr hit rate.
+func TestSweepAssociativityBeatsDirectMappedOnRndWr(t *testing.T) {
+	points := []SweepPoint{
+		{Ways: 1, Banks: 1},
+		{Ways: 4, Banks: 4},
+	}
+	res, err := RunSweep(quick, []string{"rndWr"}, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, assoc := res[0], res[1]
+	if assoc.HitRate() <= direct.HitRate() {
+		t.Fatalf("4-way × 4-bank hit rate %.6f not above direct-mapped %.6f",
+			assoc.HitRate(), direct.HitRate())
+	}
+	if assoc.Run.UnitsPerSec() <= direct.Run.UnitsPerSec() {
+		t.Fatalf("4-way × 4-bank throughput %.0f/s not above direct-mapped %.0f/s",
+			assoc.Run.UnitsPerSec(), direct.Run.UnitsPerSec())
+	}
+}
+
+func TestSweepTableShape(t *testing.T) {
+	tabs, err := AssocShardSweep(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("sweep returned %d tables, want 3", len(tabs))
+	}
+	for _, tab := range tabs {
+		countRows(t, tab, len(DefaultSweepPoints()))
+	}
+	if !strings.Contains(tabs[0].String(), "clock") || !strings.Contains(tabs[0].String(), "random") {
+		t.Fatalf("sweep missing policy rows:\n%s", tabs[0])
+	}
+}
+
 func TestAblationTable(t *testing.T) {
 	tab, err := Ablation(quick)
 	if err != nil {

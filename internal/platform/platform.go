@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"hams/internal/core"
+	"hams/internal/core/tagstore"
 	"hams/internal/cpu"
 	"hams/internal/dram"
 	"hams/internal/energy"
@@ -39,6 +40,14 @@ type Options struct {
 	HAMSPage uint64
 	// HAMSPRPSlots overrides the PRP clone-pool size (ablation).
 	HAMSPRPSlots int
+	// HAMSWays overrides the MoS tag-array associativity; 0 = the
+	// paper's direct-mapped organization.
+	HAMSWays int
+	// HAMSBanks shards the MoS space across independent controller
+	// banks; 0 = the paper's single bank.
+	HAMSBanks int
+	// HAMSPolicy selects the replacement policy when HAMSWays > 1.
+	HAMSPolicy tagstore.Policy
 	// ArchiveChannels overrides the ULL-Flash channel count (ablation).
 	ArchiveChannels int
 	// ArchiveTLC swaps the archive medium to conventional TLC flash
@@ -188,6 +197,13 @@ func newHAMS(m core.Mode, tp core.Topology, o Options) (*hamsPlatform, error) {
 	if o.HAMSPRPSlots != 0 {
 		cfg.PRPSlots = o.HAMSPRPSlots
 	}
+	if o.HAMSWays != 0 {
+		cfg.Ways = o.HAMSWays
+	}
+	if o.HAMSBanks != 0 {
+		cfg.Banks = o.HAMSBanks
+	}
+	cfg.Replacement = o.HAMSPolicy
 	if o.ArchiveChannels != 0 {
 		cfg.SSD.Geometry.Channels = o.ArchiveChannels
 	}

@@ -124,6 +124,101 @@ func TestDrain(t *testing.T) {
 	}
 }
 
+func TestCancelMiddleEventPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func(n Time) { fired = append(fired, n) })
+	mid := e.Schedule(20, func(n Time) { fired = append(fired, n) })
+	e.Schedule(30, func(n Time) { fired = append(fired, n) })
+	e.Cancel(mid)
+	e.AdvanceTo(40)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 30 {
+		t.Fatalf("fired = %v, want [10 30]", fired)
+	}
+}
+
+func TestCancelFromInsideCallback(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var victim *Event
+	e.Schedule(10, func(Time) { e.Cancel(victim) })
+	victim = e.Schedule(20, func(Time) { fired = true })
+	e.AdvanceTo(30)
+	if fired {
+		t.Fatal("event cancelled by an earlier callback still fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancel-in-callback", e.Pending())
+	}
+}
+
+func TestDrainFiresNestedEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func(now Time) {
+		fired = append(fired, now)
+		e.Schedule(now+100, func(n2 Time) { fired = append(fired, n2) })
+	})
+	n := e.Drain()
+	if n != 2 {
+		t.Fatalf("Drain fired %d, want 2 (nested event included)", n)
+	}
+	if len(fired) != 2 || fired[1] != 110 || e.Now() != 110 {
+		t.Fatalf("fired = %v, now = %v", fired, e.Now())
+	}
+}
+
+func TestDrainEmptyIsNoop(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(42)
+	if n := e.Drain(); n != 0 {
+		t.Fatalf("Drain on empty heap fired %d", n)
+	}
+	if e.Now() != 42 {
+		t.Fatalf("Drain moved the clock to %v", e.Now())
+	}
+}
+
+func TestPastEventsFireInScheduleOrder(t *testing.T) {
+	// Several events scheduled in the past all clamp to now and must
+	// fire in the order they were scheduled, before any future event.
+	e := NewEngine()
+	e.AdvanceTo(100)
+	var fired []int
+	e.Schedule(150, func(Time) { fired = append(fired, 99) })
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Schedule(Time(10*i), func(Time) { fired = append(fired, i) })
+	}
+	e.AdvanceTo(200)
+	want := []int{0, 1, 2, 99}
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestAfterSchedulesRelativeToNow(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(100)
+	var at Time = -1
+	e.After(25, func(now Time) { at = now })
+	if next := e.NextEventAt(); next != 125 {
+		t.Fatalf("NextEventAt = %v, want 125", next)
+	}
+	e.AdvanceTo(200)
+	if at != 125 {
+		t.Fatalf("After fired at %v, want 125", at)
+	}
+	if e.NextEventAt() != MaxTime {
+		t.Fatal("NextEventAt on empty heap must be MaxTime")
+	}
+}
+
 func TestAdvanceToNeverRewinds(t *testing.T) {
 	e := NewEngine()
 	e.AdvanceTo(100)

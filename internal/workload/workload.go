@@ -11,6 +11,7 @@ package workload
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 
 	"hams/internal/cpu"
@@ -136,7 +137,7 @@ func (s Spec) Streams(o Options) []cpu.Stream {
 	perThread := int64(float64(s.Instructions) * o.Scale / float64(s.Threads))
 	out := make([]cpu.Stream, s.Threads)
 	for i := 0; i < s.Threads; i++ {
-		rng := rand.New(rand.NewSource(o.Seed + int64(i)*7919))
+		rng := rand.New(rand.NewSource(s.streamSeed(o.Seed, i)))
 		base := spanFor(i, s.Threads, ds)
 		switch s.Kind {
 		case Micro:
@@ -148,6 +149,17 @@ func (s Spec) Streams(o Options) []cpu.Stream {
 		}
 	}
 	return out
+}
+
+// streamSeed derives the deterministic seed for one thread's stream.
+// Mixing the spec name in decorrelates workloads that share a base
+// seed (with a plain per-thread offset, rndRd thread 0 and rndWr
+// thread 0 would walk identical address sequences); every stream is
+// still fully reproducible from Options.Seed alone.
+func (s Spec) streamSeed(base int64, thread int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s.Name))
+	return (base ^ int64(h.Sum64()&0x7fffffffffffffff)) + int64(thread)*7919
 }
 
 // Region is an address range a workload keeps hot.

@@ -74,6 +74,64 @@ func TestStreamsDeterministic(t *testing.T) {
 	}
 }
 
+func TestStreamSeedsDecorrelateSpecs(t *testing.T) {
+	// Two random workloads sharing Options.Seed must not replay the
+	// same address sequence: the per-spec seed mixes the name in.
+	rd, _ := ByName("rndRd")
+	wr, _ := ByName("rndWr")
+	o := DefaultOptions()
+	o.Scale = 1e-7
+	a := drain(t, rd.Streams(o)[0])
+	b := drain(t, wr.Streams(o)[0])
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	same := 0
+	for i := 0; i < n; i++ {
+		if len(a[i].Acc) > 0 && len(b[i].Acc) > 0 && a[i].Acc[0].Addr == b[i].Acc[0].Addr {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("rndRd and rndWr walk identical address sequences under a shared seed")
+	}
+	// And per-thread streams of one spec must differ from each other.
+	sA := rd.Streams(o)
+	x, y := drain(t, sA[0]), drain(t, sA[1])
+	n = min(len(x), len(y))
+	same = 0
+	for i := 0; i < n; i++ {
+		if len(x[i].Acc) > 0 && len(y[i].Acc) > 0 && x[i].Acc[0].Addr-y[i].Acc[0].Addr == 0 {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("thread streams are identical")
+	}
+}
+
+func TestStreamSeedChangesWithOptionsSeed(t *testing.T) {
+	s, _ := ByName("rndWr")
+	o1 := DefaultOptions()
+	o1.Scale = 1e-7
+	o2 := o1
+	o2.Seed = o1.Seed + 1
+	a := drain(t, s.Streams(o1)[0])
+	b := drain(t, s.Streams(o2)[0])
+	n := min(len(a), len(b))
+	diff := false
+	for i := 0; i < n; i++ {
+		if len(a[i].Acc) > 0 && len(b[i].Acc) > 0 && a[i].Acc[0].Addr != b[i].Acc[0].Addr {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("changing Options.Seed did not change the stream")
+	}
+}
+
 func drain(t *testing.T, s cpu.Stream) []cpu.Step {
 	t.Helper()
 	var out []cpu.Step
