@@ -12,7 +12,13 @@ import (
 )
 
 // benchOpts keeps `go test -bench=.` under a few minutes end to end.
+// Parallel is 0 (= GOMAXPROCS), so every engine-ported figure
+// benchmark exercises the concurrent path by default; the *Serial
+// variants below measure the 1-worker baseline for comparison.
 var benchOpts = experiments.Options{Scale: 5e-7, Seed: 42}
+
+// serialOpts pins the engine to one worker.
+var serialOpts = experiments.Options{Scale: 5e-7, Seed: 42, Parallel: 1}
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -40,8 +46,9 @@ func BenchmarkTable3(b *testing.B) {
 
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Fig5(benchOpts)) != 3 {
-			b.Fatal("Fig5")
+		tabs, err := experiments.Fig5(benchOpts)
+		if err != nil || len(tabs) != 3 {
+			b.Fatal("Fig5", err)
 		}
 	}
 }
@@ -165,6 +172,42 @@ func BenchmarkMoSMissFill(b *testing.B) {
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Ablation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Serial-vs-parallel pairs: the ratio is the engine's speedup on this
+// host (cells are independent, so it should approach min(GOMAXPROCS,
+// cell count) for the wide matrices).
+
+func BenchmarkFig16Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig16(serialOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig20Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig20(serialOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AssocShardSweep(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AssocShardSweep(serialOpts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,105 +1,208 @@
-// Command hamsbench regenerates the paper's tables and figures.
+// Command hamsbench regenerates the paper's tables and figures and
+// serializes machine-readable BENCH artifacts.
 //
 // Usage:
 //
-//	hamsbench [-scale 3e-6] [-seed 42] <target> [target...]
+//	hamsbench [-scale 3e-6] [-seed 42] [-parallel N] [-json out.json] <target> [target...]
+//	hamsbench compare [-threshold 0.15] baseline.json new.json
 //
 // Targets: table1 table2 table3 fig5 fig6 fig7 fig10 fig16 fig17
-// fig18 fig19 fig20 headline sweep all
+// fig18 fig19 fig20 headline ablation sweep all
 //
 // sweep runs the associativity × shard grid (MoS cache geometry) on
-// the random microbenchmarks and rndIns.
+// the random microbenchmarks and rndIns. -parallel sets the engine
+// worker count (0 = GOMAXPROCS, 1 = serial); results are bit-identical
+// for any value. -json writes a versioned BENCH artifact with one
+// record per experiment cell; compare diffs two artifacts and exits
+// nonzero when any cell's simulated throughput regressed beyond the
+// threshold (the CI perf gate).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"hams/internal/experiments"
+	"hams/internal/report"
 	"hams/internal/stats"
 )
 
+var allTargets = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
+	"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation", "sweep"}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	scale := flag.Float64("scale", 3e-6, "instruction-count scale vs Table III")
 	seed := flag.Int64("seed", 42, "workload random seed")
+	parallel := flag.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := flag.String("json", "", "write a BENCH artifact (one record per cell) to this file")
 	flag.Parse()
 	targets := flag.Args()
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hamsbench [-scale S] [-seed N] <table1|table2|table3|fig5|fig6|fig7|fig10|fig16|fig17|fig18|fig19|fig20|headline|ablation|sweep|all>")
+		usage()
 		os.Exit(2)
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed}
+	targets = expand(targets)
+	// Validate every name up front: CI must not discover a typo only
+	// after minutes of earlier targets have already run.
+	var unknown []string
 	for _, tgt := range targets {
-		if tgt == "all" {
-			for _, t := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
-				"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation", "sweep"} {
-				run(t, o)
-			}
-			continue
+		if !known(tgt) {
+			unknown = append(unknown, tgt)
 		}
-		run(tgt, o)
+	}
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "hamsbench: unknown target(s): %s\n", strings.Join(unknown, ", "))
+		usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	o := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, Ctx: ctx}
+	if *jsonOut != "" {
+		o.Recorder = &report.Recorder{}
+	}
+	for _, tgt := range targets {
+		if err := run(tgt, o); err != nil {
+			fmt.Fprintf(os.Stderr, "hamsbench: %s: %v\n", tgt, err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		art := o.Recorder.Artifact(strings.Join(targets, "+"), *scale, *seed, *parallel)
+		if err := report.WriteFile(*jsonOut, art); err != nil {
+			fmt.Fprintf(os.Stderr, "hamsbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d cells)\n", *jsonOut, len(art.Cells))
 	}
 }
 
-func run(target string, o experiments.Options) {
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] <%s|all>\n",
+		strings.Join(allTargets, "|"))
+	fmt.Fprintln(os.Stderr, "       hamsbench compare [-threshold 0.15] baseline.json new.json")
+}
+
+// expand resolves "all" and drops repeats (first occurrence wins): a
+// target run twice would record duplicate cell keys into the artifact,
+// breaking the key-uniqueness the compare gate relies on.
+func expand(targets []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(t string) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for _, tgt := range targets {
+		if tgt == "all" {
+			for _, t := range allTargets {
+				add(t)
+			}
+			continue
+		}
+		add(tgt)
+	}
+	return out
+}
+
+func known(tgt string) bool {
+	for _, t := range allTargets {
+		if t == tgt {
+			return true
+		}
+	}
+	return false
+}
+
+func run(target string, o experiments.Options) error {
 	start := time.Now()
 	var tables []*stats.Table
 	var err error
+	one := func(t *stats.Table, e error) ([]*stats.Table, error) {
+		return []*stats.Table{t}, e
+	}
 	switch target {
-	case "table1":
-		tables = []*stats.Table{experiments.Table1()}
-	case "table2":
-		tables = []*stats.Table{experiments.Table2()}
-	case "table3":
-		tables = []*stats.Table{experiments.Table3()}
+	case "table1", "table2", "table3":
+		tables, err = experiments.StaticTables(o, target)
 	case "fig5":
-		tables = experiments.Fig5(o)
+		tables, err = experiments.Fig5(o)
 	case "fig6":
 		tables, err = experiments.Fig6(o)
 	case "fig7":
 		tables, err = experiments.Fig7(o)
 	case "fig10":
-		var t *stats.Table
-		t, err = experiments.Fig10(o)
-		tables = []*stats.Table{t}
+		tables, err = one(experiments.Fig10(o))
 	case "fig16":
 		tables, err = experiments.Fig16(o)
 	case "fig17":
-		var t *stats.Table
-		t, err = experiments.Fig17(o)
-		tables = []*stats.Table{t}
+		tables, err = one(experiments.Fig17(o))
 	case "fig18":
-		var t *stats.Table
-		t, err = experiments.Fig18(o)
-		tables = []*stats.Table{t}
+		tables, err = one(experiments.Fig18(o))
 	case "fig19":
-		var t *stats.Table
-		t, err = experiments.Fig19(o)
-		tables = []*stats.Table{t}
+		tables, err = one(experiments.Fig19(o))
 	case "fig20":
 		tables, err = experiments.Fig20(o)
 	case "headline":
-		var t *stats.Table
-		t, err = experiments.Headline(o)
-		tables = []*stats.Table{t}
+		tables, err = one(experiments.Headline(o))
 	case "ablation":
-		var t *stats.Table
-		t, err = experiments.Ablation(o)
-		tables = []*stats.Table{t}
+		tables, err = one(experiments.Ablation(o))
 	case "sweep":
 		tables, err = experiments.AssocShardSweep(o)
-	default:
-		fmt.Fprintf(os.Stderr, "hamsbench: unknown target %q\n", target)
-		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hamsbench: %s: %v\n", target, err)
-		os.Exit(1)
+		return err
 	}
 	for _, t := range tables {
 		fmt.Println(t)
 	}
 	fmt.Printf("(%s generated in %v)\n\n", target, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runCompare is the CI perf gate: diff two BENCH artifacts and fail
+// on per-cell throughput regressions beyond the threshold.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.15, "max tolerated fractional throughput drop per cell")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+		return 2
+	}
+	base, err := report.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hamsbench compare: %v\n", err)
+		return 2
+	}
+	cur, err := report.Load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hamsbench compare: %v\n", err)
+		return 2
+	}
+	regs, err := report.Compare(base, cur, *threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hamsbench compare: %v\n", err)
+		return 2
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "hamsbench compare: %d cell(s) regressed beyond %.0f%%:\n", len(regs), *threshold*100)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("compare: %d baseline cells, no regression beyond %.0f%%\n", len(base.Cells), *threshold*100)
+	return 0
 }

@@ -163,10 +163,10 @@ type bank struct {
 
 // Stats aggregates controller activity across all banks.
 type Stats struct {
-	Accesses          int64
-	Hits              int64
-	Misses            int64
-	Evictions         int64
+	Accesses  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
 	// RedundantSquashed counts misses that parked on a busy victim
 	// way. In the 1-way organization these are exactly the redundant
 	// evictions the busy bit suppresses (Figure 14); with Ways > 1 a

@@ -47,15 +47,22 @@ func Ablation(o Options) (*stats.Table, error) {
 		{"128 KiB MoS page (vs 1 MiB)", "rndIns",
 			"hams-TE", platform.Options{}, "hams-TE", platform.Options{HAMSPage: mem.MiB}},
 	}
-	for _, r := range rows {
-		base, err := Run(r.basePlat, r.workload, o, r.baseOpt, nil)
-		if err != nil {
-			return nil, err
-		}
-		v, err := Run(r.varPlat, r.workload, o, r.varOpt, nil)
-		if err != nil {
-			return nil, err
-		}
+	// Each row is two engine cells (base + variant); keys carry the row
+	// index because several rows reuse the same base configuration.
+	var cells []matrixCell
+	for i, r := range rows {
+		cells = append(cells,
+			matrixCell{key: fmt.Sprintf("r%02d/base", i),
+				platform: r.basePlat, workload: r.workload, popt: r.baseOpt},
+			matrixCell{key: fmt.Sprintf("r%02d/variant", i),
+				platform: r.varPlat, workload: r.workload, popt: r.varOpt})
+	}
+	res, err := runMatrix(o, "ablation", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		base, v := res[2*i], res[2*i+1]
 		ratio := 0.0
 		if base.UnitsPerSec() > 0 {
 			ratio = v.UnitsPerSec() / base.UnitsPerSec()

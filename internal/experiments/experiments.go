@@ -5,11 +5,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hams/internal/cpu"
 	"hams/internal/energy"
 	"hams/internal/platform"
+	"hams/internal/report"
 	"hams/internal/sim"
 	"hams/internal/stats"
 	"hams/internal/workload"
@@ -19,8 +21,30 @@ import (
 type Options struct {
 	// Scale multiplies Table III instruction counts (default 3e-6).
 	Scale float64
-	// Seed fixes workload randomness.
+	// Seed fixes workload randomness. Targets that run through the
+	// concurrent engine derive each cell's seed from this value and
+	// the cell's workload (runner.DeriveSeed), so results are
+	// identical for any worker count.
 	Seed int64
+	// Parallel is the engine worker count: 0 = GOMAXPROCS, 1 = serial.
+	Parallel int
+	// Shuffle, when nonzero, deterministically permutes cell dispatch
+	// order (determinism testing; see runner.Engine.ShuffleSeed).
+	Shuffle int64
+	// Recorder, when set, collects one report.Cell per engine cell for
+	// BENCH artifact serialization.
+	Recorder *report.Recorder
+	// Ctx stops dispatch of pending cells when cancelled (already
+	// in-flight cells run to completion — the simulator core does not
+	// poll the context); nil = Background.
+	Ctx context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultOptions returns harness defaults sized so the full figure set

@@ -156,7 +156,10 @@ func TestStaticTables(t *testing.T) {
 }
 
 func TestFig5Tables(t *testing.T) {
-	tabs := Fig5(quick)
+	tabs, err := Fig5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tabs) != 3 {
 		t.Fatalf("Fig5 returned %d tables", len(tabs))
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hams/internal/core"
@@ -9,6 +10,7 @@ import (
 	"hams/internal/osmodel"
 	"hams/internal/pcie"
 	"hams/internal/platform"
+	"hams/internal/report"
 	"hams/internal/sim"
 	"hams/internal/ssd"
 	"hams/internal/stats"
@@ -88,18 +90,75 @@ func sweepDevice(devCfg ssd.Config, depth int, nOps int, seq, write bool) qdPoin
 	return p
 }
 
-// Fig5 regenerates the three panels of Figure 5.
-func Fig5(o Options) []*stats.Table {
+// fig5Point is one device-sweep cell output, carrying enough identity
+// to serialize into the BENCH artifact.
+type fig5Point struct {
+	dev   string
+	label string
+	nOps  int
+	p     qdPoint
+}
+
+func (f fig5Point) reportCell() report.Cell {
+	return report.Cell{
+		Platform:    f.dev,
+		Workload:    f.label,
+		Units:       int64(f.nOps),
+		UnitsPerSec: f.p.BWMBs * 1e6 / 4096, // 4 KB IOs/s
+		Extra:       map[string]float64{"avg_lat_us": f.p.AvgLatUS, "bw_mbs": f.p.BWMBs},
+	}
+}
+
+// Fig5 regenerates the three panels of Figure 5. Every (device, depth,
+// mode) point is an independent engine cell.
+func Fig5(o Options) ([]*stats.Table, error) {
 	nOps := 400
 	depths := []int{1, 2, 4, 8, 16, 32}
+	devs := []struct {
+		name string
+		cfg  func() ssd.Config
+	}{{"ULL-Flash", ssd.ULLFlash}, {"NVMe-SSD", ssd.NVMeSSD}}
+	modes := []struct {
+		label      string
+		seq, write bool
+	}{{"seqRd", true, false}, {"rndRd", false, false}, {"seqWr", true, true}, {"rndWr", false, true}}
+
+	var jobs []cellJob
+	for _, d := range devs {
+		for _, wr := range []bool{false, true} {
+			rw := "rndRd"
+			if wr {
+				rw = "rndWr"
+			}
+			jobs = append(jobs, cellJob{
+				key: fmt.Sprintf("a/%s/%s", d.name, rw),
+				fn: func(ctx context.Context, seed int64) (any, error) {
+					return fig5Point{d.name, "qd1-" + rw, nOps, sweepDevice(d.cfg(), 1, nOps, false, wr)}, nil
+				},
+			})
+		}
+	}
+	for _, depth := range depths {
+		for _, d := range devs {
+			for _, m := range modes {
+				jobs = append(jobs, cellJob{
+					key: fmt.Sprintf("bc/qd%d/%s/%s", depth, d.name, m.label),
+					fn: func(ctx context.Context, seed int64) (any, error) {
+						return fig5Point{d.name, fmt.Sprintf("qd%d-%s", depth, m.label), nOps,
+							sweepDevice(d.cfg(), depth, nOps, m.seq, m.write)}, nil
+					},
+				})
+			}
+		}
+	}
+	vals, err := runCellJobs(o, "fig5", jobs)
+	if err != nil {
+		return nil, err
+	}
 
 	a := stats.NewTable("Fig. 5a: 4KB access latency (us), QD1", "device", "read", "write")
-	ull := sweepDevice(ssd.ULLFlash(), 1, nOps, false, false)
-	ullW := sweepDevice(ssd.ULLFlash(), 1, nOps, false, true)
-	a.AddRow("ULL-Flash", stats.F(ull.AvgLatUS), stats.F(ullW.AvgLatUS))
-	nv := sweepDevice(ssd.NVMeSSD(), 1, nOps, false, false)
-	nvW := sweepDevice(ssd.NVMeSSD(), 1, nOps, false, true)
-	a.AddRow("NVMe-SSD", stats.F(nv.AvgLatUS), stats.F(nvW.AvgLatUS))
+	a.AddRow("ULL-Flash", stats.F(vals[0].(fig5Point).p.AvgLatUS), stats.F(vals[1].(fig5Point).p.AvgLatUS))
+	a.AddRow("NVMe-SSD", stats.F(vals[2].(fig5Point).p.AvgLatUS), stats.F(vals[3].(fig5Point).p.AvgLatUS))
 
 	b := stats.NewTable("Fig. 5b: latency vs queue depth (us)",
 		"depth", "ULL seqRd", "ULL rndRd", "ULL seqWr", "ULL rndWr",
@@ -107,14 +166,14 @@ func Fig5(o Options) []*stats.Table {
 	c := stats.NewTable("Fig. 5c: bandwidth vs queue depth (MB/s)",
 		"depth", "ULL seqRd", "ULL rndRd", "ULL seqWr", "ULL rndWr",
 		"NVMe seqRd", "NVMe rndRd", "NVMe seqWr", "NVMe rndWr")
+	i := 4 // past panel a
 	for _, d := range depths {
 		lat := []string{fmt.Sprint(d)}
 		bw := []string{fmt.Sprint(d)}
-		for _, cfg := range []ssd.Config{ssd.ULLFlash(), ssd.NVMeSSD()} {
-			for _, mode := range []struct{ seq, write bool }{
-				{true, false}, {false, false}, {true, true}, {false, true},
-			} {
-				p := sweepDevice(cfg, d, nOps, mode.seq, mode.write)
+		for range devs {
+			for range modes {
+				p := vals[i].(fig5Point).p
+				i++
 				lat = append(lat, stats.F(p.AvgLatUS))
 				bw = append(bw, stats.F(p.BWMBs))
 			}
@@ -122,7 +181,7 @@ func Fig5(o Options) []*stats.Table {
 		b.AddRow(lat...)
 		c.AddRow(bw...)
 	}
-	return []*stats.Table{a, b, c}
+	return []*stats.Table{a, b, c}, nil
 }
 
 // ---------------------------------------------------------------------
@@ -246,34 +305,46 @@ func Fig10(o Options) (*stats.Table, error) {
 // Fig. 16: application performance across the 11 platforms.
 
 // Fig16 regenerates both panels: K pages/s (micro + Rodinia) and SQL
-// ops/s (SQLite).
+// ops/s (SQLite). The full 11-platform × 12-workload matrix runs as
+// independent engine cells — the heaviest figure and the biggest win
+// from parallelism.
 func Fig16(o Options) ([]*stats.Table, error) {
 	plats := platform.Names()
+	micro := workloadsOf(workload.Micro, workload.Rodinia)
+	sqlite := workloadsOf(workload.SQLite)
+
+	var cells []matrixCell
+	for _, s := range append(append([]workload.Spec{}, micro...), sqlite...) {
+		for _, pn := range plats {
+			cells = append(cells, matrixCell{
+				key: s.Name + "/" + pn, platform: pn, workload: s.Name,
+			})
+		}
+	}
+	res, err := runMatrix(o, "fig16", cells)
+	if err != nil {
+		return nil, err
+	}
 
 	a := stats.NewTable("Fig. 16a: app performance (K pages/s)",
 		append([]string{"workload"}, plats...)...)
-	for _, s := range workloadsOf(workload.Micro, workload.Rodinia) {
+	i := 0
+	for _, s := range micro {
 		row := []string{s.Name}
-		for _, pn := range plats {
-			r, err := Run(pn, s.Name, o, platform.Options{}, nil)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.F(r.UnitsPerSec()/1000))
+		for range plats {
+			row = append(row, stats.F(res[i].UnitsPerSec()/1000))
+			i++
 		}
 		a.AddRow(row...)
 	}
 
 	b := stats.NewTable("Fig. 16b: SQLite performance (ops/s)",
 		append([]string{"workload"}, plats...)...)
-	for _, s := range workloadsOf(workload.SQLite) {
+	for _, s := range sqlite {
 		row := []string{s.Name}
-		for _, pn := range plats {
-			r, err := Run(pn, s.Name, o, platform.Options{}, nil)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.F(r.UnitsPerSec()))
+		for range plats {
+			row = append(row, stats.F(res[i].UnitsPerSec()))
+			i++
 		}
 		b.AddRow(row...)
 	}
@@ -392,21 +463,47 @@ func Fig19(o Options) (*stats.Table, error) {
 // ---------------------------------------------------------------------
 // Fig. 20: sensitivity — page sizes and large footprints.
 
-// Fig20 regenerates both panels.
+// Fig20 regenerates both panels: the page-size sweep (a) and the
+// 44 GB-footprint stress (b), each cell independent on the engine.
 func Fig20(o Options) ([]*stats.Table, error) {
 	pages := []uint64{4 * mem.KiB, 16 * mem.KiB, 64 * mem.KiB, 128 * mem.KiB, 256 * mem.KiB, 1 * mem.MiB}
 	sqlite := []string{"seqSel", "rndSel", "seqIns", "rndIns", "update"}
+	stressPlats := []string{"mmap", "hams-TE", "oracle"}
+
+	var cells []matrixCell
+	for _, wl := range sqlite {
+		for _, pg := range pages {
+			cells = append(cells, matrixCell{
+				key:      fmt.Sprintf("a/%s/%dKB", wl, pg/mem.KiB),
+				platform: "hams-TE", workload: wl,
+				popt: platform.Options{HAMSPage: pg},
+			})
+		}
+	}
+	for _, wl := range sqlite {
+		for _, pn := range stressPlats {
+			wo := o.wl()
+			wo.DatasetBytes = 44 * mem.GiB
+			wo.HotBytes = 12 * mem.GiB // footprint outgrows the NVDIMM
+			cells = append(cells, matrixCell{
+				key:      fmt.Sprintf("b/%s/%s", wl, pn),
+				platform: pn, workload: wl, wopt: &wo,
+			})
+		}
+	}
+	res, err := runMatrix(o, "fig20", cells)
+	if err != nil {
+		return nil, err
+	}
 
 	a := stats.NewTable("Fig. 20a: SQLite ops/s vs MoS page size (hams-TE)",
 		"workload", "4KB", "16KB", "64KB", "128KB", "256KB", "1MB")
+	i := 0
 	for _, wl := range sqlite {
 		row := []string{wl}
-		for _, pg := range pages {
-			r, err := Run("hams-TE", wl, o, platform.Options{HAMSPage: pg}, nil)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.F(r.UnitsPerSec()))
+		for range pages {
+			row = append(row, stats.F(res[i].UnitsPerSec()))
+			i++
 		}
 		a.AddRow(row...)
 	}
@@ -415,15 +512,9 @@ func Fig20(o Options) ([]*stats.Table, error) {
 		"workload", "mmap", "hams-TE", "oracle")
 	for _, wl := range sqlite {
 		row := []string{wl}
-		for _, pn := range []string{"mmap", "hams-TE", "oracle"} {
-			wo := o.wl()
-			wo.DatasetBytes = 44 * mem.GiB
-			wo.HotBytes = 12 * mem.GiB // footprint outgrows the NVDIMM
-			r, err := Run(pn, wl, o, platform.Options{}, &wo)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.F(r.UnitsPerSec()))
+		for range stressPlats {
+			row = append(row, stats.F(res[i].UnitsPerSec()))
+			i++
 		}
 		b.AddRow(row...)
 	}

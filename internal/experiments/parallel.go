@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hams/internal/platform"
+	"hams/internal/report"
+	"hams/internal/runner"
+	"hams/internal/stats"
+	"hams/internal/workload"
+)
+
+// cellJob is one engine cell of a figure: a stable key (unique within
+// the target), the workload name whose seed stream the cell draws
+// (empty = no randomness), and the work itself. fn receives the
+// derived per-cell seed so results cannot depend on execution order.
+type cellJob struct {
+	key     string
+	seedKey string
+	fn      func(ctx context.Context, seed int64) (any, error)
+}
+
+// reportable lets non-RunResult cell outputs (e.g. Fig. 5 device
+// sweeps) contribute metrics to the BENCH artifact.
+type reportable interface{ reportCell() report.Cell }
+
+// runCellJobs executes a target's cells through the worker-pool
+// engine, records them into o.Recorder, and returns the outputs in
+// canonical (input) order.
+func runCellJobs(o Options, target string, jobs []cellJob) ([]any, error) {
+	cells := make([]runner.Cell, len(jobs))
+	for i, j := range jobs {
+		seed := o.Seed
+		if j.seedKey != "" {
+			seed = runner.DeriveSeed(o.Seed, j.seedKey)
+		}
+		fn := j.fn
+		cells[i] = runner.Cell{
+			Key: target + "/" + j.key,
+			Fn:  func(ctx context.Context) (any, error) { return fn(ctx, seed) },
+		}
+	}
+	eng := runner.Engine{Workers: o.Parallel, ShuffleSeed: o.Shuffle}
+	results, err := eng.Run(o.ctx(), cells)
+	if err != nil {
+		// Name a failing cell: in a 100+-cell matrix "unknown platform"
+		// alone would leave the bad configuration to bisection.
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("cell %s: %w", r.Key, r.Err)
+			}
+		}
+		return nil, err
+	}
+	out := make([]any, len(results))
+	for i, r := range results {
+		out[i] = r.Value
+		if o.Recorder != nil {
+			o.Recorder.Add(reportCellFor(target, r))
+		}
+	}
+	return out, nil
+}
+
+// reportCellFor converts one engine result into its artifact record.
+// Cells with metrics implement reportable (matrix cells via matrixOut,
+// device sweeps via fig5Point); anything else — the static tables —
+// records identity and wall time only.
+func reportCellFor(target string, r runner.Result) report.Cell {
+	var c report.Cell
+	if v, ok := r.Value.(reportable); ok {
+		c = v.reportCell()
+	}
+	c.Key, c.Target, c.WallNS = r.Key, target, int64(r.Wall)
+	return c
+}
+
+// runReportCell extracts one Run's artifact metrics. It must be called
+// while the result still holds its platform (Plat carries the hit-rate
+// counters).
+func runReportCell(v RunResult) report.Cell {
+	c := report.Cell{
+		Platform:    v.Platform,
+		Workload:    v.Workload,
+		SimNS:       int64(v.CPU.Elapsed),
+		Units:       v.Units,
+		UnitsPerSec: v.UnitsPerSec(),
+		EnergyJ:     v.Energy.Total(),
+	}
+	if h, ok := v.Plat.(hamsExposer); ok {
+		c.HitRate = h.Controller().Stats().HitRate()
+	}
+	return c
+}
+
+// matrixCell is the common cell shape: one Run of a workload on a
+// platform under a config. keepPlat retains the simulated platform on
+// the result for callers that read controller stats afterwards (the
+// sweep); all other cells drop it inside the worker so a wide matrix
+// doesn't hold every platform's device state until the figure renders.
+type matrixCell struct {
+	key      string
+	platform string
+	workload string
+	popt     platform.Options
+	wopt     *workload.Options
+	keepPlat bool
+}
+
+// matrixOut pairs a cell's RunResult with its artifact record,
+// precomputed while the platform was still attached.
+type matrixOut struct {
+	run  RunResult
+	cell report.Cell
+}
+
+func (m matrixOut) reportCell() report.Cell { return m.cell }
+
+// runMatrix executes a (platform × workload × config) matrix through
+// the engine and returns RunResults in cell order. Each cell's
+// workload seed derives from (Options.Seed, workload name), so the
+// same workload stays stream-paired across platforms and configs —
+// the paired-comparison property every "X vs Y" figure relies on.
+func runMatrix(o Options, target string, cells []matrixCell) ([]RunResult, error) {
+	jobs := make([]cellJob, len(cells))
+	for i, c := range cells {
+		mc := c
+		jobs[i] = cellJob{
+			key:     mc.key,
+			seedKey: mc.workload,
+			fn: func(ctx context.Context, seed int64) (any, error) {
+				co := o
+				co.Seed = seed
+				wopt := mc.wopt
+				if wopt != nil {
+					w := *wopt
+					w.Seed = seed
+					wopt = &w
+				}
+				r, err := Run(mc.platform, mc.workload, co, mc.popt, wopt)
+				if err != nil {
+					return nil, err
+				}
+				out := matrixOut{run: r, cell: runReportCell(r)}
+				if !mc.keepPlat {
+					out.run.Plat = nil
+				}
+				return out, nil
+			},
+		}
+	}
+	vals, err := runCellJobs(o, target, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RunResult, len(vals))
+	for i, v := range vals {
+		mo, ok := v.(matrixOut)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s cell %s returned %T", target, cells[i].key, v)
+		}
+		out[i] = mo.run
+	}
+	return out, nil
+}
+
+// StaticTables renders the paper's static tables (I-III) through the
+// engine — each table is one cell, so even the static targets report
+// wall time into the artifact and exercise the concurrent path.
+func StaticTables(o Options, names ...string) ([]*stats.Table, error) {
+	builders := map[string]func() *stats.Table{
+		"table1": Table1, "table2": Table2, "table3": Table3,
+	}
+	jobs := make([]cellJob, len(names))
+	for i, n := range names {
+		build, ok := builders[n]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown static table %q", n)
+		}
+		jobs[i] = cellJob{key: n, fn: func(ctx context.Context, seed int64) (any, error) {
+			return build(), nil
+		}}
+	}
+	vals, err := runCellJobs(o, "tables", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*stats.Table, len(vals))
+	for i, v := range vals {
+		out[i] = v.(*stats.Table)
+	}
+	return out, nil
+}

@@ -91,27 +91,37 @@ func AssocShardSweep(o Options) ([]*stats.Table, error) {
 	return tabs, nil
 }
 
-// RunSweep executes every workload × geometry combination.
+// RunSweep executes every workload × geometry combination as
+// independent engine cells. Keys carry the point index so arbitrary
+// caller-supplied grids (even with repeated points) stay unique.
 func RunSweep(o Options, workloads []string, points []SweepPoint) ([]SweepResult, error) {
-	var out []SweepResult
+	var cells []matrixCell
 	for _, wl := range workloads {
-		for _, p := range points {
-			popt := platform.Options{
-				HAMSWays:   p.Ways,
-				HAMSBanks:  p.Banks,
-				HAMSPolicy: p.Policy,
-			}
-			r, err := Run("hams-LE", wl, o, popt, nil)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %s %s: %w", wl, p.label(), err)
-			}
-			out = append(out, SweepResult{
-				Workload: wl,
-				Point:    p,
-				Run:      r,
-				Core:     r.Plat.(hamsExposer).Controller().Stats(),
+		for i, p := range points {
+			cells = append(cells, matrixCell{
+				key:      fmt.Sprintf("%s/p%d-%s", wl, i, p.label()),
+				platform: "hams-LE", workload: wl,
+				popt: platform.Options{
+					HAMSWays:   p.Ways,
+					HAMSBanks:  p.Banks,
+					HAMSPolicy: p.Policy,
+				},
+				keepPlat: true, // SweepResult reads controller stats
 			})
 		}
+	}
+	res, err := runMatrix(o, "sweep", cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepResult, 0, len(res))
+	for i, r := range res {
+		out = append(out, SweepResult{
+			Workload: workloads[i/len(points)],
+			Point:    points[i%len(points)],
+			Run:      r,
+			Core:     r.Plat.(hamsExposer).Controller().Stats(),
+		})
 	}
 	return out, nil
 }

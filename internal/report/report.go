@@ -1,0 +1,218 @@
+// Package report serializes experiment runs into versioned
+// BENCH_<name>.json artifacts and diffs two artifacts for per-cell
+// performance regressions. The schema is documented in EXPERIMENTS.md;
+// CI commits a baseline artifact and fails the build when a cell's
+// simulated throughput drops beyond a threshold.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SchemaVersion identifies the artifact layout; Compare refuses to
+// diff artifacts across schema versions.
+const SchemaVersion = 1
+
+// Cell is the per-cell record of an artifact: one (platform, workload,
+// config) point of one target, with its simulated metrics and host
+// cost.
+type Cell struct {
+	// Key is the cell's stable identity ("<target>/<cell path>");
+	// Compare matches cells across artifacts by Key.
+	Key      string `json:"key"`
+	Target   string `json:"target"`
+	Platform string `json:"platform,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// WallNS is host wall time spent producing the cell. It is the
+	// only nondeterministic field and is zeroed by Canonical.
+	WallNS int64 `json:"wall_ns"`
+	// SimNS is the simulated elapsed time of the run.
+	SimNS int64 `json:"sim_ns,omitempty"`
+	// Units and UnitsPerSec are work items (pages or SQL ops) and
+	// simulated throughput; UnitsPerSec is what Compare gates on.
+	Units       int64   `json:"units,omitempty"`
+	UnitsPerSec float64 `json:"units_per_sec,omitempty"`
+	HitRate     float64 `json:"hit_rate,omitempty"`
+	EnergyJ     float64 `json:"energy_j,omitempty"`
+	// Extra carries target-specific metrics (e.g. Fig. 5 latency).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Artifact is one serialized harness invocation.
+type Artifact struct {
+	Schema  int       `json:"schema"`
+	Name    string    `json:"name"`
+	GitRev  string    `json:"git_rev,omitempty"`
+	Created time.Time `json:"created_at,omitempty"`
+	Scale   float64   `json:"scale"`
+	Seed    int64     `json:"seed"`
+	Workers int       `json:"workers,omitempty"`
+	Cells   []Cell    `json:"cells"`
+}
+
+// Canonical returns a copy with every volatile field zeroed: creation
+// time, git revision, worker count, and per-cell host wall times. Two
+// runs of the same code at the same scale/seed must produce identical
+// Canonical artifacts regardless of parallelism — the determinism
+// tests compare these bytes.
+func (a Artifact) Canonical() Artifact {
+	a.Created = time.Time{}
+	a.GitRev = ""
+	a.Workers = 0
+	cells := make([]Cell, len(a.Cells))
+	copy(cells, a.Cells)
+	for i := range cells {
+		cells[i].WallNS = 0
+	}
+	a.Cells = cells
+	return a
+}
+
+// CanonicalJSON renders the canonical form for byte comparison.
+func (a Artifact) CanonicalJSON() ([]byte, error) {
+	return json.MarshalIndent(a.Canonical(), "", "  ")
+}
+
+// GitRev reports the VCS revision baked into the binary, or "" when
+// built without VCS stamping (e.g. go test).
+func GitRev() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, modified := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if rev != "" && modified {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// Recorder collects cells from concurrent targets; the engine appends
+// results in canonical order, so a Recorder filled from sequential
+// target runs is deterministic.
+type Recorder struct {
+	mu    sync.Mutex
+	cells []Cell
+}
+
+// Add appends one cell record.
+func (r *Recorder) Add(c Cell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cells = append(r.cells, c)
+}
+
+// Len reports how many cells have been recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cells)
+}
+
+// Artifact assembles the recorded cells into an artifact.
+func (r *Recorder) Artifact(name string, scale float64, seed int64, workers int) Artifact {
+	r.mu.Lock()
+	cells := make([]Cell, len(r.cells))
+	copy(cells, r.cells)
+	r.mu.Unlock()
+	return Artifact{
+		Schema:  SchemaVersion,
+		Name:    name,
+		GitRev:  GitRev(),
+		Created: time.Now().UTC(),
+		Scale:   scale,
+		Seed:    seed,
+		Workers: workers,
+		Cells:   cells,
+	}
+}
+
+// WriteFile serializes an artifact to path.
+func WriteFile(path string, a Artifact) error {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads an artifact from path.
+func Load(path string) (Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Artifact{}, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return Artifact{}, fmt.Errorf("report: %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// Regression is one cell whose throughput dropped beyond the
+// threshold, or that disappeared from the new artifact.
+type Regression struct {
+	Key     string
+	Base    float64 // baseline units/sec
+	New     float64 // new units/sec; 0 with Missing set
+	Delta   float64 // fractional drop, (Base-New)/Base
+	Missing bool    // cell present in base but absent from new
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: cell missing from new artifact (base %.1f units/s)", r.Key, r.Base)
+	}
+	return fmt.Sprintf("%s: %.1f -> %.1f units/s (-%.1f%%)", r.Key, r.Base, r.New, r.Delta*100)
+}
+
+// Compare diffs two artifacts cell-by-cell and returns every cell of
+// base whose simulated throughput regressed by more than threshold
+// (a fraction, e.g. 0.15) in cur, plus cells that vanished. Cells
+// without throughput (static tables, latency-only panels) are skipped.
+// Comparing different scales, seeds, or schema versions is an error —
+// the throughputs would not be commensurable.
+func Compare(base, cur Artifact, threshold float64) ([]Regression, error) {
+	if base.Schema != cur.Schema {
+		return nil, fmt.Errorf("report: schema mismatch: base v%d vs new v%d", base.Schema, cur.Schema)
+	}
+	if base.Scale != cur.Scale || base.Seed != cur.Seed {
+		return nil, fmt.Errorf("report: incomparable artifacts: base scale=%g seed=%d vs new scale=%g seed=%d",
+			base.Scale, base.Seed, cur.Scale, cur.Seed)
+	}
+	curBy := make(map[string]Cell, len(cur.Cells))
+	for _, c := range cur.Cells {
+		curBy[c.Key] = c
+	}
+	var regs []Regression
+	for _, b := range base.Cells {
+		if b.UnitsPerSec <= 0 {
+			continue
+		}
+		c, ok := curBy[b.Key]
+		if !ok {
+			regs = append(regs, Regression{Key: b.Key, Base: b.UnitsPerSec, Missing: true})
+			continue
+		}
+		drop := (b.UnitsPerSec - c.UnitsPerSec) / b.UnitsPerSec
+		if drop > threshold {
+			regs = append(regs, Regression{Key: b.Key, Base: b.UnitsPerSec, New: c.UnitsPerSec, Delta: drop})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Key < regs[j].Key })
+	return regs, nil
+}

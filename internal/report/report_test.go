@@ -1,0 +1,136 @@
+package report
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func sampleArtifact() Artifact {
+	return Artifact{
+		Schema: SchemaVersion, Name: "test", Scale: 1e-6, Seed: 42, Workers: 8,
+		GitRev: "abc123", Created: time.Date(2026, 7, 27, 0, 0, 0, 0, time.UTC),
+		Cells: []Cell{
+			{Key: "fig20/a/seqSel/4KB", Target: "fig20", Platform: "hams-TE", Workload: "seqSel",
+				WallNS: 12345, SimNS: 1000, Units: 100, UnitsPerSec: 5000, HitRate: 0.94, EnergyJ: 1.5},
+			{Key: "fig5/a/ULL-Flash/rndRd", Target: "fig5", Platform: "ULL-Flash",
+				WallNS: 999, Extra: map[string]float64{"avg_lat_us": 12.5}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	a := sampleArtifact()
+	if err := WriteFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := a.CanonicalJSON()
+	gj, _ := got.CanonicalJSON()
+	if !bytes.Equal(aj, gj) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", aj, gj)
+	}
+	if got.Cells[0].HitRate != 0.94 || got.Cells[1].Extra["avg_lat_us"] != 12.5 {
+		t.Fatalf("cell fields lost: %+v", got.Cells)
+	}
+}
+
+func TestCanonicalZeroesVolatileFields(t *testing.T) {
+	a := sampleArtifact()
+	c := a.Canonical()
+	if !c.Created.IsZero() || c.GitRev != "" || c.Workers != 0 {
+		t.Fatalf("volatile header fields kept: %+v", c)
+	}
+	for _, cell := range c.Cells {
+		if cell.WallNS != 0 {
+			t.Fatalf("wall time kept in %s", cell.Key)
+		}
+	}
+	// Canonical must not mutate the original.
+	if a.Cells[0].WallNS != 12345 || a.Workers != 8 {
+		t.Fatal("Canonical mutated its receiver")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := sampleArtifact()
+	cur := sampleArtifact()
+	cur.Cells[0].UnitsPerSec = 4000 // -20% vs 5000
+	regs, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Key != "fig20/a/seqSel/4KB" {
+		t.Fatalf("regs = %+v", regs)
+	}
+	if regs[0].Delta < 0.19 || regs[0].Delta > 0.21 {
+		t.Fatalf("delta = %v, want ~0.20", regs[0].Delta)
+	}
+
+	// Within threshold: no flag.
+	cur.Cells[0].UnitsPerSec = 4500 // -10%
+	regs, err = Compare(base, cur, 0.15)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("within-threshold drop flagged: %+v err=%v", regs, err)
+	}
+
+	// Improvements never flag.
+	cur.Cells[0].UnitsPerSec = 9000
+	regs, _ = Compare(base, cur, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+}
+
+func TestCompareFlagsMissingCells(t *testing.T) {
+	base := sampleArtifact()
+	cur := sampleArtifact()
+	cur.Cells = cur.Cells[1:] // drop the throughput cell
+	regs, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("regs = %+v", regs)
+	}
+}
+
+func TestCompareRejectsIncomparable(t *testing.T) {
+	base := sampleArtifact()
+	cur := sampleArtifact()
+	cur.Scale = 2e-6
+	if _, err := Compare(base, cur, 0.15); err == nil {
+		t.Fatal("scale mismatch accepted")
+	}
+	cur = sampleArtifact()
+	cur.Seed = 7
+	if _, err := Compare(base, cur, 0.15); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	cur = sampleArtifact()
+	cur.Schema = SchemaVersion + 1
+	if _, err := Compare(base, cur, 0.15); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestRecorderCollects(t *testing.T) {
+	var r Recorder
+	r.Add(Cell{Key: "a"})
+	r.Add(Cell{Key: "b"})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	a := r.Artifact("n", 1e-6, 42, 4)
+	if a.Schema != SchemaVersion || len(a.Cells) != 2 || a.Cells[0].Key != "a" {
+		t.Fatalf("artifact = %+v", a)
+	}
+	if a.Created.IsZero() {
+		t.Fatal("no creation time")
+	}
+}

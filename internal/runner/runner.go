@@ -1,0 +1,148 @@
+// Package runner is the concurrent experiment engine: it executes a
+// set of independent experiment cells — one (platform, workload,
+// config) point of a table or figure — across a worker pool and
+// reassembles the results in canonical (input) order.
+//
+// Determinism is the package contract: a cell's output may depend only
+// on its own inputs (including a seed derived from the cell's stable
+// identity via DeriveSeed), never on which worker ran it, how many
+// workers exist, or the order in which cells complete. Under that
+// contract Run returns bit-identical results for Workers=1,
+// Workers=GOMAXPROCS, and any dispatch permutation — pinned by tests
+// in this package and in internal/experiments.
+package runner
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Cell is one independent unit of work. Key is the cell's stable
+// identity: unique within a Run call, used for result labeling and
+// (by callers) for seed derivation.
+type Cell struct {
+	Key string
+	Fn  func(ctx context.Context) (any, error)
+}
+
+// Result pairs a cell's output with its identity and host-side cost.
+type Result struct {
+	Key   string
+	Value any
+	Wall  time.Duration // host wall time of the cell (not simulated time)
+	Err   error
+}
+
+// Engine executes cells across a worker pool.
+type Engine struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// ShuffleSeed, when nonzero, deterministically permutes the order
+	// cells are dispatched to workers. Results still come back in
+	// canonical order — the knob exists so tests can prove completion
+	// order does not leak into results.
+	ShuffleSeed int64
+}
+
+// Run executes every cell and returns results in input order. The
+// first cell error cancels the context passed to still-pending cells
+// and is returned after all in-flight cells drain; completed cells
+// keep their results. A cancelled ctx stops dispatch and returns
+// ctx.Err().
+func (e Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	seen := make(map[string]struct{}, len(cells))
+	for _, c := range cells {
+		if _, dup := seen[c.Key]; dup {
+			return nil, fmt.Errorf("runner: duplicate cell key %q", c.Key)
+		}
+		seen[c.Key] = struct{}{}
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	if e.ShuffleSeed != 0 {
+		rng := rand.New(rand.NewSource(e.ShuffleSeed))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]Result, len(cells))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var once sync.Once
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cells[i]
+				start := time.Now()
+				v, err := c.Fn(ctx)
+				results[i] = Result{Key: c.Key, Value: v, Wall: time.Since(start), Err: err}
+				if err != nil {
+					once.Do(func() { firstErr = err; cancel() })
+				}
+			}
+		}()
+	}
+dispatch:
+	for _, i := range order {
+		// Poll ctx before offering the cell: select chooses randomly
+		// among ready cases, so without this a cancelled context could
+		// keep losing the coin flip against a ready worker and leak
+		// extra dispatches.
+		select {
+		case <-ctx.Done():
+			break dispatch
+		default:
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return results, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// DeriveSeed maps (base seed, stable cell identity) to a per-cell
+// workload seed. The derivation depends only on its arguments, so a
+// cell draws the same stream no matter which worker runs it or when;
+// cells that must stay paired for a comparison (e.g. the same workload
+// across platforms) pass the same key.
+func DeriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// squareCells builds n cells whose value depends only on their index,
+// with an optional artificial delay profile to skew completion order.
+func squareCells(n int, delay func(i int) time.Duration) []Cell {
+	cells := make([]Cell, n)
+	for i := 0; i < n; i++ {
+		cells[i] = Cell{
+			Key: fmt.Sprintf("cell%03d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				if delay != nil {
+					time.Sleep(delay(i))
+				}
+				return i * i, nil
+			},
+		}
+	}
+	return cells
+}
+
+func values(t *testing.T, res []Result) []int {
+	t.Helper()
+	out := make([]int, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Key, r.Err)
+		}
+		out[i] = r.Value.(int)
+	}
+	return out
+}
+
+// Results must come back in input order even when later cells finish
+// first (early cells sleep longest).
+func TestCanonicalOrderUnderSkewedCompletion(t *testing.T) {
+	n := 32
+	cells := squareCells(n, func(i int) time.Duration {
+		return time.Duration(n-i) * time.Millisecond
+	})
+	res, err := Engine{Workers: 8}.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values(t, res) {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+		if res[i].Key != cells[i].Key {
+			t.Fatalf("result[%d] key %q, want %q", i, res[i].Key, cells[i].Key)
+		}
+	}
+}
+
+// The same cells must yield identical results for any worker count and
+// any dispatch permutation.
+func TestWorkerCountAndDispatchOrderInvariance(t *testing.T) {
+	cells := squareCells(50, nil)
+	ref, err := Engine{Workers: 1}.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := values(t, ref)
+	for _, e := range []Engine{
+		{Workers: 2}, {Workers: 8}, {Workers: 0},
+		{Workers: 8, ShuffleSeed: 1}, {Workers: 8, ShuffleSeed: 99}, {Workers: 3, ShuffleSeed: 7},
+	} {
+		res, err := e.Run(context.Background(), cells)
+		if err != nil {
+			t.Fatalf("%+v: %v", e, err)
+		}
+		for i, v := range values(t, res) {
+			if v != want[i] {
+				t.Fatalf("%+v: result[%d] = %d, want %d", e, i, v, want[i])
+			}
+		}
+	}
+}
+
+func TestFirstErrorCancelsAndIsReturned(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	cells := make([]Cell, 64)
+	for i := range cells {
+		fail := i == 3
+		cells[i] = Cell{
+			Key: fmt.Sprintf("c%d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				ran.Add(1)
+				if fail {
+					return nil, boom
+				}
+				time.Sleep(time.Millisecond)
+				return i, nil
+			},
+		}
+	}
+	_, err := Engine{Workers: 2}.Run(context.Background(), cells)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n == int32(len(cells)) {
+		t.Fatalf("error did not cancel dispatch: all %d cells ran", n)
+	}
+}
+
+func TestCancelledContextStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Engine{Workers: 4}.Run(ctx, squareCells(100, nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Dispatch polls ctx before every send, so a pre-cancelled context
+	// dispatches nothing at all.
+	for _, r := range res {
+		if r.Value != nil {
+			t.Fatalf("cell %s ran after cancellation", r.Key)
+		}
+	}
+}
+
+func TestDuplicateKeysRejected(t *testing.T) {
+	cells := squareCells(2, nil)
+	cells[1].Key = cells[0].Key
+	if _, err := (Engine{}).Run(context.Background(), cells); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+func TestEmptyCellSet(t *testing.T) {
+	res, err := (Engine{}).Run(context.Background(), nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty run: res=%v err=%v", res, err)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := DeriveSeed(42, "rndWr")
+	if a != DeriveSeed(42, "rndWr") {
+		t.Fatal("DeriveSeed not stable")
+	}
+	if a == DeriveSeed(42, "rndRd") {
+		t.Fatal("different keys collided")
+	}
+	if a == DeriveSeed(43, "rndWr") {
+		t.Fatal("different base seeds collided")
+	}
+	if a < 0 {
+		t.Fatalf("derived seed %d negative (breaks rand.NewSource conventions downstream)", a)
+	}
+}
+
+// Wall times are per-cell host measurements, not shared accumulators.
+func TestWallTimesRecorded(t *testing.T) {
+	cells := squareCells(4, func(i int) time.Duration { return 2 * time.Millisecond })
+	res, err := Engine{Workers: 4}.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Wall < time.Millisecond {
+			t.Fatalf("cell %s wall %v implausibly small", r.Key, r.Wall)
+		}
+	}
+}

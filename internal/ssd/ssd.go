@@ -287,7 +287,12 @@ func (d *Device) Flush(t sim.Time) sim.Time {
 	if d.buf == nil {
 		return latest
 	}
-	for _, e := range d.buf {
+	// Walk the LRU list (oldest first) rather than the map: FTL page
+	// allocation and flash-channel timing depend on write order, so
+	// flushing in map-iteration order would make device timing
+	// nondeterministic run to run.
+	for el := d.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*bufEntry)
 		if !e.dirty {
 			continue
 		}
@@ -346,7 +351,10 @@ func (d *Device) PowerFail() int {
 		return 0
 	}
 	dirty := 0
-	for _, e := range d.buf {
+	// LRU order, not map order: the supercap path writes to flash, and
+	// write order must be deterministic (see Flush).
+	for el := d.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*bufEntry)
 		if !e.dirty {
 			continue
 		}
