@@ -212,3 +212,22 @@ func BenchmarkSweepSerial(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReplay covers the full record → codec → replay → verify
+// path of every replay cell (each cell runs its workload twice: live
+// and replayed).
+func BenchmarkReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Replay(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Mixed(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

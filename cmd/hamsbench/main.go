@@ -4,18 +4,23 @@
 // Usage:
 //
 //	hamsbench [-scale 3e-6] [-seed 42] [-parallel N] [-json out.json] <target> [target...]
-//	hamsbench compare [-threshold 0.15] baseline.json new.json
+//	hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json
 //
 // Targets: table1 table2 table3 fig5 fig6 fig7 fig10 fig16 fig17
-// fig18 fig19 fig20 headline ablation sweep all
+// fig18 fig19 fig20 headline ablation sweep replay mixed all
 //
 // sweep runs the associativity × shard grid (MoS cache geometry) on
-// the random microbenchmarks and rndIns. -parallel sets the engine
-// worker count (0 = GOMAXPROCS, 1 = serial); results are bit-identical
-// for any value. -json writes a versioned BENCH artifact with one
-// record per experiment cell; compare diffs two artifacts and exits
-// nonzero when any cell's simulated throughput regressed beyond the
-// threshold (the CI perf gate).
+// the random microbenchmarks and rndIns. replay runs the record→replay
+// determinism matrix: each cell records a workload through the v2
+// trace codec, replays it, and fails unless the replayed simulated
+// stats match the live run bit-for-bit. mixed runs the built-in
+// multi-tenant scenarios with per-tenant latency percentiles.
+// -parallel sets the engine worker count (0 = GOMAXPROCS, 1 = serial);
+// results are bit-identical for any value. -json writes a versioned
+// BENCH artifact with one record per experiment cell; compare diffs
+// two artifacts and exits nonzero when any cell's simulated throughput
+// regressed beyond the threshold (the CI perf gate); -summary appends
+// the markdown delta table to a file ($GITHUB_STEP_SUMMARY in CI).
 package main
 
 import (
@@ -34,7 +39,8 @@ import (
 )
 
 var allTargets = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
-	"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation", "sweep"}
+	"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation", "sweep",
+	"replay", "mixed"}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
@@ -90,7 +96,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] <%s|all>\n",
 		strings.Join(allTargets, "|"))
-	fmt.Fprintln(os.Stderr, "       hamsbench compare [-threshold 0.15] baseline.json new.json")
+	fmt.Fprintln(os.Stderr, "       hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json")
 }
 
 // expand resolves "all" and drops repeats (first occurrence wins): a
@@ -160,6 +166,10 @@ func run(target string, o experiments.Options) error {
 		tables, err = one(experiments.Ablation(o))
 	case "sweep":
 		tables, err = experiments.AssocShardSweep(o)
+	case "replay":
+		tables, err = experiments.Replay(o)
+	case "mixed":
+		tables, err = experiments.Mixed(o)
 	}
 	if err != nil {
 		return err
@@ -172,10 +182,14 @@ func run(target string, o experiments.Options) error {
 }
 
 // runCompare is the CI perf gate: diff two BENCH artifacts and fail
-// on per-cell throughput regressions beyond the threshold.
+// on per-cell throughput regressions beyond the threshold. -summary
+// appends the full markdown delta table to a file — pointed at
+// $GITHUB_STEP_SUMMARY, the per-cell deltas land on the workflow run
+// page so a regression is readable without rerunning anything.
 func runCompare(args []string) int {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.15, "max tolerated fractional throughput drop per cell")
+	summary := fs.String("summary", "", "append a markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
@@ -191,11 +205,28 @@ func runCompare(args []string) int {
 		fmt.Fprintf(os.Stderr, "hamsbench compare: %v\n", err)
 		return 2
 	}
-	regs, err := report.Compare(base, cur, *threshold)
+	deltas, err := report.Deltas(base, cur)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hamsbench compare: %v\n", err)
 		return 2
 	}
+	if *summary != "" {
+		md := report.Markdown(fmt.Sprintf("Bench gate: %s vs %s", fs.Arg(0), fs.Arg(1)), deltas, *threshold)
+		f, err := os.OpenFile(*summary, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hamsbench compare: summary: %v\n", err)
+			return 2
+		}
+		_, werr := f.WriteString(md)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "hamsbench compare: summary: %v\n", werr)
+			return 2
+		}
+	}
+	regs := report.Threshold(deltas, *threshold)
 	if len(regs) > 0 {
 		fmt.Fprintf(os.Stderr, "hamsbench compare: %d cell(s) regressed beyond %.0f%%:\n", len(regs), *threshold*100)
 		for _, r := range regs {

@@ -1,19 +1,31 @@
 // Command hamstrace records Table III workload streams into the binary
-// trace format and inspects existing traces, so experiment inputs can
-// be frozen and replayed bit-identically.
+// trace container, inspects existing traces, and replays them through
+// any platform — so experiment inputs can be frozen once and re-run
+// bit-identically.
 //
 // Usage:
 //
-//	hamstrace record [-scale 1e-6] [-seed 42] [-thread 0] <workload> <file>
+//	hamstrace record [-scale 1e-6] [-seed 42] [-threads all] <workload> <file>
+//	hamstrace replay [-platform hams-LE] <file>
 //	hamstrace info <file>
+//
+// record writes a v2 container: one labeled stream per thread plus the
+// workload's warm (steady-state) regions, which replay re-installs so
+// a replayed trace reproduces the live run's simulated statistics
+// bit-for-bit. -threads selects "all" (the default) or a single
+// 0-based thread index. info and replay decode v1 traces too.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
 
 	"hams/internal/mem"
+	"hams/internal/replay"
+	"hams/internal/stats"
 	"hams/internal/trace"
 	"hams/internal/workload"
 )
@@ -25,6 +37,8 @@ func main() {
 	switch os.Args[1] {
 	case "record":
 		record(os.Args[2:])
+	case "replay":
+		replayCmd(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
 	default:
@@ -33,7 +47,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hamstrace record [-scale S] [-seed N] [-thread K] <workload> <file>")
+	fmt.Fprintln(os.Stderr, "usage: hamstrace record [-scale S] [-seed N] [-threads all|K] <workload> <file>")
+	fmt.Fprintln(os.Stderr, "       hamstrace replay [-platform P] <file>")
 	fmt.Fprintln(os.Stderr, "       hamstrace info <file>")
 	os.Exit(2)
 }
@@ -42,32 +57,81 @@ func record(args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	scale := fs.Float64("scale", 1e-6, "instruction-count scale vs Table III")
 	seed := fs.Int64("seed", 42, "workload random seed")
-	thread := fs.Int("thread", 0, "which thread's stream to record")
+	threads := fs.String("threads", "all", `threads to record: "all" or a 0-based index`)
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
 	}
-	spec, err := workload.ByName(fs.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
 	o := workload.DefaultOptions()
 	o.Scale = *scale
 	o.Seed = *seed
-	streams := spec.Streams(o)
-	if *thread < 0 || *thread >= len(streams) {
-		fatal(fmt.Errorf("thread %d out of range (workload has %d)", *thread, len(streams)))
+	thread := replay.AllThreads
+	if *threads != "all" {
+		idx, err := strconv.Atoi(*threads)
+		if err != nil {
+			fatal(fmt.Errorf("-threads must be \"all\" or a 0-based index, got %q", *threads))
+		}
+		thread = idx
 	}
 	f, err := os.Create(fs.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	n, err := trace.Record(f, streams[*thread])
+	// RecordWorkload writes a v2 container whose warm regions travel
+	// with the trace: replay re-installs the same steady-state
+	// residency the live harness warms, which is what makes a replayed
+	// run bit-identical to the live one.
+	n, err := replay.RecordWorkload(f, fs.Arg(0), o, thread)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("recorded %d steps of %s (thread %d) to %s\n", n, spec.Name, *thread, fs.Arg(1))
+	fmt.Printf("recorded %d steps of %s to %s\n", n, fs.Arg(0), fs.Arg(1))
+}
+
+func replayCmd(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	plat := fs.String("platform", "hams-LE", "platform to replay against")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tf, err := trace.Decode(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	sc := replay.Scenario{
+		Name:     filepath.Base(fs.Arg(0)),
+		Platform: *plat,
+		Tenants:  replay.FromFile(tf),
+	}
+	res, err := replay.Run(sc, replay.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	st := res.CPU
+	fmt.Printf("trace        %s (v%d, %d thread(s), %d step(s))\n", sc.Name, tf.Version, len(tf.Threads), tf.Steps())
+	fmt.Printf("platform     %s\n", res.Platform)
+	fmt.Printf("instructions %d\n", st.Instructions)
+	fmt.Printf("elapsed      %v\n", st.Elapsed)
+	fmt.Printf("work units   %d (%.0f/s)\n", res.Units, res.UnitsPerSec())
+	fmt.Printf("mem accesses %d (L1 %.1f%%, L2 %.1f%% hit)\n", st.MemAccesses,
+		pct(st.L1Hits, st.L1Hits+st.L1Misses), pct(st.L2Hits, st.L2Hits+st.L2Misses))
+	fmt.Printf("breakdown    OS=%v mem=%v DMA=%v SSD=%v\n", st.OSTime, st.MemTime, st.DMATime, st.SSDTime)
+	fmt.Printf("energy (J)   %.3f\n\n", res.Energy.Total())
+	t := stats.NewTable("Per-tenant latency breakdown",
+		"tenant", "threads", "units", "accesses", "mean", "p50", "p95", "p99", "max")
+	for _, ten := range res.Tenants {
+		t.AddRow(ten.Name, fmt.Sprint(ten.Threads), fmt.Sprint(ten.Units), fmt.Sprint(ten.Accesses),
+			fmt.Sprintf("%dns", ten.Mean), fmt.Sprintf("%dns", ten.P50),
+			fmt.Sprintf("%dns", ten.P95), fmt.Sprintf("%dns", ten.P99), fmt.Sprintf("%dns", ten.Max))
+	}
+	fmt.Println(t)
 }
 
 func info(args []string) {
@@ -79,38 +143,46 @@ func info(args []string) {
 		fatal(err)
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
+	tf, err := trace.Decode(f)
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("version      %d\n", tf.Version)
+	if tf.Name != "" {
+		fmt.Printf("name         %s\n", tf.Name)
+	}
+	fmt.Printf("threads      %d\n", len(tf.Threads))
+	fmt.Printf("warm regions %d\n", len(tf.Warm))
 	var steps, accesses, loads, stores, compute int64
 	var bytes uint64
 	minAddr, maxAddr := ^uint64(0), uint64(0)
-	for {
-		s, ok := r.Next()
-		if !ok {
-			break
+	for ti, th := range tf.Threads {
+		var tAcc int64
+		for _, s := range th.Steps {
+			steps++
+			compute += s.Compute
+			for _, a := range s.Acc {
+				accesses++
+				tAcc++
+				bytes += uint64(a.Size)
+				if a.Op == mem.Read {
+					loads++
+				} else {
+					stores++
+				}
+				if a.Addr < minAddr {
+					minAddr = a.Addr
+				}
+				if a.End() > maxAddr {
+					maxAddr = a.End()
+				}
+			}
 		}
-		steps++
-		compute += s.Compute
-		for _, a := range s.Acc {
-			accesses++
-			bytes += uint64(a.Size)
-			if a.Op == mem.Read {
-				loads++
-			} else {
-				stores++
-			}
-			if a.Addr < minAddr {
-				minAddr = a.Addr
-			}
-			if a.End() > maxAddr {
-				maxAddr = a.End()
-			}
+		label := th.Label
+		if label == "" {
+			label = "-"
 		}
-	}
-	if err := r.Err(); err != nil {
-		fatal(err)
+		fmt.Printf("  thread %-3d %-16s %7d steps %9d accesses\n", ti, label, len(th.Steps), tAcc)
 	}
 	fmt.Printf("steps        %d\n", steps)
 	fmt.Printf("accesses     %d (%d loads, %d stores)\n", accesses, loads, stores)
@@ -119,6 +191,13 @@ func info(args []string) {
 	if accesses > 0 {
 		fmt.Printf("addr range   [%#x, %#x)\n", minAddr, maxAddr)
 	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
 }
 
 func fatal(err error) {

@@ -119,17 +119,30 @@ type coreState struct {
 	done   bool
 }
 
+// AccessObserver receives every memory access a core issues, with the
+// issuing core's index (stream order), the access, and its issue and
+// completion times. Observers are passive: they see the same values
+// the runner accounts with and must not mutate shared state the
+// simulation reads — the replay scenario engine uses one to build
+// per-tenant latency histograms.
+type AccessObserver func(core int, a mem.Access, issue, done sim.Time)
+
 // Runner drives N cores against one memory system.
 type Runner struct {
 	cfg Config
 	mem MemSystem
 	l2  *Cache
+	obs AccessObserver
 }
 
 // NewRunner builds a runner.
 func NewRunner(cfg Config, m MemSystem) *Runner {
 	return &Runner{cfg: cfg, mem: m, l2: NewCache(cfg.L2)}
 }
+
+// Observe registers an access observer; nil disables observation.
+// Observation never changes simulated results.
+func (r *Runner) Observe(fn AccessObserver) { r.obs = fn }
 
 // Run executes the streams (one per core; extra streams are ignored,
 // missing ones leave cores idle) until all are exhausted. Cores are
@@ -156,16 +169,18 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 
 	active := len(cores)
 	for active > 0 {
-		// Pick the core with the smallest local time.
-		var c *coreState
-		for _, cs := range cores {
+		// Pick the core with the smallest local time (ties break to the
+		// lowest index, keeping the schedule deterministic).
+		ci := -1
+		for i, cs := range cores {
 			if cs.done {
 				continue
 			}
-			if c == nil || cs.now < c.now {
-				c = cs
+			if ci < 0 || cs.now < cores[ci].now {
+				ci = i
 			}
 		}
+		c := cores[ci]
 		step, ok := c.stream.Next()
 		if !ok {
 			c.done = true
@@ -192,6 +207,9 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 			done, mr, err := r.serveAccess(c, a, &st)
 			if err != nil {
 				return st, err
+			}
+			if r.obs != nil {
+				r.obs(ci, a, c.now, done)
 			}
 			stall := done - c.now
 			if stall > 0 {

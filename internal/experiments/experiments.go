@@ -101,7 +101,7 @@ func Run(platName, wlName string, o Options, popt platform.Options, wopt *worklo
 	// The system page size sets the MMU translation granularity
 	// (Fig. 20a varies it): HAMS maps MoS pages; everything else runs
 	// on the 4 KiB default.
-	if pg := mappingPage(platName, popt); pg != 0 {
+	if pg := platform.MappingPage(platName, popt); pg != 0 {
 		ccfg.TLB.PageBytes = pg
 	}
 	runner := cpu.NewRunner(ccfg, plat)
@@ -124,19 +124,6 @@ func Run(platName, wlName string, o Options, popt platform.Options, wopt *worklo
 		Platform: platName, Workload: wlName,
 		CPU: st, Units: units, Energy: eb, Plat: plat,
 	}, nil
-}
-
-// mappingPage returns the MMU page size a platform maps with.
-func mappingPage(platName string, popt platform.Options) uint64 {
-	switch platName {
-	case "hams-LP", "hams-LE", "hams-TP", "hams-TE", "hams-SW":
-		if popt.HAMSPage != 0 {
-			return popt.HAMSPage
-		}
-		return 128 * 1024
-	default:
-		return 0
-	}
 }
 
 // busyTime estimates the cores' active (non-stalled) time: compute

@@ -34,6 +34,14 @@ func renderAll(t *testing.T, o Options) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rp, err := Replay(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := Mixed(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tb := range tabs {
 		b.WriteString(tb.String())
 	}
@@ -45,6 +53,12 @@ func renderAll(t *testing.T, o Options) string {
 	}
 	b.WriteString(abl.String())
 	for _, tb := range sw {
+		b.WriteString(tb.String())
+	}
+	for _, tb := range rp {
+		b.WriteString(tb.String())
+	}
+	for _, tb := range mx {
 		b.WriteString(tb.String())
 	}
 	return b.String()

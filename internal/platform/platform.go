@@ -68,6 +68,23 @@ func Names() []string {
 	}
 }
 
+// MappingPage returns the MMU translation granularity a platform maps
+// memory with: the HAMS variants map whole MoS pages (Fig. 20a varies
+// the size); 0 means the harness's 4 KiB system default. Every driver
+// of cpu.Runner (live experiments and trace replay alike) must apply
+// the same granularity or identical streams would translate
+// differently.
+func MappingPage(name string, o Options) uint64 {
+	switch name {
+	case "hams-LP", "hams-LE", "hams-TP", "hams-TE", "hams-SW":
+		if o.HAMSPage != 0 {
+			return o.HAMSPage
+		}
+		return 128 * 1024
+	}
+	return 0
+}
+
 // New constructs a platform by its paper name.
 func New(name string, o Options) (Platform, error) {
 	switch name {

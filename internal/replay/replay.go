@@ -1,0 +1,280 @@
+// Package replay adapts recorded traces and synthetic Table III
+// workloads into executable scenarios: it assembles per-tenant
+// cpu.Streams, warms the platform with each tenant's steady-state
+// regions, drives everything through one cpu.Runner on a shared
+// memory system, and reports per-tenant progress and latency
+// percentiles (p50/p95/p99 from stats.Histogram).
+//
+// Determinism contract: replaying a v2 trace recorded from a live
+// workload run reproduces that run's simulated statistics bit-for-bit
+// (pinned by this package's golden test and re-checked by every
+// `hamsbench replay` cell), and a scenario's result is a pure function
+// of (Scenario, Options) — never of host scheduling.
+package replay
+
+import (
+	"fmt"
+	"io"
+
+	"hams/internal/cpu"
+	"hams/internal/energy"
+	"hams/internal/mem"
+	"hams/internal/platform"
+	"hams/internal/sim"
+	"hams/internal/stats"
+	"hams/internal/trace"
+	"hams/internal/workload"
+)
+
+// Tenant is one co-located traffic source of a scenario: either a
+// recorded trace (Trace non-nil) or a synthetic Table III workload
+// generated on the fly.
+type Tenant struct {
+	// Name labels the tenant in per-tenant breakdowns and derives
+	// nothing — two tenants may share a workload but not a name.
+	Name string
+	// Trace selects trace-backed streams. When TraceLabel is empty the
+	// tenant replays every thread of the file; otherwise only threads
+	// recorded under that label.
+	Trace      *trace.File
+	TraceLabel string
+	// Workload names a Table III spec for synthetic tenants
+	// (ignored when Trace is set).
+	Workload string
+	// Seed overrides the scenario-level stream seed for this tenant —
+	// required when two synthetic tenants share a workload, or their
+	// streams would be perfectly correlated.
+	Seed int64
+}
+
+// Scenario composes N tenants onto one platform. Every tenant thread
+// gets its own core; the memory system, MoS cache, and archive
+// bandwidth are shared — the contention under test.
+type Scenario struct {
+	Name     string
+	Platform string
+	PlatOpts platform.Options
+	Tenants  []Tenant
+}
+
+// Options tunes synthetic tenant stream generation (trace-backed
+// tenants replay exactly what was recorded and ignore both fields).
+type Options struct {
+	// Scale multiplies Table III instruction counts; 0 keeps the
+	// workload package default.
+	Scale float64
+	// Seed is the base stream seed (Tenant.Seed overrides per tenant).
+	Seed int64
+}
+
+func (o Options) workloadOptions() workload.Options {
+	w := workload.DefaultOptions()
+	if o.Scale > 0 {
+		w.Scale = o.Scale
+	}
+	w.Seed = o.Seed
+	return w
+}
+
+// TenantStats is one tenant's share of a scenario run.
+type TenantStats struct {
+	Name     string
+	Threads  int
+	Units    int64 // completed work items (steps for traces = pages/ops)
+	Accesses int64 // memory accesses issued past the core's own step
+	// Latency percentiles over the tenant's end-to-end access
+	// latencies (address translation + cache hierarchy + memory
+	// system), in simulated time.
+	Mean, P50, P95, P99, Max sim.Time
+}
+
+// Result is one scenario run.
+type Result struct {
+	Scenario string
+	Platform string
+	CPU      cpu.Stats
+	Energy   energy.Breakdown
+	Tenants  []TenantStats
+	Units    int64
+}
+
+// UnitsPerSec returns aggregate work items per second of simulated time.
+func (r Result) UnitsPerSec() float64 {
+	secs := r.CPU.Elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Units) / secs
+}
+
+// RecordWorkload records a Table III workload into a v2 container:
+// one tenant label (the workload name) per thread, plus the spec's
+// warm regions — everything a later Run needs to reproduce the live
+// run bit-for-bit. thread selects a single 0-based stream; pass
+// AllThreads for the whole workload. It returns the number of steps
+// recorded. All recorders (hamstrace, the replay bench target, tests)
+// go through here so what travels with a trace is defined once.
+func RecordWorkload(w io.Writer, wlName string, wo workload.Options, thread int) (int64, error) {
+	spec, err := workload.ByName(wlName)
+	if err != nil {
+		return 0, err
+	}
+	streams := spec.Streams(wo)
+	if thread != AllThreads {
+		if thread < 0 || thread >= len(streams) {
+			return 0, fmt.Errorf("replay: thread %d out of range [0, %d)", thread, len(streams))
+		}
+		streams = streams[thread : thread+1]
+	}
+	labels := make([]string, len(streams))
+	for i := range labels {
+		labels[i] = spec.Name
+	}
+	var warm []trace.Region
+	for _, r := range spec.HotRegions(wo) {
+		warm = append(warm, trace.Region{Base: r.Base, Size: r.Size})
+	}
+	return trace.RecordAll(w, spec.Name, labels, warm, streams)
+}
+
+// AllThreads selects every stream of a workload in RecordWorkload.
+const AllThreads = -1
+
+// FromFile converts a decoded trace into scenario tenants, one per
+// distinct thread label, so a multi-tenant recording replays with its
+// per-tenant breakdowns intact. Single-label files (and files mixing
+// labeled and unlabeled threads, which cannot be split unambiguously)
+// become one tenant covering every thread.
+func FromFile(f *trace.File) []Tenant {
+	labels := f.Labels()
+	split := len(labels) > 1
+	for _, l := range labels {
+		if l == "" {
+			split = false
+		}
+	}
+	if !split {
+		name := f.Name
+		if name == "" {
+			name = "trace"
+		}
+		return []Tenant{{Name: name, Trace: f}}
+	}
+	out := make([]Tenant, len(labels))
+	for i, l := range labels {
+		out[i] = Tenant{Name: l, Trace: f, TraceLabel: l}
+	}
+	return out
+}
+
+// streams materializes the tenant's streams and warm regions.
+func (t Tenant) streams(o Options) ([]cpu.Stream, []trace.Region, error) {
+	if t.Trace != nil {
+		ss := t.Trace.StreamsFor(t.TraceLabel)
+		if len(ss) == 0 {
+			return nil, nil, fmt.Errorf("replay: tenant %q: no threads with label %q", t.Name, t.TraceLabel)
+		}
+		return ss, t.Trace.Warm, nil
+	}
+	spec, err := workload.ByName(t.Workload)
+	if err != nil {
+		return nil, nil, fmt.Errorf("replay: tenant %q: %w", t.Name, err)
+	}
+	wo := o.workloadOptions()
+	if t.Seed != 0 {
+		wo.Seed = t.Seed
+	}
+	var warm []trace.Region
+	for _, r := range spec.HotRegions(wo) {
+		warm = append(warm, trace.Region{Base: r.Base, Size: r.Size})
+	}
+	return spec.Streams(wo), warm, nil
+}
+
+// Run executes a scenario. Warm regions of every tenant are installed
+// first (warming is untimed and idempotent), then all tenant threads
+// run concurrently on one runner; per-access latencies are folded into
+// per-tenant histograms via the runner's observer hook.
+func Run(sc Scenario, o Options) (Result, error) {
+	if len(sc.Tenants) == 0 {
+		return Result{}, fmt.Errorf("replay: scenario %q has no tenants", sc.Name)
+	}
+	plat, err := platform.New(sc.Platform, sc.PlatOpts)
+	if err != nil {
+		return Result{}, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+	}
+	res := Result{Scenario: sc.Name, Platform: sc.Platform, Tenants: make([]TenantStats, len(sc.Tenants))}
+	var streams []cpu.Stream
+	var coreTenant []int
+	tenantStreams := make([][]cpu.Stream, len(sc.Tenants))
+	for ti, t := range sc.Tenants {
+		ss, warm, err := t.streams(o)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, rgn := range warm {
+			plat.Warm(rgn.Base, rgn.Size)
+		}
+		res.Tenants[ti].Name = t.Name
+		res.Tenants[ti].Threads = len(ss)
+		tenantStreams[ti] = ss
+		for range ss {
+			coreTenant = append(coreTenant, ti)
+		}
+		streams = append(streams, ss...)
+	}
+
+	ccfg := cpu.DefaultConfig()
+	// Every tenant thread gets a core; scenarios below the default core
+	// count keep it, so replaying a single recorded workload uses the
+	// exact configuration its live run did.
+	if len(streams) > ccfg.Cores {
+		ccfg.Cores = len(streams)
+	}
+	if pg := platform.MappingPage(sc.Platform, sc.PlatOpts); pg != 0 {
+		ccfg.TLB.PageBytes = pg
+	}
+	hists := make([]*stats.Histogram, len(sc.Tenants))
+	for i := range hists {
+		hists[i] = stats.NewHistogram()
+	}
+	runner := cpu.NewRunner(ccfg, plat)
+	runner.Observe(func(core int, a mem.Access, issue, done sim.Time) {
+		hists[coreTenant[core]].Add(done - issue)
+	})
+	st, err := runner.Run(streams)
+	if err != nil {
+		return Result{}, fmt.Errorf("replay: scenario %q on %s: %w", sc.Name, sc.Platform, err)
+	}
+	res.CPU = st
+	for ti := range sc.Tenants {
+		for _, s := range tenantStreams[ti] {
+			if p, ok := s.(workload.Progress); ok {
+				res.Tenants[ti].Units += p.Units()
+			}
+		}
+		res.Units += res.Tenants[ti].Units
+		h := hists[ti]
+		res.Tenants[ti].Accesses = h.Count()
+		res.Tenants[ti].Mean = h.Mean()
+		res.Tenants[ti].P50 = h.Percentile(50)
+		res.Tenants[ti].P95 = h.Percentile(95)
+		res.Tenants[ti].P99 = h.Percentile(99)
+		res.Tenants[ti].Max = h.Max()
+	}
+	in := plat.EnergyInputs()
+	in.Elapsed = st.Elapsed
+	in.Cores = ccfg.Cores
+	in.CPUBusy = busyTime(ccfg, st)
+	res.Energy = energy.Compute(energy.DefaultParams(), in)
+	return res, nil
+}
+
+// busyTime mirrors the live harness's core-activity estimate (compute
+// plus cache-access time; memory-system stalls count as idle) so a
+// replayed run's energy matches its live run exactly.
+func busyTime(cfg cpu.Config, st cpu.Stats) sim.Time {
+	cache := sim.Time(st.L1Hits+st.L1Misses)*cfg.L1Lat +
+		sim.Time(st.L2Hits+st.L2Misses)*cfg.L2Lat
+	return st.ComputeTime + cache
+}

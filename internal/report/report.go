@@ -11,6 +11,7 @@ import (
 	"os"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -29,6 +30,9 @@ type Cell struct {
 	Target   string `json:"target"`
 	Platform string `json:"platform,omitempty"`
 	Workload string `json:"workload,omitempty"`
+	// Scenario names the multi-tenant mix for `mixed` cells; per-tenant
+	// latency percentiles ride in Extra (see EXPERIMENTS.md).
+	Scenario string `json:"scenario,omitempty"`
 	// WallNS is host wall time spent producing the cell. It is the
 	// only nondeterministic field and is zeroed by Canonical.
 	WallNS int64 `json:"wall_ns"`
@@ -180,13 +184,23 @@ func (r Regression) String() string {
 	return fmt.Sprintf("%s: %.1f -> %.1f units/s (-%.1f%%)", r.Key, r.Base, r.New, r.Delta*100)
 }
 
-// Compare diffs two artifacts cell-by-cell and returns every cell of
-// base whose simulated throughput regressed by more than threshold
-// (a fraction, e.g. 0.15) in cur, plus cells that vanished. Cells
-// without throughput (static tables, latency-only panels) are skipped.
+// Delta is one cell's base-vs-new throughput comparison.
+type Delta struct {
+	Key  string
+	Base float64 // baseline units/sec
+	New  float64 // new units/sec; 0 with Missing set
+	// Drop is the fractional throughput drop, (Base-New)/Base:
+	// positive means the new artifact is slower.
+	Drop    float64
+	Missing bool // cell present in base but absent from new
+}
+
+// Deltas diffs two artifacts cell-by-cell, returning one row per
+// baseline cell with throughput, sorted by key. Cells without
+// throughput (static tables, latency-only panels) are skipped.
 // Comparing different scales, seeds, or schema versions is an error —
 // the throughputs would not be commensurable.
-func Compare(base, cur Artifact, threshold float64) ([]Regression, error) {
+func Deltas(base, cur Artifact) ([]Delta, error) {
 	if base.Schema != cur.Schema {
 		return nil, fmt.Errorf("report: schema mismatch: base v%d vs new v%d", base.Schema, cur.Schema)
 	}
@@ -198,21 +212,86 @@ func Compare(base, cur Artifact, threshold float64) ([]Regression, error) {
 	for _, c := range cur.Cells {
 		curBy[c.Key] = c
 	}
-	var regs []Regression
+	var ds []Delta
 	for _, b := range base.Cells {
 		if b.UnitsPerSec <= 0 {
 			continue
 		}
 		c, ok := curBy[b.Key]
 		if !ok {
-			regs = append(regs, Regression{Key: b.Key, Base: b.UnitsPerSec, Missing: true})
+			ds = append(ds, Delta{Key: b.Key, Base: b.UnitsPerSec, Missing: true})
 			continue
 		}
-		drop := (b.UnitsPerSec - c.UnitsPerSec) / b.UnitsPerSec
-		if drop > threshold {
-			regs = append(regs, Regression{Key: b.Key, Base: b.UnitsPerSec, New: c.UnitsPerSec, Delta: drop})
+		ds = append(ds, Delta{
+			Key:  b.Key,
+			Base: b.UnitsPerSec,
+			New:  c.UnitsPerSec,
+			Drop: (b.UnitsPerSec - c.UnitsPerSec) / b.UnitsPerSec,
+		})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Key < ds[j].Key })
+	return ds, nil
+}
+
+// Threshold filters deltas down to the regressions: cells whose drop
+// exceeds the threshold (a fraction, e.g. 0.15) and cells that
+// vanished from the new artifact.
+func Threshold(ds []Delta, threshold float64) []Regression {
+	var regs []Regression
+	for _, d := range ds {
+		if d.Missing {
+			regs = append(regs, Regression{Key: d.Key, Base: d.Base, Missing: true})
+		} else if d.Drop > threshold {
+			regs = append(regs, Regression{Key: d.Key, Base: d.Base, New: d.New, Delta: d.Drop})
 		}
 	}
-	sort.Slice(regs, func(i, j int) bool { return regs[i].Key < regs[j].Key })
-	return regs, nil
+	return regs
+}
+
+// Compare returns every baseline cell whose simulated throughput
+// regressed by more than threshold in cur, plus cells that vanished.
+func Compare(base, cur Artifact, threshold float64) ([]Regression, error) {
+	ds, err := Deltas(base, cur)
+	if err != nil {
+		return nil, err
+	}
+	return Threshold(ds, threshold), nil
+}
+
+// Markdown renders a delta table as GitHub-flavored markdown for CI
+// step summaries: every compared cell with its throughput change,
+// regressions beyond the threshold flagged, and a one-line verdict.
+func Markdown(title string, ds []Delta, threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", title)
+	if len(ds) == 0 {
+		b.WriteString("No comparable cells (baseline has no throughput records).\n")
+		return b.String()
+	}
+	b.WriteString("| cell | baseline u/s | new u/s | delta |\n")
+	b.WriteString("|---|---:|---:|---:|\n")
+	regressed := 0
+	for _, d := range ds {
+		if d.Missing {
+			regressed++
+			fmt.Fprintf(&b, "| %s | %.1f | — | ⚠️ missing |\n", d.Key, d.Base)
+			continue
+		}
+		mark := ""
+		if d.Drop > threshold {
+			regressed++
+			mark = " ⚠️"
+		}
+		chg := -d.Drop * 100
+		if chg == 0 {
+			chg = 0 // normalize -0.0 from exact-match cells
+		}
+		fmt.Fprintf(&b, "| %s | %.1f | %.1f | %+.1f%%%s |\n", d.Key, d.Base, d.New, chg, mark)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(&b, "\n**%d of %d cell(s) regressed beyond %.0f%%.**\n", regressed, len(ds), threshold*100)
+	} else {
+		fmt.Fprintf(&b, "\n%d cell(s) compared, none regressed beyond %.0f%%.\n", len(ds), threshold*100)
+	}
+	return b.String()
 }

@@ -3,6 +3,7 @@ package report
 import (
 	"bytes"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -132,5 +133,45 @@ func TestRecorderCollects(t *testing.T) {
 	}
 	if a.Created.IsZero() {
 		t.Fatal("no creation time")
+	}
+}
+
+func TestDeltasRowPerThroughputCell(t *testing.T) {
+	base := sampleArtifact()
+	cur := sampleArtifact()
+	cur.Cells[0].UnitsPerSec = 5500 // +10%
+	ds, err := Deltas(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the throughput cell produces a row; the latency-only cell
+	// is skipped.
+	if len(ds) != 1 || ds[0].Key != "fig20/a/seqSel/4KB" {
+		t.Fatalf("deltas = %+v", ds)
+	}
+	if ds[0].Drop > -0.09 || ds[0].Drop < -0.11 {
+		t.Fatalf("drop = %v, want ~-0.10 (improvement)", ds[0].Drop)
+	}
+}
+
+func TestMarkdownFlagsRegressions(t *testing.T) {
+	ds := []Delta{
+		{Key: "a", Base: 100, New: 95, Drop: 0.05},
+		{Key: "b", Base: 100, New: 50, Drop: 0.50},
+		{Key: "c", Base: 100, Missing: true},
+	}
+	md := Markdown("gate", ds, 0.15)
+	if !strings.Contains(md, "### gate") || !strings.Contains(md, "| cell |") {
+		t.Fatalf("markdown shape wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "2 of 3 cell(s) regressed") {
+		t.Fatalf("verdict wrong:\n%s", md)
+	}
+	if strings.Count(md, "⚠️") != 2 {
+		t.Fatalf("regression markers wrong:\n%s", md)
+	}
+	clean := Markdown("gate", ds[:1], 0.15)
+	if !strings.Contains(clean, "none regressed") {
+		t.Fatalf("clean verdict wrong:\n%s", clean)
 	}
 }

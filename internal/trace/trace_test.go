@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"os"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -121,6 +123,203 @@ func TestRecordWorkloadStream(t *testing.T) {
 		if a.Compute != b.Compute || len(a.Acc) != len(b.Acc) {
 			t.Fatal("step mismatch")
 		}
+	}
+}
+
+// TestV2RoundTrip drives the v2 container: labels, warm regions, a
+// container name, and interleaved multi-thread records.
+func TestV2RoundTrip(t *testing.T) {
+	f := &File{
+		Version: Version2,
+		Name:    "mix",
+		Threads: []Thread{
+			{Label: "tenantA", Steps: []cpu.Step{
+				{Compute: 5, Acc: []mem.Access{{Addr: 0x100, Size: 64, Op: mem.Read}}},
+				{Compute: 7},
+			}},
+			{Label: "tenantB", Steps: []cpu.Step{
+				{Compute: 1, Acc: []mem.Access{
+					{Addr: 0x2000, Size: 8, Op: mem.Write},
+					{Addr: 0x3000, Size: 4096, Op: mem.Read},
+				}},
+			}},
+		},
+		Warm: []Region{{Base: 0, Size: 1 << 20}, {Base: 1 << 30, Size: 4096}},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", f, got)
+	}
+	if labels := got.Labels(); !reflect.DeepEqual(labels, []string{"tenantA", "tenantB"}) {
+		t.Fatalf("Labels = %v", labels)
+	}
+	if n := got.Steps(); n != 3 {
+		t.Fatalf("Steps = %d", n)
+	}
+	if ss := got.StreamsFor("tenantB"); len(ss) != 1 {
+		t.Fatalf("StreamsFor(tenantB) = %d streams", len(ss))
+	}
+}
+
+// TestRecordAllInterleaves drains unequal-length streams and checks
+// the demuxed result matches each input.
+func TestRecordAllInterleaves(t *testing.T) {
+	a := []cpu.Step{{Compute: 1}, {Compute: 2}, {Compute: 3}}
+	b := []cpu.Step{{Compute: 10}}
+	var buf bytes.Buffer
+	n, err := RecordAll(&buf, "two", []string{"a", "b"}, nil,
+		[]cpu.Stream{&stepStream{steps: a}, &stepStream{steps: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("steps = %d", n)
+	}
+	f, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Threads[0].Steps, a) || !reflect.DeepEqual(f.Threads[1].Steps, b) {
+		t.Fatalf("demux mismatch: %+v", f.Threads)
+	}
+}
+
+// TestStreamUnits: a replayed stream counts consumed steps as units.
+func TestStreamUnits(t *testing.T) {
+	s := &stepStream{steps: []cpu.Step{{Compute: 1}, {Compute: 2}}}
+	if s.Units() != 0 {
+		t.Fatal("units before consumption")
+	}
+	s.Next()
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream over-delivers")
+	}
+	if s.Units() != 2 {
+		t.Fatalf("Units = %d", s.Units())
+	}
+}
+
+// TestHugeCountRejected is the regression test for the decoder OOM: a
+// step header declaring ~4 billion accesses must yield ErrCorrupt from
+// both the streaming v1 reader and the container decoder, not an
+// unbounded read loop. The same bytes are committed as a fuzz corpus
+// entry (testdata/fuzz/FuzzTraceReader).
+func TestHugeCountRejected(t *testing.T) {
+	raw := []byte("SMAH\x01\x00\x00\x00" + // v1 header
+		"\x00\x00\x00\x00\x00\x00\x00\x00" + // compute
+		"\xff\xff\xff\xff") // access count 2^32-1
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("huge-count step decoded")
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", r.Err())
+	}
+	if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestV2Bounds: every v2 count field is validated before use.
+func TestV2Bounds(t *testing.T) {
+	v2hdr := "SMAH\x02\x00\x00\x00"
+	cases := map[string][]byte{
+		"huge thread count": []byte(v2hdr + "\x00\x00" + "\xff\xff\xff\xff"),
+		"zero threads":      []byte(v2hdr + "\x00\x00" + "\x00\x00\x00\x00"),
+		"huge label":        []byte(v2hdr + "\x00\x00" + "\x01\x00\x00\x00" + "\xff\xff"),
+		"huge warm count": []byte(v2hdr + "\x00\x00" + "\x01\x00\x00\x00" + "\x00\x00" +
+			"\xff\xff\xff\xff"),
+		"thread id out of range": []byte(v2hdr + "\x00\x00" + "\x01\x00\x00\x00" + "\x00\x00" +
+			"\x00\x00\x00\x00" + "\x07\x00\x00\x00"),
+	}
+	for name, raw := range cases {
+		if _, err := Decode(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestWriterV2Bounds: the writer refuses inputs the decoder would
+// reject, so every written trace is decodable.
+func TestWriterV2Bounds(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriterV2(&buf, "x", nil, nil); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if _, err := NewWriterV2(&buf, "x", []string{string(make([]byte, MaxLabel+1))}, nil); err == nil {
+		t.Fatal("oversized label accepted")
+	}
+	w, err := NewWriterV2(&buf, "x", []string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteStep(1, cpu.Step{}); err == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+}
+
+// TestV1FixtureBackwardCompat decodes a committed pre-v2 trace through
+// the v2 Decode path: old recordings must stay readable forever. The
+// pinned counts were recorded when the fixture was generated (rndSel
+// thread 0, scale 1e-8, seed 42).
+func TestV1FixtureBackwardCompat(t *testing.T) {
+	raw, err := os.ReadFile("testdata/v1_rndsel.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != Version1 || len(f.Threads) != 1 || len(f.Warm) != 0 {
+		t.Fatalf("shape = v%d, %d threads, %d warm", f.Version, len(f.Threads), len(f.Warm))
+	}
+	if n := len(f.Threads[0].Steps); n != 6 {
+		t.Fatalf("steps = %d, want 6", n)
+	}
+	var accesses, loads, compute int64
+	for _, s := range f.Threads[0].Steps {
+		compute += s.Compute
+		for _, a := range s.Acc {
+			accesses++
+			if a.Op == mem.Read {
+				loads++
+			}
+		}
+	}
+	if accesses != 1098 || loads != 618 || compute != 1296 {
+		t.Fatalf("accesses=%d loads=%d compute=%d, want 1098/618/1296", accesses, loads, compute)
+	}
+	// The streaming v1 reader sees the same steps.
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		s, ok := r.Next()
+		if !ok {
+			if i != 6 {
+				t.Fatalf("streaming reader returned %d steps", i)
+			}
+			break
+		}
+		if !reflect.DeepEqual(s, f.Threads[0].Steps[i]) {
+			t.Fatalf("step %d differs between readers", i)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
 	}
 }
 
