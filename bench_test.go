@@ -231,3 +231,13 @@ func BenchmarkMixed(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkQoS runs the RDT-style isolation sweep (four CLOS policy
+// cells over the stream+latency co-location scenario).
+func BenchmarkQoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.QoS(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

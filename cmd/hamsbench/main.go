@@ -3,62 +3,92 @@
 //
 // Usage:
 //
-//	hamsbench [-scale 3e-6] [-seed 42] [-parallel N] [-json out.json] <target> [target...]
+//	hamsbench [-scale 3e-6] [-seed 42] [-parallel N] [-json out.json]
+//	          [-qos-masks name=mask,...] [-qos-mbps name=N,...]
+//	          [-qos-summary file.md] <target> [target...]
 //	hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json
 //
 // Targets: table1 table2 table3 fig5 fig6 fig7 fig10 fig16 fig17
-// fig18 fig19 fig20 headline ablation sweep replay mixed all
+// fig18 fig19 fig20 headline ablation sweep replay mixed qos all
 //
 // sweep runs the associativity × shard grid (MoS cache geometry) on
 // the random microbenchmarks and rndIns. replay runs the record→replay
 // determinism matrix: each cell records a workload through the v2
 // trace codec, replays it, and fails unless the replayed simulated
 // stats match the live run bit-for-bit. mixed runs the built-in
-// multi-tenant scenarios with per-tenant latency percentiles.
+// multi-tenant scenarios with per-tenant latency percentiles. qos
+// runs the RDT-style isolation sweep — a streaming tenant co-located
+// with a latency-sensitive service under shared / cat / mba / cat+mba
+// CLOS policies — with per-tenant percentiles plus MBM occupancy and
+// bandwidth counters; -qos-masks and -qos-mbps override the isolated
+// policy's way masks (hex, e.g. latency=0xfc) and throttles (MB/s),
+// and -qos-summary appends the victim-delta markdown table to a file
+// ($GITHUB_STEP_SUMMARY in CI).
 // -parallel sets the engine worker count (0 = GOMAXPROCS, 1 = serial);
 // results are bit-identical for any value. -json writes a versioned
 // BENCH artifact with one record per experiment cell; compare diffs
 // two artifacts and exits nonzero when any cell's simulated throughput
 // regressed beyond the threshold (the CI perf gate); -summary appends
-// the markdown delta table to a file ($GITHUB_STEP_SUMMARY in CI).
+// the markdown delta table to a file.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"hams/internal/experiments"
+	"hams/internal/qos"
 	"hams/internal/report"
 	"hams/internal/stats"
 )
 
 var allTargets = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
 	"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation", "sweep",
-	"replay", "mixed"}
+	"replay", "mixed", "qos"}
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		os.Exit(runCompare(os.Args[2:]))
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable args and streams (testable; exit
+// codes: 0 ok, 1 runtime failure, 2 usage/validation error).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], stdout, stderr)
 	}
-	scale := flag.Float64("scale", 3e-6, "instruction-count scale vs Table III")
-	seed := flag.Int64("seed", 42, "workload random seed")
-	parallel := flag.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = serial)")
-	jsonOut := flag.String("json", "", "write a BENCH artifact (one record per cell) to this file")
-	flag.Parse()
-	targets := flag.Args()
+	fs := flag.NewFlagSet("hamsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 3e-6, "instruction-count scale vs Table III")
+	seed := fs.Int64("seed", 42, "workload random seed")
+	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := fs.String("json", "", "write a BENCH artifact (one record per cell) to this file")
+	qosMasks := fs.String("qos-masks", "", "qos target: override isolated-policy way masks, e.g. latency=0xfc,stream=0x03")
+	qosMBps := fs.String("qos-mbps", "", "qos target: override isolated-policy throttles in MB/s, e.g. stream=100")
+	qosSummary := fs.String("qos-summary", "", "append the qos isolation delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	targets := fs.Args()
 	if len(targets) == 0 {
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 	targets = expand(targets)
-	// Validate every name up front: CI must not discover a typo only
-	// after minutes of earlier targets have already run.
+	// Validate every name and QoS override up front: CI must not
+	// discover a typo only after minutes of earlier targets have
+	// already run (PR 2's convention: malformed input exits 2 before
+	// any cell runs).
 	var unknown []string
 	for _, tgt := range targets {
 		if !known(tgt) {
@@ -66,37 +96,81 @@ func main() {
 		}
 	}
 	if len(unknown) > 0 {
-		fmt.Fprintf(os.Stderr, "hamsbench: unknown target(s): %s\n", strings.Join(unknown, ", "))
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hamsbench: unknown target(s): %s\n", strings.Join(unknown, ", "))
+		usage(stderr)
+		return 2
+	}
+	masks, mbps, err := parseQoSFlags(*qosMasks, *qosMBps)
+	if err != nil {
+		fmt.Fprintf(stderr, "hamsbench: %v\n", err)
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	o := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, Ctx: ctx}
+	o := experiments.Options{
+		Scale: *scale, Seed: *seed, Parallel: *parallel, Ctx: ctx,
+		QoSMasks: masks, QoSMBps: mbps,
+	}
 	if *jsonOut != "" {
 		o.Recorder = &report.Recorder{}
 	}
 	for _, tgt := range targets {
-		if err := run(tgt, o); err != nil {
-			fmt.Fprintf(os.Stderr, "hamsbench: %s: %v\n", tgt, err)
-			os.Exit(1)
+		if err := run(tgt, o, *qosSummary, stdout); err != nil {
+			fmt.Fprintf(stderr, "hamsbench: %s: %v\n", tgt, err)
+			return 1
 		}
 	}
 	if *jsonOut != "" {
 		art := o.Recorder.Artifact(strings.Join(targets, "+"), *scale, *seed, *parallel)
 		if err := report.WriteFile(*jsonOut, art); err != nil {
-			fmt.Fprintf(os.Stderr, "hamsbench: writing %s: %v\n", *jsonOut, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "hamsbench: writing %s: %v\n", *jsonOut, err)
+			return 1
 		}
-		fmt.Printf("wrote %s (%d cells)\n", *jsonOut, len(art.Cells))
+		fmt.Fprintf(stdout, "wrote %s (%d cells)\n", *jsonOut, len(art.Cells))
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] <%s|all>\n",
+// parseQoSFlags validates the -qos-masks/-qos-mbps assignment lists
+// (syntax here; class names against the qos target's scenario).
+func parseQoSFlags(masksArg, mbpsArg string) (map[string]uint64, map[string]float64, error) {
+	masks := make(map[string]uint64)
+	asn, err := qos.ParseAssignments(masksArg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-qos-masks: %w", err)
+	}
+	for name, v := range asn {
+		// "full" (and a bare name) parse to 0 — the Table convention
+		// for "all ways" — letting one class opt out of partitioning.
+		m, err := qos.ParseMask(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-qos-masks: class %q: %w", name, err)
+		}
+		masks[name] = m
+	}
+	mbps := make(map[string]float64)
+	asn, err = qos.ParseAssignments(mbpsArg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-qos-mbps: %w", err)
+	}
+	for name, v := range asn {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return nil, nil, fmt.Errorf("-qos-mbps: class %q: want a positive MB/s value, got %q", name, v)
+		}
+		mbps[name] = f
+	}
+	if err := experiments.ValidateQoSOverrides(masks, mbps); err != nil {
+		return nil, nil, err
+	}
+	return masks, mbps, nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] [-qos-masks a=0xf,...] [-qos-mbps a=N,...] [-qos-summary f.md] <%s|all>\n",
 		strings.Join(allTargets, "|"))
-	fmt.Fprintln(os.Stderr, "       hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json")
+	fmt.Fprintln(w, "       hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json")
 }
 
 // expand resolves "all" and drops repeats (first occurrence wins): a
@@ -132,7 +206,7 @@ func known(tgt string) bool {
 	return false
 }
 
-func run(target string, o experiments.Options) error {
+func run(target string, o experiments.Options, qosSummary string, stdout io.Writer) error {
 	start := time.Now()
 	var tables []*stats.Table
 	var err error
@@ -170,15 +244,36 @@ func run(target string, o experiments.Options) error {
 		tables, err = experiments.Replay(o)
 	case "mixed":
 		tables, err = experiments.Mixed(o)
+	case "qos":
+		var md string
+		tables, md, err = experiments.QoSWithSummary(o)
+		if err == nil && qosSummary != "" {
+			if werr := appendFile(qosSummary, md); werr != nil {
+				return fmt.Errorf("qos summary: %w", werr)
+			}
+		}
 	}
 	if err != nil {
 		return err
 	}
 	for _, t := range tables {
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 	}
-	fmt.Printf("(%s generated in %v)\n\n", target, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "(%s generated in %v)\n\n", target, time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// appendFile appends text to path, creating it if needed.
+func appendFile(path, text string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.WriteString(text)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // runCompare is the CI perf gate: diff two BENCH artifacts and fail
@@ -186,54 +281,51 @@ func run(target string, o experiments.Options) error {
 // appends the full markdown delta table to a file — pointed at
 // $GITHUB_STEP_SUMMARY, the per-cell deltas land on the workflow run
 // page so a regression is readable without rerunning anything.
-func runCompare(args []string) int {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0.15, "max tolerated fractional throughput drop per cell")
 	summary := fs.String("summary", "", "append a markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 	if fs.NArg() != 2 {
-		usage()
+		usage(stderr)
 		return 2
 	}
 	base, err := report.Load(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hamsbench compare: %v\n", err)
+		fmt.Fprintf(stderr, "hamsbench compare: %v\n", err)
 		return 2
 	}
 	cur, err := report.Load(fs.Arg(1))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hamsbench compare: %v\n", err)
+		fmt.Fprintf(stderr, "hamsbench compare: %v\n", err)
 		return 2
 	}
 	deltas, err := report.Deltas(base, cur)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hamsbench compare: %v\n", err)
+		fmt.Fprintf(stderr, "hamsbench compare: %v\n", err)
 		return 2
 	}
 	if *summary != "" {
 		md := report.Markdown(fmt.Sprintf("Bench gate: %s vs %s", fs.Arg(0), fs.Arg(1)), deltas, *threshold)
-		f, err := os.OpenFile(*summary, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hamsbench compare: summary: %v\n", err)
-			return 2
-		}
-		_, werr := f.WriteString(md)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintf(os.Stderr, "hamsbench compare: summary: %v\n", werr)
+		if err := appendFile(*summary, md); err != nil {
+			fmt.Fprintf(stderr, "hamsbench compare: summary: %v\n", err)
 			return 2
 		}
 	}
 	regs := report.Threshold(deltas, *threshold)
 	if len(regs) > 0 {
-		fmt.Fprintf(os.Stderr, "hamsbench compare: %d cell(s) regressed beyond %.0f%%:\n", len(regs), *threshold*100)
+		fmt.Fprintf(stderr, "hamsbench compare: %d cell(s) regressed beyond %.0f%%:\n", len(regs), *threshold*100)
 		for _, r := range regs {
-			fmt.Fprintf(os.Stderr, "  %s\n", r)
+			fmt.Fprintf(stderr, "  %s\n", r)
 		}
 		return 1
 	}
-	fmt.Printf("compare: %d baseline cells, no regression beyond %.0f%%\n", len(base.Cells), *threshold*100)
+	fmt.Fprintf(stdout, "compare: %d baseline cells, no regression beyond %.0f%%\n", len(base.Cells), *threshold*100)
 	return 0
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// exec runs realMain with captured streams.
+func exec(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestQoSFlagValidationExitsTwo pins PR 2's up-front validation
+// convention on the new qos flags: malformed masks, throttles and
+// unknown class names must exit 2 before any cell runs.
+func TestQoSFlagValidationExitsTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"malformed mask", []string{"-qos-masks", "latency=zz", "qos"}},
+		{"empty mask value", []string{"-qos-masks", "latency=0x0", "qos"}},
+		{"mask missing name", []string{"-qos-masks", "=0x3", "qos"}},
+		{"mask repeated name", []string{"-qos-masks", "latency=0x3,latency=0xc", "qos"}},
+		{"unknown mask class", []string{"-qos-masks", "nobody=0x3", "qos"}},
+		{"mbps not a number", []string{"-qos-mbps", "stream=fast", "qos"}},
+		{"mbps negative", []string{"-qos-mbps", "stream=-5", "qos"}},
+		{"unknown mbps class", []string{"-qos-mbps", "nobody=100", "qos"}},
+	}
+	for _, tc := range cases {
+		code, _, errOut := exec(tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, errOut)
+		}
+		if errOut == "" {
+			t.Errorf("%s: no diagnostic on stderr", tc.name)
+		}
+	}
+}
+
+// TestTargetValidationExitsTwo: unknown targets and empty invocations
+// fail before anything runs (pre-existing convention, re-pinned after
+// the realMain refactor).
+func TestTargetValidationExitsTwo(t *testing.T) {
+	if code, _, errOut := exec("no-such-target"); code != 2 || !strings.Contains(errOut, "no-such-target") {
+		t.Fatalf("unknown target: exit %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := exec(); code != 2 {
+		t.Fatalf("no targets: exit %d, want 2", code)
+	}
+	if code, _, _ := exec("compare", "only-one.json"); code != 2 {
+		t.Fatalf("compare arity: exit %d, want 2", code)
+	}
+}
+
+// TestStaticTargetRuns: a full realMain pass over a static table —
+// the cheapest end-to-end run — exits 0 and renders the table.
+func TestStaticTargetRuns(t *testing.T) {
+	code, out, errOut := exec("-scale", "1e-8", "table1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Table I") {
+		t.Fatalf("table not rendered:\n%s", out)
+	}
+}
+
+// TestParseQoSFlagsValues: the accepted syntax maps to the override
+// tables the qos target consumes.
+func TestParseQoSFlagsValues(t *testing.T) {
+	masks, mbps, err := parseQoSFlags("latency=0xf0, stream=0b11", "stream=250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masks["latency"] != 0xf0 || masks["stream"] != 0b11 || mbps["stream"] != 250 {
+		t.Fatalf("parsed masks=%v mbps=%v", masks, mbps)
+	}
+	// "full" un-partitions one class (0 = the all-ways convention).
+	masks, _, err = parseQoSFlags("latency=full", "")
+	if err != nil || masks["latency"] != 0 {
+		t.Fatalf("full mask: masks=%v err=%v", masks, err)
+	}
+	if m, b, err := parseQoSFlags("", ""); err != nil || len(m) != 0 || len(b) != 0 {
+		t.Fatalf("empty flags: %v %v %v", m, b, err)
+	}
+}
+
+// TestHelpExitsZero: -h prints usage and exits 0 (the ExitOnError
+// behavior scripts rely on, preserved across the FlagSet refactor).
+func TestHelpExitsZero(t *testing.T) {
+	if code, _, _ := exec("-h"); code != 0 {
+		t.Fatalf("-h exit %d, want 0", code)
+	}
+	if code, _, _ := exec("compare", "-h"); code != 0 {
+		t.Fatalf("compare -h exit %d, want 0", code)
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hams"
@@ -21,7 +22,13 @@ func main() {
 	records := flag.Int("records", 64, "number of records to write before the power failure")
 	skip := flag.Bool("skip-recovery", false, "skip the journal replay to show what would be lost")
 	flag.Parse()
+	os.Exit(run(*records, *skip, os.Stdout, os.Stderr))
+}
 
+// run is the demo body with injectable streams (smoke-tested; main
+// only parses flags). It returns the process exit code: 0 when every
+// record survives the power cycle, 1 on failure or data loss.
+func run(records int, skip bool, stdout, stderr io.Writer) int {
 	cfg := hams.DefaultConfig(hams.Extend, hams.Tight)
 	// A small instance keeps the demo fast while still forcing
 	// evictions: 32 MiB NVDIMM, 64 KiB pages.
@@ -31,10 +38,10 @@ func main() {
 	cfg.SSD.Geometry.BlocksPerPln = 256
 	m, err := hams.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hamsrecover:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "hamsrecover:", err)
+		return 1
 	}
-	fmt.Printf("MoS space: %.1f GB over a %d-entry NVDIMM cache\n",
+	fmt.Fprintf(stdout, "MoS space: %.1f GB over a %d-entry NVDIMM cache\n",
 		float64(m.Capacity())/float64(hams.GiB), (cfg.NVDIMM.DRAM.Capacity-cfg.PinnedBytes)/cfg.PageBytes)
 
 	record := func(i int) (uint64, []byte) {
@@ -42,34 +49,34 @@ func main() {
 		return addr % (m.Capacity() - 64), []byte(fmt.Sprintf("record-%04d", i))
 	}
 
-	for i := 0; i < *records; i++ {
+	for i := 0; i < records; i++ {
 		addr, data := record(i)
 		if _, err := m.Write(addr, data); err != nil {
-			fmt.Fprintln(os.Stderr, "write:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "write:", err)
+			return 1
 		}
 	}
-	fmt.Printf("wrote %d records; controller stats: %d misses, %d evictions\n",
-		*records, m.Stats().Misses, m.Stats().Evictions)
+	fmt.Fprintf(stdout, "wrote %d records; controller stats: %d misses, %d evictions\n",
+		records, m.Stats().Misses, m.Stats().Evictions)
 
 	rep := m.PowerFail()
-	fmt.Printf("POWER FAILURE at t=%v: %d NVMe command(s) in flight, %d torn write(s), NVDIMM backup took %v\n",
+	fmt.Fprintf(stdout, "POWER FAILURE at t=%v: %d NVMe command(s) in flight, %d torn write(s), NVDIMM backup took %v\n",
 		m.Now(), rep.InFlight, rep.TornWrites, rep.BackupTime)
 
-	if *skip {
-		fmt.Println("skipping recovery (-skip-recovery)")
+	if skip {
+		fmt.Fprintln(stdout, "skipping recovery (-skip-recovery)")
 	} else {
 		rec, err := m.Recover()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "recover:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "recover:", err)
+			return 1
 		}
-		fmt.Printf("RECOVERY: restore %v, %d journal-tagged command(s) found, %d replayed\n",
+		fmt.Fprintf(stdout, "RECOVERY: restore %v, %d journal-tagged command(s) found, %d replayed\n",
 			rec.RestoreTime, rec.Pending, rec.Replayed)
 	}
 
 	bad := 0
-	for i := 0; i < *records; i++ {
+	for i := 0; i < records; i++ {
 		addr, want := record(i)
 		got := make([]byte, len(want))
 		m.Peek(addr, got)
@@ -78,9 +85,9 @@ func main() {
 		}
 	}
 	if bad == 0 {
-		fmt.Printf("verified: all %d records intact after the power cycle\n", *records)
-		return
+		fmt.Fprintf(stdout, "verified: all %d records intact after the power cycle\n", records)
+		return 0
 	}
-	fmt.Printf("DATA LOSS: %d of %d records corrupted or missing\n", bad, *records)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "DATA LOSS: %d of %d records corrupted or missing\n", bad, records)
+	return 1
 }

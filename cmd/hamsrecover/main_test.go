@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRecoveryDemoSmoke drives the demo end to end: write, power
+// failure with in-flight NVMe traffic, journal replay, verification.
+// Exit 0 and the "verified" line mean every record survived.
+func TestRecoveryDemoSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(32, false, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"POWER FAILURE", "RECOVERY", "verified: all 32 records intact"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if errb.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", errb.String())
+	}
+}
+
+// TestRecoveryDemoSkipRecovery: skipping the journal replay after a
+// mid-DMA power cut is expected to surface as either data loss (exit
+// 1) or — when no eviction happened to be in flight at the cut — a
+// clean verify; the demo must report one of the two, not crash.
+func TestRecoveryDemoSkipRecovery(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(32, true, &out, &errb)
+	s := out.String()
+	if !strings.Contains(s, "skipping recovery") {
+		t.Fatalf("skip path not taken:\n%s", s)
+	}
+	loss := strings.Contains(s, "DATA LOSS")
+	if loss != (code == 1) {
+		t.Fatalf("exit %d inconsistent with output:\n%s", code, s)
+	}
+}

@@ -5,12 +5,19 @@
 // Usage:
 //
 //	hamssim [-scale 3e-6] [-seed 42] [-page 131072] [-ways 1] [-banks 1]
-//	        [-policy lru|clock|random] <platform> <workload>
+//	        [-policy lru|clock|random] [-qos-mask 0xf] [-qos-mbps N]
+//	        <platform> <workload>
 //
 // Platforms: mmap optane-P optane-M flatflash-P flatflash-M nvdimm-C
 // hams-LP hams-LE hams-TP hams-TE oracle ull-direct ull-buff
 // Workloads: seqRd rndRd seqWr rndWr seqSel rndSel seqIns rndIns
 // update BFS KMN NN
+//
+// -qos-mask confines the workload's MoS-cache installs to the given
+// ways (a CAT capacity mask over -ways; hex or 0b binary) and
+// -qos-mbps caps its archive bandwidth (MBA throttle) — the whole
+// workload runs as one class of service, so the flags bound how much
+// of the cache and archive this workload could take from a neighbor.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"hams/internal/cpu"
 	"hams/internal/experiments"
 	"hams/internal/platform"
+	"hams/internal/qos"
 )
 
 func main() {
@@ -31,6 +39,8 @@ func main() {
 	ways := flag.Int("ways", 0, "HAMS tag-array associativity (0 = direct-mapped)")
 	banks := flag.Int("banks", 0, "HAMS controller banks (0 = single bank)")
 	policy := flag.String("policy", "lru", "HAMS replacement policy: lru|clock|random")
+	qosMask := flag.String("qos-mask", "", "confine MoS installs to these ways (CAT mask, e.g. 0x3; empty = all ways)")
+	qosMBps := flag.Float64("qos-mbps", 0, "cap archive bandwidth in MB/s (MBA throttle; 0 = unthrottled)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: hamssim [flags] <platform> <workload>")
@@ -41,9 +51,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hamssim: %v\n", err)
 		os.Exit(2)
 	}
+	mask, err := qos.ParseMask(*qosMask)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hamssim: -qos-mask: %v\n", err)
+		os.Exit(2)
+	}
+	if *qosMBps < 0 {
+		fmt.Fprintf(os.Stderr, "hamssim: -qos-mbps: want a non-negative MB/s value, got %g\n", *qosMBps)
+		os.Exit(2)
+	}
 	platName, wlName := flag.Arg(0), flag.Arg(1)
 	o := experiments.Options{Scale: *scale, Seed: *seed}
 	popt := platform.Options{HAMSPage: *page, HAMSWays: *ways, HAMSBanks: *banks, HAMSPolicy: pol}
+	if mask != 0 || *qosMBps > 0 {
+		// The whole workload runs as one CLOS with the given budget.
+		popt.HAMSQoS = &qos.Table{Classes: []qos.Class{
+			{Name: "workload", WayMask: mask, MBps: *qosMBps},
+		}}
+	}
 	r, err := experiments.Run(platName, wlName, o, popt, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hamssim: %v\n", err)

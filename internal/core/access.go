@@ -5,6 +5,7 @@ import (
 
 	"hams/internal/mem"
 	"hams/internal/nvme"
+	"hams/internal/qos"
 	"hams/internal/sim"
 )
 
@@ -16,6 +17,15 @@ type AccessResult struct {
 	NVDIMM sim.Time // NVDIMM array time on the critical path
 	DMA    sim.Time // interface/DMA transfer time on the critical path
 	SSD    sim.Time // device-internal (HIL/buffer/flash) time
+
+	// Throttle is the MBA pacing debt the QoS throttle charged this
+	// request's class. It is deliberately NOT folded into Done: the
+	// driver applies it to the issuing core at its next scheduling
+	// boundary, so throttling paces the offender without inflating
+	// the arrival timestamps of its in-flight work (which would stall
+	// other classes behind an idle bank router — the inversion the
+	// throttle exists to prevent).
+	Throttle sim.Time
 }
 
 // Access serves one MMU memory request arriving at time t, timing
@@ -48,6 +58,14 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 	}
 	b.lastArrival = t
 
+	// QoS: resolve the request's class of service. The monitor samples
+	// on simulated time as traffic flows through the router.
+	cls := qos.ClassID(0)
+	if c.qosMon != nil {
+		cls = qos.ClassID(c.classIndex(a.Class))
+		c.qosMon.Tick(t)
+	}
+
 	var res AccessResult
 
 	if slot, ok := b.tags.Lookup(set, page); ok {
@@ -67,18 +85,28 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 			e.Dirty = true
 		}
 		b.tags.Touch(slot)
+		if c.qosMon != nil {
+			c.qosMon.OnHit(cls)
+		}
 		res.NVDIMM += done - t
 		res.Done = done + c.cfg.NotifyLat
 		c.stats.TotalTime += res.Done - start
 		return res, cacheAddr, nil
 	}
 
-	// Miss: pick the victim way. When every way in the set is busy the
-	// request parks in the wait queue until the earliest in-flight
-	// commands complete (Figure 14). This avoids the eviction hazard
-	// and suppresses redundant evictions — after the wait the dirty
-	// data has already been evicted, so no second evict is composed.
-	slot := b.tags.Victim(set)
+	// Miss: pick the victim way within the class's permitted ways (the
+	// CAT capacity mask; the default full mask considers every way).
+	// When every permitted way in the set is busy the request parks in
+	// the wait queue until the earliest in-flight commands complete
+	// (Figure 14). This avoids the eviction hazard and suppresses
+	// redundant evictions — after the wait the dirty data has already
+	// been evicted, so no second evict is composed.
+	var slot int
+	if c.qosMasks != nil {
+		slot = b.tags.VictimMasked(set, c.qosMasks[cls])
+	} else {
+		slot = b.tags.Victim(set)
+	}
 	e := b.tags.Entry(slot)
 	if e.Busy && e.BusyUntil > t {
 		c.stats.WaitQ++
@@ -96,6 +124,31 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 		c.engine.AdvanceTo(t)
 	}
 
+	// The write covering the whole page skips the fill.
+	fullPageWrite := a.Op == mem.Write && uint64(a.Size) >= c.cfg.PageBytes &&
+		a.Addr%c.cfg.PageBytes == 0
+
+	// QoS: the MBA-style throttle meters the archive traffic this miss
+	// generates (dirty-victim writeback + fill). The pacing debt is
+	// charged to the requesting class's completion below — never to
+	// the shared command/DMA path, which would reserve the NVDIMM bus
+	// at future instants and stall other classes behind an idle
+	// reservation. An unthrottled class accrues no debt.
+	if c.qosThr != nil {
+		var xfer int64
+		if e.Valid && e.Dirty {
+			xfer += int64(c.cfg.PageBytes)
+		}
+		if !fullPageWrite {
+			xfer += int64(c.cfg.PageBytes)
+		}
+		if adm := c.qosThr.Admit(cls, t, xfer); adm > t {
+			res.Throttle = adm - t
+			c.qosMon.OnThrottle(cls, res.Throttle)
+			c.stats.ThrottleTime += res.Throttle
+		}
+	}
+
 	now := t
 	var evictComplete sim.Time
 
@@ -110,11 +163,12 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 		res.NVDIMM += r.NVDIMM
 		res.SSD += r.SSD
 		c.stats.Evictions++
+		if c.qosMon != nil {
+			c.qosMon.OnWriteback(cls, int64(c.cfg.PageBytes))
+		}
 	}
 
 	// Fill the target page, unless the write covers the whole page.
-	fullPageWrite := a.Op == mem.Write && uint64(a.Size) >= c.cfg.PageBytes &&
-		a.Addr%c.cfg.PageBytes == 0
 	fillDone := now
 	var fillComplete sim.Time
 	if fullPageWrite {
@@ -130,6 +184,9 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 		res.NVDIMM += r.NVDIMM
 		res.SSD += r.SSD
 		c.stats.Fills++
+		if c.qosMon != nil {
+			c.qosMon.OnFill(cls, int64(c.cfg.PageBytes))
+		}
 	}
 
 	// Install the new mapping. The entry stays busy until every
@@ -138,6 +195,11 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 	busyUntil := fillComplete
 	if evictComplete > busyUntil {
 		busyUntil = evictComplete
+	}
+	if c.qosMon != nil {
+		c.qosMon.OnMiss(cls)
+		c.qosMon.Install(cls, b.owner[slot], e.Valid)
+		b.owner[slot] = cls
 	}
 	e.Tag = page
 	e.Valid = true
@@ -161,7 +223,10 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 	}
 
 	// The MMU resumes once the fill data is in NVDIMM: perform the
-	// demand access against the cache page.
+	// demand access against the cache page. Res carries any MBA debt
+	// separately (res.Throttle) — the installed entry's ReadyAt and
+	// BusyUntil stay physical, so other classes touching the page are
+	// never penalized for this class's throttle.
 	cacheAddr := c.cacheAddr(b, slot)
 	done := c.demandAccess(fillDone, cacheAddr+a.Addr%c.cfg.PageBytes, a.Size, a.Op)
 	res.NVDIMM += done - fillDone

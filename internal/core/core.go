@@ -30,6 +30,7 @@ import (
 	"hams/internal/mem"
 	"hams/internal/nvme"
 	"hams/internal/pcie"
+	"hams/internal/qos"
 	"hams/internal/sim"
 	"hams/internal/ssd"
 )
@@ -96,6 +97,18 @@ type Config struct {
 	// queue pair and PRP pool; 0 or 1 = the paper's single bank.
 	Banks int
 
+	// QoS enables the RDT-style isolation layer (internal/qos): each
+	// request's mem.Access.Class selects a class of service whose way
+	// mask confines replacement (CAT), whose MBps limit throttles
+	// archive traffic at the bank router (MBA), and whose activity the
+	// controller monitors (MBM). nil disables the layer entirely; a
+	// table of full-mask, unthrottled classes is observationally
+	// identical to nil (monitoring only).
+	QoS *qos.Table
+	// QoSSamplePeriod spaces the MBM monitor's samples in simulated
+	// time; 0 = qos.DefaultSamplePeriod.
+	QoSSamplePeriod sim.Time
+
 	NVDIMM dram.NVDIMMConfig
 	SSD    ssd.Config
 	PCIe   pcie.Config
@@ -154,8 +167,9 @@ type bank struct {
 	qp        *nvme.QueuePair
 	prp       *nvme.PRPPool
 	inflight  map[uint16]*inflight
-	cacheBase uint64 // NVDIMM byte offset of this bank's cache slice
-	qBase     uint64 // this bank's queue-pair base in the pinned region
+	cacheBase uint64        // NVDIMM byte offset of this bank's cache slice
+	qBase     uint64        // this bank's queue-pair base in the pinned region
+	owner     []qos.ClassID // per-slot installing class (QoS only)
 
 	lastIODone  sim.Time // persist-mode serialization point (per bank)
 	lastArrival sim.Time // router-enforced nondecreasing arrivals
@@ -185,6 +199,11 @@ type Stats struct {
 	WaitTime   sim.Time
 	TotalTime  sim.Time
 
+	// ThrottleTime is the total MBA pacing debt the QoS throttle
+	// charged (reported via AccessResult.Throttle, applied by the
+	// driver at step boundaries; zero when no class is throttled).
+	ThrottleTime sim.Time
+
 	Replayed int64 // commands re-issued by power-failure recovery
 }
 
@@ -211,6 +230,12 @@ type Controller struct {
 
 	lockFreeAt sim.Time // tight topology: DMA holds the shared bus
 
+	// QoS layer (nil/zero when Config.QoS is nil — the hot path pays
+	// one nil check).
+	qosMasks []uint64 // per-class effective way masks
+	qosThr   *qos.Throttle
+	qosMon   *qos.Monitor
+
 	stats Stats
 }
 
@@ -234,11 +259,19 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Banks <= 0 {
 		cfg.Banks = 1
 	}
+	if err := cfg.QoS.Validate(cfg.Ways); err != nil {
+		return nil, err
+	}
 	c := &Controller{
 		cfg:    cfg,
 		engine: sim.NewEngine(),
 		nvdimm: nv,
 		dev:    ssd.New(cfg.SSD),
+	}
+	if cfg.QoS != nil {
+		c.qosMasks = cfg.QoS.Masks(cfg.Ways)
+		c.qosThr = qos.NewThrottle(cfg.QoS)
+		c.qosMon = qos.NewMonitor(cfg.QoS, cfg.QoSSamplePeriod)
 	}
 	c.cacheBytes = nv.Capacity() - cfg.PinnedBytes
 	c.cacheBytes = mem.AlignDown(c.cacheBytes, cfg.PageBytes)
@@ -269,7 +302,7 @@ func New(cfg Config) (*Controller, error) {
 		if prpBase+pool.Footprint() > nv.Capacity() {
 			return nil, fmt.Errorf("core: pinned region too small for PRP pool")
 		}
-		c.banks = append(c.banks, &bank{
+		bk := &bank{
 			id:        i,
 			tags:      tags,
 			qp:        nvme.NewQueuePair(nv.Store(), layout),
@@ -277,7 +310,11 @@ func New(cfg Config) (*Controller, error) {
 			inflight:  make(map[uint16]*inflight),
 			cacheBase: uint64(i) * uint64(perBank) * cfg.PageBytes,
 			qBase:     qBase,
-		})
+		}
+		if cfg.QoS != nil {
+			bk.owner = make([]qos.ClassID, tags.Len())
+		}
+		c.banks = append(c.banks, bk)
 		qBase = mem.AlignUp(prpBase+pool.Footprint(), cfg.PageBytes)
 	}
 
@@ -343,10 +380,24 @@ func (c *Controller) Outstanding() int {
 // tag arrays as valid and clean, without charging time — used by the
 // experiment harness to reach the steady-state residency a full-length
 // (paper-scale) run would have built up. Live state is never
-// disturbed: busy entries and dirty ways survive warming.
-func (c *Controller) Warm(base, size uint64) {
+// disturbed: busy entries and dirty ways survive warming. The pages
+// are attributed to the default class; WarmClass warms on behalf of a
+// specific class.
+func (c *Controller) Warm(base, size uint64) { c.WarmClass(base, size, 0) }
+
+// WarmClass warms [base, base+size) on behalf of class cls: installs
+// are confined to the class's permitted ways (so a partitioned
+// tenant's steady state lands inside its partition, exactly where the
+// live run would have built it) and the monitor attributes the
+// occupancy to cls. With no QoS table — or a full-mask class — this
+// is Warm.
+func (c *Controller) WarmClass(base, size uint64, cls qos.ClassID) {
 	if size == 0 {
 		return
+	}
+	mask := uint64(0) // 0 = full, resolved per bank below
+	if c.qosMasks != nil {
+		mask = c.qosMasks[c.classIndex(cls)]
 	}
 	end := base + size
 	if end > c.Capacity() {
@@ -365,11 +416,18 @@ func (c *Controller) Warm(base, size uint64) {
 			b.tags.Touch(slot)
 			continue
 		}
-		slot, ok := b.tags.WarmVictim(set)
+		var slot int
+		var ok bool
+		if mask == 0 {
+			slot, ok = b.tags.WarmVictim(set)
+		} else {
+			slot, ok = b.tags.WarmVictimMasked(set, mask)
+		}
 		if !ok {
-			continue // every way dirty or busy
+			continue // every (permitted) way dirty or busy
 		}
 		e := b.tags.Entry(slot)
+		wasValid := e.Valid
 		e.Tag = page
 		e.Valid = true
 		e.Dirty = false
@@ -377,7 +435,41 @@ func (c *Controller) Warm(base, size uint64) {
 		e.BusyUntil = 0
 		e.Busy = false
 		b.tags.Touch(slot)
+		if c.qosMon != nil {
+			c.qosMon.Install(cls, b.owner[slot], wasValid)
+			b.owner[slot] = cls
+		}
 	}
+}
+
+// classIndex clamps a request's class tag onto the table (stray tags
+// fall back to the default class, never out of bounds).
+func (c *Controller) classIndex(cls qos.ClassID) int {
+	if int(cls) >= len(c.qosMasks) {
+		return 0
+	}
+	return int(cls)
+}
+
+// QoSEnabled reports whether the controller carries a QoS table.
+func (c *Controller) QoSEnabled() bool { return c.cfg.QoS != nil }
+
+// QoSStats returns the MBM-style per-class counters (nil when QoS is
+// disabled).
+func (c *Controller) QoSStats() []qos.ClassStats {
+	if c.qosMon == nil {
+		return nil
+	}
+	return c.qosMon.Stats()
+}
+
+// QoSSamples returns the monitor's sim-time sample history (nil when
+// QoS is disabled).
+func (c *Controller) QoSSamples() []qos.Sample {
+	if c.qosMon == nil {
+		return nil
+	}
+	return c.qosMon.Samples()
 }
 
 // bankOf routes a MoS page to its bank (page-interleaved).

@@ -57,6 +57,7 @@ func (c *Controller) run(t sim.Time, a mem.Access, fn func(part mem.Access, cach
 		res.NVDIMM += r.NVDIMM
 		res.DMA += r.DMA
 		res.SSD += r.SSD
+		res.Throttle += r.Throttle
 		t = r.Done
 	}
 	c.stats.Accesses++

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hams/internal/qos"
 	"hams/internal/sim"
 )
 
@@ -81,6 +82,7 @@ type Store struct {
 	ways    int
 	sets    int
 	policy  Policy
+	full    uint64 // way mask selecting every way
 
 	stamp []uint64 // LRU recency per slot
 	tick  uint64
@@ -106,6 +108,7 @@ func New(cfg Config) (*Store, error) {
 		ways:    cfg.Ways,
 		sets:    sets,
 		policy:  cfg.Policy,
+		full:    qos.FullMask(cfg.Ways),
 		stamp:   make([]uint64, n),
 	}
 	switch cfg.Policy {
@@ -160,26 +163,48 @@ func (s *Store) Touch(slot int) {
 	}
 }
 
-// Victim selects the slot a miss on set installs into:
+// FullMask returns the store's all-ways mask (qos.FullMask of the
+// associativity — one definition shared with the policy layer).
+func (s *Store) FullMask() uint64 { return s.full }
+
+// Victim selects the slot a miss on set installs into, considering
+// every way (no partitioning).
+func (s *Store) Victim(set int) int { return s.VictimMasked(set, s.full) }
+
+// VictimMasked selects the slot a miss on set installs into, confined
+// to the ways whose mask bit is set (the requesting class's CAT
+// capacity mask; the full mask reproduces Victim exactly):
 //
-//  1. an invalid way, if any (no eviction needed);
-//  2. otherwise the policy's choice among the non-busy ways;
-//  3. otherwise (every way busy) the way whose in-flight commands
-//     retire first — the caller parks in the wait queue until then.
-func (s *Store) Victim(set int) int {
+//  1. an invalid permitted way, if any (no eviction needed);
+//  2. otherwise the policy's choice among the non-busy permitted ways;
+//  3. otherwise (every permitted way busy) the permitted way whose
+//     in-flight commands retire first — the caller parks in the wait
+//     queue until then.
+//
+// Mask bits beyond the associativity are ignored; an empty mask is
+// treated as full (the controller validates masks up front, so this
+// only defends against stray tags).
+func (s *Store) VictimMasked(set int, mask uint64) int {
+	mask &= s.full
+	if mask == 0 {
+		mask = s.full
+	}
 	base := set * s.ways
 	for w := 0; w < s.ways; w++ {
-		if !s.entries[base+w].Valid {
+		if mask&(1<<uint(w)) != 0 && !s.entries[base+w].Valid {
 			return base + w
 		}
 	}
-	if slot := s.pick(set, false); slot >= 0 {
+	if slot := s.pick(set, false, mask); slot >= 0 {
 		return slot
 	}
-	// All ways busy: wait for the earliest to drain.
-	best := base
-	for w := 1; w < s.ways; w++ {
-		if s.entries[base+w].BusyUntil < s.entries[best].BusyUntil {
+	// All permitted ways busy: wait for the earliest to drain.
+	best := -1
+	for w := 0; w < s.ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		if best < 0 || s.entries[base+w].BusyUntil < s.entries[best].BusyUntil {
 			best = base + w
 		}
 	}
@@ -187,26 +212,40 @@ func (s *Store) Victim(set int) int {
 }
 
 // WarmVictim selects a slot Warm may install into without disturbing
-// live state: an invalid way, else a clean non-busy way by policy.
-// ok is false when every way is dirty or busy.
+// live state, considering every way.
 func (s *Store) WarmVictim(set int) (slot int, ok bool) {
+	return s.WarmVictimMasked(set, s.full)
+}
+
+// WarmVictimMasked selects a slot Warm may install into within the
+// permitted ways: an invalid way, else a clean non-busy way by
+// policy. ok is false when every permitted way is dirty or busy.
+func (s *Store) WarmVictimMasked(set int, mask uint64) (slot int, ok bool) {
+	mask &= s.full
+	if mask == 0 {
+		mask = s.full
+	}
 	base := set * s.ways
 	for w := 0; w < s.ways; w++ {
-		if !s.entries[base+w].Valid {
+		if mask&(1<<uint(w)) != 0 && !s.entries[base+w].Valid {
 			return base + w, true
 		}
 	}
-	if slot := s.pick(set, true); slot >= 0 {
+	if slot := s.pick(set, true, mask); slot >= 0 {
 		return slot, true
 	}
 	return -1, false
 }
 
-// pick applies the policy over set's valid non-busy ways (and, when
-// cleanOnly, non-dirty ways). Returns -1 when no way qualifies.
-func (s *Store) pick(set int, cleanOnly bool) int {
+// pick applies the policy over set's valid non-busy permitted ways
+// (and, when cleanOnly, non-dirty ways). Returns -1 when no way
+// qualifies.
+func (s *Store) pick(set int, cleanOnly bool, mask uint64) int {
 	base := set * s.ways
 	usable := func(w int) bool {
+		if mask&(1<<uint(w)) == 0 {
+			return false
+		}
 		e := &s.entries[base+w]
 		return !e.Busy && (!cleanOnly || !e.Dirty)
 	}

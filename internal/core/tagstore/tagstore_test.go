@@ -189,3 +189,100 @@ func TestParsePolicy(t *testing.T) {
 		t.Fatal("Policy.String")
 	}
 }
+
+func TestVictimMaskedConfinement(t *testing.T) {
+	// Every policy must confine victims to the permitted ways, on both
+	// the install (invalid-way) path and the eviction (pick) path.
+	for _, pol := range []Policy{LRU, Clock, Random} {
+		s := mustNew(t, Config{Entries: 8, Ways: 8, Policy: pol, Seed: 9})
+		const mask = 0b00110100 // ways 2, 4, 5
+		// Install path: invalid ways abound, but only permitted ones
+		// may be chosen.
+		for i := 0; i < 3; i++ {
+			slot := s.VictimMasked(0, mask)
+			if mask&(1<<uint(slot)) == 0 {
+				t.Fatalf("%v: install victim way %d outside mask %#b", pol, slot, mask)
+			}
+			e := s.Entry(slot)
+			e.Tag = uint64(i)
+			e.Valid = true
+			s.Touch(slot)
+		}
+		// Eviction path: set full, victims still confined.
+		fillSet(s, 0, s.Ways())
+		for i := 0; i < 64; i++ {
+			slot := s.VictimMasked(0, mask)
+			if mask&(1<<uint(slot)) == 0 {
+				t.Fatalf("%v: eviction victim way %d outside mask %#b", pol, slot, mask)
+			}
+			s.Touch(slot)
+		}
+	}
+}
+
+func TestVictimMaskedBusyFallback(t *testing.T) {
+	// Every permitted way busy: the fallback must pick the permitted
+	// way draining first — never a non-permitted idle way.
+	s := mustNew(t, Config{Entries: 4, Ways: 4})
+	fillSet(s, 0, 4)
+	const mask = 0b1010 // ways 1, 3
+	s.Entry(1).Busy = true
+	s.Entry(1).BusyUntil = 500
+	s.Entry(3).Busy = true
+	s.Entry(3).BusyUntil = 300
+	if got := s.VictimMasked(0, mask); got != 3 {
+		t.Fatalf("busy fallback picked way %d, want 3 (earliest drain in mask)", got)
+	}
+}
+
+func TestVictimMaskedFullEqualsVictim(t *testing.T) {
+	// The full mask must reproduce the unmasked choice exactly —
+	// including the Random policy's RNG consumption — so a full-mask
+	// CLOS is bit-for-bit the unpartitioned store.
+	for _, pol := range []Policy{LRU, Clock, Random} {
+		a := mustNew(t, Config{Entries: 8, Ways: 4, Policy: pol, Seed: 7})
+		b := mustNew(t, Config{Entries: 8, Ways: 4, Policy: pol, Seed: 7})
+		step := func(i int, slot int, s *Store) {
+			e := s.Entry(slot)
+			e.Tag = uint64(i)
+			e.Valid = true
+			e.Dirty = i%3 == 0
+			e.Busy = i%5 == 0
+			e.BusyUntil = sim.Time(i)
+			s.Touch(slot)
+		}
+		for i := 0; i < 200; i++ {
+			set := i % a.Sets()
+			va := a.Victim(set)
+			vb := b.VictimMasked(set, b.FullMask())
+			if va != vb {
+				t.Fatalf("%v: step %d: Victim %d != VictimMasked(full) %d", pol, i, va, vb)
+			}
+			step(i, va, a)
+			step(i, vb, b)
+		}
+	}
+}
+
+func TestWarmVictimMasked(t *testing.T) {
+	s := mustNew(t, Config{Entries: 4, Ways: 4})
+	fillSet(s, 0, 4)
+	s.Entry(0).Dirty = true
+	s.Entry(2).Dirty = true
+	// Mask covering only dirty ways: warming must refuse.
+	if _, ok := s.WarmVictimMasked(0, 0b0101); ok {
+		t.Fatal("warm install into a dirty-only partition")
+	}
+	// Mask with one clean way: that way.
+	slot, ok := s.WarmVictimMasked(0, 0b0011)
+	if !ok || slot != 1 {
+		t.Fatalf("WarmVictimMasked = %d, %v; want way 1", slot, ok)
+	}
+	// Degenerate masks fall back to the full mask.
+	if slot := s.VictimMasked(0, 0); slot < 0 || slot > 3 {
+		t.Fatalf("zero mask victim %d", slot)
+	}
+	if got := s.FullMask(); got != 0xf {
+		t.Fatalf("FullMask = %#x", got)
+	}
+}

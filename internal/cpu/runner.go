@@ -30,6 +30,11 @@ type MemResult struct {
 	Mem  sim.Time // DRAM/NVDIMM array time
 	DMA  sim.Time // interface transfer time
 	SSD  sim.Time // device-internal time
+	// Throttle is QoS pacing debt owed by the issuing core. The runner
+	// applies it at the end of the current step — pacing the throttled
+	// core's issue rate without backdating any in-flight access, so
+	// other cores' arrival timestamps stay truthful.
+	Throttle sim.Time
 }
 
 // TLBConfig sizes the per-core TLB. A small page size shrinks TLB
@@ -92,6 +97,9 @@ type Stats struct {
 	MemTime sim.Time
 	DMATime sim.Time
 	SSDTime sim.Time
+	// ThrottleStall is the total QoS pacing debt applied to cores
+	// (zero unless a scenario throttles a class).
+	ThrottleStall sim.Time
 }
 
 // IPC returns aggregate instructions per core-cycle.
@@ -117,6 +125,7 @@ type coreState struct {
 	tlb    *Cache // a TLB is a small set-associative cache of pages
 	now    sim.Time
 	done   bool
+	class  uint8 // QoS class tagged onto every access the core issues
 }
 
 // AccessObserver receives every memory access a core issues, with the
@@ -129,10 +138,11 @@ type AccessObserver func(core int, a mem.Access, issue, done sim.Time)
 
 // Runner drives N cores against one memory system.
 type Runner struct {
-	cfg Config
-	mem MemSystem
-	l2  *Cache
-	obs AccessObserver
+	cfg     Config
+	mem     MemSystem
+	l2      *Cache
+	obs     AccessObserver
+	classes []uint8
 }
 
 // NewRunner builds a runner.
@@ -144,6 +154,14 @@ func NewRunner(cfg Config, m MemSystem) *Runner {
 // Observation never changes simulated results.
 func (r *Runner) Observe(fn AccessObserver) { r.obs = fn }
 
+// SetClasses assigns each core (by stream index) the QoS class tagged
+// onto every memory-system access it issues — including the L1/L2
+// victim writebacks its traffic triggers, which mirrors hardware MBM
+// attributing a writeback to the evicting core's RMID. Cores beyond
+// the slice (and a nil slice) use the default class 0, so replaying
+// without a class map is unchanged.
+func (r *Runner) SetClasses(classes []uint8) { r.classes = classes }
+
 // Run executes the streams (one per core; extra streams are ignored,
 // missing ones leave cores idle) until all are exhausted. Cores are
 // advanced in global time order so the shared memory system always
@@ -153,6 +171,9 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 	cores := make([]*coreState, 0, r.cfg.Cores)
 	for i := 0; i < r.cfg.Cores && i < len(streams); i++ {
 		cs := &coreState{stream: streams[i], l1: NewCache(r.cfg.L1)}
+		if i < len(r.classes) {
+			cs.class = r.classes[i]
+		}
 		if r.cfg.TLB.Entries > 0 {
 			cs.tlb = NewCache(CacheConfig{
 				SizeBytes: uint64(r.cfg.TLB.Entries) * r.cfg.TLB.PageBytes,
@@ -197,6 +218,7 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 		// Memory phase: one load/store instruction per cache line
 		// touched (an 8 B load and a 64 B line are both one
 		// instruction; a 4 KiB copy is 64 of them).
+		var stepThrottle sim.Time
 		for _, a := range step.Acc {
 			lines := int64(mem.AlignUp(a.Addr+uint64(a.Size), r.cfg.L1.LineBytes)-mem.AlignDown(a.Addr, r.cfg.L1.LineBytes)) / int64(r.cfg.L1.LineBytes)
 			if lines < 1 {
@@ -220,6 +242,15 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 			st.MemTime += mr.Mem
 			st.DMATime += mr.DMA
 			st.SSDTime += mr.SSD
+			stepThrottle += mr.Throttle
+		}
+		// QoS pacing debt lands at the step boundary: the throttled
+		// core idles here (its next step issues later), while every
+		// access it already issued keeps its physical timestamps.
+		if stepThrottle > 0 {
+			c.now += stepThrottle
+			st.MemStall += stepThrottle
+			st.ThrottleStall += stepThrottle
 		}
 	}
 	for _, cs := range cores {
@@ -269,9 +300,11 @@ func (r *Runner) serveAccess(c *coreState, a mem.Access, st *Stats) (sim.Time, M
 		if d1 {
 			// Dirty L1 victim drains into the (mostly inclusive) L2.
 			if h2, v2, dd2 := r.l2.Lookup(v1, true); !h2 && dd2 {
-				if _, err := r.mem.Access(now, mem.Access{Addr: v2, Size: uint32(line), Op: mem.Write}); err != nil {
+				wb, err := r.mem.Access(now, mem.Access{Addr: v2, Size: uint32(line), Op: mem.Write, Class: c.class})
+				if err != nil {
 					return now, agg, err
 				}
+				agg.Throttle += wb.Throttle
 			}
 		}
 		l2hit, v2, d2 := r.l2.Lookup(la, write)
@@ -282,13 +315,16 @@ func (r *Runner) serveAccess(c *coreState, a mem.Access, st *Stats) (sim.Time, M
 		if d2 {
 			// L2 dirty victim writes back to the memory system. The
 			// write-back buffer hides it from the core's critical path
-			// but it still occupies the memory system.
-			if _, err := r.mem.Access(now, mem.Access{Addr: v2, Size: uint32(line), Op: mem.Write}); err != nil {
+			// but it still occupies the memory system — and any MBA
+			// debt it accrues still paces the evicting core.
+			wb, err := r.mem.Access(now, mem.Access{Addr: v2, Size: uint32(line), Op: mem.Write, Class: c.class})
+			if err != nil {
 				return now, agg, err
 			}
+			agg.Throttle += wb.Throttle
 		}
 		// L2 miss: fetch the line from the memory system.
-		mr, err := r.mem.Access(now, mem.Access{Addr: la, Size: uint32(line), Op: mem.Read})
+		mr, err := r.mem.Access(now, mem.Access{Addr: la, Size: uint32(line), Op: mem.Read, Class: c.class})
 		if err != nil {
 			return now, agg, err
 		}
@@ -296,6 +332,7 @@ func (r *Runner) serveAccess(c *coreState, a mem.Access, st *Stats) (sim.Time, M
 		agg.Mem += mr.Mem
 		agg.DMA += mr.DMA
 		agg.SSD += mr.SSD
+		agg.Throttle += mr.Throttle
 		now = mr.Done
 	}
 	return now, agg, nil

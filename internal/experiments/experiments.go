@@ -38,6 +38,12 @@ type Options struct {
 	// in-flight cells run to completion — the simulator core does not
 	// poll the context); nil = Background.
 	Ctx context.Context
+
+	// QoSMasks / QoSMBps override the `qos` target's isolated-policy
+	// way masks and bandwidth throttles per class name (hamsbench
+	// -qos-masks / -qos-mbps). nil keeps the built-in policy.
+	QoSMasks map[string]uint64
+	QoSMBps  map[string]float64
 }
 
 func (o Options) ctx() context.Context {

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"hams/internal/mem"
+	"hams/internal/platform"
+	"hams/internal/qos"
+	"hams/internal/replay"
+	"hams/internal/report"
+	"hams/internal/runner"
+	"hams/internal/stats"
+)
+
+// This file hosts the `qos` target: partitioned vs. unpartitioned
+// multi-tenant co-location. One scenario — a streaming tenant next to
+// a latency-sensitive service on a deliberately small MoS cache — is
+// swept across four CLOS policies:
+//
+//	shared   free-for-all (the PR 3 `mixed` behavior, monitoring only)
+//	cat      way partitioning: the service keeps 6 of 8 ways
+//	mba      bandwidth throttling: the streamer capped at 100 MB/s
+//	cat+mba  both — the full RDT-style isolation policy
+//
+// Per-tenant latency percentiles plus the MBM-style occupancy and
+// bandwidth counters land in report.Cell.Extra, and the CI step
+// summary renders the victim's p99 across policies (QoSMarkdown).
+
+// qosVariant is one CLOS policy applied to the scenario.
+type qosVariant struct {
+	name string
+	qos  *qos.Table
+}
+
+// qosClassNames are the CLOS labels of the built-in scenario; CLI
+// overrides must address one of them.
+var qosClassNames = []string{"latency", "stream"}
+
+// qosVictim/qosAggressor name the scenario's tenants; the victim's
+// p99 is the headline isolation metric.
+const (
+	qosVictim    = "latency"
+	qosAggressor = "stream"
+	qosScenario  = "stream+latency"
+	qosPlatform  = "hams-LE"
+)
+
+// Built-in isolated-policy parameters (CLI-overridable): the service
+// keeps ways 2-7, the streamer ways 0-1 and a 100 MB/s archive cap.
+const (
+	qosVictimMask    = 0xfc
+	qosAggressorMask = 0x03
+	qosAggressorMBps = 100
+)
+
+// ValidateQoSOverrides rejects -qos-masks/-qos-mbps entries that do
+// not address a class of the built-in scenario, before anything runs.
+func ValidateQoSOverrides(masks map[string]uint64, mbps map[string]float64) error {
+	known := make(map[string]bool, len(qosClassNames))
+	for _, n := range qosClassNames {
+		known[n] = true
+	}
+	for name := range masks {
+		if !known[name] {
+			return fmt.Errorf("experiments: -qos-masks: unknown class %q (have %s)",
+				name, strings.Join(qosClassNames, ", "))
+		}
+	}
+	for name, v := range mbps {
+		if !known[name] {
+			return fmt.Errorf("experiments: -qos-mbps: unknown class %q (have %s)",
+				name, strings.Join(qosClassNames, ", "))
+		}
+		if v <= 0 {
+			return fmt.Errorf("experiments: -qos-mbps: class %q: throttle must be positive, got %g", name, v)
+		}
+	}
+	return nil
+}
+
+// qosTable assembles one variant's CLOS table. partitioned applies
+// way masks, throttled applies the MBps cap; o's override maps
+// replace the built-in values per class name.
+func qosTable(o Options, partitioned, throttled bool) *qos.Table {
+	mask := func(name string, def uint64) uint64 {
+		if !partitioned {
+			return 0 // full mask
+		}
+		if v, ok := o.QoSMasks[name]; ok {
+			return v
+		}
+		return def
+	}
+	rate := func(name string, def float64) float64 {
+		if !throttled {
+			return 0
+		}
+		if v, ok := o.QoSMBps[name]; ok {
+			return v
+		}
+		return def
+	}
+	return &qos.Table{Classes: []qos.Class{
+		{Name: qosVictim, WayMask: mask(qosVictim, qosVictimMask), MBps: rate(qosVictim, 0)},
+		{Name: qosAggressor, WayMask: mask(qosAggressor, qosAggressorMask), MBps: rate(qosAggressor, qosAggressorMBps)},
+	}}
+}
+
+// qosVariants builds the policy sweep.
+func qosVariants(o Options) []qosVariant {
+	return []qosVariant{
+		{"shared", qosTable(o, false, false)},
+		{"cat", qosTable(o, true, false)},
+		{"mba", qosTable(o, false, true)},
+		{"cat+mba", qosTable(o, true, true)},
+	}
+}
+
+// qosScenarioFor assembles the co-location scenario under one policy.
+// The geometry (8-way tag array over a 64 MiB NVDIMM: 384 cache pages
+// in 48 sets) and the tenant intensities are fixed — independent of
+// Options.Scale — because the isolation physics need the streamer to
+// sweep the cache several times within the service's lifetime; see
+// EXPERIMENTS.md. Tenant seeds derive from the cell seed so the
+// variants stay stream-paired.
+func qosScenarioFor(v qosVariant, seed int64) replay.Scenario {
+	return replay.Scenario{
+		Name:     qosScenario,
+		Platform: qosPlatform,
+		PlatOpts: platform.Options{HAMSWays: 8, HAMSNVDIMM: 64 * mem.MiB},
+		Tenants: []replay.Tenant{
+			{
+				// The latency-sensitive service: a graph workload whose
+				// 16 MiB working set (4 MiB × 4 threads) fits its 6-way
+				// partition, with no cold traffic of its own — every
+				// miss it suffers is inflicted by the neighbor.
+				Name: qosVictim, Workload: "BFS", Class: qosVictim,
+				Seed:  runner.DeriveSeed(seed, qosVictim),
+				Scale: 1e-5, Hot: 4 * mem.MiB, HotFrac: 1.0,
+			},
+			{
+				// The streaming tenant: sequential writes sweeping the
+				// whole cache from a disjoint 64 GiB-offset footprint,
+				// at 10× the service's intensity.
+				Name: qosAggressor, Workload: "seqWr", Class: qosAggressor,
+				Seed:  runner.DeriveSeed(seed, qosAggressor),
+				Scale: 1e-4, Base: 64 * mem.GiB,
+			},
+		},
+		QoS: v.qos,
+	}
+}
+
+// qosOut is one policy cell's output.
+type qosOut struct {
+	variant string
+	rep     replay.Result
+	cell    report.Cell
+}
+
+func (q qosOut) reportCell() report.Cell { return q.cell }
+
+// QoS runs the isolation sweep (console tables only).
+func QoS(o Options) ([]*stats.Table, error) {
+	tables, _, err := QoSWithSummary(o)
+	return tables, err
+}
+
+// QoSWithSummary runs the isolation sweep and also renders the
+// markdown victim-delta table for CI step summaries.
+func QoSWithSummary(o Options) ([]*stats.Table, string, error) {
+	if err := ValidateQoSOverrides(o.QoSMasks, o.QoSMBps); err != nil {
+		return nil, "", err
+	}
+	variants := qosVariants(o)
+	jobs := make([]cellJob, len(variants))
+	for i, v := range variants {
+		v := v
+		jobs[i] = cellJob{
+			key:     qosScenario + "/" + v.name + "@" + qosPlatform,
+			seedKey: qosScenario,
+			fn: func(ctx context.Context, seed int64) (any, error) {
+				return qosCell(v, seed)
+			},
+		}
+	}
+	vals, err := runCellJobs(o, "qos", jobs)
+	if err != nil {
+		return nil, "", err
+	}
+	t := stats.NewTable("QoS: RDT-style isolation — partitioned vs unpartitioned co-location",
+		"scenario", "policy", "tenant", "p50", "p95", "p99", "occ(pages)", "fill MB/s", "wb MB/s", "throttled", "units/s")
+	outs := make([]qosOut, 0, len(vals))
+	for _, val := range vals {
+		q, ok := val.(qosOut)
+		if !ok {
+			return nil, "", fmt.Errorf("experiments: qos cell returned %T", val)
+		}
+		outs = append(outs, q)
+		for _, ten := range q.rep.Tenants {
+			t.AddRow(q.rep.Scenario, q.variant, ten.Name,
+				fmt.Sprintf("%dns", ten.P50), fmt.Sprintf("%dns", ten.P95), fmt.Sprintf("%dns", ten.P99),
+				fmt.Sprint(ten.QoS.Occupancy),
+				stats.F(ten.QoS.FillMBps(q.rep.CPU.Elapsed)),
+				stats.F(ten.QoS.WBMBps(q.rep.CPU.Elapsed)),
+				fmt.Sprintf("%v", ten.QoS.ThrottleNS),
+				"")
+		}
+		t.AddRow(q.rep.Scenario, q.variant, "(all)", "", "", "", "", "", "", "",
+			fmt.Sprintf("%.0f", q.rep.UnitsPerSec()))
+	}
+	return []*stats.Table{t}, QoSMarkdown(outs), nil
+}
+
+// qosCell runs one policy variant.
+func qosCell(v qosVariant, seed int64) (qosOut, error) {
+	sc := qosScenarioFor(v, seed)
+	rep, err := replay.Run(sc, replay.Options{Seed: seed})
+	if err != nil {
+		return qosOut{}, err
+	}
+	extra := make(map[string]float64, 8*len(rep.Tenants))
+	for _, ten := range rep.Tenants {
+		extra["p50_ns:"+ten.Name] = float64(ten.P50)
+		extra["p95_ns:"+ten.Name] = float64(ten.P95)
+		extra["p99_ns:"+ten.Name] = float64(ten.P99)
+		extra["units:"+ten.Name] = float64(ten.Units)
+		extra["occ_pages:"+ten.Name] = float64(ten.QoS.Occupancy)
+		extra["occ_peak:"+ten.Name] = float64(ten.QoS.OccupancyPeak)
+		extra["fill_mbps:"+ten.Name] = ten.QoS.FillMBps(rep.CPU.Elapsed)
+		extra["wb_mbps:"+ten.Name] = ten.QoS.WBMBps(rep.CPU.Elapsed)
+		extra["throttle_ns:"+ten.Name] = float64(ten.QoS.ThrottleNS)
+	}
+	return qosOut{
+		variant: v.name,
+		rep:     rep,
+		cell: report.Cell{
+			Platform:    rep.Platform,
+			Scenario:    qosScenario + "/" + v.name,
+			SimNS:       int64(rep.CPU.Elapsed),
+			Units:       rep.Units,
+			UnitsPerSec: rep.UnitsPerSec(),
+			EnergyJ:     rep.Energy.Total(),
+			Extra:       extra,
+		},
+	}, nil
+}
+
+// QoSMarkdown renders the partitioned-vs-unpartitioned isolation
+// delta table: the victim's tail latency under every policy, relative
+// to the unpartitioned baseline.
+func QoSMarkdown(outs []qosOut) string {
+	var shared *qosOut
+	for i := range outs {
+		if outs[i].variant == "shared" {
+			shared = &outs[i]
+		}
+	}
+	var b strings.Builder
+	b.WriteString("### QoS isolation: victim tail latency by policy\n\n")
+	if shared == nil || len(outs) == 0 {
+		b.WriteString("No shared-baseline cell recorded.\n")
+		return b.String()
+	}
+	basep99 := tenantStat(shared.rep, qosVictim).P99
+	b.WriteString("| policy | victim p95 | victim p99 | Δp99 vs shared | victim occupancy | streamer fill MB/s | streamer throttled |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, q := range outs {
+		vict := tenantStat(q.rep, qosVictim)
+		aggr := tenantStat(q.rep, qosAggressor)
+		delta := "—"
+		if q.variant != "shared" && basep99 > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (float64(vict.P99)-float64(basep99))/float64(basep99)*100)
+		}
+		fmt.Fprintf(&b, "| %s | %dns | %dns | %s | %d pages | %.0f | %v |\n",
+			q.variant, vict.P95, vict.P99, delta, vict.QoS.Occupancy,
+			aggr.QoS.FillMBps(q.rep.CPU.Elapsed), aggr.QoS.ThrottleNS)
+	}
+	return b.String()
+}
+
+// tenantStat finds a tenant's stats block by name.
+func tenantStat(r replay.Result, name string) replay.TenantStats {
+	for _, t := range r.Tenants {
+		if t.Name == name {
+			return t
+		}
+	}
+	return replay.TenantStats{}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hams/internal/qos"
+	"hams/internal/replay"
+	"hams/internal/runner"
+)
+
+// TestQoSIsolationGolden is the isolation acceptance pin: in the qos
+// target's own scenario (streaming tenant + latency-sensitive
+// service), the full RDT policy (cat+mba) must deliver the victim a
+// measurably lower p99 than free-for-all sharing, way partitioning
+// must keep the victim's pages resident, and the throttle must have
+// actually engaged. Everything here is simulated time, so the
+// assertions are exact and deterministic — the same cells run in CI's
+// bench gate (seed 42, the gate's seed).
+func TestQoSIsolationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second isolation scenario")
+	}
+	o := Options{Seed: 42}
+	variants := qosVariants(o)
+	seed := runner.DeriveSeed(o.Seed, qosScenario)
+	byName := make(map[string]replay.Result, len(variants))
+	for _, v := range variants {
+		if v.name != "shared" && v.name != "cat+mba" {
+			continue
+		}
+		out, err := qosCell(v, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		byName[v.name] = out.rep
+	}
+	shared, iso := byName["shared"], byName["cat+mba"]
+
+	sharedVict := tenantStat(shared, qosVictim)
+	isoVict := tenantStat(iso, qosVictim)
+	// The headline: partitioning on beats partitioning off on victim
+	// tail latency, with margin (measured ~2.7× at this seed).
+	if isoVict.P99*3 >= sharedVict.P99*2 {
+		t.Fatalf("victim p99 not measurably lower with QoS on: shared %dns vs cat+mba %dns",
+			sharedVict.P99, isoVict.P99)
+	}
+	if isoVict.P95 >= sharedVict.P95 {
+		t.Fatalf("victim p95 not lower with QoS on: shared %dns vs cat+mba %dns",
+			sharedVict.P95, isoVict.P95)
+	}
+	// CAT: the victim's partition kept its working set resident; in
+	// the free-for-all the streamer swept every victim page out.
+	if sharedVict.QoS.Occupancy != 0 {
+		t.Fatalf("shared: victim still owns %d pages (streamer should have swept them)",
+			sharedVict.QoS.Occupancy)
+	}
+	if isoVict.QoS.Occupancy == 0 {
+		t.Fatal("cat+mba: victim owns no pages despite its partition")
+	}
+	// MBA: the throttle engaged on the streamer and only the streamer.
+	isoAggr := tenantStat(iso, qosAggressor)
+	if isoAggr.QoS.ThrottleNS == 0 {
+		t.Fatal("cat+mba: streamer was never throttled")
+	}
+	if isoVict.QoS.ThrottleNS != 0 {
+		t.Fatalf("cat+mba: victim absorbed %v of throttle debt", isoVict.QoS.ThrottleNS)
+	}
+	// And the streamer's achieved bandwidth respects the cap (with
+	// slack for the final in-flight transfer).
+	if got := isoAggr.QoS.FillMBps(iso.CPU.Elapsed); got > qosAggressorMBps*1.05 {
+		t.Fatalf("cat+mba: streamer fill bandwidth %.1f MB/s exceeds the %d MB/s cap", got, qosAggressorMBps)
+	}
+}
+
+// TestQoSMarkdownAndOverrides covers the CI summary rendering and the
+// up-front override validation.
+func TestQoSMarkdownAndOverrides(t *testing.T) {
+	if err := ValidateQoSOverrides(map[string]uint64{"latency": 0xf0}, nil); err != nil {
+		t.Fatalf("valid mask override rejected: %v", err)
+	}
+	if err := ValidateQoSOverrides(map[string]uint64{"nope": 1}, nil); err == nil {
+		t.Fatal("unknown mask class accepted")
+	}
+	if err := ValidateQoSOverrides(nil, map[string]float64{"nope": 5}); err == nil {
+		t.Fatal("unknown throttle class accepted")
+	}
+	if err := ValidateQoSOverrides(nil, map[string]float64{"stream": -1}); err == nil {
+		t.Fatal("negative throttle accepted")
+	}
+	// Override plumbing: the isolated table reflects the CLI values.
+	o := Options{
+		QoSMasks: map[string]uint64{"latency": 0xf0, "stream": 0x0f},
+		QoSMBps:  map[string]float64{"stream": 250},
+	}
+	tab := qosTable(o, true, true)
+	if id, ok := tab.ByName("latency"); !ok || tab.Classes[id].WayMask != 0xf0 {
+		t.Fatalf("mask override not applied: %+v", tab.Classes)
+	}
+	if id, ok := tab.ByName("stream"); !ok || tab.Classes[id].MBps != 250 {
+		t.Fatalf("throttle override not applied: %+v", tab.Classes)
+	}
+
+	md := QoSMarkdown(nil)
+	if !strings.Contains(md, "No shared-baseline") {
+		t.Fatalf("empty markdown = %q", md)
+	}
+	// Table validation catches masks beyond the sweep's 8-way array
+	// when the scenario is built (replay.Run -> core.New).
+	bad := qosVariant{name: "cat", qos: &qos.Table{Classes: []qos.Class{
+		{Name: qosVictim, WayMask: 1 << 20},
+		{Name: qosAggressor},
+	}}}
+	if _, err := qosCell(bad, 1); err == nil {
+		t.Fatal("out-of-range mask accepted by scenario build")
+	}
+}

@@ -26,6 +26,12 @@ type Access struct {
 	Addr uint64
 	Size uint32
 	Op   Op
+	// Class tags the request with its QoS class of service (CLOS; see
+	// internal/qos). It is an association, not data: trace files do
+	// not record it — the replay engine assigns it per tenant — and
+	// platforms without a QoS table ignore it. Zero is the default
+	// class.
+	Class uint8
 }
 
 func (a Access) String() string {
@@ -85,7 +91,7 @@ func SplitByPage(a Access, pageSize uint64) []Access {
 		if n > remain {
 			n = remain
 		}
-		out = append(out, Access{Addr: addr, Size: uint32(n), Op: a.Op})
+		out = append(out, Access{Addr: addr, Size: uint32(n), Op: a.Op, Class: a.Class})
 		addr += n
 		remain -= n
 	}

@@ -17,6 +17,7 @@ import (
 	"hams/internal/mem"
 	"hams/internal/osmodel"
 	"hams/internal/pcie"
+	"hams/internal/qos"
 	"hams/internal/sim"
 	"hams/internal/ssd"
 )
@@ -48,6 +49,17 @@ type Options struct {
 	HAMSBanks int
 	// HAMSPolicy selects the replacement policy when HAMSWays > 1.
 	HAMSPolicy tagstore.Policy
+	// HAMSQoS enables the RDT-style isolation layer on the HAMS
+	// variants: per-class way masks confine replacement, per-class
+	// MBps limits throttle archive traffic, and the controller
+	// monitors per-class occupancy/bandwidth. nil = no QoS (other
+	// platforms ignore the table).
+	HAMSQoS *qos.Table
+	// HAMSNVDIMM overrides the NVDIMM module size (cache-pressure
+	// ablation; the QoS isolation cells use it to provoke contention
+	// at bench scale); 0 = the paper's 8 GiB. The pinned region
+	// shrinks with the module when the default would not fit.
+	HAMSNVDIMM uint64
 	// ArchiveChannels overrides the ULL-Flash channel count (ablation).
 	ArchiveChannels int
 	// ArchiveTLC swaps the archive medium to conventional TLC flash
@@ -221,6 +233,15 @@ func newHAMS(m core.Mode, tp core.Topology, o Options) (*hamsPlatform, error) {
 		cfg.Banks = o.HAMSBanks
 	}
 	cfg.Replacement = o.HAMSPolicy
+	cfg.QoS = o.HAMSQoS
+	if o.HAMSNVDIMM != 0 {
+		cfg.NVDIMM.DRAM.Capacity = o.HAMSNVDIMM
+		// Keep the pinned region (queues + PRP pools) a quarter of a
+		// small module so most of it remains MoS cache.
+		if cfg.PinnedBytes >= o.HAMSNVDIMM {
+			cfg.PinnedBytes = o.HAMSNVDIMM / 4
+		}
+	}
 	if o.ArchiveChannels != 0 {
 		cfg.SSD.Geometry.Channels = o.ArchiveChannels
 	}
@@ -253,15 +274,23 @@ func (p *hamsPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, error) {
 		return cpu.MemResult{}, err
 	}
 	return cpu.MemResult{
-		Done: r.Done,
-		Mem:  r.NVDIMM,
-		DMA:  r.DMA,
-		SSD:  r.SSD + r.Wait,
+		Done:     r.Done,
+		Mem:      r.NVDIMM,
+		DMA:      r.DMA,
+		SSD:      r.SSD + r.Wait,
+		Throttle: r.Throttle,
 	}, nil
 }
 
 // Warm installs the range into the MoS tag array as clean/valid.
 func (p *hamsPlatform) Warm(base, size uint64) { p.ctl.Warm(base, size) }
+
+// WarmClass warms on behalf of a QoS class: installs stay inside the
+// class's way partition (the replay engine uses it so a partitioned
+// tenant's steady state lands where the live run would build it).
+func (p *hamsPlatform) WarmClass(base, size uint64, cls qos.ClassID) {
+	p.ctl.WarmClass(base, size, cls)
+}
 
 func (p *hamsPlatform) EnergyInputs() energy.Inputs {
 	return energy.Inputs{
@@ -291,6 +320,7 @@ func newHAMSSoftware(o Options) (*hamsSWPlatform, error) {
 	if o.HAMSPage != 0 {
 		cfg.PageBytes = o.HAMSPage
 	}
+	cfg.QoS = o.HAMSQoS
 	ctl, err := core.New(cfg)
 	if err != nil {
 		return nil, err
@@ -305,7 +335,7 @@ func (p *hamsSWPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, error)
 	if err != nil {
 		return cpu.MemResult{}, err
 	}
-	res := cpu.MemResult{Done: r.Done, Mem: r.NVDIMM, DMA: r.DMA, SSD: r.SSD + r.Wait}
+	res := cpu.MemResult{Done: r.Done, Mem: r.NVDIMM, DMA: r.DMA, SSD: r.SSD + r.Wait, Throttle: r.Throttle}
 	if !r.Hit {
 		// The OS services the fault: trap + switches around the block.
 		sw := p.costs.FaultEntry + 2*p.costs.ContextSwitch
@@ -317,6 +347,11 @@ func (p *hamsSWPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, error)
 
 // Warm installs the hot range into the MoS tag array.
 func (p *hamsSWPlatform) Warm(base, size uint64) { p.ctl.Warm(base, size) }
+
+// WarmClass warms on behalf of a QoS class (see hamsPlatform).
+func (p *hamsSWPlatform) WarmClass(base, size uint64, cls qos.ClassID) {
+	p.ctl.WarmClass(base, size, cls)
+}
 
 func (p *hamsSWPlatform) EnergyInputs() energy.Inputs {
 	return energy.Inputs{

@@ -1,0 +1,223 @@
+package qos
+
+import "hams/internal/sim"
+
+// ClassStats is the MBM-style counter block of one class: cache
+// events, archive traffic, throttle stalls, and tag-array occupancy.
+// All counters are simulation-deterministic and purely observational —
+// the monitor never feeds back into timing.
+type ClassStats struct {
+	Class ClassID
+	Name  string
+
+	Accesses int64 // page-granular requests tagged with the class
+	Hits     int64
+	Misses   int64
+
+	// FillBytes / WBBytes are the archive traffic the class generated:
+	// fills (archive→NVDIMM) and dirty-victim writebacks
+	// (NVDIMM→archive). Like hardware MBM, a writeback is attributed
+	// to the class that triggered the eviction, not to the victim
+	// page's owner.
+	FillBytes int64
+	WBBytes   int64
+
+	// ThrottleNS is the total delay the MBA throttle injected into the
+	// class's requests.
+	ThrottleNS sim.Time
+
+	// Occupancy is the number of tag-array entries currently owned by
+	// the class (the class that installed the resident page);
+	// OccupancyPeak is its high-water mark.
+	Occupancy     int64
+	OccupancyPeak int64
+}
+
+// FillMBps returns the class's average fill bandwidth over elapsed
+// simulated time, in 1e6 bytes/s.
+func (s ClassStats) FillMBps(elapsed sim.Time) float64 { return mbps(s.FillBytes, elapsed) }
+
+// WBMBps returns the class's average writeback bandwidth.
+func (s ClassStats) WBMBps(elapsed sim.Time) float64 { return mbps(s.WBBytes, elapsed) }
+
+func mbps(bytes int64, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / elapsed.Seconds()
+}
+
+// Sample is one periodic monitoring snapshot: per-class occupancy and
+// the archive traffic accumulated since the previous sample.
+type Sample struct {
+	At        sim.Time
+	Occupancy []int64
+	FillBytes []int64
+	WBBytes   []int64
+}
+
+// maxSamples bounds monitor memory: when the ring fills, every other
+// sample is dropped and the period doubles, so a run of any simulated
+// length keeps a bounded, evenly spaced history (deterministically —
+// compaction depends only on sample count).
+const maxSamples = 512
+
+// Monitor aggregates per-class counters and samples them on simulated
+// time. It is single-threaded like the controller that drives it.
+type Monitor struct {
+	stats   []ClassStats
+	period  sim.Time
+	next    sim.Time
+	started bool
+	samples []Sample
+	winFill []int64 // traffic since the last sample
+	winWB   []int64
+}
+
+// DefaultSamplePeriod spaces MBM samples 100 µs of simulated time
+// apart — a few hundred samples for the harness's scaled-down runs.
+const DefaultSamplePeriod = 100 * sim.Microsecond
+
+// NewMonitor builds a monitor for a table (nil = single default
+// class). period <= 0 selects DefaultSamplePeriod.
+func NewMonitor(t *Table, period sim.Time) *Monitor {
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	names := t.Names()
+	m := &Monitor{
+		stats:   make([]ClassStats, len(names)),
+		period:  period,
+		winFill: make([]int64, len(names)),
+		winWB:   make([]int64, len(names)),
+	}
+	for i, n := range names {
+		m.stats[i] = ClassStats{Class: ClassID(i), Name: n}
+	}
+	return m
+}
+
+// clamp folds out-of-range class IDs onto the default class, so a
+// stray tag can never index out of bounds.
+func (m *Monitor) clamp(c ClassID) int {
+	if int(c) >= len(m.stats) {
+		return 0
+	}
+	return int(c)
+}
+
+// OnHit records a page-granular hit for the class.
+func (m *Monitor) OnHit(c ClassID) {
+	i := m.clamp(c)
+	m.stats[i].Accesses++
+	m.stats[i].Hits++
+}
+
+// OnMiss records a page-granular miss.
+func (m *Monitor) OnMiss(c ClassID) {
+	i := m.clamp(c)
+	m.stats[i].Accesses++
+	m.stats[i].Misses++
+}
+
+// OnFill charges fill traffic (archive→NVDIMM) to the class.
+func (m *Monitor) OnFill(c ClassID, bytes int64) {
+	i := m.clamp(c)
+	m.stats[i].FillBytes += bytes
+	m.winFill[i] += bytes
+}
+
+// OnWriteback charges dirty-victim writeback traffic to the class
+// that triggered the eviction.
+func (m *Monitor) OnWriteback(c ClassID, bytes int64) {
+	i := m.clamp(c)
+	m.stats[i].WBBytes += bytes
+	m.winWB[i] += bytes
+}
+
+// OnThrottle records an MBA-injected stall.
+func (m *Monitor) OnThrottle(c ClassID, d sim.Time) {
+	m.stats[m.clamp(c)].ThrottleNS += d
+}
+
+// Install moves tag-array ownership of one entry to class c. prev is
+// the previous owner, meaningful only when prevValid (the slot held a
+// valid entry before the install).
+func (m *Monitor) Install(c ClassID, prev ClassID, prevValid bool) {
+	if prevValid {
+		m.stats[m.clamp(prev)].Occupancy--
+	}
+	i := m.clamp(c)
+	m.stats[i].Occupancy++
+	if m.stats[i].Occupancy > m.stats[i].OccupancyPeak {
+		m.stats[i].OccupancyPeak = m.stats[i].Occupancy
+	}
+}
+
+// Tick advances the sampler to simulated time now, emitting any due
+// samples. Sampling is driven purely by sim time, so two identical
+// runs produce identical sample streams.
+func (m *Monitor) Tick(now sim.Time) {
+	if !m.started {
+		m.started = true
+		m.next = now + m.period
+		return
+	}
+	for now >= m.next {
+		s := Sample{
+			At:        m.next,
+			Occupancy: make([]int64, len(m.stats)),
+			FillBytes: make([]int64, len(m.stats)),
+			WBBytes:   make([]int64, len(m.stats)),
+		}
+		for i := range m.stats {
+			s.Occupancy[i] = m.stats[i].Occupancy
+			s.FillBytes[i] = m.winFill[i]
+			s.WBBytes[i] = m.winWB[i]
+			m.winFill[i] = 0
+			m.winWB[i] = 0
+		}
+		m.samples = append(m.samples, s)
+		m.next += m.period
+		if len(m.samples) >= maxSamples {
+			m.compact()
+		}
+	}
+}
+
+// compact halves the sample history and doubles the period, merging
+// each dropped sample's window traffic into its survivor.
+func (m *Monitor) compact() {
+	kept := m.samples[:0]
+	for i := 0; i < len(m.samples); i += 2 {
+		s := m.samples[i]
+		if i+1 < len(m.samples) {
+			nxt := m.samples[i+1]
+			s.At = nxt.At
+			s.Occupancy = nxt.Occupancy
+			for j := range s.FillBytes {
+				s.FillBytes[j] += nxt.FillBytes[j]
+				s.WBBytes[j] += nxt.WBBytes[j]
+			}
+		}
+		kept = append(kept, s)
+	}
+	m.samples = kept
+	m.period *= 2
+	m.next = m.samples[len(m.samples)-1].At + m.period
+}
+
+// Stats returns a copy of the per-class counters.
+func (m *Monitor) Stats() []ClassStats {
+	out := make([]ClassStats, len(m.stats))
+	copy(out, m.stats)
+	return out
+}
+
+// Samples returns the sample history (shared backing array; callers
+// must not mutate).
+func (m *Monitor) Samples() []Sample { return m.samples }
+
+// Period returns the current sample period (it grows when the history
+// compacts).
+func (m *Monitor) Period() sim.Time { return m.period }

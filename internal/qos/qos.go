@@ -1,0 +1,252 @@
+// Package qos is the simulator-side analogue of Intel RDT: it gives
+// the multi-tenant scenario engine an isolation-policy layer over the
+// shared MoS controller. A Class (CLOS) carries a tag-array way mask
+// applied at replacement time — evictions for a class are confined to
+// its permitted ways, overlapping masks are allowed, and a full mask
+// reproduces the unpartitioned controller bit-for-bit — plus an
+// MBA-style archive-bandwidth throttle injected at the bank router,
+// and MBM-style monitoring (per-class tag-array occupancy and
+// fill/writeback bandwidth sampled on simulated time).
+//
+// The package is pure policy: it owns no timing of its own beyond the
+// throttle's delay injection, so a table whose every class has a full
+// way mask and no throttle is guaranteed to leave the controller's
+// simulated output unchanged.
+package qos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ClassID indexes a class of service (CLOS). Requests are tagged with
+// their class in mem.Access.Class; ID 0 is the default class every
+// untagged request belongs to.
+type ClassID = uint8
+
+// MaxClasses bounds the table size (Intel CAT exposes 4-16 CLOS;
+// the per-request tag is a uint8, so 256 is the hard ceiling).
+const MaxClasses = 16
+
+// FullMask selects every way of a ways-associative tag array — the
+// "no partitioning" mask.
+func FullMask(ways int) uint64 {
+	if ways <= 0 {
+		ways = 1
+	}
+	if ways >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(ways)) - 1
+}
+
+// Class is one class of service.
+type Class struct {
+	// Name labels the class in tables, CLI assignments and artifacts.
+	Name string
+	// WayMask is the CAT capacity bit-mask: bit w set = the class may
+	// install into (and therefore evict from) way w of every set.
+	// Zero means the full mask (no partitioning). Unlike hardware CAT
+	// the mask need not be contiguous.
+	WayMask uint64
+	// MBps is the MBA-style throttle: the maximum archive bandwidth
+	// (fill + writeback traffic, in 1e6 bytes per simulated second)
+	// the class may draw through the bank router. Zero = unthrottled.
+	MBps float64
+}
+
+// Throttled reports whether the class has a bandwidth limit.
+func (c Class) Throttled() bool { return c.MBps > 0 }
+
+// Partitioned reports whether the class has a restrictive way mask
+// for the given associativity.
+func (c Class) Partitioned(ways int) bool {
+	return c.WayMask != 0 && c.WayMask&FullMask(ways) != FullMask(ways)
+}
+
+// Table is the CLOS table of one controller: Classes[id] defines class
+// id. The zero-value table (no classes) behaves as a single default
+// full-mask, unthrottled class.
+type Table struct {
+	Classes []Class
+}
+
+// DefaultTable returns a table holding only the default class.
+func DefaultTable() *Table {
+	return &Table{Classes: []Class{{Name: "default"}}}
+}
+
+// Len returns the class count (at least 1: the implicit default).
+func (t *Table) Len() int {
+	if t == nil || len(t.Classes) == 0 {
+		return 1
+	}
+	return len(t.Classes)
+}
+
+// Add appends a class and returns its ID.
+func (t *Table) Add(c Class) (ClassID, error) {
+	if len(t.Classes) >= MaxClasses {
+		return 0, fmt.Errorf("qos: class table full (%d classes)", MaxClasses)
+	}
+	if c.Name == "" {
+		return 0, fmt.Errorf("qos: class needs a name")
+	}
+	if _, ok := t.ByName(c.Name); ok {
+		return 0, fmt.Errorf("qos: duplicate class %q", c.Name)
+	}
+	t.Classes = append(t.Classes, c)
+	return ClassID(len(t.Classes) - 1), nil
+}
+
+// ByName resolves a class name to its ID.
+func (t *Table) ByName(name string) (ClassID, bool) {
+	if t == nil {
+		return 0, false
+	}
+	for i, c := range t.Classes {
+		if c.Name == name {
+			return ClassID(i), true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks the table against a tag array of the given
+// associativity: every class needs a unique non-empty name, a way mask
+// that selects at least one way in [0, ways), and a non-negative
+// throttle. Bits above the associativity are rejected rather than
+// silently ignored — a mask like 0xf0 on a 4-way array would
+// otherwise grant zero ways.
+func (t *Table) Validate(ways int) error {
+	if t == nil {
+		return nil
+	}
+	if len(t.Classes) == 0 {
+		return fmt.Errorf("qos: empty class table (drop the table instead)")
+	}
+	if len(t.Classes) > MaxClasses {
+		return fmt.Errorf("qos: %d classes exceed the %d-CLOS limit", len(t.Classes), MaxClasses)
+	}
+	full := FullMask(ways)
+	seen := make(map[string]bool, len(t.Classes))
+	for i, c := range t.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("qos: class %d has no name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("qos: duplicate class %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.WayMask&^full != 0 {
+			return fmt.Errorf("qos: class %q mask %#x selects ways beyond the %d-way array", c.Name, c.WayMask, ways)
+		}
+		if c.MBps < 0 {
+			return fmt.Errorf("qos: class %q has negative throttle %.1f MB/s", c.Name, c.MBps)
+		}
+	}
+	return nil
+}
+
+// Masks resolves the table into one effective way mask per class
+// (zero masks become the full mask). A nil table resolves to a single
+// default class.
+func (t *Table) Masks(ways int) []uint64 {
+	full := FullMask(ways)
+	if t == nil || len(t.Classes) == 0 {
+		return []uint64{full}
+	}
+	out := make([]uint64, len(t.Classes))
+	for i, c := range t.Classes {
+		if c.WayMask == 0 {
+			out[i] = full
+		} else {
+			out[i] = c.WayMask & full
+		}
+	}
+	return out
+}
+
+// Names returns the class names in ID order (a nil table reports the
+// implicit default).
+func (t *Table) Names() []string {
+	if t == nil || len(t.Classes) == 0 {
+		return []string{"default"}
+	}
+	out := make([]string, len(t.Classes))
+	for i, c := range t.Classes {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ParseMask parses a CAT-style capacity mask: hex with or without a
+// 0x prefix ("0xf0", "f0"), or binary with a 0b prefix ("0b1010").
+// The empty string and "full" mean the full mask (returned as 0, the
+// Table convention for "no partitioning").
+func ParseMask(s string) (uint64, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "full":
+		return 0, nil
+	}
+	in := strings.TrimSpace(s)
+	base := 16
+	switch {
+	case strings.HasPrefix(in, "0x"), strings.HasPrefix(in, "0X"):
+		in, base = in[2:], 16
+	case strings.HasPrefix(in, "0b"), strings.HasPrefix(in, "0B"):
+		in, base = in[2:], 2
+	}
+	v, err := strconv.ParseUint(in, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("qos: malformed way mask %q (want hex like 0xf0 or binary like 0b1010)", s)
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("qos: way mask %q selects no ways", s)
+	}
+	return v, nil
+}
+
+// FormatMask renders a mask the way ParseMask reads it.
+func FormatMask(m uint64) string {
+	if m == 0 {
+		return "full"
+	}
+	return fmt.Sprintf("%#x", m)
+}
+
+// ParseAssignments parses a CLI assignment list "name=value,name=value"
+// (e.g. -qos-masks "latency=0xf0,stream=0x0f") into a name→value map,
+// rejecting empty names, repeated names and malformed pairs. The
+// value strings are returned verbatim for the caller to parse.
+func ParseAssignments(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(pair, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("qos: malformed assignment %q (want name=value)", pair)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("qos: repeated assignment for %q", name)
+		}
+		out[name] = strings.TrimSpace(val)
+	}
+	return out, nil
+}
+
+// AssignmentNames returns the map's keys sorted, for deterministic
+// error messages and rendering.
+func AssignmentNames(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,238 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+
+	"hams/internal/sim"
+)
+
+func TestFullMask(t *testing.T) {
+	cases := []struct {
+		ways int
+		want uint64
+	}{{0, 1}, {1, 1}, {2, 3}, {4, 0xf}, {8, 0xff}, {64, ^uint64(0)}, {100, ^uint64(0)}}
+	for _, c := range cases {
+		if got := FullMask(c.ways); got != c.want {
+			t.Errorf("FullMask(%d) = %#x, want %#x", c.ways, got, c.want)
+		}
+	}
+}
+
+func TestParseMask(t *testing.T) {
+	good := map[string]uint64{
+		"0xf0": 0xf0, "f0": 0xf0, "0XF0": 0xf0, "0b1010": 0b1010,
+		"3": 3, " 0x3 ": 3, "": 0, "full": 0, "FULL": 0,
+	}
+	for in, want := range good {
+		got, err := ParseMask(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMask(%q) = %#x, %v; want %#x", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"0", "0x0", "zz", "0bxyz", "0x", "-4", "1.5"} {
+		if _, err := ParseMask(in); err == nil {
+			t.Errorf("ParseMask(%q) accepted", in)
+		}
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	tb := &Table{Classes: []Class{
+		{Name: "default"},
+		{Name: "latency", WayMask: 0xc},
+		{Name: "stream", WayMask: 0x3, MBps: 500},
+	}}
+	if err := tb.Validate(4); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	// Mask bits beyond the associativity are an error, not silently
+	// dropped: on a 2-way array "latency" would get zero ways.
+	if err := tb.Validate(2); err == nil {
+		t.Fatal("mask beyond associativity accepted")
+	}
+	bad := []*Table{
+		{Classes: []Class{}},
+		{Classes: []Class{{Name: ""}}},
+		{Classes: []Class{{Name: "a"}, {Name: "a"}}},
+		{Classes: []Class{{Name: "a", MBps: -1}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(4); err == nil {
+			t.Errorf("bad table %d accepted", i)
+		}
+	}
+	var nilTable *Table
+	if err := nilTable.Validate(4); err != nil {
+		t.Fatalf("nil table must validate: %v", err)
+	}
+}
+
+func TestTableMasksAndNames(t *testing.T) {
+	var nilTable *Table
+	if m := nilTable.Masks(4); len(m) != 1 || m[0] != 0xf {
+		t.Fatalf("nil table masks = %#x", m)
+	}
+	if n := nilTable.Names(); len(n) != 1 || n[0] != "default" {
+		t.Fatalf("nil table names = %v", n)
+	}
+	tb := &Table{Classes: []Class{{Name: "d"}, {Name: "l", WayMask: 0xc}}}
+	m := tb.Masks(4)
+	if m[0] != 0xf || m[1] != 0xc {
+		t.Fatalf("masks = %#x", m)
+	}
+}
+
+func TestTableAddAndByName(t *testing.T) {
+	tb := DefaultTable()
+	id, err := tb.Add(Class{Name: "latency", WayMask: 0xc})
+	if err != nil || id != 1 {
+		t.Fatalf("Add = %d, %v", id, err)
+	}
+	if _, err := tb.Add(Class{Name: "latency"}); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if _, err := tb.Add(Class{}); err == nil {
+		t.Fatal("unnamed Add accepted")
+	}
+	if got, ok := tb.ByName("latency"); !ok || got != 1 {
+		t.Fatalf("ByName = %d, %v", got, ok)
+	}
+	if _, ok := tb.ByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestParseAssignments(t *testing.T) {
+	m, err := ParseAssignments("a=0x3, b=0xc")
+	if err != nil || m["a"] != "0x3" || m["b"] != "0xc" {
+		t.Fatalf("ParseAssignments = %v, %v", m, err)
+	}
+	if m, err := ParseAssignments(""); err != nil || len(m) != 0 {
+		t.Fatalf("empty = %v, %v", m, err)
+	}
+	for _, in := range []string{"a", "=3", "a=1,a=2"} {
+		if _, err := ParseAssignments(in); err == nil {
+			t.Errorf("ParseAssignments(%q) accepted", in)
+		}
+	}
+	if names := AssignmentNames(m); strings.Join(names, ",") != "a,b" {
+		t.Fatalf("AssignmentNames = %v", names)
+	}
+}
+
+func TestThrottlePacing(t *testing.T) {
+	tb := &Table{Classes: []Class{{Name: "d"}, {Name: "s", MBps: 1000}}} // 1 GB/s = 1 byte/ns
+	th := NewThrottle(tb)
+
+	// Unthrottled class: identity on time.
+	if got := th.Admit(0, 100, 1<<20); got != 100 {
+		t.Fatalf("unthrottled Admit = %d", got)
+	}
+	// First transfer starts immediately, reserves bytes/rate.
+	if got := th.Admit(1, 0, 1000); got != 0 {
+		t.Fatalf("first Admit = %d", got)
+	}
+	// Second transfer arriving early is pushed to the drain point.
+	if got := th.Admit(1, 10, 1000); got != 1000 {
+		t.Fatalf("early Admit = %d, want 1000", got)
+	}
+	// A transfer after the bucket drained is not delayed.
+	if got := th.Admit(1, 5000, 1000); got != 5000 {
+		t.Fatalf("late Admit = %d, want 5000", got)
+	}
+	// Zero/negative bytes and out-of-range classes are no-ops.
+	if got := th.Admit(1, 5000, 0); got != 5000 {
+		t.Fatalf("zero-byte Admit = %d", got)
+	}
+	if got := th.Admit(42, 7, 1000); got != 7 {
+		t.Fatalf("out-of-range Admit = %d", got)
+	}
+}
+
+func TestMonitorCountersAndOccupancy(t *testing.T) {
+	tb := &Table{Classes: []Class{{Name: "d"}, {Name: "l"}}}
+	m := NewMonitor(tb, 0)
+	m.OnHit(0)
+	m.OnMiss(1)
+	m.OnFill(1, 100)
+	m.OnWriteback(1, 50)
+	m.OnThrottle(1, 7)
+	m.Install(1, 0, false)
+	m.Install(1, 0, false)
+	m.Install(0, 1, true) // class 0 takes over one of class 1's slots
+
+	st := m.Stats()
+	if st[0].Hits != 1 || st[1].Misses != 1 {
+		t.Fatalf("hit/miss: %+v", st)
+	}
+	if st[1].FillBytes != 100 || st[1].WBBytes != 50 || st[1].ThrottleNS != 7 {
+		t.Fatalf("traffic: %+v", st[1])
+	}
+	if st[1].Occupancy != 1 || st[1].OccupancyPeak != 2 || st[0].Occupancy != 1 {
+		t.Fatalf("occupancy: %+v", st)
+	}
+	// Out-of-range classes clamp to the default instead of panicking.
+	m.OnHit(200)
+	m.Install(200, 200, true)
+	if got := m.Stats()[0].Hits; got != 2 {
+		t.Fatalf("clamped hit count = %d", got)
+	}
+}
+
+func TestMonitorSampling(t *testing.T) {
+	m := NewMonitor(nil, 100)
+	m.Tick(0) // arms the sampler
+	m.OnFill(0, 64)
+	m.Tick(250) // due at 100 and 200
+	s := m.Samples()
+	if len(s) != 2 || s[0].At != 100 || s[1].At != 200 {
+		t.Fatalf("samples = %+v", s)
+	}
+	if s[0].FillBytes[0] != 64 || s[1].FillBytes[0] != 0 {
+		t.Fatalf("window traffic: %+v", s)
+	}
+}
+
+func TestMonitorCompaction(t *testing.T) {
+	m := NewMonitor(nil, 1)
+	m.Tick(0)
+	m.OnFill(0, 1)
+	m.Tick(sim.Time(4 * maxSamples))
+	if len(m.Samples()) >= maxSamples {
+		t.Fatalf("history not compacted: %d samples", len(m.Samples()))
+	}
+	if m.Period() <= 1 {
+		t.Fatalf("period did not grow: %d", m.Period())
+	}
+	// Total window traffic is conserved across compaction.
+	var total int64
+	for _, s := range m.Samples() {
+		total += s.FillBytes[0]
+	}
+	if total != 1 {
+		t.Fatalf("compaction lost traffic: %d", total)
+	}
+}
+
+func TestClassHelpers(t *testing.T) {
+	c := Class{Name: "x", WayMask: 0x3, MBps: 10}
+	if !c.Throttled() || !c.Partitioned(4) {
+		t.Fatalf("helpers: %+v", c)
+	}
+	if (Class{WayMask: 0xf}).Partitioned(4) {
+		t.Fatal("full mask reported partitioned")
+	}
+	if (Class{}).Partitioned(4) || (Class{}).Throttled() {
+		t.Fatal("zero class reported restricted")
+	}
+	if FormatMask(0) != "full" || FormatMask(0xc) != "0xc" {
+		t.Fatal("FormatMask")
+	}
+	if s := (ClassStats{FillBytes: 2e6}).FillMBps(sim.Second); s != 2 {
+		t.Fatalf("FillMBps = %g", s)
+	}
+	if s := (ClassStats{WBBytes: 1e6}).WBMBps(0); s != 0 {
+		t.Fatalf("WBMBps(0) = %g", s)
+	}
+}

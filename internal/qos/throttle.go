@@ -1,0 +1,50 @@
+package qos
+
+import "hams/internal/sim"
+
+// Throttle is the MBA-style bandwidth regulator the controller's bank
+// router consults before composing a miss's NVMe traffic. Each class
+// is paced by a deterministic virtual-time leaky bucket: a transfer of
+// B bytes reserves B/rate seconds of the class's archive bandwidth,
+// and a request arriving before the class's previous reservation has
+// drained is delayed to the drain point. Unthrottled classes pass
+// through untouched — Admit is the identity on time, so a table with
+// no throttles cannot perturb the simulation.
+type Throttle struct {
+	nsPerByte []float64  // 0 = unthrottled
+	nextFree  []sim.Time // per-class drain point of prior reservations
+}
+
+// NewThrottle builds the regulator for a table (nil = one unthrottled
+// default class).
+func NewThrottle(t *Table) *Throttle {
+	n := t.Len()
+	th := &Throttle{
+		nsPerByte: make([]float64, n),
+		nextFree:  make([]sim.Time, n),
+	}
+	if t != nil {
+		for i, c := range t.Classes {
+			if c.MBps > 0 {
+				// MBps is 1e6 bytes per simulated second; sim.Time is ns.
+				th.nsPerByte[i] = 1e3 / c.MBps
+			}
+		}
+	}
+	return th
+}
+
+// Admit charges bytes of archive traffic to class c at time now and
+// returns the time the transfer may start (>= now). The delay, if
+// any, is the MBA throttle's injected stall.
+func (th *Throttle) Admit(c ClassID, now sim.Time, bytes int64) sim.Time {
+	if int(c) >= len(th.nsPerByte) || th.nsPerByte[c] == 0 || bytes <= 0 {
+		return now
+	}
+	start := now
+	if th.nextFree[c] > start {
+		start = th.nextFree[c]
+	}
+	th.nextFree[c] = start + sim.Time(float64(bytes)*th.nsPerByte[c])
+	return start
+}

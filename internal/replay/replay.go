@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"io"
 
+	"hams/internal/core"
 	"hams/internal/cpu"
 	"hams/internal/energy"
 	"hams/internal/mem"
 	"hams/internal/platform"
+	"hams/internal/qos"
 	"hams/internal/sim"
 	"hams/internal/stats"
 	"hams/internal/trace"
@@ -45,16 +47,47 @@ type Tenant struct {
 	// required when two synthetic tenants share a workload, or their
 	// streams would be perfectly correlated.
 	Seed int64
+	// Class names the tenant's class of service in Scenario.QoS (the
+	// CLOS its accesses are tagged with). Empty = the default class 0.
+	// Several tenants may share a class; monitoring counters are then
+	// shared too, as on real RDT hardware.
+	Class string
+	// Base offsets every address the tenant issues (and its warm
+	// regions) by this many bytes, giving co-located tenants disjoint
+	// MoS footprints — without it, two tenants running the same
+	// workload literally share pages, which models shared data, not
+	// separate customers. 0 keeps the workload's own addresses.
+	Base uint64
+	// Scale overrides Options.Scale for this tenant (0 = inherit):
+	// co-location studies need a heavyweight background tenant next to
+	// a lightweight latency-sensitive one.
+	Scale float64
+	// Hot overrides the synthetic workload's hot-region size in bytes
+	// (0 = the workload default) — the tenant's steady-state working
+	// set, which isolation scenarios size against its cache partition.
+	Hot uint64
+	// HotFrac overrides the fraction of the workload's random traffic
+	// that stays inside the hot region (0 = the workload default). A
+	// latency-sensitive service with HotFrac 1 has a fully cacheable
+	// working set: every miss it suffers is inflicted by a neighbor.
+	HotFrac float64
 }
 
 // Scenario composes N tenants onto one platform. Every tenant thread
 // gets its own core; the memory system, MoS cache, and archive
-// bandwidth are shared — the contention under test.
+// bandwidth are shared — the contention under test. A QoS table turns
+// free-for-all sharing into policed sharing.
 type Scenario struct {
 	Name     string
 	Platform string
 	PlatOpts platform.Options
 	Tenants  []Tenant
+	// QoS is the scenario's CLOS table (way partitions + bandwidth
+	// throttles, see internal/qos), installed into the platform's MoS
+	// controller. nil runs unpartitioned; a table whose classes all
+	// have full masks and no throttle reproduces the nil behavior
+	// bit-for-bit (pinned by TestQoSFullMaskParity).
+	QoS *qos.Table
 }
 
 // Options tunes synthetic tenant stream generation (trace-backed
@@ -86,6 +119,12 @@ type TenantStats struct {
 	// latencies (address translation + cache hierarchy + memory
 	// system), in simulated time.
 	Mean, P50, P95, P99, Max sim.Time
+	// Class is the tenant's CLOS name and QoS its class's MBM-style
+	// counter block (zero value when the scenario has no QoS table, or
+	// the platform has no MoS controller to monitor). Tenants sharing
+	// a class report the same shared block.
+	Class string
+	QoS   qos.ClassStats
 }
 
 // Result is one scenario run.
@@ -96,6 +135,9 @@ type Result struct {
 	Energy   energy.Breakdown
 	Tenants  []TenantStats
 	Units    int64
+	// QoS holds the per-class monitoring counters in CLOS order (nil
+	// without a QoS table or on platforms without a MoS controller).
+	QoS []qos.ClassStats
 }
 
 // UnitsPerSec returns aggregate work items per second of simulated time.
@@ -167,8 +209,58 @@ func FromFile(f *trace.File) []Tenant {
 	return out
 }
 
+// offsetStream shifts every address a stream issues by a fixed base,
+// relocating a tenant's footprint inside the MoS space. Progress
+// forwards to the inner stream.
+type offsetStream struct {
+	inner cpu.Stream
+	base  uint64
+}
+
+func (s *offsetStream) Next() (cpu.Step, bool) {
+	step, ok := s.inner.Next()
+	if !ok || len(step.Acc) == 0 {
+		return step, ok
+	}
+	acc := make([]mem.Access, len(step.Acc))
+	for i, a := range step.Acc {
+		a.Addr += s.base
+		acc[i] = a
+	}
+	step.Acc = acc
+	return step, ok
+}
+
+// Units forwards workload progress through the offset wrapper.
+func (s *offsetStream) Units() int64 {
+	if p, ok := s.inner.(workload.Progress); ok {
+		return p.Units()
+	}
+	return 0
+}
+
 // streams materializes the tenant's streams and warm regions.
 func (t Tenant) streams(o Options) ([]cpu.Stream, []trace.Region, error) {
+	ss, warm, err := t.rawStreams(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	if t.Base != 0 {
+		shifted := make([]cpu.Stream, len(ss))
+		for i, s := range ss {
+			shifted[i] = &offsetStream{inner: s, base: t.Base}
+		}
+		ss = shifted
+		moved := make([]trace.Region, len(warm))
+		for i, r := range warm {
+			moved[i] = trace.Region{Base: r.Base + t.Base, Size: r.Size}
+		}
+		warm = moved
+	}
+	return ss, warm, nil
+}
+
+func (t Tenant) rawStreams(o Options) ([]cpu.Stream, []trace.Region, error) {
 	if t.Trace != nil {
 		ss := t.Trace.StreamsFor(t.TraceLabel)
 		if len(ss) == 0 {
@@ -184,6 +276,15 @@ func (t Tenant) streams(o Options) ([]cpu.Stream, []trace.Region, error) {
 	if t.Seed != 0 {
 		wo.Seed = t.Seed
 	}
+	if t.Scale > 0 {
+		wo.Scale = t.Scale
+	}
+	if t.Hot != 0 {
+		wo.HotBytes = t.Hot
+	}
+	if t.HotFrac > 0 {
+		wo.HotFraction = t.HotFrac
+	}
 	var warm []trace.Region
 	for _, r := range spec.HotRegions(wo) {
 		warm = append(warm, trace.Region{Base: r.Base, Size: r.Size})
@@ -191,21 +292,73 @@ func (t Tenant) streams(o Options) ([]cpu.Stream, []trace.Region, error) {
 	return spec.Streams(wo), warm, nil
 }
 
+// classWarmer is the optional platform capability of warming a range
+// on behalf of a QoS class (the HAMS variants implement it).
+type classWarmer interface {
+	WarmClass(base, size uint64, cls qos.ClassID)
+}
+
+// qosExposer reaches the MoS controller for its monitoring counters.
+type qosExposer interface{ Controller() *core.Controller }
+
+// resolveClasses maps each tenant to its CLOS ID. Without a QoS table
+// every tenant must be on the default class (a named class with no
+// table is a configuration error, not a silent fallback).
+func resolveClasses(sc Scenario) ([]qos.ClassID, error) {
+	out := make([]qos.ClassID, len(sc.Tenants))
+	for i, t := range sc.Tenants {
+		if t.Class == "" {
+			continue
+		}
+		if sc.QoS == nil {
+			return nil, fmt.Errorf("replay: tenant %q names class %q but scenario %q has no QoS table",
+				t.Name, t.Class, sc.Name)
+		}
+		id, ok := sc.QoS.ByName(t.Class)
+		if !ok {
+			return nil, fmt.Errorf("replay: tenant %q: unknown QoS class %q", t.Name, t.Class)
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
 // Run executes a scenario. Warm regions of every tenant are installed
-// first (warming is untimed and idempotent), then all tenant threads
+// first (warming is untimed and idempotent; with a QoS table each
+// tenant warms inside its own way partition), then all tenant threads
 // run concurrently on one runner; per-access latencies are folded into
 // per-tenant histograms via the runner's observer hook.
 func Run(sc Scenario, o Options) (Result, error) {
 	if len(sc.Tenants) == 0 {
 		return Result{}, fmt.Errorf("replay: scenario %q has no tenants", sc.Name)
 	}
-	plat, err := platform.New(sc.Platform, sc.PlatOpts)
+	// Tenant names key per-tenant seeds, latency buckets and report
+	// columns: a duplicate would silently merge two tenants into one
+	// stats bucket, so reject it up front.
+	names := make(map[string]bool, len(sc.Tenants))
+	for _, t := range sc.Tenants {
+		if names[t.Name] {
+			return Result{}, fmt.Errorf("replay: scenario %q has two tenants named %q", sc.Name, t.Name)
+		}
+		names[t.Name] = true
+	}
+	classes, err := resolveClasses(sc)
+	if err != nil {
+		return Result{}, err
+	}
+	popt := sc.PlatOpts
+	if sc.QoS != nil {
+		popt.HAMSQoS = sc.QoS
+	}
+	plat, err := platform.New(sc.Platform, popt)
 	if err != nil {
 		return Result{}, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
 	}
+	cw, _ := plat.(classWarmer)
 	res := Result{Scenario: sc.Name, Platform: sc.Platform, Tenants: make([]TenantStats, len(sc.Tenants))}
 	var streams []cpu.Stream
 	var coreTenant []int
+	var coreClass []uint8
 	tenantStreams := make([][]cpu.Stream, len(sc.Tenants))
 	for ti, t := range sc.Tenants {
 		ss, warm, err := t.streams(o)
@@ -213,13 +366,19 @@ func Run(sc Scenario, o Options) (Result, error) {
 			return Result{}, err
 		}
 		for _, rgn := range warm {
-			plat.Warm(rgn.Base, rgn.Size)
+			if sc.QoS != nil && cw != nil {
+				cw.WarmClass(rgn.Base, rgn.Size, classes[ti])
+			} else {
+				plat.Warm(rgn.Base, rgn.Size)
+			}
 		}
 		res.Tenants[ti].Name = t.Name
+		res.Tenants[ti].Class = t.Class
 		res.Tenants[ti].Threads = len(ss)
 		tenantStreams[ti] = ss
 		for range ss {
 			coreTenant = append(coreTenant, ti)
+			coreClass = append(coreClass, classes[ti])
 		}
 		streams = append(streams, ss...)
 	}
@@ -239,6 +398,9 @@ func Run(sc Scenario, o Options) (Result, error) {
 		hists[i] = stats.NewHistogram()
 	}
 	runner := cpu.NewRunner(ccfg, plat)
+	if sc.QoS != nil {
+		runner.SetClasses(coreClass)
+	}
 	runner.Observe(func(core int, a mem.Access, issue, done sim.Time) {
 		hists[coreTenant[core]].Add(done - issue)
 	})
@@ -247,6 +409,11 @@ func Run(sc Scenario, o Options) (Result, error) {
 		return Result{}, fmt.Errorf("replay: scenario %q on %s: %w", sc.Name, sc.Platform, err)
 	}
 	res.CPU = st
+	if sc.QoS != nil {
+		if qe, ok := plat.(qosExposer); ok {
+			res.QoS = qe.Controller().QoSStats()
+		}
+	}
 	for ti := range sc.Tenants {
 		for _, s := range tenantStreams[ti] {
 			if p, ok := s.(workload.Progress); ok {
@@ -261,6 +428,9 @@ func Run(sc Scenario, o Options) (Result, error) {
 		res.Tenants[ti].P95 = h.Percentile(95)
 		res.Tenants[ti].P99 = h.Percentile(99)
 		res.Tenants[ti].Max = h.Max()
+		if int(classes[ti]) < len(res.QoS) {
+			res.Tenants[ti].QoS = res.QoS[classes[ti]]
+		}
 	}
 	in := plat.EnergyInputs()
 	in.Elapsed = st.Elapsed

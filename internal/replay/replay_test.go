@@ -8,11 +8,13 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"hams/internal/cpu"
 	"hams/internal/experiments"
 	"hams/internal/platform"
+	"hams/internal/qos"
 	"hams/internal/replay"
 	"hams/internal/trace"
 	"hams/internal/workload"
@@ -212,5 +214,107 @@ func TestRunErrors(t *testing.T) {
 	bad = replay.Scenario{Name: "l", Platform: "hams-LE", Tenants: []replay.Tenant{{Name: "x", Trace: f, TraceLabel: "zzz"}}}
 	if _, err := replay.Run(bad, replay.Options{}); err == nil {
 		t.Fatal("label miss accepted")
+	}
+}
+
+// TestDuplicateTenantNamesRejected: two tenants with the same label
+// would silently merge into one TenantStats bucket (and share a
+// derived seed); the scenario must be rejected before any simulation.
+func TestDuplicateTenantNamesRejected(t *testing.T) {
+	sc := replay.Scenario{
+		Name:     "dup",
+		Platform: "hams-LE",
+		Tenants: []replay.Tenant{
+			{Name: "twin", Workload: "rndRd", Seed: 1},
+			{Name: "twin", Workload: "seqWr", Seed: 2},
+		},
+	}
+	_, err := replay.Run(sc, replay.Options{Scale: 1e-8})
+	if err == nil {
+		t.Fatal("duplicate tenant names accepted")
+	}
+	if !strings.Contains(err.Error(), "twin") {
+		t.Fatalf("error does not name the duplicate: %v", err)
+	}
+}
+
+// TestQoSClassResolutionErrors: naming a class without a table, or an
+// unknown class, fails up front.
+func TestQoSClassResolutionErrors(t *testing.T) {
+	sc := replay.Scenario{
+		Name:     "noclos",
+		Platform: "hams-LE",
+		Tenants:  []replay.Tenant{{Name: "a", Workload: "rndRd", Class: "latency"}},
+	}
+	if _, err := replay.Run(sc, replay.Options{Scale: 1e-8}); err == nil {
+		t.Fatal("class without QoS table accepted")
+	}
+	sc.QoS = &qos.Table{Classes: []qos.Class{{Name: "default"}}}
+	if _, err := replay.Run(sc, replay.Options{Scale: 1e-8}); err == nil {
+		t.Fatal("unknown class name accepted")
+	}
+}
+
+// TestQoSFullMaskParity is the QoS subsystem's parity pin: a scenario
+// where every tenant rides a full-way-mask, unthrottled CLOS must
+// reproduce the same scenario without any QoS table bit-for-bit —
+// same cpu.Stats, units, energy, and per-tenant latency percentiles.
+// The QoS layer may observe (occupancy and bandwidth counters are
+// live) but must not perturb.
+func TestQoSFullMaskParity(t *testing.T) {
+	base := replay.Scenario{
+		Name:     "parity",
+		Platform: "hams-LE",
+		Tenants: []replay.Tenant{
+			{Name: "reader", Workload: "rndRd", Seed: 11},
+			{Name: "writer", Workload: "seqWr", Seed: 22},
+		},
+	}
+	o := replay.Options{Scale: 1e-7, Seed: 3}
+	plain, err := replay.Run(base, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qosed := base
+	qosed.QoS = &qos.Table{Classes: []qos.Class{
+		{Name: "rd"}, // zero mask = full, no throttle
+		{Name: "wr"},
+	}}
+	qosed.Tenants = []replay.Tenant{
+		{Name: "reader", Workload: "rndRd", Seed: 11, Class: "rd"},
+		{Name: "writer", Workload: "seqWr", Seed: 22, Class: "wr"},
+	}
+	full, err := replay.Run(qosed, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.CPU != full.CPU {
+		t.Fatalf("cpu stats diverged:\nplain %+v\nqos   %+v", plain.CPU, full.CPU)
+	}
+	if plain.Units != full.Units || plain.Energy.Total() != full.Energy.Total() {
+		t.Fatalf("units/energy diverged: %d/%g vs %d/%g",
+			plain.Units, plain.Energy.Total(), full.Units, full.Energy.Total())
+	}
+	for i := range plain.Tenants {
+		p, q := plain.Tenants[i], full.Tenants[i]
+		if p.Accesses != q.Accesses || p.Mean != q.Mean || p.P50 != q.P50 ||
+			p.P95 != q.P95 || p.P99 != q.P99 || p.Max != q.Max || p.Units != q.Units {
+			t.Fatalf("tenant %s latency stats diverged:\nplain %+v\nqos   %+v", p.Name, p, q)
+		}
+	}
+	// And the monitor actually watched: both classes saw traffic and
+	// occupancy landed somewhere.
+	if len(full.QoS) != 2 {
+		t.Fatalf("QoS stats = %+v", full.QoS)
+	}
+	for _, cs := range full.QoS {
+		if cs.Accesses == 0 {
+			t.Fatalf("class %s observed no traffic: %+v", cs.Name, cs)
+		}
+	}
+	if full.Tenants[0].QoS.Name != "rd" || full.Tenants[1].QoS.Name != "wr" {
+		t.Fatalf("tenant QoS blocks misattributed: %+v / %+v", full.Tenants[0].QoS, full.Tenants[1].QoS)
 	}
 }
