@@ -4,19 +4,24 @@
 // Usage:
 //
 //	hamsbench [-scale 3e-6] [-seed 42] [-parallel N] [-json out.json]
-//	          [-qos-masks name=mask,...] [-qos-mbps name=N,...]
+//	          [-mshrs D] [-qos-masks name=mask,...] [-qos-mbps name=N,...]
 //	          [-qos-summary file.md] <target> [target...]
 //	hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json
 //
 // Targets: table1 table2 table3 fig5 fig6 fig7 fig10 fig16 fig17
-// fig18 fig19 fig20 headline ablation sweep replay mixed qos all
+// fig18 fig19 fig20 headline ablation sweep replay mixed qos mlp all
 //
 // sweep runs the associativity × shard grid (MoS cache geometry) on
 // the random microbenchmarks and rndIns. replay runs the record→replay
 // determinism matrix: each cell records a workload through the v2
 // trace codec, replays it, and fails unless the replayed simulated
 // stats match the live run bit-for-bit. mixed runs the built-in
-// multi-tenant scenarios with per-tenant latency percentiles. qos
+// multi-tenant scenarios with per-tenant latency percentiles.
+// mlp sweeps the non-blocking miss pipeline: MSHR depth 1/2/4/8 (×
+// NVMe queue-depth caps) on miss-heavy workloads, reporting mean
+// access latency, coalescing/hit-under-miss activity and the peak
+// NVMe queue depth per cell; -mshrs overrides the MSHR depth of every
+// other HAMS cell (0 keeps each target's own configuration). qos
 // runs the RDT-style isolation sweep — a streaming tenant co-located
 // with a latency-sensitive service under shared / cat / mba / cat+mba
 // CLOS policies — with per-tenant percentiles plus MBM occupancy and
@@ -52,7 +57,7 @@ import (
 
 var allTargets = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
 	"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation", "sweep",
-	"replay", "mixed", "qos"}
+	"replay", "mixed", "qos", "mlp"}
 
 func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
@@ -73,6 +78,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	qosMasks := fs.String("qos-masks", "", "qos target: override isolated-policy way masks, e.g. latency=0xfc,stream=0x03")
 	qosMBps := fs.String("qos-mbps", "", "qos target: override isolated-policy throttles in MB/s, e.g. stream=100")
 	qosSummary := fs.String("qos-summary", "", "append the qos isolation delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	mshrs := fs.Int("mshrs", 0, "override the per-bank MSHR depth of HAMS cells (0 = each target's own; >= 2 enables the non-blocking miss pipeline)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -108,9 +114,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *mshrs < 0 {
+		fmt.Fprintf(stderr, "hamsbench: -mshrs: want a non-negative depth, got %d\n", *mshrs)
+		return 2
+	}
 	o := experiments.Options{
 		Scale: *scale, Seed: *seed, Parallel: *parallel, Ctx: ctx,
-		QoSMasks: masks, QoSMBps: mbps,
+		QoSMasks: masks, QoSMBps: mbps, MSHRs: *mshrs,
 	}
 	if *jsonOut != "" {
 		o.Recorder = &report.Recorder{}
@@ -240,6 +250,8 @@ func run(target string, o experiments.Options, qosSummary string, stdout io.Writ
 		tables, err = one(experiments.Ablation(o))
 	case "sweep":
 		tables, err = experiments.AssocShardSweep(o)
+	case "mlp":
+		tables, err = experiments.MLPSweep(o)
 	case "replay":
 		tables, err = experiments.Replay(o)
 	case "mixed":

@@ -5,14 +5,18 @@
 // Usage:
 //
 //	hamssim [-scale 3e-6] [-seed 42] [-page 131072] [-ways 1] [-banks 1]
-//	        [-policy lru|clock|random] [-qos-mask 0xf] [-qos-mbps N]
-//	        <platform> <workload>
+//	        [-policy lru|clock|random] [-mshrs 1] [-qd 0]
+//	        [-qos-mask 0xf] [-qos-mbps N] <platform> <workload>
 //
 // Platforms: mmap optane-P optane-M flatflash-P flatflash-M nvdimm-C
 // hams-LP hams-LE hams-TP hams-TE oracle ull-direct ull-buff
 // Workloads: seqRd rndRd seqWr rndWr seqSel rndSel seqIns rndIns
 // update BFS KMN NN
 //
+// -mshrs sizes each HAMS bank's miss-status-register file (>= 2
+// enables the non-blocking miss pipeline: deferred writebacks, miss
+// coalescing, hit-under-miss) and -qd caps the outstanding NVMe
+// commands per bank queue pair (0 = unbounded).
 // -qos-mask confines the workload's MoS-cache installs to the given
 // ways (a CAT capacity mask over -ways; hex or 0b binary) and
 // -qos-mbps caps its archive bandwidth (MBA throttle) — the whole
@@ -23,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hams/internal/core/tagstore"
@@ -33,36 +38,63 @@ import (
 )
 
 func main() {
-	scale := flag.Float64("scale", 3e-6, "instruction-count scale vs Table III")
-	seed := flag.Int64("seed", 42, "workload random seed")
-	page := flag.Uint64("page", 0, "HAMS MoS page bytes (0 = 128 KiB default)")
-	ways := flag.Int("ways", 0, "HAMS tag-array associativity (0 = direct-mapped)")
-	banks := flag.Int("banks", 0, "HAMS controller banks (0 = single bank)")
-	policy := flag.String("policy", "lru", "HAMS replacement policy: lru|clock|random")
-	qosMask := flag.String("qos-mask", "", "confine MoS installs to these ways (CAT mask, e.g. 0x3; empty = all ways)")
-	qosMBps := flag.Float64("qos-mbps", 0, "cap archive bandwidth in MB/s (MBA throttle; 0 = unthrottled)")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: hamssim [flags] <platform> <workload>")
-		os.Exit(2)
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable args and streams (testable; exit
+// codes: 0 ok, 1 runtime failure, 2 usage/validation error). All
+// input validation happens before anything runs.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hamssim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 3e-6, "instruction-count scale vs Table III")
+	seed := fs.Int64("seed", 42, "workload random seed")
+	page := fs.Uint64("page", 0, "HAMS MoS page bytes (0 = 128 KiB default)")
+	ways := fs.Int("ways", 0, "HAMS tag-array associativity (0 = direct-mapped)")
+	banks := fs.Int("banks", 0, "HAMS controller banks (0 = single bank)")
+	policy := fs.String("policy", "lru", "HAMS replacement policy: lru|clock|random")
+	mshrs := fs.Int("mshrs", 0, "HAMS per-bank MSHR depth (0/1 = blocking pipeline, >= 2 = non-blocking)")
+	qd := fs.Int("qd", 0, "HAMS per-bank NVMe queue-depth cap (0 = unbounded)")
+	qosMask := fs.String("qos-mask", "", "confine MoS installs to these ways (CAT mask, e.g. 0x3; empty = all ways)")
+	qosMBps := fs.Float64("qos-mbps", 0, "cap archive bandwidth in MB/s (MBA throttle; 0 = unthrottled)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: hamssim [flags] <platform> <workload>")
+		return 2
 	}
 	pol, err := tagstore.ParsePolicy(*policy)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hamssim: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hamssim: %v\n", err)
+		return 2
+	}
+	if *mshrs < 0 {
+		fmt.Fprintf(stderr, "hamssim: -mshrs: want a non-negative depth, got %d\n", *mshrs)
+		return 2
+	}
+	if *qd < 0 {
+		fmt.Fprintf(stderr, "hamssim: -qd: want a non-negative cap, got %d\n", *qd)
+		return 2
 	}
 	mask, err := qos.ParseMask(*qosMask)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hamssim: -qos-mask: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hamssim: -qos-mask: %v\n", err)
+		return 2
 	}
 	if *qosMBps < 0 {
-		fmt.Fprintf(os.Stderr, "hamssim: -qos-mbps: want a non-negative MB/s value, got %g\n", *qosMBps)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hamssim: -qos-mbps: want a non-negative MB/s value, got %g\n", *qosMBps)
+		return 2
 	}
-	platName, wlName := flag.Arg(0), flag.Arg(1)
+	platName, wlName := fs.Arg(0), fs.Arg(1)
 	o := experiments.Options{Scale: *scale, Seed: *seed}
-	popt := platform.Options{HAMSPage: *page, HAMSWays: *ways, HAMSBanks: *banks, HAMSPolicy: pol}
+	popt := platform.Options{
+		HAMSPage: *page, HAMSWays: *ways, HAMSBanks: *banks, HAMSPolicy: pol,
+		HAMSMSHRs: *mshrs, HAMSQueueDepth: *qd,
+	}
 	if mask != 0 || *qosMBps > 0 {
 		// The whole workload runs as one CLOS with the given budget.
 		popt.HAMSQoS = &qos.Table{Classes: []qos.Class{
@@ -71,23 +103,24 @@ func main() {
 	}
 	r, err := experiments.Run(platName, wlName, o, popt, nil)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hamssim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "hamssim: %v\n", err)
+		return 1
 	}
 	st := r.CPU
-	fmt.Printf("platform     %s\nworkload     %s\n", r.Platform, r.Workload)
-	fmt.Printf("instructions %d\n", st.Instructions)
-	fmt.Printf("elapsed      %v\n", st.Elapsed)
-	fmt.Printf("IPC          %.4f\n", st.IPC(cpu.DefaultConfig()))
-	fmt.Printf("MIPS         %.1f\n", st.MIPS())
-	fmt.Printf("work units   %d (%.0f/s)\n", r.Units, r.UnitsPerSec())
-	fmt.Printf("mem accesses %d (L1 %.1f%%, L2 %.1f%% hit)\n", st.MemAccesses,
+	fmt.Fprintf(stdout, "platform     %s\nworkload     %s\n", r.Platform, r.Workload)
+	fmt.Fprintf(stdout, "instructions %d\n", st.Instructions)
+	fmt.Fprintf(stdout, "elapsed      %v\n", st.Elapsed)
+	fmt.Fprintf(stdout, "IPC          %.4f\n", st.IPC(cpu.DefaultConfig()))
+	fmt.Fprintf(stdout, "MIPS         %.1f\n", st.MIPS())
+	fmt.Fprintf(stdout, "work units   %d (%.0f/s)\n", r.Units, r.UnitsPerSec())
+	fmt.Fprintf(stdout, "mem accesses %d (L1 %.1f%%, L2 %.1f%% hit)\n", st.MemAccesses,
 		pct(st.L1Hits, st.L1Hits+st.L1Misses), pct(st.L2Hits, st.L2Hits+st.L2Misses))
-	fmt.Printf("mem stall    %v\n", st.MemStall)
-	fmt.Printf("breakdown    OS=%v mem=%v DMA=%v SSD=%v\n", st.OSTime, st.MemTime, st.DMATime, st.SSDTime)
+	fmt.Fprintf(stdout, "mem stall    %v (%v overlapped across cores)\n", st.MemStall, st.OverlapStall)
+	fmt.Fprintf(stdout, "breakdown    OS=%v mem=%v DMA=%v SSD=%v\n", st.OSTime, st.MemTime, st.DMATime, st.SSDTime)
 	e := r.Energy
-	fmt.Printf("energy (J)   CPU=%.3f NVDIMM=%.3f intDRAM=%.3f ZNAND=%.3f total=%.3f\n",
+	fmt.Fprintf(stdout, "energy (J)   CPU=%.3f NVDIMM=%.3f intDRAM=%.3f ZNAND=%.3f total=%.3f\n",
 		e.CPU, e.NVDIMM, e.InternalDRAM, e.ZNAND, e.Total())
+	return 0
 }
 
 func pct(a, b int64) float64 {

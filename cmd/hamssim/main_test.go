@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation: malformed input must exit 2 before any
+// simulation runs — the error text names the offending flag.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"no args", nil, "usage"},
+		{"one arg", []string{"hams-LE"}, "usage"},
+		{"three args", []string{"hams-LE", "seqRd", "extra"}, "usage"},
+		{"bad policy", []string{"-policy", "mru", "hams-LE", "seqRd"}, "replacement policy"},
+		{"negative mshrs", []string{"-mshrs", "-2", "hams-LE", "seqRd"}, "-mshrs"},
+		{"negative qd", []string{"-qd", "-1", "hams-LE", "seqRd"}, "-qd"},
+		{"bad qos mask", []string{"-qos-mask", "zz", "hams-LE", "seqRd"}, "-qos-mask"},
+		{"negative mbps", []string{"-qos-mbps", "-4", "hams-LE", "seqRd"}, "-qos-mbps"},
+		{"unparseable flag", []string{"-scale", "x", "hams-LE", "seqRd"}, "invalid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := realMain(tc.args, &out, &errb)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, errb.String())
+			}
+			if out.Len() != 0 {
+				t.Fatalf("validation failure wrote to stdout: %s", out.String())
+			}
+		})
+	}
+}
+
+// TestUnknownPlatformExit1: a well-formed invocation naming an
+// unknown platform is a runtime failure (exit 1), not usage.
+func TestUnknownPlatformExit1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-scale", "1e-9", "no-such-platform", "seqRd"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+}
+
+// TestSmoke runs a tiny simulation end to end and checks the report.
+func TestSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-scale", "1e-8", "-mshrs", "4", "hams-LE", "seqRd"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"platform     hams-LE", "workload     seqRd", "instructions", "energy (J)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if errb.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", errb.String())
+	}
+}

@@ -6,24 +6,28 @@
 // Usage:
 //
 //	hamstrace record [-scale 1e-6] [-seed 42] [-threads all] <workload> <file>
-//	hamstrace replay [-platform hams-LE] <file>
+//	hamstrace replay [-platform hams-LE] [-mshrs D] <file>
 //	hamstrace info <file>
 //
 // record writes a v2 container: one labeled stream per thread plus the
 // workload's warm (steady-state) regions, which replay re-installs so
 // a replayed trace reproduces the live run's simulated statistics
 // bit-for-bit. -threads selects "all" (the default) or a single
-// 0-based thread index. info and replay decode v1 traces too.
+// 0-based thread index. replay's -mshrs replays the trace under the
+// non-blocking miss pipeline at that per-bank depth (0/1 = the
+// blocking default). info and replay decode v1 traces too.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 
 	"hams/internal/mem"
+	"hams/internal/platform"
 	"hams/internal/replay"
 	"hams/internal/stats"
 	"hams/internal/trace"
@@ -31,36 +35,49 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams (testable; exit codes:
+// 0 ok, 1 runtime failure, 2 usage/validation error). Malformed input
+// exits 2 before any recording or simulation runs.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		return usage(stderr)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "record":
-		record(os.Args[2:])
+		return record(args[1:], stdout, stderr)
 	case "replay":
-		replayCmd(os.Args[2:])
+		return replayCmd(args[1:], stdout, stderr)
 	case "info":
-		info(os.Args[2:])
+		return info(args[1:], stdout, stderr)
 	default:
-		usage()
+		return usage(stderr)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hamstrace record [-scale S] [-seed N] [-threads all|K] <workload> <file>")
-	fmt.Fprintln(os.Stderr, "       hamstrace replay [-platform P] <file>")
-	fmt.Fprintln(os.Stderr, "       hamstrace info <file>")
-	os.Exit(2)
+func usage(w io.Writer) int {
+	fmt.Fprintln(w, "usage: hamstrace record [-scale S] [-seed N] [-threads all|K] <workload> <file>")
+	fmt.Fprintln(w, "       hamstrace replay [-platform P] [-mshrs D] <file>")
+	fmt.Fprintln(w, "       hamstrace info <file>")
+	return 2
 }
 
-func record(args []string) {
-	fs := flag.NewFlagSet("record", flag.ExitOnError)
+func record(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	scale := fs.Float64("scale", 1e-6, "instruction-count scale vs Table III")
 	seed := fs.Int64("seed", 42, "workload random seed")
 	threads := fs.String("threads", "all", `threads to record: "all" or a 0-based index`)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 	if fs.NArg() != 2 {
-		usage()
+		return usage(stderr)
 	}
 	o := workload.DefaultOptions()
 	o.Scale = *scale
@@ -69,13 +86,20 @@ func record(args []string) {
 	if *threads != "all" {
 		idx, err := strconv.Atoi(*threads)
 		if err != nil {
-			fatal(fmt.Errorf("-threads must be \"all\" or a 0-based index, got %q", *threads))
+			fmt.Fprintf(stderr, "hamstrace: -threads must be \"all\" or a 0-based index, got %q\n", *threads)
+			return 2
 		}
 		thread = idx
 	}
+	// Validate the workload name before creating (and truncating) the
+	// output file.
+	if _, err := workload.ByName(fs.Arg(0)); err != nil {
+		fmt.Fprintf(stderr, "hamstrace: %v\n", err)
+		return 2
+	}
 	f, err := os.Create(fs.Arg(1))
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	defer f.Close()
 	// RecordWorkload writes a v2 container whose warm regions travel
@@ -84,46 +108,59 @@ func record(args []string) {
 	// run bit-identical to the live one.
 	n, err := replay.RecordWorkload(f, fs.Arg(0), o, thread)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	fmt.Printf("recorded %d steps of %s to %s\n", n, fs.Arg(0), fs.Arg(1))
+	fmt.Fprintf(stdout, "recorded %d steps of %s to %s\n", n, fs.Arg(0), fs.Arg(1))
+	return 0
 }
 
-func replayCmd(args []string) {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+func replayCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	plat := fs.String("platform", "hams-LE", "platform to replay against")
-	fs.Parse(args)
+	mshrs := fs.Int("mshrs", 0, "HAMS per-bank MSHR depth (0/1 = blocking pipeline, >= 2 = non-blocking)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 	if fs.NArg() != 1 {
-		usage()
+		return usage(stderr)
+	}
+	if *mshrs < 0 {
+		fmt.Fprintf(stderr, "hamstrace: -mshrs: want a non-negative depth, got %d\n", *mshrs)
+		return 2
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	tf, err := trace.Decode(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	sc := replay.Scenario{
 		Name:     filepath.Base(fs.Arg(0)),
 		Platform: *plat,
+		PlatOpts: platform.Options{HAMSMSHRs: *mshrs},
 		Tenants:  replay.FromFile(tf),
 	}
 	res, err := replay.Run(sc, replay.Options{})
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	st := res.CPU
-	fmt.Printf("trace        %s (v%d, %d thread(s), %d step(s))\n", sc.Name, tf.Version, len(tf.Threads), tf.Steps())
-	fmt.Printf("platform     %s\n", res.Platform)
-	fmt.Printf("instructions %d\n", st.Instructions)
-	fmt.Printf("elapsed      %v\n", st.Elapsed)
-	fmt.Printf("work units   %d (%.0f/s)\n", res.Units, res.UnitsPerSec())
-	fmt.Printf("mem accesses %d (L1 %.1f%%, L2 %.1f%% hit)\n", st.MemAccesses,
+	fmt.Fprintf(stdout, "trace        %s (v%d, %d thread(s), %d step(s))\n", sc.Name, tf.Version, len(tf.Threads), tf.Steps())
+	fmt.Fprintf(stdout, "platform     %s\n", res.Platform)
+	fmt.Fprintf(stdout, "instructions %d\n", st.Instructions)
+	fmt.Fprintf(stdout, "elapsed      %v\n", st.Elapsed)
+	fmt.Fprintf(stdout, "work units   %d (%.0f/s)\n", res.Units, res.UnitsPerSec())
+	fmt.Fprintf(stdout, "mem accesses %d (L1 %.1f%%, L2 %.1f%% hit)\n", st.MemAccesses,
 		pct(st.L1Hits, st.L1Hits+st.L1Misses), pct(st.L2Hits, st.L2Hits+st.L2Misses))
-	fmt.Printf("breakdown    OS=%v mem=%v DMA=%v SSD=%v\n", st.OSTime, st.MemTime, st.DMATime, st.SSDTime)
-	fmt.Printf("energy (J)   %.3f\n\n", res.Energy.Total())
+	fmt.Fprintf(stdout, "breakdown    OS=%v mem=%v DMA=%v SSD=%v\n", st.OSTime, st.MemTime, st.DMATime, st.SSDTime)
+	fmt.Fprintf(stdout, "energy (J)   %.3f\n\n", res.Energy.Total())
 	t := stats.NewTable("Per-tenant latency breakdown",
 		"tenant", "threads", "units", "accesses", "mean", "p50", "p95", "p99", "max")
 	for _, ten := range res.Tenants {
@@ -131,28 +168,29 @@ func replayCmd(args []string) {
 			fmt.Sprintf("%dns", ten.Mean), fmt.Sprintf("%dns", ten.P50),
 			fmt.Sprintf("%dns", ten.P95), fmt.Sprintf("%dns", ten.P99), fmt.Sprintf("%dns", ten.Max))
 	}
-	fmt.Println(t)
+	fmt.Fprintln(stdout, t)
+	return 0
 }
 
-func info(args []string) {
+func info(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 1 {
-		usage()
+		return usage(stderr)
 	}
 	f, err := os.Open(args[0])
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	defer f.Close()
 	tf, err := trace.Decode(f)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	fmt.Printf("version      %d\n", tf.Version)
+	fmt.Fprintf(stdout, "version      %d\n", tf.Version)
 	if tf.Name != "" {
-		fmt.Printf("name         %s\n", tf.Name)
+		fmt.Fprintf(stdout, "name         %s\n", tf.Name)
 	}
-	fmt.Printf("threads      %d\n", len(tf.Threads))
-	fmt.Printf("warm regions %d\n", len(tf.Warm))
+	fmt.Fprintf(stdout, "threads      %d\n", len(tf.Threads))
+	fmt.Fprintf(stdout, "warm regions %d\n", len(tf.Warm))
 	var steps, accesses, loads, stores, compute int64
 	var bytes uint64
 	minAddr, maxAddr := ^uint64(0), uint64(0)
@@ -182,15 +220,16 @@ func info(args []string) {
 		if label == "" {
 			label = "-"
 		}
-		fmt.Printf("  thread %-3d %-16s %7d steps %9d accesses\n", ti, label, len(th.Steps), tAcc)
+		fmt.Fprintf(stdout, "  thread %-3d %-16s %7d steps %9d accesses\n", ti, label, len(th.Steps), tAcc)
 	}
-	fmt.Printf("steps        %d\n", steps)
-	fmt.Printf("accesses     %d (%d loads, %d stores)\n", accesses, loads, stores)
-	fmt.Printf("compute      %d instructions\n", compute)
-	fmt.Printf("bytes moved  %d\n", bytes)
+	fmt.Fprintf(stdout, "steps        %d\n", steps)
+	fmt.Fprintf(stdout, "accesses     %d (%d loads, %d stores)\n", accesses, loads, stores)
+	fmt.Fprintf(stdout, "compute      %d instructions\n", compute)
+	fmt.Fprintf(stdout, "bytes moved  %d\n", bytes)
 	if accesses > 0 {
-		fmt.Printf("addr range   [%#x, %#x)\n", minAddr, maxAddr)
+		fmt.Fprintf(stdout, "addr range   [%#x, %#x)\n", minAddr, maxAddr)
 	}
+	return 0
 }
 
 func pct(a, b int64) float64 {
@@ -200,7 +239,7 @@ func pct(a, b int64) float64 {
 	return float64(a) / float64(b) * 100
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hamstrace:", err)
-	os.Exit(1)
+func fatal(w io.Writer, err error) int {
+	fmt.Fprintln(w, "hamstrace:", err)
+	return 1
 }

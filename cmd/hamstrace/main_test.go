@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUsageAndValidation: malformed input exits 2 before anything
+// records or replays.
+func TestUsageAndValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"unknown subcommand", []string{"frobnicate"}},
+		{"record no args", []string{"record"}},
+		{"record one arg", []string{"record", "seqRd"}},
+		{"record bad threads", []string{"record", "-threads", "x", "seqRd", "out.trace"}},
+		{"replay no file", []string{"replay"}},
+		{"replay negative mshrs", []string{"replay", "-mshrs", "-3", "f.trace"}},
+		{"info no file", []string{"info"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, errb.String())
+			}
+		})
+	}
+}
+
+// TestRecordUnknownWorkload: the workload name is validated before
+// the output file is created — a typo must not truncate anything.
+func TestRecordUnknownWorkload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.trace")
+	var out, errb bytes.Buffer
+	if code := run([]string{"record", "no-such-workload", path}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("output file was created before workload validation (stat err: %v)", err)
+	}
+	if strings.Contains(errb.String(), "usage") {
+		t.Fatalf("unknown workload reported as usage error:\n%s", errb.String())
+	}
+}
+
+// TestRecordInfoReplayRoundTrip drives the three subcommands end to
+// end on a tiny trace, including a non-blocking (-mshrs 4) replay.
+func TestRecordInfoReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seqrd.trace")
+	var out, errb bytes.Buffer
+	if code := run([]string{"record", "-scale", "1e-8", "seqRd", path}, &out, &errb); code != 0 {
+		t.Fatalf("record exit %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "recorded") {
+		t.Fatalf("record output: %s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"info", path}, &out, &errb); code != 0 {
+		t.Fatalf("info exit %d\nstderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"version      2", "threads      1", "accesses"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("info output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	for _, mshrs := range []string{"0", "4"} {
+		out.Reset()
+		errb.Reset()
+		if code := run([]string{"replay", "-mshrs", mshrs, path}, &out, &errb); code != 0 {
+			t.Fatalf("replay -mshrs %s exit %d\nstderr: %s", mshrs, code, errb.String())
+		}
+		for _, want := range []string{"platform     hams-LE", "Per-tenant latency breakdown", "seqRd"} {
+			if !strings.Contains(out.String(), want) {
+				t.Fatalf("replay output missing %q:\n%s", want, out.String())
+			}
+		}
+	}
+}
+
+// TestReplayMissingFile: a vanished input is a runtime failure (1).
+func TestReplayMissingFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"replay", filepath.Join(t.TempDir(), "gone.trace")}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+}

@@ -59,9 +59,13 @@ const (
 // Config configures a MoS instance. The zero value is invalid; start
 // from DefaultConfig. Beyond the paper's Table II knobs, the cache
 // organization is configurable: Ways (associativity), Replacement
-// (victim policy) and Banks (independent controller banks the MoS
-// page space is interleaved across). The defaults — one direct-mapped
-// bank — reproduce the paper's Figure 11 organization exactly.
+// (victim policy), Banks (independent controller banks the MoS page
+// space is interleaved across), MSHRs (per-bank miss-status
+// registers; >= 2 enables the non-blocking miss pipeline with
+// deferred writebacks, miss coalescing and hit-under-miss) and
+// QueueDepth (per-bank cap on outstanding NVMe commands). The
+// defaults — one direct-mapped bank, blocking miss path — reproduce
+// the paper's Figure 11 organization exactly.
 type Config = core.Config
 
 // DefaultConfig returns the paper's Table II configuration (8 GB

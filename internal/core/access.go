@@ -71,12 +71,21 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 	if slot, ok := b.tags.Lookup(set, page); ok {
 		e := b.tags.Entry(slot)
 		// Hit — but another core's fill for this tag may still be in
-		// flight; the request parks until the data is resident.
+		// flight; the request parks until the data is resident. With
+		// MSHRs this is miss coalescing: the secondary rides the
+		// primary's register instead of composing a redundant fill.
 		if e.ReadyAt > t {
 			c.stats.WaitQ++
+			if b.mshrs != nil && b.mshrs.ByPage(page) != nil {
+				c.stats.Coalesced++
+			}
 			res.Wait += e.ReadyAt - t
 			t = e.ReadyAt
 			c.engine.AdvanceTo(t)
+		} else if b.mshrs != nil && b.mshrs.Live() > 0 {
+			// Hit-under-miss: served immediately while the bank has
+			// fills outstanding.
+			c.stats.HitUnderMiss++
 		}
 		res.Hit = true
 		cacheAddr := c.cacheAddr(b, slot)
@@ -97,10 +106,13 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 	// Miss: pick the victim way within the class's permitted ways (the
 	// CAT capacity mask; the default full mask considers every way).
 	// When every permitted way in the set is busy the request parks in
-	// the wait queue until the earliest in-flight commands complete
-	// (Figure 14). This avoids the eviction hazard and suppresses
-	// redundant evictions — after the wait the dirty data has already
-	// been evicted, so no second evict is composed.
+	// the wait queue until the earliest slot is reusable (Figure 14).
+	// Under the blocking pipeline that is the slot's last command
+	// completion; under the MSHR pipeline an in-flight eviction drains
+	// from its PRP clone, so the slot frees at fill completion. The
+	// wait suppresses a redundant eviction only when the in-flight
+	// work included a dirty writeback (EvictBusy) — a fill-only busy
+	// slot elides nothing, so it counts toward WaitQ alone.
 	var slot int
 	if c.qosMasks != nil {
 		slot = b.tags.VictimMasked(set, c.qosMasks[cls])
@@ -108,11 +120,32 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 		slot = b.tags.Victim(set)
 	}
 	e := b.tags.Entry(slot)
-	if e.Busy && e.BusyUntil > t {
+	if e.Busy && e.FreeAt > t {
 		c.stats.WaitQ++
-		c.stats.RedundantSquashed++
-		res.Wait += e.BusyUntil - t
-		t = e.BusyUntil
+		if e.EvictBusy {
+			c.stats.RedundantSquashed++
+		}
+		res.Wait += e.FreeAt - t
+		t = e.FreeAt
+		c.engine.AdvanceTo(t)
+	}
+
+	// MSHR allocation: a primary miss arriving with every register
+	// live parks until the earliest outstanding miss retires.
+	for b.mshrs != nil && b.mshrs.Full() {
+		w := b.mshrs.EarliestDone()
+		if w <= t {
+			// Retirement events up to t have not fired yet; flush them.
+			c.engine.AdvanceTo(t)
+			if b.mshrs.Full() {
+				break // defensive: never livelock on a stuck register
+			}
+			continue
+		}
+		c.stats.WaitQ++
+		c.stats.MSHRStalls++
+		res.Wait += w - t
+		t = w
 		c.engine.AdvanceTo(t)
 	}
 
@@ -150,10 +183,13 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 	}
 
 	now := t
+	dirtyVictim := e.Valid && e.Dirty
 	var evictComplete sim.Time
 
-	// Evict the present page if dirty.
-	if e.Valid && e.Dirty {
+	// Blocking pipeline: the writeback is composed before the fill,
+	// so the demand fill queues behind the entire victim transfer —
+	// interface, device HIL and flash programs included.
+	if dirtyVictim && b.mshrs == nil {
 		d, r, err := c.evict(b, now, slot)
 		if err != nil {
 			return res, 0, err
@@ -168,13 +204,32 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 		}
 	}
 
+	// Non-blocking pipeline: snapshot the victim into the PRP pool
+	// now (the Figure 14 clone — in-place fills can never corrupt the
+	// in-flight writeback), compose the demand fill first, and defer
+	// the writeback behind it, off the demand's critical path.
+	var prpAddr, victimAddr uint64
+	fillStart := now
+	if dirtyVictim && b.mshrs != nil {
+		victimAddr = e.Tag * c.cfg.PageBytes
+		var d sim.Time
+		var r pathCost
+		var err error
+		prpAddr, d, r, err = c.cloneVictim(b, now, slot)
+		if err != nil {
+			return res, 0, err
+		}
+		fillStart = d
+		res.NVDIMM += r.NVDIMM
+	}
+
 	// Fill the target page, unless the write covers the whole page.
-	fillDone := now
+	fillDone := fillStart
 	var fillComplete sim.Time
 	if fullPageWrite {
 		c.stats.FullPageWrites++
 	} else {
-		d, cp, r, err := c.fill(b, now, slot, page)
+		d, cp, r, err := c.fill(b, fillStart, slot, page)
 		if err != nil {
 			return res, 0, err
 		}
@@ -186,6 +241,23 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 		c.stats.Fills++
 		if c.qosMon != nil {
 			c.qosMon.OnFill(cls, int64(c.cfg.PageBytes))
+		}
+	}
+
+	// Compose the deferred writeback: it drains from the clone while
+	// the demand (and, under MSHRs, younger misses) proceed.
+	if dirtyVictim && b.mshrs != nil {
+		d, r, err := c.composeEvict(b, fillStart, slot, prpAddr, victimAddr)
+		if err != nil {
+			return res, 0, err
+		}
+		evictComplete = d
+		res.DMA += r.DMA
+		res.NVDIMM += r.NVDIMM
+		res.SSD += r.SSD
+		c.stats.Evictions++
+		if c.qosMon != nil {
+			c.qosMon.OnWriteback(cls, int64(c.cfg.PageBytes))
 		}
 	}
 
@@ -207,6 +279,17 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 	e.ReadyAt = fillDone
 	e.Busy = busyUntil > now
 	e.BusyUntil = busyUntil
+	// The in-flight eviction pins the slot only under the blocking
+	// pipeline; with MSHRs the writeback drains from its PRP clone and
+	// the slot frees when the inbound fill retires.
+	e.FreeAt = busyUntil
+	if b.mshrs != nil {
+		e.FreeAt = now
+		if fillComplete > e.FreeAt {
+			e.FreeAt = fillComplete
+		}
+	}
+	e.EvictBusy = e.Busy && evictComplete > now
 	b.tags.Touch(slot)
 	if e.Busy {
 		eSlot := slot
@@ -215,8 +298,14 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 			en := eBank.tags.Entry(eSlot)
 			if en.BusyUntil <= busyUntil {
 				en.Busy = false
+				en.EvictBusy = false
 			}
 		})
+		if b.mshrs != nil {
+			m := &mshr{page: page, done: busyUntil}
+			b.mshrs.Insert(m)
+			c.engine.Schedule(busyUntil, func(sim.Time) { b.mshrs.Retire(m) })
+		}
 	}
 	if c.cfg.Mode == Persist && busyUntil > b.lastIODone {
 		b.lastIODone = busyUntil
@@ -253,29 +342,50 @@ type pathCost struct {
 // evict clones the victim page into the bank's PRP pool, composes an
 // NVMe write, and transfers the clone to the device. In extend mode
 // the transfer runs in the background (the caller only waits if it
-// touches the same entry again); in persist mode it carries FUA.
+// touches the same entry again); in persist mode it carries FUA. The
+// blocking pipeline uses it whole; the MSHR pipeline calls the two
+// halves separately so the demand fill composes between them.
 func (c *Controller) evict(b *bank, t sim.Time, slot int) (sim.Time, pathCost, error) {
-	var pc pathCost
 	e := b.tags.Entry(slot)
 	victimAddr := e.Tag * c.cfg.PageBytes
-	cacheAddr := c.cacheAddr(b, slot)
+	prpAddr, cloneDone, pc, err := c.cloneVictim(b, t, slot)
+	if err != nil {
+		return t, pc, err
+	}
+	complete, cpc, err := c.composeEvict(b, cloneDone, slot, prpAddr, victimAddr)
+	pc.NVDIMM += cpc.NVDIMM
+	pc.DMA += cpc.DMA
+	pc.SSD += cpc.SSD
+	return complete, pc, err
+}
 
+// cloneVictim snapshots the victim page into the bank's PRP pool
+// (read + write inside the NVDIMM): once the clone is taken, the slot
+// may be overwritten without corrupting the outgoing data (Figure 14).
+func (c *Controller) cloneVictim(b *bank, t sim.Time, slot int) (uint64, sim.Time, pathCost, error) {
+	var pc pathCost
+	cacheAddr := c.cacheAddr(b, slot)
 	prpAddr, ok := b.prp.Alloc()
 	if !ok {
 		// Pool exhausted: wait for the bank's oldest in-flight command.
 		t = c.drainOldest(b, t)
 		prpAddr, ok = b.prp.Alloc()
 		if !ok {
-			return t, pc, fmt.Errorf("core: PRP pool exhausted")
+			return 0, t, pc, fmt.Errorf("core: PRP pool exhausted")
 		}
 	}
-
-	// Clone page into the pinned region (read + write inside NVDIMM).
 	rd := c.nvdimm.Bulk(t, cacheAddr, uint32(c.cfg.PageBytes), mem.Read)
 	wr := c.nvdimm.Bulk(rd, prpAddr, uint32(c.cfg.PageBytes), mem.Write)
 	c.nvdimm.Store().Copy(prpAddr, cacheAddr, c.cfg.PageBytes)
 	pc.NVDIMM += wr - t
+	return prpAddr, wr, pc, nil
+}
 
+// composeEvict submits the NVMe write that moves an already-taken PRP
+// clone to the device, scheduling its completion.
+func (c *Controller) composeEvict(b *bank, t sim.Time, slot int, prpAddr, victimAddr uint64) (sim.Time, pathCost, error) {
+	var pc pathCost
+	t = c.reserveQueueSlot(b, t)
 	cmd := nvme.Command{
 		Opcode: nvme.OpWrite,
 		PRP:    prpAddr,
@@ -290,8 +400,8 @@ func (c *Controller) evict(b *bank, t sim.Time, slot int) (sim.Time, pathCost, e
 	// The device fetches the SQE as soon as the doorbell lands; the
 	// journal tag stays set in the persisted slot until completion.
 	b.qp.DeviceFetch()
-	cmdDelivered := c.deliverCommand(wr + c.cfg.ComposeLat)
-	pc.DMA += cmdDelivered - wr - c.cfg.ComposeLat
+	cmdDelivered := c.deliverCommand(t + c.cfg.ComposeLat)
+	pc.DMA += cmdDelivered - t - c.cfg.ComposeLat
 
 	// Device pulls the clone from NVDIMM (DMA), then programs flash.
 	// The content is frozen by the PRP clone, so the functional write
@@ -321,6 +431,7 @@ func (c *Controller) evict(b *bank, t sim.Time, slot int) (sim.Time, pathCost, e
 // posted, journal cleared).
 func (c *Controller) fill(b *bank, t sim.Time, slot int, page uint64) (sim.Time, sim.Time, pathCost, error) {
 	var pc pathCost
+	t = c.reserveQueueSlot(b, t)
 	pageAddr := page * c.cfg.PageBytes
 	cacheAddr := c.cacheAddr(b, slot)
 
@@ -384,6 +495,22 @@ func (c *Controller) completeRead(b *bank, cid uint16) {
 	delete(b.inflight, cid)
 	_ = b.qp.DeviceComplete(cid, 0)
 	_, _ = b.qp.HostReap()
+}
+
+// reserveQueueSlot enforces Config.QueueDepth: composing a command
+// once the bank's outstanding cap is reached waits for the earliest
+// in-flight completion to reap a slot (the delay shifts the compose
+// time, like PRP-pool pressure — it is not attributed to any latency
+// component). A zero cap never waits.
+func (c *Controller) reserveQueueSlot(b *bank, t sim.Time) sim.Time {
+	for c.cfg.QueueDepth > 0 && b.qp.Outstanding() >= c.cfg.QueueDepth {
+		nt := c.drainOldest(b, t)
+		if nt == t && b.qp.Outstanding() >= c.cfg.QueueDepth {
+			break // defensive: nothing in flight to wait for
+		}
+		t = nt
+	}
+	return t
 }
 
 // drainOldest advances time to the bank's earliest in-flight

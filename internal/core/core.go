@@ -97,6 +97,25 @@ type Config struct {
 	// queue pair and PRP pool; 0 or 1 = the paper's single bank.
 	Banks int
 
+	// MSHRs sizes each bank's miss-status-holding-register file.
+	// 0 or 1 (the default) keeps the paper's blocking miss pipeline:
+	// a miss whose victim slot has in-flight commands parks until
+	// every one of them retires. With MSHRs >= 2 the miss path goes
+	// non-blocking: each outstanding fill holds a register, secondary
+	// misses to an in-flight page coalesce onto the primary's
+	// register instead of composing a redundant fill, hits are served
+	// under outstanding misses, and a victim slot is reusable as soon
+	// as its fill completes — an in-flight eviction drains from its
+	// PRP clone (Figure 14) without pinning the slot. Only accesses
+	// that truly conflict (same set with every permitted way busy, or
+	// a full register file) park in the wait queue.
+	MSHRs int
+	// QueueDepth caps the outstanding NVMe commands per bank queue
+	// pair: composing a command with the cap reached waits for the
+	// bank's earliest in-flight completion. 0 = unbounded (the
+	// paper's configuration).
+	QueueDepth int
+
 	// QoS enables the RDT-style isolation layer (internal/qos): each
 	// request's mem.Access.Class selects a class of service whose way
 	// mask confines replacement (CAT), whose MBps limit throttles
@@ -167,6 +186,7 @@ type bank struct {
 	qp        *nvme.QueuePair
 	prp       *nvme.PRPPool
 	inflight  map[uint16]*inflight
+	mshrs     *mshrFile     // non-blocking miss pipeline (nil when MSHRs <= 1)
 	cacheBase uint64        // NVDIMM byte offset of this bank's cache slice
 	qBase     uint64        // this bank's queue-pair base in the pinned region
 	owner     []qos.ClassID // per-slot installing class (QoS only)
@@ -190,6 +210,17 @@ type Stats struct {
 	WaitQ             int64 // requests parked in the wait queue
 	Fills             int64
 	FullPageWrites    int64 // misses that skipped the fill (write covers page)
+
+	// Non-blocking miss-pipeline counters (all zero when MSHRs <= 1).
+	// Coalesced counts secondary misses merged onto an in-flight
+	// fill's MSHR (they park until the data is resident but compose
+	// no command of their own); HitUnderMiss counts hits served
+	// without any wait while the bank had at least one fill in
+	// flight; MSHRStalls counts primary misses that parked because
+	// every register in the bank's file was live.
+	Coalesced    int64
+	HitUnderMiss int64
+	MSHRStalls   int64
 
 	// Latency decomposition (Fig. 18): time attributed to NVDIMM
 	// accesses, to interface/DMA transfers, and to SSD internals.
@@ -259,6 +290,12 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Banks <= 0 {
 		cfg.Banks = 1
 	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 1
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
 	if err := cfg.QoS.Validate(cfg.Ways); err != nil {
 		return nil, err
 	}
@@ -314,6 +351,9 @@ func New(cfg Config) (*Controller, error) {
 		if cfg.QoS != nil {
 			bk.owner = make([]qos.ClassID, tags.Len())
 		}
+		if cfg.MSHRs > 1 {
+			bk.mshrs = newMSHRFile(cfg.MSHRs)
+		}
 		c.banks = append(c.banks, bk)
 		qBase = mem.AlignUp(prpBase+pool.Footprint(), cfg.PageBytes)
 	}
@@ -346,6 +386,23 @@ func (c *Controller) CacheEntries() int {
 
 // Banks returns the controller bank count.
 func (c *Controller) Banks() int { return len(c.banks) }
+
+// MSHRs returns the per-bank miss-status-register depth (1 = the
+// paper's blocking miss pipeline).
+func (c *Controller) MSHRs() int { return c.cfg.MSHRs }
+
+// PeakQueueDepth returns the highest number of NVMe commands any bank
+// queue pair held in flight at once — the memory-level parallelism
+// the miss pipeline actually exposed to the device.
+func (c *Controller) PeakQueueDepth() int {
+	peak := 0
+	for _, b := range c.banks {
+		if p := b.qp.PeakOutstanding(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
 
 // Ways returns the tag-array associativity.
 func (c *Controller) Ways() int { return c.banks[0].tags.Ways() }
@@ -413,6 +470,7 @@ func (c *Controller) WarmClass(base, size uint64, cls qos.ClassID) {
 			}
 			e.ReadyAt = 0
 			e.BusyUntil = 0
+			e.FreeAt = 0
 			b.tags.Touch(slot)
 			continue
 		}
@@ -433,7 +491,9 @@ func (c *Controller) WarmClass(base, size uint64, cls qos.ClassID) {
 		e.Dirty = false
 		e.ReadyAt = 0
 		e.BusyUntil = 0
+		e.FreeAt = 0
 		e.Busy = false
+		e.EvictBusy = false
 		b.tags.Touch(slot)
 		if c.qosMon != nil {
 			c.qosMon.Install(cls, b.owner[slot], wasValid)

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"hams/internal/sim"
+)
+
+// This file implements the per-bank MSHR (miss-status holding
+// register) file that turns the miss path non-blocking when
+// Config.MSHRs > 1. Each register tracks one outstanding fill: the
+// page on its way in, the tag-array slot it lands in, the instant the
+// data is resident (secondary, coalesced accesses resume there), and
+// the instant the last NVMe command composed for the miss retires
+// (the register frees). The file's depth bounds the bank's
+// memory-level parallelism: a primary miss arriving with every
+// register live parks in the wait queue until the earliest one
+// retires — exactly the "truly conflicting" stall of the issue's
+// contract (same set all ways busy, or MSHR file full).
+//
+// The registers are controller SRAM: a power failure clears the file
+// (PowerFail), and recovery replays in-flight commands from the
+// journal tags instead (Figure 15) — the MSHR file carries no
+// persistency obligations.
+
+// mshr is one miss-status holding register. Only the identity of the
+// in-flight page and the retirement instant live here: secondaries
+// resume from the tag entry's ReadyAt and slot reuse is gated by the
+// entry's FreeAt, so the register's job is bounding outstanding
+// misses and answering "is this page already being filled?".
+type mshr struct {
+	page uint64   // MoS page the fill targets
+	done sim.Time // last command for this miss retires; register frees
+}
+
+// mshrFile is one bank's register file. Lookups by page serve miss
+// coalescing; the live slice (bounded by depth, a handful of entries)
+// serves the full-file stall and keeps iteration deterministic.
+type mshrFile struct {
+	depth  int
+	live   []*mshr
+	byPage map[uint64]*mshr
+}
+
+func newMSHRFile(depth int) *mshrFile {
+	return &mshrFile{depth: depth, byPage: make(map[uint64]*mshr)}
+}
+
+// Live returns the number of registers in flight.
+func (f *mshrFile) Live() int { return len(f.live) }
+
+// Full reports whether a new primary miss must park.
+func (f *mshrFile) Full() bool { return len(f.live) >= f.depth }
+
+// ByPage returns the live register filling page, or nil.
+func (f *mshrFile) ByPage(page uint64) *mshr { return f.byPage[page] }
+
+// Insert registers a primary miss. If an older register for the same
+// page is still draining (its page was since evicted and re-missed),
+// the newer one owns the page key.
+func (f *mshrFile) Insert(m *mshr) {
+	f.live = append(f.live, m)
+	f.byPage[m.page] = m
+}
+
+// Retire frees a register. Idempotent: the retirement event may race
+// a power-failure reset.
+func (f *mshrFile) Retire(m *mshr) {
+	for i, x := range f.live {
+		if x == m {
+			f.live = append(f.live[:i], f.live[i+1:]...)
+			break
+		}
+	}
+	if f.byPage[m.page] == m {
+		delete(f.byPage, m.page)
+	}
+}
+
+// EarliestDone returns the earliest retirement instant among live
+// registers, or sim.MaxTime when the file is empty.
+func (f *mshrFile) EarliestDone() sim.Time {
+	earliest := sim.MaxTime
+	for _, m := range f.live {
+		if m.done < earliest {
+			earliest = m.done
+		}
+	}
+	return earliest
+}
+
+// Reset clears the file (power failure: MSHRs are controller SRAM).
+func (f *mshrFile) Reset() {
+	f.live = nil
+	f.byPage = make(map[uint64]*mshr)
+}

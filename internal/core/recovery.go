@@ -57,6 +57,9 @@ func (c *Controller) PowerFail(t sim.Time) PowerFailReport {
 	for _, b := range c.banks {
 		b.inflight = make(map[uint16]*inflight)
 		b.tags.ClearVolatile()
+		if b.mshrs != nil {
+			b.mshrs.Reset() // registers are controller SRAM
+		}
 		b.lastIODone = 0
 		b.lastArrival = 0
 	}

@@ -58,12 +58,25 @@ func ParsePolicy(s string) (Policy, error) {
 // mirrors the busy bit in time: the bit is set while an NVMe command
 // for this entry is in flight and cleared by the completion event.
 // ReadyAt is the instant the fill data is resident in NVDIMM.
+//
+// FreeAt separates "busy" from "fill-pending": it is the instant the
+// slot's DATA may be overwritten by a new occupant. The blocking
+// pipeline pins the slot until every in-flight command retires
+// (FreeAt == BusyUntil); the MSHR pipeline releases it at the fill's
+// completion — an in-flight eviction reads from its PRP clone
+// (Figure 14), never from the slot, so it does not pin the data.
+// EvictBusy marks that the in-flight work included a dirty writeback:
+// a miss parking on such a slot is exactly the redundant-eviction
+// squash of Figure 14 (parking on a fill-only slot suppresses
+// nothing).
 type Entry struct {
 	Tag       uint64
 	Valid     bool
 	Dirty     bool
 	Busy      bool
+	EvictBusy bool
 	BusyUntil sim.Time
+	FreeAt    sim.Time
 	ReadyAt   sim.Time
 }
 
@@ -198,13 +211,17 @@ func (s *Store) VictimMasked(set int, mask uint64) int {
 	if slot := s.pick(set, false, mask); slot >= 0 {
 		return slot
 	}
-	// All permitted ways busy: wait for the earliest to drain.
+	// All permitted ways busy: wait for the earliest slot to become
+	// reusable. FreeAt equals BusyUntil under the blocking pipeline;
+	// the MSHR pipeline frees evicting slots at PRP-clone time, so
+	// this prefers a slot whose writeback is still draining over one
+	// whose fill is still inbound.
 	best := -1
 	for w := 0; w < s.ways; w++ {
 		if mask&(1<<uint(w)) == 0 {
 			continue
 		}
-		if best < 0 || s.entries[base+w].BusyUntil < s.entries[best].BusyUntil {
+		if best < 0 || s.entries[base+w].FreeAt < s.entries[best].FreeAt {
 			best = base + w
 		}
 	}
@@ -303,7 +320,9 @@ func (s *Store) pick(set int, cleanOnly bool, mask uint64) int {
 func (s *Store) ClearVolatile() {
 	for i := range s.entries {
 		s.entries[i].Busy = false
+		s.entries[i].EvictBusy = false
 		s.entries[i].BusyUntil = 0
+		s.entries[i].FreeAt = 0
 		s.entries[i].ReadyAt = 0
 	}
 }

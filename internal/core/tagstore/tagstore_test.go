@@ -104,6 +104,7 @@ func TestAllWaysBusyPicksEarliestDrain(t *testing.T) {
 		e := s.Entry(w)
 		e.Busy = true
 		e.BusyUntil = 100 - sim.Time(w) // way 3 drains first
+		e.FreeAt = e.BusyUntil
 	}
 	if v := s.Victim(0); v != 3 {
 		t.Fatalf("victim %d, want earliest-draining way 3", v)
@@ -164,10 +165,12 @@ func TestClearVolatile(t *testing.T) {
 	e.Valid = true
 	e.Dirty = true
 	e.Busy = true
+	e.EvictBusy = true
 	e.BusyUntil = 99
+	e.FreeAt = 99
 	e.ReadyAt = 42
 	s.ClearVolatile()
-	if e.Busy || e.BusyUntil != 0 || e.ReadyAt != 0 {
+	if e.Busy || e.EvictBusy || e.BusyUntil != 0 || e.FreeAt != 0 || e.ReadyAt != 0 {
 		t.Fatal("volatile state survived")
 	}
 	if !e.Valid || !e.Dirty {
@@ -228,8 +231,10 @@ func TestVictimMaskedBusyFallback(t *testing.T) {
 	const mask = 0b1010 // ways 1, 3
 	s.Entry(1).Busy = true
 	s.Entry(1).BusyUntil = 500
+	s.Entry(1).FreeAt = 500
 	s.Entry(3).Busy = true
 	s.Entry(3).BusyUntil = 300
+	s.Entry(3).FreeAt = 300
 	if got := s.VictimMasked(0, mask); got != 3 {
 		t.Fatalf("busy fallback picked way %d, want 3 (earliest drain in mask)", got)
 	}

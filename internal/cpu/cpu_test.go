@@ -157,6 +157,80 @@ func TestRunnerDirtyEvictionReachesMemory(t *testing.T) {
 	}
 }
 
+// pipelinedMem serves any number of requests concurrently at a fixed
+// latency — an idealized non-blocking memory system whose stalls
+// overlap completely across cores.
+type pipelinedMem struct{ lat sim.Time }
+
+func (p *pipelinedMem) Access(t sim.Time, a mem.Access) (MemResult, error) {
+	return MemResult{Done: t + p.lat, Mem: p.lat}, nil
+}
+
+// TestRunnerOverlapStall: two cores missing to a fully pipelined
+// memory at the same instants stall concurrently, so nearly all of
+// the second core's stall is overlap; one core alone reports none.
+func TestRunnerOverlapStall(t *testing.T) {
+	mkSteps := func(base uint64) []Step {
+		steps := make([]Step, 8)
+		for i := range steps {
+			// Distinct lines, no compute: every access misses L1/L2
+			// and stalls on memory immediately.
+			steps[i] = Step{Acc: []mem.Access{{Addr: base + uint64(i)*4096, Size: 8, Op: mem.Read}}}
+		}
+		return steps
+	}
+	solo, err := NewRunner(DefaultConfig(), &pipelinedMem{lat: 10000}).
+		Run([]Stream{&sliceStream{steps: mkSteps(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.OverlapStall != 0 {
+		t.Fatalf("single core reported OverlapStall %v, want 0", solo.OverlapStall)
+	}
+	duo, err := NewRunner(DefaultConfig(), &pipelinedMem{lat: 10000}).
+		Run([]Stream{
+			&sliceStream{steps: mkSteps(0)},
+			&sliceStream{steps: mkSteps(1 << 30)},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duo.OverlapStall == 0 {
+		t.Fatal("concurrent stalls reported no overlap")
+	}
+	if duo.OverlapStall > duo.MemStall/2 {
+		t.Fatalf("OverlapStall %v exceeds half of MemStall %v", duo.OverlapStall, duo.MemStall)
+	}
+	// With full pipelining the two cores stall in near-lockstep: the
+	// overlapped share must be close to one core's stall time.
+	if duo.OverlapStall < duo.MemStall/3 {
+		t.Fatalf("OverlapStall %v too small for lockstep stalls (MemStall %v)", duo.OverlapStall, duo.MemStall)
+	}
+}
+
+// TestRunnerOverlapStallDisjoint: stalls disjoint in simulated time
+// must report zero overlap even when processing order diverges from
+// start-time order (a large compute phase advances one core's clock
+// before its stall is attributed).
+func TestRunnerOverlapStallDisjoint(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TLB.Entries = 0 // no TLB noise; stall windows stay exact
+	st, err := NewRunner(cfg, &pipelinedMem{lat: 10000}).Run([]Stream{
+		// Core 0: ~155us of compute, then a 10us stall — processed
+		// first (tie-break at t=0) even though its stall starts last.
+		&sliceStream{steps: []Step{{Compute: 310000, Acc: []mem.Access{{Addr: 0, Size: 8, Op: mem.Read}}}}},
+		// Core 1: stalls [0, 10us] — entirely before core 0's stall.
+		&sliceStream{steps: []Step{{Acc: []mem.Access{{Addr: 1 << 30, Size: 8, Op: mem.Read}}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OverlapStall != 0 {
+		t.Fatalf("disjoint stalls reported OverlapStall %v, want 0 (MemStall %v)",
+			st.OverlapStall, st.MemStall)
+	}
+}
+
 func TestRunnerMultiCoreInterleavesInOrder(t *testing.T) {
 	// A memory system that asserts nondecreasing arrival times.
 	m := &orderCheckMem{}

@@ -91,6 +91,14 @@ type Stats struct {
 	Elapsed      sim.Time
 	ComputeTime  sim.Time
 	MemStall     sim.Time
+	// OverlapStall is the portion of MemStall spent while at least one
+	// other core's memory stall was also outstanding — the
+	// memory-level parallelism the platform exposed. Per-core stall
+	// accounting (MemStall) charges overlapped waits twice; the
+	// system-level cost of the memory system is approximately
+	// MemStall - OverlapStall. A blocking miss pipeline serializes
+	// conflicting misses and shrinks this; MSHRs grow it.
+	OverlapStall sim.Time
 	BusyTime     sim.Time // sum over cores of non-idle time
 
 	OSTime  sim.Time
@@ -126,6 +134,9 @@ type coreState struct {
 	now    sim.Time
 	done   bool
 	class  uint8 // QoS class tagged onto every access the core issues
+
+	// Most recent memory-stall interval, for overlap attribution.
+	stallStart, stallEnd sim.Time
 }
 
 // AccessObserver receives every memory access a core issues, with the
@@ -188,6 +199,9 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 	}
 	nsPerInstr := r.cfg.CPI / r.cfg.FreqHz * 1e9
 
+	// scratch holds other cores' stall intervals clipped to the one
+	// being attributed (overlapStall); hoisted out of the loop.
+	scratch := make([][2]sim.Time, 0, len(cores))
 	active := len(cores)
 	for active > 0 {
 		// Pick the core with the smallest local time (ties break to the
@@ -236,6 +250,8 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 			stall := done - c.now
 			if stall > 0 {
 				st.MemStall += stall
+				st.OverlapStall += overlapStall(cores, ci, c.now, done, &scratch)
+				c.stallStart, c.stallEnd = c.now, done
 			}
 			c.now = done
 			st.OSTime += mr.OS
@@ -266,6 +282,57 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 		st.L1Misses += cs.l1.Misses()
 	}
 	return st, nil
+}
+
+// overlapStall measures how much of core ci's stall [s, e) intersects
+// the union of the other cores' most recent stall intervals — the
+// cross-core memory-level parallelism the platform exposed. Stalls
+// are attributed as they are processed, which is not strictly
+// start-time order (a step's compute phase advances the core's clock
+// first), so each core keeps its latest interval and only genuine
+// intersections count: disjoint stalls never register as overlap. A
+// stall spanning several already-processed intervals of one other
+// core counts only the latest — a conservative undercount; overlap
+// with intervals processed later is attributed when those are.
+func overlapStall(cores []*coreState, ci int, s, e sim.Time, scratch *[][2]sim.Time) sim.Time {
+	ivs := (*scratch)[:0]
+	for j, o := range cores {
+		if j == ci || o.stallEnd <= s || o.stallStart >= e {
+			continue
+		}
+		lo, hi := o.stallStart, o.stallEnd
+		if lo < s {
+			lo = s
+		}
+		if hi > e {
+			hi = e
+		}
+		ivs = append(ivs, [2]sim.Time{lo, hi})
+	}
+	*scratch = ivs
+	if len(ivs) == 0 {
+		return 0
+	}
+	// Measure the union of the clipped intervals (a handful of cores:
+	// insertion sort by start, then sweep).
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j][0] < ivs[j-1][0]; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+	var total sim.Time
+	curLo, curHi := ivs[0][0], ivs[0][1]
+	for _, iv := range ivs[1:] {
+		if iv[0] > curHi {
+			total += curHi - curLo
+			curLo, curHi = iv[0], iv[1]
+			continue
+		}
+		if iv[1] > curHi {
+			curHi = iv[1]
+		}
+	}
+	return total + curHi - curLo
 }
 
 // serveAccess walks one access through L1/L2 and, on an L2 miss,

@@ -44,6 +44,13 @@ type Options struct {
 	// -qos-masks / -qos-mbps). nil keeps the built-in policy.
 	QoSMasks map[string]uint64
 	QoSMBps  map[string]float64
+
+	// MSHRs, when nonzero, overrides the per-bank MSHR depth of every
+	// HAMS matrix cell that does not pin its own (hamsbench -mshrs):
+	// a one-flag way to regenerate any figure under the non-blocking
+	// miss pipeline. 0 keeps each target's own configuration — the
+	// blocking pipeline unless the cell opts in (the mlp sweep).
+	MSHRs int
 }
 
 func (o Options) ctx() context.Context {
@@ -64,6 +71,17 @@ func (o Options) wl() workload.Options {
 	}
 	w.Seed = o.Seed
 	return w
+}
+
+// applyMSHRs threads the -mshrs override into a platform option set
+// that has not pinned its own depth (the mlp sweep pins one per
+// cell). Every HAMS-cell path — the run matrix, and the replay,
+// mixed and qos scenario targets — routes its options through here.
+func (o Options) applyMSHRs(p platform.Options) platform.Options {
+	if o.MSHRs != 0 && p.HAMSMSHRs == 0 {
+		p.HAMSMSHRs = o.MSHRs
+	}
+	return p
 }
 
 // RunResult captures one workload × platform run.

@@ -106,6 +106,10 @@ type matrixCell struct {
 	popt     platform.Options
 	wopt     *workload.Options
 	keepPlat bool
+	// extra, when set, records target-specific metrics into the BENCH
+	// cell; it runs inside the worker while the platform is still
+	// attached to the result.
+	extra func(RunResult) map[string]float64
 }
 
 // matrixOut pairs a cell's RunResult with its artifact record,
@@ -126,6 +130,7 @@ func runMatrix(o Options, target string, cells []matrixCell) ([]RunResult, error
 	jobs := make([]cellJob, len(cells))
 	for i, c := range cells {
 		mc := c
+		mc.popt = o.applyMSHRs(mc.popt)
 		jobs[i] = cellJob{
 			key:     mc.key,
 			seedKey: mc.workload,
@@ -143,6 +148,9 @@ func runMatrix(o Options, target string, cells []matrixCell) ([]RunResult, error
 					return nil, err
 				}
 				out := matrixOut{run: r, cell: runReportCell(r)}
+				if mc.extra != nil {
+					out.cell.Extra = mc.extra(r)
+				}
 				if !mc.keepPlat {
 					out.run.Plat = nil
 				}

@@ -42,6 +42,10 @@ func renderAll(t *testing.T, o Options) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ml, err := MLPSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tb := range tabs {
 		b.WriteString(tb.String())
 	}
@@ -59,6 +63,9 @@ func renderAll(t *testing.T, o Options) string {
 		b.WriteString(tb.String())
 	}
 	for _, tb := range mx {
+		b.WriteString(tb.String())
+	}
+	for _, tb := range ml {
 		b.WriteString(tb.String())
 	}
 	return b.String()

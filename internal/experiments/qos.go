@@ -182,7 +182,7 @@ func QoSWithSummary(o Options) ([]*stats.Table, string, error) {
 			key:     qosScenario + "/" + v.name + "@" + qosPlatform,
 			seedKey: qosScenario,
 			fn: func(ctx context.Context, seed int64) (any, error) {
-				return qosCell(v, seed)
+				return qosCell(o, v, seed)
 			},
 		}
 	}
@@ -215,8 +215,9 @@ func QoSWithSummary(o Options) ([]*stats.Table, string, error) {
 }
 
 // qosCell runs one policy variant.
-func qosCell(v qosVariant, seed int64) (qosOut, error) {
+func qosCell(o Options, v qosVariant, seed int64) (qosOut, error) {
 	sc := qosScenarioFor(v, seed)
+	sc.PlatOpts = o.applyMSHRs(sc.PlatOpts)
 	rep, err := replay.Run(sc, replay.Options{Seed: seed})
 	if err != nil {
 		return qosOut{}, err

@@ -29,7 +29,7 @@ func TestQoSIsolationGolden(t *testing.T) {
 		if v.name != "shared" && v.name != "cat+mba" {
 			continue
 		}
-		out, err := qosCell(v, seed)
+		out, err := qosCell(Options{}, v, seed)
 		if err != nil {
 			t.Fatalf("%s: %v", v.name, err)
 		}
@@ -111,7 +111,7 @@ func TestQoSMarkdownAndOverrides(t *testing.T) {
 		{Name: qosVictim, WayMask: 1 << 20},
 		{Name: qosAggressor},
 	}}}
-	if _, err := qosCell(bad, 1); err == nil {
+	if _, err := qosCell(Options{}, bad, 1); err == nil {
 		t.Fatal("out-of-range mask accepted by scenario build")
 	}
 }

@@ -88,7 +88,8 @@ func Replay(o Options) ([]*stats.Table, error) {
 func replayCell(o Options, platName, wlName string, seed int64) (replayOut, error) {
 	co := o
 	co.Seed = seed
-	live, err := Run(platName, wlName, co, platform.Options{}, nil)
+	popt := o.applyMSHRs(platform.Options{})
+	live, err := Run(platName, wlName, co, popt, nil)
 	if err != nil {
 		return replayOut{}, err
 	}
@@ -104,6 +105,7 @@ func replayCell(o Options, platName, wlName string, seed int64) (replayOut, erro
 	rep, err := replay.Run(replay.Scenario{
 		Name:     wlName,
 		Platform: platName,
+		PlatOpts: popt,
 		Tenants:  []replay.Tenant{{Name: wlName, Trace: f}},
 	}, replay.Options{})
 	if err != nil {
@@ -233,6 +235,7 @@ func mixedCell(o Options, sc replay.Scenario, seed int64) (mixedOut, error) {
 		}
 	}
 	sc.Tenants = tenants
+	sc.PlatOpts = o.applyMSHRs(sc.PlatOpts)
 	rep, err := replay.Run(sc, replay.Options{Scale: o.Scale, Seed: seed})
 	if err != nil {
 		return mixedOut{}, err

@@ -18,6 +18,9 @@ type QueuePair struct {
 	// slotOf remembers which SQ slot a CID was written to, so the
 	// completion path can clear the right journal tag in place.
 	slotOf map[uint16]uint32
+	// peak is the high-water mark of submitted-but-unreaped commands —
+	// the queue depth the host actually drove (MLP accounting).
+	peak int
 }
 
 // QueueLayout sizes a pair within a pinned region.
@@ -62,6 +65,9 @@ func (qp *QueuePair) Submit(cmd Command) (uint16, error) {
 	qp.slotOf[cmd.CID] = slot
 	qp.nextCID++
 	qp.sqDoorbells++
+	if n := len(qp.slotOf); n > qp.peak {
+		qp.peak = n
+	}
 	return cmd.CID, nil
 }
 
@@ -128,6 +134,10 @@ func (qp *QueuePair) MSIs() int64               { return qp.msiCount }
 
 // Outstanding returns the number of submitted-but-unreaped commands.
 func (qp *QueuePair) Outstanding() int { return len(qp.slotOf) }
+
+// PeakOutstanding returns the high-water mark of Outstanding over the
+// pair's lifetime — the queue depth the miss pipeline actually drove.
+func (qp *QueuePair) PeakOutstanding() int { return qp.peak }
 
 func (qp *QueuePair) String() string {
 	return fmt.Sprintf("qp(sq %d/%d, cq %d/%d, outstanding %d)",

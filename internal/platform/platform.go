@@ -49,6 +49,14 @@ type Options struct {
 	HAMSBanks int
 	// HAMSPolicy selects the replacement policy when HAMSWays > 1.
 	HAMSPolicy tagstore.Policy
+	// HAMSMSHRs sizes each bank's miss-status-register file; 0 or 1 =
+	// the paper's blocking miss pipeline, >= 2 enables the
+	// non-blocking pipeline (deferred writebacks, miss coalescing,
+	// hit-under-miss) with that many outstanding misses per bank.
+	HAMSMSHRs int
+	// HAMSQueueDepth caps outstanding NVMe commands per bank queue
+	// pair; 0 = unbounded (the paper's configuration).
+	HAMSQueueDepth int
 	// HAMSQoS enables the RDT-style isolation layer on the HAMS
 	// variants: per-class way masks confine replacement, per-class
 	// MBps limits throttle archive traffic, and the controller
@@ -232,6 +240,12 @@ func newHAMS(m core.Mode, tp core.Topology, o Options) (*hamsPlatform, error) {
 	if o.HAMSBanks != 0 {
 		cfg.Banks = o.HAMSBanks
 	}
+	if o.HAMSMSHRs != 0 {
+		cfg.MSHRs = o.HAMSMSHRs
+	}
+	if o.HAMSQueueDepth != 0 {
+		cfg.QueueDepth = o.HAMSQueueDepth
+	}
 	cfg.Replacement = o.HAMSPolicy
 	cfg.QoS = o.HAMSQoS
 	if o.HAMSNVDIMM != 0 {
@@ -319,6 +333,12 @@ func newHAMSSoftware(o Options) (*hamsSWPlatform, error) {
 	cfg := core.DefaultConfig(core.Extend, core.Loose)
 	if o.HAMSPage != 0 {
 		cfg.PageBytes = o.HAMSPage
+	}
+	if o.HAMSMSHRs != 0 {
+		cfg.MSHRs = o.HAMSMSHRs
+	}
+	if o.HAMSQueueDepth != 0 {
+		cfg.QueueDepth = o.HAMSQueueDepth
 	}
 	cfg.QoS = o.HAMSQoS
 	ctl, err := core.New(cfg)

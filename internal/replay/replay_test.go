@@ -78,6 +78,95 @@ func TestRecordReplayGolden(t *testing.T) {
 	}
 }
 
+// TestRecordReplayGoldenMSHR extends the determinism guarantee to
+// the non-blocking miss pipeline: a trace recorded once replays
+// bit-for-bit against an MSHR-enabled platform too, and the
+// non-blocking run differs from the blocking one (the knob reached
+// the controller).
+func TestRecordReplayGoldenMSHR(t *testing.T) {
+	// A small cache under a compact, low-locality dataset keeps the
+	// run in the dirty-eviction regime, where the two pipelines
+	// schedule differently.
+	o := experiments.Options{Scale: 2e-6, Seed: 42}
+	popt := platform.Options{HAMSMSHRs: 4, HAMSNVDIMM: 32 * 1024 * 1024, HAMSPRPSlots: 32}
+	wo := workload.DefaultOptions()
+	wo.Scale = 2e-6
+	wo.Seed = 42
+	wo.HotFraction = 0.05
+	wo.HotBytes = 16 * 1024 * 1024
+	wo.DatasetBytes = 256 * 1024 * 1024
+	live, err := experiments.Run("hams-LE", "rndWr", o, popt, &wo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := recordFile(t, "rndWr", wo)
+	sc := replay.Scenario{
+		Name:     "rndWr-mshr4",
+		Platform: "hams-LE",
+		PlatOpts: popt,
+		Tenants:  []replay.Tenant{{Name: "rndWr", Trace: f}},
+	}
+	rep, err := replay.Run(sc, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.CPU != rep.CPU || live.Units != rep.Units {
+		t.Fatalf("MSHR replay diverged from live run:\nlive   %+v\nreplay %+v", live.CPU, rep.CPU)
+	}
+	bopt := popt
+	bopt.HAMSMSHRs = 0
+	blocking, err := experiments.Run("hams-LE", "rndWr", o, bopt, &wo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.CPU == live.CPU {
+		t.Fatal("MSHRs=4 and the blocking pipeline produced identical stats — the knob did not reach the controller")
+	}
+}
+
+// TestQoSFullMaskParityMSHR: the QoS-transparency pin holds under the
+// non-blocking pipeline — full-mask, unthrottled classes on an
+// MSHRs=4 platform are bit-for-bit the same scenario without a QoS
+// table. MSHR occupancy respects CAT masks through the same victim
+// path, so a full mask must not perturb it; MBA debt still lands on
+// the requesting class only (zero here, so timings match exactly).
+func TestQoSFullMaskParityMSHR(t *testing.T) {
+	popt := platform.Options{HAMSMSHRs: 4, HAMSNVDIMM: 64 * 1024 * 1024}
+	base := replay.Scenario{
+		Name:     "parity-mshr",
+		Platform: "hams-LE",
+		PlatOpts: popt,
+		Tenants: []replay.Tenant{
+			{Name: "reader", Workload: "rndRd", Seed: 11},
+			{Name: "writer", Workload: "rndWr", Seed: 22},
+		},
+	}
+	o := replay.Options{Scale: 1e-7, Seed: 3}
+	plain, err := replay.Run(base, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qosed := base
+	qosed.QoS = &qos.Table{Classes: []qos.Class{{Name: "rd"}, {Name: "wr"}}}
+	qosed.Tenants = []replay.Tenant{
+		{Name: "reader", Workload: "rndRd", Seed: 11, Class: "rd"},
+		{Name: "writer", Workload: "rndWr", Seed: 22, Class: "wr"},
+	}
+	full, err := replay.Run(qosed, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CPU != full.CPU {
+		t.Fatalf("cpu stats diverged under MSHRs:\nplain %+v\nqos   %+v", plain.CPU, full.CPU)
+	}
+	for i := range plain.Tenants {
+		p, q := plain.Tenants[i], full.Tenants[i]
+		if p.Mean != q.Mean || p.P99 != q.P99 || p.Max != q.Max {
+			t.Fatalf("tenant %s stats diverged under MSHRs:\nplain %+v\nqos   %+v", p.Name, p, q)
+		}
+	}
+}
+
 // TestScenarioDeterministic: a scenario's result is a pure function of
 // (Scenario, Options) — two runs are deeply equal.
 func TestScenarioDeterministic(t *testing.T) {

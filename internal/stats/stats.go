@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -93,6 +94,7 @@ type Histogram struct {
 	sum     sim.Time
 	max     sim.Time
 	samples []sim.Time // reservoir for percentiles
+	sorted  []sim.Time // sorted reservoir, cached between observations
 }
 
 const histBuckets = 40
@@ -123,6 +125,7 @@ func (h *Histogram) Add(v sim.Time) {
 		// Deterministic reservoir: overwrite pseudo-randomly.
 		h.samples[int(h.count)%4096] = v
 	}
+	h.sorted = nil // invalidate the percentile cache
 }
 
 // Count returns the number of samples.
@@ -139,23 +142,32 @@ func (h *Histogram) Mean() sim.Time {
 // Max returns the maximum sample.
 func (h *Histogram) Max() sim.Time { return h.max }
 
-// Percentile returns an approximate percentile (0 < p <= 100) from the
-// sample reservoir.
+// Percentile returns the nearest-rank percentile from the sample
+// reservoir: the smallest sample x such that at least p% of the
+// reservoir is <= x (rank = ceil(p/100 * n)). p is clamped to
+// [0, 100]: p <= 0 returns the minimum sample, p >= 100 the maximum.
+// An empty histogram returns 0.
+//
+// The sorted reservoir is cached between observations, so reading
+// several percentiles (p50/p95/p99 per tenant per cell) sorts once,
+// not once per call; the next Add invalidates the cache.
 func (h *Histogram) Percentile(p float64) sim.Time {
-	if len(h.samples) == 0 {
+	n := len(h.samples)
+	if n == 0 {
 		return 0
 	}
-	cp := make([]sim.Time, len(h.samples))
-	copy(cp, h.samples)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	idx := int(p / 100 * float64(len(cp)-1))
-	if idx < 0 {
-		idx = 0
+	if h.sorted == nil {
+		h.sorted = append(h.sorted, h.samples...)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
 	}
-	if idx >= len(cp) {
-		idx = len(cp) - 1
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1 // p <= 0: the minimum sample
 	}
-	return cp[idx]
+	if rank > n {
+		rank = n // p >= 100: the maximum sample
+	}
+	return h.sorted[rank-1]
 }
 
 // Normalize scales values so that base maps to 1.0; used by the

@@ -74,6 +74,70 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+// TestPercentileNearestRank pins the nearest-rank contract: the
+// returned value is the smallest sample with at least p% of the
+// reservoir at or below it — no truncation bias on small reservoirs.
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int // samples are 10, 20, ..., n*10
+		p    float64
+		want sim.Time
+	}{
+		// The old int(p/100*(n-1)) truncation returned 90 for p95 and
+		// p99 on a 10-sample reservoir — biased a full rank low.
+		{"p95 of 10", 10, 95, 100},
+		{"p99 of 10", 10, 99, 100},
+		{"p90 of 10", 10, 90, 90},
+		{"p50 of 10", 10, 50, 50},
+		{"p50 of 4", 4, 50, 20},
+		{"p51 of 4", 4, 51, 30},
+		{"p25 of 4", 4, 25, 10},
+		{"p1 of 100", 100, 1, 10},
+		{"p50 of 100", 100, 50, 500},
+		{"p95 of 100", 100, 95, 950},
+		{"p99 of 100", 100, 99, 990},
+		{"p100 of 3", 3, 100, 30},
+		{"single sample p1", 1, 1, 10},
+		{"single sample p99", 1, 99, 10},
+		// Clamped domain: p <= 0 is the minimum sample, p >= 100 the
+		// maximum — out-of-range requests never panic or extrapolate.
+		{"p0 is min", 10, 0, 10},
+		{"negative p is min", 10, -5, 10},
+		{"p100 is max", 10, 100, 100},
+		{"p>100 is max", 10, 150, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram()
+			for i := 1; i <= tc.n; i++ {
+				h.Add(sim.Time(i * 10))
+			}
+			if got := h.Percentile(tc.p); got != tc.want {
+				t.Fatalf("Percentile(%g) over %d samples = %v, want %v", tc.p, tc.n, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPercentileCacheInvalidation: the sorted reservoir is cached
+// across Percentile calls and must be rebuilt after the next Add.
+func TestPercentileCacheInvalidation(t *testing.T) {
+	h := NewHistogram()
+	h.Add(10)
+	h.Add(30)
+	if got := h.Percentile(100); got != 30 {
+		t.Fatalf("max = %v, want 30", got)
+	}
+	h.Add(50) // must invalidate the cached sort
+	if got := h.Percentile(100); got != 50 {
+		t.Fatalf("max after Add = %v, want 50 (stale percentile cache)", got)
+	}
+	if got := h.Percentile(0); got != 10 {
+		t.Fatalf("min = %v, want 10", got)
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	h := NewHistogram()
 	h.Add(-5)
