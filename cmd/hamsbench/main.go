@@ -44,6 +44,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -79,6 +81,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	qosMBps := fs.String("qos-mbps", "", "qos target: override isolated-policy throttles in MB/s, e.g. stream=100")
 	qosSummary := fs.String("qos-summary", "", "append the qos isolation delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	mshrs := fs.Int("mshrs", 0, "override the per-bank MSHR depth of HAMS cells (0 = each target's own; >= 2 enables the non-blocking miss pipeline)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -117,6 +121,41 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *mshrs < 0 {
 		fmt.Fprintf(stderr, "hamsbench: -mshrs: want a non-negative depth, got %d\n", *mshrs)
 		return 2
+	}
+	// Profiles are validated up front (the exit-2 convention): a CPU
+	// profile that cannot be created must not be discovered after the
+	// run it was meant to capture has already burned its minutes.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "hamsbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "hamsbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "hamsbench: -memprofile: %v\n", err)
+			return 2
+		}
+		// The heap profile is written after the last target (see below);
+		// creating the file now surfaces a bad path before any cell runs.
+		defer f.Close()
+		defer func() {
+			runtime.GC() // flush recent frees so in-use numbers are exact
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "hamsbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 	o := experiments.Options{
 		Scale: *scale, Seed: *seed, Parallel: *parallel, Ctx: ctx,
@@ -293,10 +332,16 @@ func appendFile(path, text string) error {
 // appends the full markdown delta table to a file — pointed at
 // $GITHUB_STEP_SUMMARY, the per-cell deltas land on the workflow run
 // page so a regression is readable without rerunning anything.
+// -host-threshold additionally gates the host-side (wall-clock)
+// throughput channel: loose by design (host timing is noisy), it
+// compares only hermetic cells — serial artifacts where both sides
+// recorded a host reading — and fails on regressions only, never on
+// improvements or missing readings. 0 disables the host gate.
 func runCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	threshold := fs.Float64("threshold", 0.15, "max tolerated fractional throughput drop per cell")
+	threshold := fs.Float64("threshold", 0.15, "max tolerated fractional simulated-throughput drop per cell")
+	hostThreshold := fs.Float64("host-threshold", 0, "max tolerated fractional host-throughput (wall clock) drop per cell; 0 disables the host gate")
 	summary := fs.String("summary", "", "append a markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -306,6 +351,10 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() != 2 {
 		usage(stderr)
+		return 2
+	}
+	if *hostThreshold < 0 {
+		fmt.Fprintf(stderr, "hamsbench compare: -host-threshold: want a non-negative fraction, got %g\n", *hostThreshold)
 		return 2
 	}
 	base, err := report.Load(fs.Arg(0))
@@ -323,8 +372,19 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hamsbench compare: %v\n", err)
 		return 2
 	}
+	var hostDeltas []report.Delta
+	if *hostThreshold > 0 {
+		hostDeltas, err = report.HostDeltas(base, cur)
+		if err != nil {
+			fmt.Fprintf(stderr, "hamsbench compare: %v\n", err)
+			return 2
+		}
+	}
 	if *summary != "" {
 		md := report.Markdown(fmt.Sprintf("Bench gate: %s vs %s", fs.Arg(0), fs.Arg(1)), deltas, *threshold)
+		if *hostThreshold > 0 {
+			md += report.Markdown(fmt.Sprintf("Host-throughput gate (wall clock): %s vs %s", fs.Arg(0), fs.Arg(1)), hostDeltas, *hostThreshold)
+		}
 		if err := appendFile(*summary, md); err != nil {
 			fmt.Fprintf(stderr, "hamsbench compare: summary: %v\n", err)
 			return 2
@@ -338,6 +398,16 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
+	if hregs := report.Threshold(hostDeltas, *hostThreshold); *hostThreshold > 0 && len(hregs) > 0 {
+		fmt.Fprintf(stderr, "hamsbench compare: %d cell(s) lost host throughput beyond %.0f%%:\n", len(hregs), *hostThreshold*100)
+		for _, r := range hregs {
+			fmt.Fprintf(stderr, "  %s\n", r)
+		}
+		return 1
+	}
 	fmt.Fprintf(stdout, "compare: %d baseline cells, no regression beyond %.0f%%\n", len(base.Cells), *threshold*100)
+	if *hostThreshold > 0 {
+		fmt.Fprintf(stdout, "compare: %d hermetic cell(s), host throughput within %.0f%%\n", len(hostDeltas), *hostThreshold*100)
+	}
 	return 0
 }

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"hams/internal/report"
 )
 
 // exec runs realMain with captured streams.
@@ -85,6 +89,89 @@ func TestParseQoSFlagsValues(t *testing.T) {
 	}
 	if m, b, err := parseQoSFlags("", ""); err != nil || len(m) != 0 || len(b) != 0 {
 		t.Fatalf("empty flags: %v %v %v", m, b, err)
+	}
+}
+
+// TestProfileFlagValidationExitsTwo pins the same up-front convention
+// on the profiling flags: an uncreatable profile path must exit 2
+// before any cell runs, not after the run it was meant to capture.
+func TestProfileFlagValidationExitsTwo(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "p.out")
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		code, _, errOut := exec(flag, bad, "table1")
+		if code != 2 {
+			t.Errorf("%s bad path: exit %d, want 2 (stderr: %s)", flag, code, errOut)
+		}
+		if !strings.Contains(errOut, flag) {
+			t.Errorf("%s bad path: diagnostic %q does not name the flag", flag, errOut)
+		}
+	}
+}
+
+// TestProfileFlagsWriteProfiles: a real run with both profile flags
+// exits 0 and leaves non-empty pprof files behind.
+func TestProfileFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	code, _, errOut := exec("-scale", "1e-8", "-cpuprofile", cpu, "-memprofile", heap, "table1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, p := range []string{cpu, heap} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// writeArtifact serializes a minimal single-cell artifact for compare
+// tests.
+func writeArtifact(t *testing.T, path string, workers int, simTP, hostTP float64) {
+	t.Helper()
+	art := report.Artifact{
+		Schema: report.SchemaVersion, Name: "t", Scale: 1e-8, Seed: 42, Workers: workers,
+		Cells: []report.Cell{{Key: "t/cell", Target: "t", UnitsPerSec: simTP, HostUnitsPerSec: hostTP}},
+	}
+	if err := report.WriteFile(path, art); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareHostThreshold: the wall-clock gate is off by default,
+// rejects negative thresholds up front, fails only on regressions
+// beyond the bar, and demands hermetic (serial) artifacts.
+func TestCompareHostThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	slow := filepath.Join(dir, "slow.json")
+	fast := filepath.Join(dir, "fast.json")
+	par := filepath.Join(dir, "par.json")
+	writeArtifact(t, base, 1, 100, 1000)
+	writeArtifact(t, slow, 1, 100, 500) // 50% host regression, simulated unchanged
+	writeArtifact(t, fast, 1, 100, 2000)
+	writeArtifact(t, par, 4, 100, 1000)
+
+	if code, _, errOut := exec("compare", "-host-threshold", "-0.1", base, slow); code != 2 {
+		t.Fatalf("negative threshold: exit %d, want 2 (stderr: %s)", code, errOut)
+	}
+	// Off by default: a huge host regression alone must not fail.
+	if code, _, errOut := exec("compare", base, slow); code != 0 {
+		t.Fatalf("default compare: exit %d, stderr: %s", code, errOut)
+	}
+	if code, _, _ := exec("compare", "-host-threshold", "0.3", base, slow); code != 1 {
+		t.Fatalf("50%% regression under 30%% bar: exit %d, want 1", code)
+	}
+	if code, _, errOut := exec("compare", "-host-threshold", "0.3", base, fast); code != 0 {
+		t.Fatalf("improvement: exit %d, stderr: %s", code, errOut)
+	}
+	// Parallel artifacts are not hermetic; the gate must refuse them.
+	if code, _, errOut := exec("compare", "-host-threshold", "0.3", base, par); code == 0 || !strings.Contains(errOut, "serial") {
+		t.Fatalf("parallel artifact: exit %d, stderr %q", code, errOut)
 	}
 }
 

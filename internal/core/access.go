@@ -76,7 +76,7 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 		// primary's register instead of composing a redundant fill.
 		if e.ReadyAt > t {
 			c.stats.WaitQ++
-			if b.mshrs != nil && b.mshrs.ByPage(page) != nil {
+			if b.mshrs != nil && b.mshrs.HasPage(page) {
 				c.stats.Coalesced++
 			}
 			res.Wait += e.ReadyAt - t
@@ -292,19 +292,10 @@ func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64,
 	e.EvictBusy = e.Busy && evictComplete > now
 	b.tags.Touch(slot)
 	if e.Busy {
-		eSlot := slot
-		eBank := b
-		c.engine.Schedule(busyUntil, func(sim.Time) {
-			en := eBank.tags.Entry(eSlot)
-			if en.BusyUntil <= busyUntil {
-				en.Busy = false
-				en.EvictBusy = false
-			}
-		})
+		c.engine.ScheduleCall(busyUntil, b, evBusyClear, int64(slot))
 		if b.mshrs != nil {
-			m := &mshr{page: page, done: busyUntil}
-			b.mshrs.Insert(m)
-			c.engine.Schedule(busyUntil, func(sim.Time) { b.mshrs.Retire(m) })
+			seq := b.mshrs.Insert(page, busyUntil)
+			c.engine.ScheduleCall(busyUntil, b, evMSHRRetire, seq)
 		}
 	}
 	if c.cfg.Mode == Persist && busyUntil > b.lastIODone {
@@ -406,22 +397,23 @@ func (c *Controller) composeEvict(b *bank, t sim.Time, slot int, prpAddr, victim
 	// Device pulls the clone from NVDIMM (DMA), then programs flash.
 	// The content is frozen by the PRP clone, so the functional write
 	// can happen now; a power failure before the completion event
-	// models the lost DMA by tearing these LBAs (see recovery.go).
+	// models the lost DMA by tearing these LBAs (see recovery.go). The
+	// device copies what it is handed, so the controller-wide scratch
+	// buffer carries every eviction without allocating.
 	xferDone := c.dmaHostToDev(cmdDelivered, int64(c.cfg.PageBytes))
 	pc.DMA += xferDone - cmdDelivered
-	clone := make([]byte, c.cfg.PageBytes)
-	c.nvdimm.Store().ReadAt(prpAddr, clone)
-	devDone, err := c.devWrite(xferDone, victimAddr, clone, cmd.FUA)
+	c.nvdimm.Store().ReadAt(prpAddr, c.evictBuf)
+	devDone, err := c.devWrite(xferDone, victimAddr, c.evictBuf, cmd.FUA)
 	if err != nil {
 		return t, pc, err
 	}
 	pc.SSD += devDone - xferDone
 	complete := c.notifyCompletion(devDone)
 
-	inf := &inflight{cmd: cmd, slot: slot, prpAddr: prpAddr, done: complete}
+	inf := inflight{cmd: cmd, slot: slot, prpAddr: prpAddr, done: complete}
 	inf.cmd.CID = cid
-	b.inflight[cid] = inf
-	c.engine.Schedule(complete, func(sim.Time) { c.completeWrite(b, cid) })
+	b.live = append(b.live, inf)
+	c.engine.ScheduleCall(complete, b, evCompleteWrite, int64(cid))
 	return complete, pc, nil
 }
 
@@ -453,7 +445,7 @@ func (c *Controller) fill(b *bank, t sim.Time, slot int, page uint64) (sim.Time,
 	// stream and the NVDIMM write pipeline TLP by TLP: in tight
 	// topology the bus transfer IS the NVDIMM write; in loose
 	// topology the DDR4 landing overlaps the PCIe stream.
-	devDone, data := c.devRead(cmdDelivered, pageAddr)
+	devDone := c.devReadInto(cmdDelivered, pageAddr, c.fillBuf)
 	pc.SSD += devDone - cmdDelivered
 	xferDone := c.dmaDevToHost(devDone, int64(c.cfg.PageBytes))
 	landDone := xferDone
@@ -464,24 +456,23 @@ func (c *Controller) fill(b *bank, t sim.Time, slot int, page uint64) (sim.Time,
 		}
 	}
 	pc.DMA += landDone - devDone
-	c.nvdimm.Store().WriteAt(cacheAddr, data[:min(uint64(len(data)), c.cfg.PageBytes)])
+	c.nvdimm.Store().WriteAt(cacheAddr, c.fillBuf)
 
 	complete := c.notifyCompletion(landDone)
-	inf := &inflight{cmd: cmd, slot: slot, prpAddr: cacheAddr, done: complete}
+	inf := inflight{cmd: cmd, slot: slot, prpAddr: cacheAddr, done: complete}
 	inf.cmd.CID = cid
-	b.inflight[cid] = inf
-	c.engine.Schedule(complete, func(sim.Time) { c.completeRead(b, cid) })
+	b.live = append(b.live, inf)
+	c.engine.ScheduleCall(complete, b, evCompleteRead, int64(cid))
 	return landDone, complete, pc, nil
 }
 
 // completeWrite fires at a write command's completion time: the CQ
 // entry posts, the journal tag clears and the PRP clone is released.
 func (c *Controller) completeWrite(b *bank, cid uint16) {
-	inf, ok := b.inflight[cid]
+	inf, ok := b.removeInflight(cid)
 	if !ok {
 		return
 	}
-	delete(b.inflight, cid)
 	_ = b.qp.DeviceComplete(cid, 0)
 	_, _ = b.qp.HostReap()
 	b.prp.Free(inf.prpAddr)
@@ -489,10 +480,9 @@ func (c *Controller) completeWrite(b *bank, cid uint16) {
 
 // completeRead fires at a fill's completion: post CQ + clear journal.
 func (c *Controller) completeRead(b *bank, cid uint16) {
-	if _, ok := b.inflight[cid]; !ok {
+	if _, ok := b.removeInflight(cid); !ok {
 		return
 	}
-	delete(b.inflight, cid)
 	_ = b.qp.DeviceComplete(cid, 0)
 	_, _ = b.qp.HostReap()
 }
@@ -517,9 +507,9 @@ func (c *Controller) reserveQueueSlot(b *bank, t sim.Time) sim.Time {
 // completion to free a PRP slot under pool pressure.
 func (c *Controller) drainOldest(b *bank, t sim.Time) sim.Time {
 	var oldest sim.Time = sim.MaxTime
-	for _, inf := range b.inflight {
-		if inf.done < oldest {
-			oldest = inf.done
+	for i := range b.live {
+		if b.live[i].done < oldest {
+			oldest = b.live[i].done
 		}
 	}
 	if oldest == sim.MaxTime {
@@ -594,24 +584,23 @@ func (c *Controller) notifyCompletion(t sim.Time) sim.Time {
 	}
 }
 
-// devRead performs the device read (timing and data) for a fill.
-func (c *Controller) devRead(t sim.Time, mosAddr uint64) (sim.Time, []byte) {
+// devReadInto performs the device read (timing and data) for a fill,
+// landing the bytes in dst — one device page per sub-read, issued in
+// parallel on the device.
+func (c *Controller) devReadInto(t sim.Time, mosAddr uint64, dst []byte) sim.Time {
 	devPage := c.dev.PageBytes()
-	n := c.cfg.PageBytes / devPage
-	if n == 0 {
-		n = 1
-	}
-	buf := make([]byte, c.cfg.PageBytes)
 	done := t
-	for i := uint64(0); i < n; i++ {
-		lba := mosAddr/devPage + i
-		d, data := c.dev.Read(t, lba, 0)
-		copy(buf[i*devPage:], data)
+	for off := uint64(0); off < uint64(len(dst)); off += devPage {
+		end := off + devPage
+		if end > uint64(len(dst)) {
+			end = uint64(len(dst))
+		}
+		d := c.dev.ReadInto(t, (mosAddr+off)/devPage, 0, dst[off:end])
 		if d > done {
 			done = d
 		}
 	}
-	return done, buf
+	return done
 }
 
 // devWrite programs one MoS page as PageBytes/devPage device pages;

@@ -168,7 +168,8 @@ func DefaultConfig(m Mode, tp Topology) Config {
 }
 
 // inflight tracks one outstanding NVMe command for hazard management
-// and power-failure replay.
+// and power-failure replay. Entries live by value in the bank's live
+// slice (issue order), keyed by cmd.CID.
 type inflight struct {
 	cmd     nvme.Command
 	slot    int
@@ -180,12 +181,18 @@ type inflight struct {
 // with its own tag array, queue pair, PRP clone pool, in-flight table
 // and persist-mode serialization point. The front-end router steers
 // MoS pages to banks by page-interleaving (page mod Banks).
+//
+// The bank is also the sim.Handler for every event the miss pipeline
+// schedules (busy-bit clearing, MSHR retirement, command completion):
+// one persistent object demultiplexing on the event kind, so the hot
+// path never allocates a closure per event.
 type bank struct {
 	id        int
+	c         *Controller // event dispatch back-pointer
 	tags      *tagstore.Store
 	qp        *nvme.QueuePair
 	prp       *nvme.PRPPool
-	inflight  map[uint16]*inflight
+	live      []inflight
 	mshrs     *mshrFile     // non-blocking miss pipeline (nil when MSHRs <= 1)
 	cacheBase uint64        // NVDIMM byte offset of this bank's cache slice
 	qBase     uint64        // this bank's queue-pair base in the pinned region
@@ -193,6 +200,49 @@ type bank struct {
 
 	lastIODone  sim.Time // persist-mode serialization point (per bank)
 	lastArrival sim.Time // router-enforced nondecreasing arrivals
+}
+
+// Event kinds dispatched through bank.OnEvent (ScheduleCall a0).
+const (
+	evBusyClear     = int64(iota) // a1 = tag-array slot; fires at BusyUntil
+	evMSHRRetire                  // a1 = register seq tag
+	evCompleteWrite               // a1 = NVMe CID
+	evCompleteRead                // a1 = NVMe CID
+)
+
+// OnEvent demultiplexes the bank's deferred events. Events scheduled
+// before a power failure die with the replaced engine, so every case
+// here may also encounter state that no longer exists and must no-op.
+func (b *bank) OnEvent(at sim.Time, a0, a1 int64) {
+	switch a0 {
+	case evBusyClear:
+		// A newer install may have extended the slot's busy window; only
+		// the event matching the current BusyUntil clears it.
+		en := b.tags.Entry(int(a1))
+		if en.BusyUntil <= at {
+			en.Busy = false
+			en.EvictBusy = false
+		}
+	case evMSHRRetire:
+		b.mshrs.RetireSeq(a1)
+	case evCompleteWrite:
+		b.c.completeWrite(b, uint16(a1))
+	case evCompleteRead:
+		b.c.completeRead(b, uint16(a1))
+	}
+}
+
+// removeInflight extracts the in-flight entry with the given CID,
+// preserving issue order.
+func (b *bank) removeInflight(cid uint16) (inflight, bool) {
+	for i := range b.live {
+		if b.live[i].cmd.CID == cid {
+			inf := b.live[i]
+			b.live = append(b.live[:i], b.live[i+1:]...)
+			return inf, true
+		}
+	}
+	return inflight{}, false
 }
 
 // Stats aggregates controller activity across all banks.
@@ -267,6 +317,14 @@ type Controller struct {
 	qosThr   *qos.Throttle
 	qosMon   *qos.Monitor
 
+	// Steady-state scratch: the devices copy what they are handed and
+	// the NVDIMM store copies what it reads out, so one page buffer per
+	// role serves every miss without allocating. split backs the
+	// page-splitting loop in run().
+	fillBuf  []byte
+	evictBuf []byte
+	split    []mem.Access
+
 	stats Stats
 }
 
@@ -300,10 +358,12 @@ func New(cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{
-		cfg:    cfg,
-		engine: sim.NewEngine(),
-		nvdimm: nv,
-		dev:    ssd.New(cfg.SSD),
+		cfg:      cfg,
+		engine:   sim.NewEngine(),
+		nvdimm:   nv,
+		dev:      ssd.New(cfg.SSD),
+		fillBuf:  make([]byte, cfg.PageBytes),
+		evictBuf: make([]byte, cfg.PageBytes),
 	}
 	if cfg.QoS != nil {
 		c.qosMasks = cfg.QoS.Masks(cfg.Ways)
@@ -341,10 +401,10 @@ func New(cfg Config) (*Controller, error) {
 		}
 		bk := &bank{
 			id:        i,
+			c:         c,
 			tags:      tags,
 			qp:        nvme.NewQueuePair(nv.Store(), layout),
 			prp:       pool,
-			inflight:  make(map[uint16]*inflight),
 			cacheBase: uint64(i) * uint64(perBank) * cfg.PageBytes,
 			qBase:     qBase,
 		}
@@ -428,7 +488,7 @@ func (c *Controller) BusStats() bus.Stats {
 func (c *Controller) Outstanding() int {
 	n := 0
 	for _, b := range c.banks {
-		n += len(b.inflight)
+		n += len(b.live)
 	}
 	return n
 }

@@ -38,7 +38,8 @@ func (c *Controller) run(t sim.Time, a mem.Access, fn func(part mem.Access, cach
 	var res AccessResult
 	res.Hit = true
 	first := true
-	for _, part := range mem.SplitByPage(a, c.cfg.PageBytes) {
+	c.split = mem.AppendSplit(c.split[:0], a, c.cfg.PageBytes)
+	for _, part := range c.split {
 		r, cacheAddr, err := c.accessPage(t, part)
 		if err != nil {
 			return res, err

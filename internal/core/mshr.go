@@ -21,27 +21,31 @@ import (
 // journal tags instead (Figure 15) — the MSHR file carries no
 // persistency obligations.
 
-// mshr is one miss-status holding register. Only the identity of the
-// in-flight page and the retirement instant live here: secondaries
-// resume from the tag entry's ReadyAt and slot reuse is gated by the
-// entry's FreeAt, so the register's job is bounding outstanding
-// misses and answering "is this page already being filled?".
+// mshr is one miss-status holding register, stored by value in the
+// file's live slice. Only the identity of the in-flight page and the
+// retirement instant live here: secondaries resume from the tag
+// entry's ReadyAt and slot reuse is gated by the entry's FreeAt, so
+// the register's job is bounding outstanding misses and answering
+// "is this page already being filled?". The seq tag names a specific
+// allocation so retirement events survive re-misses of the same page
+// (a stale seq simply finds nothing).
 type mshr struct {
 	page uint64   // MoS page the fill targets
+	seq  int64    // allocation identity for retirement events
 	done sim.Time // last command for this miss retires; register frees
 }
 
-// mshrFile is one bank's register file. Lookups by page serve miss
-// coalescing; the live slice (bounded by depth, a handful of entries)
-// serves the full-file stall and keeps iteration deterministic.
+// mshrFile is one bank's register file: a flat value slice bounded by
+// depth (a handful of entries), scanned linearly. Iteration order is
+// allocation order, hence deterministic.
 type mshrFile struct {
-	depth  int
-	live   []*mshr
-	byPage map[uint64]*mshr
+	depth   int
+	nextSeq int64
+	live    []mshr
 }
 
 func newMSHRFile(depth int) *mshrFile {
-	return &mshrFile{depth: depth, byPage: make(map[uint64]*mshr)}
+	return &mshrFile{depth: depth}
 }
 
 // Live returns the number of registers in flight.
@@ -50,28 +54,32 @@ func (f *mshrFile) Live() int { return len(f.live) }
 // Full reports whether a new primary miss must park.
 func (f *mshrFile) Full() bool { return len(f.live) >= f.depth }
 
-// ByPage returns the live register filling page, or nil.
-func (f *mshrFile) ByPage(page uint64) *mshr { return f.byPage[page] }
-
-// Insert registers a primary miss. If an older register for the same
-// page is still draining (its page was since evicted and re-missed),
-// the newer one owns the page key.
-func (f *mshrFile) Insert(m *mshr) {
-	f.live = append(f.live, m)
-	f.byPage[m.page] = m
-}
-
-// Retire frees a register. Idempotent: the retirement event may race
-// a power-failure reset.
-func (f *mshrFile) Retire(m *mshr) {
-	for i, x := range f.live {
-		if x == m {
-			f.live = append(f.live[:i], f.live[i+1:]...)
-			break
+// HasPage reports whether a live register is filling page.
+func (f *mshrFile) HasPage(page uint64) bool {
+	for i := len(f.live) - 1; i >= 0; i-- {
+		if f.live[i].page == page {
+			return true
 		}
 	}
-	if f.byPage[m.page] == m {
-		delete(f.byPage, m.page)
+	return false
+}
+
+// Insert registers a primary miss and returns its retirement tag.
+func (f *mshrFile) Insert(page uint64, done sim.Time) int64 {
+	f.nextSeq++
+	f.live = append(f.live, mshr{page: page, seq: f.nextSeq, done: done})
+	return f.nextSeq
+}
+
+// RetireSeq frees the register allocated with tag seq. A stale tag
+// (register already cleared by a power-failure reset) finds nothing
+// and is a no-op.
+func (f *mshrFile) RetireSeq(seq int64) {
+	for i := range f.live {
+		if f.live[i].seq == seq {
+			f.live = append(f.live[:i], f.live[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -79,9 +87,9 @@ func (f *mshrFile) Retire(m *mshr) {
 // registers, or sim.MaxTime when the file is empty.
 func (f *mshrFile) EarliestDone() sim.Time {
 	earliest := sim.MaxTime
-	for _, m := range f.live {
-		if m.done < earliest {
-			earliest = m.done
+	for i := range f.live {
+		if f.live[i].done < earliest {
+			earliest = f.live[i].done
 		}
 	}
 	return earliest
@@ -89,6 +97,5 @@ func (f *mshrFile) EarliestDone() sim.Time {
 
 // Reset clears the file (power failure: MSHRs are controller SRAM).
 func (f *mshrFile) Reset() {
-	f.live = nil
-	f.byPage = make(map[uint64]*mshr)
+	f.live = f.live[:0]
 }

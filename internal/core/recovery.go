@@ -37,13 +37,13 @@ func (c *Controller) PowerFail(t sim.Time) PowerFailReport {
 	c.engine.AdvanceTo(t)
 	var rep PowerFailReport
 	for _, b := range c.banks {
-		rep.InFlight += len(b.inflight)
-		for _, inf := range b.inflight {
-			if inf.cmd.Opcode == nvme.OpWrite {
+		rep.InFlight += len(b.live)
+		for i := range b.live {
+			if b.live[i].cmd.Opcode == nvme.OpWrite {
 				rep.TornWrites++
 				devPage := c.dev.PageBytes()
-				for off := uint64(0); off < uint64(inf.cmd.Length); off += devPage {
-					c.dev.Trim((inf.cmd.LBA + off) / devPage)
+				for off := uint64(0); off < uint64(b.live[i].cmd.Length); off += devPage {
+					c.dev.Trim((b.live[i].cmd.LBA + off) / devPage)
 				}
 			}
 		}
@@ -55,7 +55,7 @@ func (c *Controller) PowerFail(t sim.Time) PowerFailReport {
 	c.engine = sim.NewEngine()
 	c.engine.AdvanceTo(t)
 	for _, b := range c.banks {
-		b.inflight = make(map[uint16]*inflight)
+		b.live = b.live[:0]
 		b.tags.ClearVolatile()
 		if b.mshrs != nil {
 			b.mshrs.Reset() // registers are controller SRAM
@@ -111,9 +111,10 @@ func (c *Controller) Recover(t sim.Time) (RecoverReport, error) {
 				now = done
 			case nvme.OpRead:
 				// Replay the fill: the data lands back in the cache page.
-				done, data := c.devRead(now, cmd.LBA)
+				data := make([]byte, cmd.Length)
+				done := c.devReadInto(now, cmd.LBA, data)
 				landDone := c.nvdimm.Bulk(done, cmd.PRP, cmd.Length, mem.Write)
-				c.nvdimm.Store().WriteAt(cmd.PRP, data[:min(uint64(len(data)), uint64(cmd.Length))])
+				c.nvdimm.Store().WriteAt(cmd.PRP, data)
 				now = landDone
 			}
 			_ = b.qp.DeviceComplete(cid, 0)

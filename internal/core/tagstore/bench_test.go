@@ -1,0 +1,104 @@
+package tagstore
+
+import (
+	"testing"
+
+	"hams/internal/sim"
+)
+
+// benchStore returns a full 8-way store: every way valid and non-busy,
+// so Victim always exercises the policy scan (never the invalid-way
+// fast path).
+func benchStore(b *testing.B, p Policy) *Store {
+	b.Helper()
+	s, err := New(Config{Entries: 4096, Ways: 8, Policy: p, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for slot := 0; slot < s.Len(); slot++ {
+		e := s.Entry(slot)
+		e.Valid = true
+		e.Tag = uint64(slot)
+		s.Touch(slot)
+	}
+	return s
+}
+
+// BenchmarkVictim measures replacement-victim selection on a full set
+// — the per-miss tag-array scan — for each policy.
+func BenchmarkVictim(b *testing.B) {
+	for _, p := range []Policy{LRU, Clock, Random} {
+		b.Run(p.String(), func(b *testing.B) {
+			s := benchStore(b, p)
+			sets := s.Sets()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				slot := s.Victim(i % sets)
+				s.Touch(slot)
+			}
+		})
+	}
+}
+
+// BenchmarkLookupTouch measures the hit path: set scan for a resident
+// tag plus the recency update.
+func BenchmarkLookupTouch(b *testing.B) {
+	s := benchStore(b, LRU)
+	sets := s.Sets()
+	ways := s.Ways()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := i % sets
+		tag := uint64(set*ways + i%ways)
+		slot, ok := s.Lookup(set, tag)
+		if !ok {
+			b.Fatal("tag not resident")
+		}
+		s.Touch(slot)
+	}
+}
+
+// BenchmarkVictimAllBusy measures the congested case: every way busy,
+// so selection falls through to the earliest-FreeAt scan.
+func BenchmarkVictimAllBusy(b *testing.B) {
+	s := benchStore(b, LRU)
+	for slot := 0; slot < s.Len(); slot++ {
+		e := s.Entry(slot)
+		e.Busy = true
+		e.FreeAt = sim.Time(slot)
+	}
+	sets := s.Sets()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Victim(i % sets)
+	}
+}
+
+// TestVictimZeroAllocs pins the miss-path contract: victim selection
+// on a full store allocates nothing for any policy.
+func TestVictimZeroAllocs(t *testing.T) {
+	for _, p := range []Policy{LRU, Clock, Random} {
+		s, err := New(Config{Entries: 256, Ways: 8, Policy: p, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for slot := 0; slot < s.Len(); slot++ {
+			e := s.Entry(slot)
+			e.Valid = true
+			e.Tag = uint64(slot)
+			s.Touch(slot)
+		}
+		set := 0
+		avg := testing.AllocsPerRun(200, func() {
+			slot := s.Victim(set)
+			s.Touch(slot)
+			set = (set + 1) % s.Sets()
+		})
+		if avg != 0 {
+			t.Fatalf("%v victim allocates %.1f/op, want 0", p, avg)
+		}
+	}
+}

@@ -102,6 +102,7 @@ type Store struct {
 	ref   []bool // CLOCK reference bit per slot
 	hand  []int  // CLOCK hand per set
 	rng   *rand.Rand
+	cand  []int // Random candidate scratch (per-call reuse, never kept)
 }
 
 // New builds a store. Entries not divisible by Ways are truncated to
@@ -130,6 +131,7 @@ func New(cfg Config) (*Store, error) {
 		s.hand = make([]int, sets)
 	case Random:
 		s.rng = rand.New(rand.NewSource(cfg.Seed))
+		s.cand = make([]int, 0, cfg.Ways)
 	}
 	return s, nil
 }
@@ -290,7 +292,7 @@ func (s *Store) pick(set int, cleanOnly bool, mask uint64) int {
 		}
 		return -1
 	case Random:
-		var cand []int
+		cand := s.cand[:0]
 		for w := 0; w < s.ways; w++ {
 			if usable(w) {
 				cand = append(cand, base+w)

@@ -145,24 +145,28 @@ type Array struct {
 	Geo Geometry
 	Tim Timing
 
-	dies    []sim.Time // next-free per die
-	chans   []*sim.Resource
-	data    map[PPN][]byte
-	written map[PPN]bool
-	erases  map[uint64]int64 // blockID -> erase count (wear)
-	stats   Stats
+	dies  []sim.Time // next-free per die
+	chans []*sim.Resource
+	// data holds the content of every programmed page. A page is
+	// "written" (NAND protocol state) exactly when it has a data entry;
+	// erase removes the entry and recycles its buffer through freeBufs
+	// so steady-state program/erase cycles stop allocating.
+	data     map[PPN][]byte
+	freeBufs [][]byte
+	erases   map[uint64]int64 // blockID -> erase count (wear)
+	stats    Stats
 }
 
 // New builds an array from a geometry and timing.
 func New(g Geometry, t Timing) *Array {
 	a := &Array{
-		Geo:     g,
-		Tim:     t,
-		dies:    make([]sim.Time, g.Dies()),
-		chans:   make([]*sim.Resource, g.Channels),
-		data:    make(map[PPN][]byte),
-		written: make(map[PPN]bool),
-		erases:  make(map[uint64]int64),
+		Geo:   g,
+		Tim:   t,
+		dies:  make([]sim.Time, g.Dies()),
+		chans: make([]*sim.Resource, g.Channels),
+		data:  make(map[PPN][]byte),
+
+		erases: make(map[uint64]int64),
 	}
 	for i := range a.chans {
 		a.chans[i] = sim.NewResource()
@@ -177,7 +181,10 @@ func (a *Array) Stats() Stats { return a.stats }
 func (a *Array) ResetStats() { a.stats = Stats{} }
 
 // Written reports whether ppn holds programmed data.
-func (a *Array) Written(p PPN) bool { return a.written[p] }
+func (a *Array) Written(p PPN) bool {
+	_, ok := a.data[p]
+	return ok
+}
 
 // EraseCount returns the wear of the block containing ppn.
 func (a *Array) EraseCount(p PPN) int64 {
@@ -194,11 +201,9 @@ func (a *Array) xferBytes(n uint32) int64 {
 	return int64(n)
 }
 
-// ReadPage performs a flash read of up to bytes (0 = full page) from
-// ppn arriving at t: the die is busy for TRead, then the data crosses
-// the channel bus. It returns the completion time and the page data.
-func (a *Array) ReadPage(t sim.Time, p PPN, bytes uint32) (sim.Time, []byte) {
-	ad := a.Geo.Decompose(p)
+// readTiming charges the die and channel for a read of n transfer
+// bytes and returns the completion time.
+func (a *Array) readTiming(t sim.Time, ad Addr, n int64) sim.Time {
 	die := a.Geo.GlobalDie(ad)
 	start := t
 	if a.dies[die] > start {
@@ -207,10 +212,17 @@ func (a *Array) ReadPage(t sim.Time, p PPN, bytes uint32) (sim.Time, []byte) {
 	cellDone := start + a.Tim.TRead
 	a.dies[die] = cellDone
 	a.stats.DieBusy += a.Tim.TRead
-	n := a.xferBytes(bytes)
 	_, done := a.chans[ad.Channel].Acquire(cellDone, sim.Bandwidth(n, a.Tim.ChanGBs))
 	a.stats.Reads++
 	a.stats.BytesOut += n
+	return done
+}
+
+// ReadPage performs a flash read of up to bytes (0 = full page) from
+// ppn arriving at t: the die is busy for TRead, then the data crosses
+// the channel bus. It returns the completion time and the page data.
+func (a *Array) ReadPage(t sim.Time, p PPN, bytes uint32) (sim.Time, []byte) {
+	done := a.readTiming(t, a.Geo.Decompose(p), a.xferBytes(bytes))
 	var buf []byte
 	if d, ok := a.data[p]; ok {
 		buf = make([]byte, len(d))
@@ -221,6 +233,24 @@ func (a *Array) ReadPage(t sim.Time, p PPN, bytes uint32) (sim.Time, []byte) {
 	return done, buf
 }
 
+// ReadPageInto is the allocation-free ReadPage: the page content lands
+// in dst (zero-filled past the stored data; dst longer than a page is
+// zero-filled to the page size). A nil dst charges timing only.
+func (a *Array) ReadPageInto(t sim.Time, p PPN, bytes uint32, dst []byte) sim.Time {
+	done := a.readTiming(t, a.Geo.Decompose(p), a.xferBytes(bytes))
+	if dst == nil {
+		return done
+	}
+	if uint64(len(dst)) > a.Geo.PageBytes {
+		dst = dst[:a.Geo.PageBytes]
+	}
+	n := copy(dst, a.data[p])
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return done
+}
+
 // ErrProgramWritten is returned when programming a non-erased page,
 // which would be a NAND protocol violation (FTL bug).
 var ErrProgramWritten = fmt.Errorf("flash: program to non-erased page")
@@ -229,7 +259,7 @@ var ErrProgramWritten = fmt.Errorf("flash: program to non-erased page")
 // the channel bus, then the die is busy for TProg. Programming a page
 // that has not been erased since its last program returns an error.
 func (a *Array) ProgramPage(t sim.Time, p PPN, data []byte) (sim.Time, error) {
-	if a.written[p] {
+	if _, ok := a.data[p]; ok {
 		return t, ErrProgramWritten
 	}
 	ad := a.Geo.Decompose(p)
@@ -246,10 +276,18 @@ func (a *Array) ProgramPage(t sim.Time, p PPN, data []byte) (sim.Time, error) {
 	a.stats.Programs++
 	a.stats.BytesIn += n
 
-	stored := make([]byte, a.Geo.PageBytes)
-	copy(stored, data)
+	var stored []byte
+	if k := len(a.freeBufs); k > 0 {
+		stored = a.freeBufs[k-1]
+		a.freeBufs = a.freeBufs[:k-1]
+	} else {
+		stored = make([]byte, a.Geo.PageBytes)
+	}
+	m := copy(stored, data)
+	for i := m; i < len(stored); i++ {
+		stored[i] = 0
+	}
 	a.data[p] = stored
-	a.written[p] = true
 	return done, nil
 }
 
@@ -273,8 +311,10 @@ func (a *Array) EraseBlock(t sim.Time, p PPN) sim.Time {
 	for pg := 0; pg < a.Geo.PagesPerBlk; pg++ {
 		base.Page = pg
 		ppn := a.Geo.Compose(base)
-		delete(a.data, ppn)
-		delete(a.written, ppn)
+		if d, ok := a.data[ppn]; ok {
+			a.freeBufs = append(a.freeBufs, d)
+			delete(a.data, ppn)
+		}
 	}
 	return done
 }

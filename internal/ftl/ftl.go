@@ -46,19 +46,75 @@ type Stats struct {
 	UnmappedRead int64
 }
 
+// idxMap is a chunked radix table from a page-number key to a uint64
+// value. It replaces the l2p/p2l maps: a lookup is two slice loads,
+// and only the 2 KiB chunks a workload actually touches are
+// materialized (the key spaces — exported LBAs and physical pages —
+// are hundreds of millions of entries, almost all of them cold).
+type idxMap struct {
+	chunks [][]uint64
+}
+
+const (
+	idxChunkBits = 8
+	idxChunkSize = 1 << idxChunkBits
+	idxChunkMask = idxChunkSize - 1
+	idxNone      = ^uint64(0)
+)
+
+func (m *idxMap) get(k uint64) (uint64, bool) {
+	ci := k >> idxChunkBits
+	if ci >= uint64(len(m.chunks)) || m.chunks[ci] == nil {
+		return 0, false
+	}
+	v := m.chunks[ci][k&idxChunkMask]
+	return v, v != idxNone
+}
+
+func (m *idxMap) set(k, v uint64) {
+	ci := k >> idxChunkBits
+	for uint64(len(m.chunks)) <= ci {
+		m.chunks = append(m.chunks, nil)
+	}
+	if m.chunks[ci] == nil {
+		c := make([]uint64, idxChunkSize)
+		for i := range c {
+			c[i] = idxNone
+		}
+		m.chunks[ci] = c
+	}
+	m.chunks[ci][k&idxChunkMask] = v
+}
+
+func (m *idxMap) del(k uint64) {
+	ci := k >> idxChunkBits
+	if ci < uint64(len(m.chunks)) && m.chunks[ci] != nil {
+		m.chunks[ci][k&idxChunkMask] = idxNone
+	}
+}
+
 // FTL is the translation layer over one flash array.
 type FTL struct {
 	arr *flash.Array
 	geo flash.Geometry
 	cfg Config
 
-	l2p map[uint64]flash.PPN
-	p2l map[flash.PPN]uint64
+	l2p idxMap // lba -> ppn
+	p2l idxMap // ppn -> lba
 
-	free    [][]int // per plane: free block indices
-	active  []activeBlock
-	valid   []int // per global block: valid page count
-	planeRR int   // round-robin allocation cursor
+	// The free-block bookkeeping reproduces the order of the seed's
+	// explicit per-plane free lists ([0..N-1] popped from the front,
+	// erased blocks appended at the back) without materializing them:
+	// virgin blocks are a counter, recycled blocks a FIFO, and a per-
+	// plane bitmap answers pickVictim's "is this block free?" probe.
+	virginNext []int      // per plane: first never-allocated block
+	recycled   [][]int    // per plane: erased blocks, FIFO order
+	freeBit    [][]uint64 // per plane: 1 = free
+	active     []activeBlock
+	valid      []int // per global block: valid page count
+	planeRR    int   // round-robin allocation cursor
+
+	gcBuf []byte // relocation scratch (one page)
 
 	stats Stats
 }
@@ -67,21 +123,23 @@ type FTL struct {
 func New(arr *flash.Array, cfg Config) *FTL {
 	g := arr.Geo
 	f := &FTL{
-		arr:    arr,
-		geo:    g,
-		cfg:    cfg,
-		l2p:    make(map[uint64]flash.PPN),
-		p2l:    make(map[flash.PPN]uint64),
-		free:   make([][]int, g.Planes()),
-		active: make([]activeBlock, g.Planes()),
-		valid:  make([]int, g.Blocks()),
+		arr:        arr,
+		geo:        g,
+		cfg:        cfg,
+		virginNext: make([]int, g.Planes()),
+		recycled:   make([][]int, g.Planes()),
+		freeBit:    make([][]uint64, g.Planes()),
+		active:     make([]activeBlock, g.Planes()),
+		valid:      make([]int, g.Blocks()),
+		gcBuf:      make([]byte, g.PageBytes),
 	}
-	for p := range f.free {
-		blocks := make([]int, g.BlocksPerPln)
-		for b := range blocks {
-			blocks[b] = b
-		}
-		f.free[p] = blocks
+	words := (g.BlocksPerPln + 63) / 64
+	bits := make([]uint64, words*g.Planes())
+	for i := range bits {
+		bits[i] = ^uint64(0)
+	}
+	for p := range f.freeBit {
+		f.freeBit[p] = bits[p*words : (p+1)*words]
 		f.active[p] = activeBlock{block: -1}
 	}
 	return f
@@ -109,7 +167,7 @@ func (f *FTL) WAF() float64 {
 
 // Mapped reports whether lba has been written.
 func (f *FTL) Mapped(lba uint64) bool {
-	_, ok := f.l2p[lba]
+	_, ok := f.l2p.get(lba)
 	return ok
 }
 
@@ -129,17 +187,54 @@ func (f *FTL) blockIndex(plane, block int) int {
 	return plane*f.geo.BlocksPerPln + block
 }
 
+// freeCount returns the plane's free-block count (virgin + recycled).
+func (f *FTL) freeCount(plane int) int {
+	return (f.geo.BlocksPerPln - f.virginNext[plane]) + len(f.recycled[plane])
+}
+
+func (f *FTL) isFree(plane, block int) bool {
+	return f.freeBit[plane][block>>6]&(1<<(uint(block)&63)) != 0
+}
+
+func (f *FTL) setFree(plane, block int, free bool) {
+	if free {
+		f.freeBit[plane][block>>6] |= 1 << (uint(block) & 63)
+	} else {
+		f.freeBit[plane][block>>6] &^= 1 << (uint(block) & 63)
+	}
+}
+
+// popFree pulls the next free block in the plane, in the same order
+// the seed's explicit list produced: virgin blocks 0..N-1 first, then
+// recycled blocks in erase order.
+func (f *FTL) popFree(plane int) (int, bool) {
+	if f.virginNext[plane] < f.geo.BlocksPerPln {
+		b := f.virginNext[plane]
+		f.virginNext[plane]++
+		f.setFree(plane, b, false)
+		return b, true
+	}
+	r := f.recycled[plane]
+	if len(r) == 0 {
+		return 0, false
+	}
+	b := r[0]
+	f.recycled[plane] = r[1:]
+	f.setFree(plane, b, false)
+	return b, true
+}
+
 // allocate returns the next PPN to program in the given plane, pulling
 // a fresh block when the active one fills. Returns false if the plane
 // has no free block and no active space.
 func (f *FTL) allocate(plane int) (flash.PPN, bool) {
 	ab := &f.active[plane]
 	if ab.block == -1 || ab.nextPage >= f.geo.PagesPerBlk {
-		if len(f.free[plane]) == 0 {
+		b, ok := f.popFree(plane)
+		if !ok {
 			return 0, false
 		}
-		ab.block = f.free[plane][0]
-		f.free[plane] = f.free[plane][1:]
+		ab.block = b
 		ab.nextPage = 0
 	}
 	ad := f.planeCoords(plane)
@@ -151,7 +246,7 @@ func (f *FTL) allocate(plane int) (flash.PPN, bool) {
 
 // invalidate drops the mapping of an old PPN (overwrite or trim).
 func (f *FTL) invalidate(p flash.PPN) {
-	delete(f.p2l, p)
+	f.p2l.del(uint64(p))
 	ad := f.geo.Decompose(p)
 	plane := f.geo.GlobalDie(ad)*f.geo.PlanesPerDie + ad.Plane
 	f.valid[f.blockIndex(plane, ad.Block)]--
@@ -165,7 +260,7 @@ func (f *FTL) Write(t sim.Time, lba uint64, data []byte) (sim.Time, error) {
 	f.planeRR = (f.planeRR + 1) % f.geo.Planes()
 
 	now := t
-	if len(f.free[plane]) <= f.cfg.GCLowWater {
+	if f.freeCount(plane) <= f.cfg.GCLowWater {
 		var err error
 		now, err = f.collect(now, plane)
 		if err != nil {
@@ -176,15 +271,15 @@ func (f *FTL) Write(t sim.Time, lba uint64, data []byte) (sim.Time, error) {
 	if !ok {
 		return now, ErrFull
 	}
-	if old, dup := f.l2p[lba]; dup {
-		f.invalidate(old)
+	if old, dup := f.l2p.get(lba); dup {
+		f.invalidate(flash.PPN(old))
 	}
 	done, err := f.arr.ProgramPage(now, ppn, data)
 	if err != nil {
 		return done, fmt.Errorf("ftl: allocation handed out a dirty page: %w", err)
 	}
-	f.l2p[lba] = ppn
-	f.p2l[ppn] = lba
+	f.l2p.set(lba, uint64(ppn))
+	f.p2l.set(uint64(ppn), lba)
 	ad := f.geo.Decompose(ppn)
 	pl := f.geo.GlobalDie(ad)*f.geo.PlanesPerDie + ad.Plane
 	f.valid[f.blockIndex(pl, ad.Block)]++
@@ -200,32 +295,43 @@ func (f *FTL) Write(t sim.Time, lba uint64, data []byte) (sim.Time, error) {
 // physical page. The pseudo-mapping lba→ppn preserves the channel
 // striping of sequential preconditioning.
 func (f *FTL) Read(t sim.Time, lba uint64, bytes uint32) (sim.Time, []byte) {
-	ppn, ok := f.l2p[lba]
+	buf := make([]byte, f.geo.PageBytes)
+	done := f.ReadInto(t, lba, bytes, buf)
+	return done, buf
+}
+
+// ReadInto is the allocation-free Read: the page content lands in dst
+// (zero-filled past the stored data). A nil dst charges timing only.
+func (f *FTL) ReadInto(t sim.Time, lba uint64, bytes uint32, dst []byte) sim.Time {
+	ppn, ok := f.l2p.get(lba)
 	if !ok {
 		f.stats.UnmappedRead++
 		pseudo := flash.PPN(lba % f.geo.TotalPages())
-		done, _ := f.arr.ReadPage(t, pseudo, bytes)
-		return done, make([]byte, f.geo.PageBytes)
+		done := f.arr.ReadPageInto(t, pseudo, bytes, nil)
+		for i := range dst {
+			dst[i] = 0
+		}
+		return done
 	}
-	done, data := f.arr.ReadPage(t, ppn, bytes)
+	done := f.arr.ReadPageInto(t, flash.PPN(ppn), bytes, dst)
 	f.stats.HostReads++
-	return done, data
+	return done
 }
 
 // Peek returns the data stored at lba without any timing effect.
 func (f *FTL) Peek(lba uint64) []byte {
-	ppn, ok := f.l2p[lba]
+	ppn, ok := f.l2p.get(lba)
 	if !ok {
 		return make([]byte, f.geo.PageBytes)
 	}
-	return f.arr.PeekPage(ppn)
+	return f.arr.PeekPage(flash.PPN(ppn))
 }
 
 // Trim discards the mapping for lba.
 func (f *FTL) Trim(lba uint64) {
-	if ppn, ok := f.l2p[lba]; ok {
-		f.invalidate(ppn)
-		delete(f.l2p, lba)
+	if ppn, ok := f.l2p.get(lba); ok {
+		f.invalidate(flash.PPN(ppn))
+		f.l2p.del(lba)
 	}
 }
 
@@ -234,10 +340,10 @@ func (f *FTL) Trim(lba uint64) {
 // pages, relocate its valid pages, erase it.
 func (f *FTL) collect(t sim.Time, plane int) (sim.Time, error) {
 	now := t
-	for len(f.free[plane]) <= f.cfg.GCLowWater {
+	for f.freeCount(plane) <= f.cfg.GCLowWater {
 		victim := f.pickVictim(plane)
 		if victim < 0 {
-			if len(f.free[plane]) > 0 {
+			if f.freeCount(plane) > 0 {
 				return now, nil // nothing to collect but we can still write
 			}
 			return now, ErrFull
@@ -249,22 +355,22 @@ func (f *FTL) collect(t sim.Time, plane int) (sim.Time, error) {
 		for pg := 0; pg < f.geo.PagesPerBlk; pg++ {
 			ad.Page = pg
 			ppn := f.geo.Compose(ad)
-			lba, live := f.p2l[ppn]
+			lba, live := f.p2l.get(uint64(ppn))
 			if !live {
 				continue
 			}
-			rdDone, data := f.arr.ReadPage(now, ppn, 0)
+			rdDone := f.arr.ReadPageInto(now, ppn, 0, f.gcBuf)
 			dst, ok := f.allocate(plane)
 			if !ok {
 				return now, ErrFull
 			}
-			progDone, err := f.arr.ProgramPage(rdDone, dst, data)
+			progDone, err := f.arr.ProgramPage(rdDone, dst, f.gcBuf)
 			if err != nil {
 				return now, fmt.Errorf("ftl gc: %w", err)
 			}
 			f.invalidate(ppn)
-			f.l2p[lba] = dst
-			f.p2l[dst] = lba
+			f.l2p.set(lba, uint64(dst))
+			f.p2l.set(uint64(dst), lba)
 			adDst := f.geo.Decompose(dst)
 			pl := f.geo.GlobalDie(adDst)*f.geo.PlanesPerDie + adDst.Plane
 			f.valid[f.blockIndex(pl, adDst.Block)]++
@@ -274,7 +380,8 @@ func (f *FTL) collect(t sim.Time, plane int) (sim.Time, error) {
 		ad.Page = 0
 		now = f.arr.EraseBlock(now, f.geo.Compose(ad))
 		f.stats.Erases++
-		f.free[plane] = append(f.free[plane], victim)
+		f.recycled[plane] = append(f.recycled[plane], victim)
+		f.setFree(plane, victim, true)
 	}
 	return now, nil
 }
@@ -283,13 +390,10 @@ func (f *FTL) collect(t sim.Time, plane int) (sim.Time, error) {
 // pages that is not the active block and not free, or -1 when every
 // candidate is fully valid (nothing reclaimable) or none exists.
 func (f *FTL) pickVictim(plane int) int {
-	freeSet := make(map[int]bool, len(f.free[plane]))
-	for _, b := range f.free[plane] {
-		freeSet[b] = true
-	}
 	best, bestValid := -1, f.geo.PagesPerBlk
+	act := f.active[plane].block
 	for b := 0; b < f.geo.BlocksPerPln; b++ {
-		if freeSet[b] || b == f.active[plane].block {
+		if b == act || f.isFree(plane, b) {
 			continue
 		}
 		v := f.valid[f.blockIndex(plane, b)]
@@ -301,4 +405,4 @@ func (f *FTL) pickVictim(plane int) int {
 }
 
 // FreeBlocks returns the free-block count of a plane (for tests).
-func (f *FTL) FreeBlocks(plane int) int { return len(f.free[plane]) }
+func (f *FTL) FreeBlocks(plane int) int { return f.freeCount(plane) }

@@ -74,15 +74,22 @@ func Log2(v uint64) uint {
 // most pageSize bytes, each contained within one pageSize-aligned page.
 // pageSize must be a power of two.
 func SplitByPage(a Access, pageSize uint64) []Access {
+	return AppendSplit(nil, a, pageSize)
+}
+
+// AppendSplit appends a's page-granular parts to dst and returns the
+// extended slice. Hot paths keep a per-caller scratch slice and call
+// AppendSplit(scratch[:0], ...) so the common single-page access
+// allocates nothing.
+func AppendSplit(dst []Access, a Access, pageSize uint64) []Access {
 	if uint64(a.Size) == 0 {
-		return nil
+		return dst
 	}
 	first := AlignDown(a.Addr, pageSize)
 	last := AlignDown(a.End()-1, pageSize)
 	if first == last {
-		return []Access{a}
+		return append(dst, a)
 	}
-	var out []Access
 	addr := a.Addr
 	remain := uint64(a.Size)
 	for remain > 0 {
@@ -91,9 +98,9 @@ func SplitByPage(a Access, pageSize uint64) []Access {
 		if n > remain {
 			n = remain
 		}
-		out = append(out, Access{Addr: addr, Size: uint32(n), Op: a.Op, Class: a.Class})
+		dst = append(dst, Access{Addr: addr, Size: uint32(n), Op: a.Op, Class: a.Class})
 		addr += n
 		remain -= n
 	}
-	return out
+	return dst
 }

@@ -4,15 +4,53 @@ package mem
 // frames lazily. It lets the simulator model terabyte address spaces
 // (the 800 GB ULL-Flash archive, an 8 GB NVDIMM) while only paying for
 // pages a workload actually touches. Unwritten bytes read as zero.
+//
+// Frames are indexed by a two-level radix table (frame id split into
+// chunk / offset) instead of a map: the per-access lookups on the
+// simulator's hot path become two slice loads, and iteration order
+// (Snapshot/Restore, Frames) is deterministic by construction.
 type SparseStore struct {
-	frames map[uint64]*[frameSize]byte
+	chunks [][]*[frameSize]byte // fid>>framesPerChunkBits → chunk
+	n      int                  // allocated frames
 }
 
-const frameSize = 4 * KiB
+const (
+	frameSize          = 4 * KiB
+	framesPerChunkBits = 12 // 4096 frame pointers (32 KiB) per chunk
+	framesPerChunk     = 1 << framesPerChunkBits
+	frameChunkMask     = framesPerChunk - 1
+)
+
+var zeroFrame [frameSize]byte
 
 // NewSparseStore returns an empty store.
-func NewSparseStore() *SparseStore {
-	return &SparseStore{frames: make(map[uint64]*[frameSize]byte)}
+func NewSparseStore() *SparseStore { return &SparseStore{} }
+
+// frame returns the frame holding fid, or nil when never written.
+func (s *SparseStore) frame(fid uint64) *[frameSize]byte {
+	ci := fid >> framesPerChunkBits
+	if ci >= uint64(len(s.chunks)) || s.chunks[ci] == nil {
+		return nil
+	}
+	return s.chunks[ci][fid&frameChunkMask]
+}
+
+// ensureFrame returns the frame holding fid, allocating it if needed.
+func (s *SparseStore) ensureFrame(fid uint64) *[frameSize]byte {
+	ci := fid >> framesPerChunkBits
+	for uint64(len(s.chunks)) <= ci {
+		s.chunks = append(s.chunks, nil)
+	}
+	if s.chunks[ci] == nil {
+		s.chunks[ci] = make([]*[frameSize]byte, framesPerChunk)
+	}
+	f := s.chunks[ci][fid&frameChunkMask]
+	if f == nil {
+		f = new([frameSize]byte)
+		s.chunks[ci][fid&frameChunkMask] = f
+		s.n++
+	}
+	return f
 }
 
 // ReadAt copies len(p) bytes starting at addr into p.
@@ -24,12 +62,10 @@ func (s *SparseStore) ReadAt(addr uint64, p []byte) {
 		if n > uint64(len(p)) {
 			n = uint64(len(p))
 		}
-		if f, ok := s.frames[fid]; ok {
+		if f := s.frame(fid); f != nil {
 			copy(p[:n], f[off:off+n])
 		} else {
-			for i := uint64(0); i < n; i++ {
-				p[i] = 0
-			}
+			copy(p[:n], zeroFrame[:n])
 		}
 		p = p[n:]
 		addr += n
@@ -45,11 +81,7 @@ func (s *SparseStore) WriteAt(addr uint64, p []byte) {
 		if n > uint64(len(p)) {
 			n = uint64(len(p))
 		}
-		f, ok := s.frames[fid]
-		if !ok {
-			f = new([frameSize]byte)
-			s.frames[fid] = f
-		}
+		f := s.ensureFrame(fid)
 		copy(f[off:off+n], p[:n])
 		p = p[n:]
 		addr += n
@@ -62,44 +94,70 @@ func (s *SparseStore) Copy(dst, src uint64, n uint64) {
 	if n == 0 || dst == src {
 		return
 	}
-	buf := make([]byte, n)
-	s.ReadAt(src, buf)
-	s.WriteAt(dst, buf)
+	if dst < src+n && src < dst+n {
+		// Overlapping ranges: stage the whole source first so the copy
+		// behaves like memmove. Never hit by the PRP-clone hot path,
+		// whose pool is disjoint from the cache region.
+		buf := make([]byte, n)
+		s.ReadAt(src, buf)
+		s.WriteAt(dst, buf)
+		return
+	}
+	var buf [frameSize]byte
+	for n > 0 {
+		c := uint64(frameSize)
+		if c > n {
+			c = n
+		}
+		s.ReadAt(src, buf[:c])
+		s.WriteAt(dst, buf[:c])
+		src += c
+		dst += c
+		n -= c
+	}
 }
 
 // Zero clears n bytes starting at addr.
 func (s *SparseStore) Zero(addr, n uint64) {
-	zero := make([]byte, 4*KiB)
 	for n > 0 {
-		c := uint64(len(zero))
+		c := uint64(frameSize)
 		if c > n {
 			c = n
 		}
-		s.WriteAt(addr, zero[:c])
+		s.WriteAt(addr, zeroFrame[:c])
 		addr += c
 		n -= c
 	}
 }
 
 // Frames returns the number of allocated 4 KiB frames (resident set).
-func (s *SparseStore) Frames() int { return len(s.frames) }
+func (s *SparseStore) Frames() int { return s.n }
 
 // Snapshot returns a deep copy of the store. Used to model the NVDIMM
 // supercap backup image taken at power failure.
 func (s *SparseStore) Snapshot() *SparseStore {
 	c := NewSparseStore()
-	for fid, f := range s.frames {
-		nf := *f
-		c.frames[fid] = &nf
+	c.chunks = make([][]*[frameSize]byte, len(s.chunks))
+	for ci, ch := range s.chunks {
+		if ch == nil {
+			continue
+		}
+		nc := make([]*[frameSize]byte, framesPerChunk)
+		for i, f := range ch {
+			if f != nil {
+				nf := *f
+				nc[i] = &nf
+				c.n++
+			}
+		}
+		c.chunks[ci] = nc
 	}
 	return c
 }
 
 // Restore replaces the contents of s with the snapshot's contents.
 func (s *SparseStore) Restore(snap *SparseStore) {
-	s.frames = make(map[uint64]*[frameSize]byte, len(snap.frames))
-	for fid, f := range snap.frames {
-		nf := *f
-		s.frames[fid] = &nf
-	}
+	r := snap.Snapshot()
+	s.chunks = r.chunks
+	s.n = r.n
 }

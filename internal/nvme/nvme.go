@@ -130,21 +130,42 @@ func DecodeCompletion(b []byte) Completion {
 // pending requests after a power failure (§IV-B).
 const ringHeaderBytes = 16
 
-// Ring is a FIFO of fixed-size slots materialized in a Store.
+// zeroSlot is the shared scrub payload for Reset (CommandBytes is the
+// largest slot size either ring uses).
+var zeroSlot [CommandBytes]byte
+
+// Ring is a FIFO of fixed-size slots materialized in a Store. The
+// head/tail pointers are persisted in the store (the recovery
+// contract) and cached write-through in the struct, so steady-state
+// pushes and pops read no header bytes back; hdr is the header
+// serialization scratch (a stack array would escape through the Store
+// interface and allocate per call).
 type Ring struct {
 	store     Store
 	base      uint64
 	slotBytes int
 	entries   uint32
+	hd, tl    uint32
+	hdr       [4]byte
 }
 
 // NewRing lays a ring over store at base with the given slot size and
-// entry count. The caller owns zeroing the region on first use.
+// entry count. The caller owns zeroing the region on first use; the
+// pointer cache loads from whatever the store holds (after a power
+// failure, the persisted pointers).
 func NewRing(store Store, base uint64, slotBytes int, entries uint32) *Ring {
 	if entries == 0 {
 		panic("nvme: ring needs at least one entry")
 	}
-	return &Ring{store: store, base: base, slotBytes: slotBytes, entries: entries}
+	r := &Ring{store: store, base: base, slotBytes: slotBytes, entries: entries}
+	r.hd = r.readPtr(r.base)
+	r.tl = r.readPtr(r.base + 4)
+	return r
+}
+
+func (r *Ring) readPtr(addr uint64) uint32 {
+	r.store.ReadAt(addr, r.hdr[:])
+	return binary.LittleEndian.Uint32(r.hdr[:])
 }
 
 // Footprint returns the byte size of the ring in the store.
@@ -155,28 +176,20 @@ func (r *Ring) Footprint() uint64 {
 // Entries returns the ring capacity.
 func (r *Ring) Entries() uint32 { return r.entries }
 
-func (r *Ring) head() uint32 {
-	var b [4]byte
-	r.store.ReadAt(r.base, b[:])
-	return binary.LittleEndian.Uint32(b[:])
-}
+func (r *Ring) head() uint32 { return r.hd }
 
-func (r *Ring) tail() uint32 {
-	var b [4]byte
-	r.store.ReadAt(r.base+4, b[:])
-	return binary.LittleEndian.Uint32(b[:])
-}
+func (r *Ring) tail() uint32 { return r.tl }
 
 func (r *Ring) setHead(v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v%r.entries)
-	r.store.WriteAt(r.base, b[:])
+	r.hd = v % r.entries
+	binary.LittleEndian.PutUint32(r.hdr[:], r.hd)
+	r.store.WriteAt(r.base, r.hdr[:])
 }
 
 func (r *Ring) setTail(v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v%r.entries)
-	r.store.WriteAt(r.base+4, b[:])
+	r.tl = v % r.entries
+	binary.LittleEndian.PutUint32(r.hdr[:], r.tl)
+	r.store.WriteAt(r.base+4, r.hdr[:])
 }
 
 // Head and Tail expose the persisted pointers.
@@ -219,23 +232,38 @@ func (r *Ring) Push(slot []byte) error {
 	return nil
 }
 
-// Pop reads the slot at the head and advances the head pointer.
-func (r *Ring) Pop() ([]byte, bool) {
+// PopInto reads the slot at the head into dst (at least slotBytes
+// long) and advances the head pointer. It reports whether a slot was
+// available.
+func (r *Ring) PopInto(dst []byte) bool {
 	if r.Empty() {
-		return nil, false
+		return false
 	}
 	h := r.head()
-	buf := make([]byte, r.slotBytes)
-	r.store.ReadAt(r.slotAddr(h), buf)
+	r.store.ReadAt(r.slotAddr(h), dst[:r.slotBytes])
 	r.setHead(h + 1)
+	return true
+}
+
+// Pop reads the slot at the head and advances the head pointer.
+func (r *Ring) Pop() ([]byte, bool) {
+	buf := make([]byte, r.slotBytes)
+	if !r.PopInto(buf) {
+		return nil, false
+	}
 	return buf, true
 }
 
-// PeekAt reads slot i (absolute index) without moving pointers. Used
-// by recovery scans and journal-tag clearing.
+// PeekAtInto reads slot i (absolute index) into dst without moving
+// pointers. Used by recovery scans and journal-tag clearing.
+func (r *Ring) PeekAtInto(i uint32, dst []byte) {
+	r.store.ReadAt(r.slotAddr(i), dst[:r.slotBytes])
+}
+
+// PeekAt is the allocating form of PeekAtInto.
 func (r *Ring) PeekAt(i uint32) []byte {
 	buf := make([]byte, r.slotBytes)
-	r.store.ReadAt(r.slotAddr(i), buf)
+	r.PeekAtInto(i, buf)
 	return buf
 }
 
@@ -244,12 +272,16 @@ func (r *Ring) WriteAtSlot(i uint32, slot []byte) {
 	r.store.WriteAt(r.slotAddr(i), slot)
 }
 
-// Reset zeroes the pointers (used when recovery allocates a new pair).
+// Reset zeroes the pointers (used when recovery allocates a new pair)
+// and scrubs every slot with the package-level zero payload.
 func (r *Ring) Reset() {
 	r.setHead(0)
 	r.setTail(0)
-	zero := make([]byte, r.slotBytes)
+	zero := zeroSlot[:]
+	if r.slotBytes > len(zero) {
+		zero = make([]byte, r.slotBytes)
+	}
 	for i := uint32(0); i < r.entries; i++ {
-		r.store.WriteAt(r.slotAddr(i), zero)
+		r.store.WriteAt(r.slotAddr(i), zero[:r.slotBytes])
 	}
 }

@@ -15,12 +15,21 @@ type QueuePair struct {
 	msiCount    int64
 
 	nextCID uint16
-	// slotOf remembers which SQ slot a CID was written to, so the
-	// completion path can clear the right journal tag in place.
-	slotOf map[uint16]uint32
+	// slotOf remembers which SQ slot a CID was written to (+1; 0 means
+	// not outstanding), so the completion path can clear the right
+	// journal tag in place. Flat over the full 16-bit CID space — one
+	// indexed load instead of a map operation per submit/reap.
+	slotOf      []uint32
+	outstanding int
 	// peak is the high-water mark of submitted-but-unreaped commands —
 	// the queue depth the host actually drove (MLP accounting).
 	peak int
+
+	// Wire-format scratch: encode/decode staging handed to the rings.
+	// Struct fields rather than stack arrays — a stack array passed
+	// through the Store interface escapes and allocates per call.
+	cmdBuf [CommandBytes]byte
+	cplBuf [CompletionBytes]byte
 }
 
 // QueueLayout sizes a pair within a pinned region.
@@ -48,7 +57,7 @@ func NewQueuePair(store Store, l QueueLayout) *QueuePair {
 	return &QueuePair{
 		SQ:     NewRing(store, l.SQBase, CommandBytes, l.SQEntries),
 		CQ:     NewRing(store, l.CQBase, CompletionBytes, l.CQEntries),
-		slotOf: make(map[uint16]uint32),
+		slotOf: make([]uint32, 1<<16),
 	}
 }
 
@@ -58,33 +67,33 @@ func (qp *QueuePair) Submit(cmd Command) (uint16, error) {
 	cmd.CID = qp.nextCID
 	cmd.Journal = true
 	slot := qp.SQ.Tail()
-	enc := cmd.Encode()
-	if err := qp.SQ.Push(enc[:]); err != nil {
+	qp.cmdBuf = cmd.Encode()
+	if err := qp.SQ.Push(qp.cmdBuf[:]); err != nil {
 		return 0, err
 	}
-	qp.slotOf[cmd.CID] = slot
+	qp.slotOf[cmd.CID] = slot + 1
 	qp.nextCID++
 	qp.sqDoorbells++
-	if n := len(qp.slotOf); n > qp.peak {
-		qp.peak = n
+	qp.outstanding++
+	if qp.outstanding > qp.peak {
+		qp.peak = qp.outstanding
 	}
 	return cmd.CID, nil
 }
 
 // DeviceFetch pops the next command from the SQ (device side).
 func (qp *QueuePair) DeviceFetch() (Command, bool) {
-	raw, ok := qp.SQ.Pop()
-	if !ok {
+	if !qp.SQ.PopInto(qp.cmdBuf[:]) {
 		return Command{}, false
 	}
-	return DecodeCommand(raw), true
+	return DecodeCommand(qp.cmdBuf[:]), true
 }
 
 // DeviceComplete posts a completion for cid and raises an MSI.
 func (qp *QueuePair) DeviceComplete(cid uint16, status uint8) error {
 	c := Completion{CID: cid, Status: status, SQHead: uint16(qp.SQ.Head())}
-	enc := c.Encode()
-	if err := qp.CQ.Push(enc[:]); err != nil {
+	qp.cplBuf = c.Encode()
+	if err := qp.CQ.Push(qp.cplBuf[:]); err != nil {
 		return err
 	}
 	qp.msiCount++
@@ -95,19 +104,21 @@ func (qp *QueuePair) DeviceComplete(cid uint16, status uint8) error {
 // matching SQ slot in place (§V-C) and advances the CQ head, then
 // rings the CQ doorbell. Returns the completion and ok.
 func (qp *QueuePair) HostReap() (Completion, bool) {
-	raw, ok := qp.CQ.Pop()
-	if !ok {
+	if !qp.CQ.PopInto(qp.cplBuf[:]) {
 		return Completion{}, false
 	}
-	c := DecodeCompletion(raw)
-	if slot, known := qp.slotOf[c.CID]; known {
-		sc := DecodeCommand(qp.SQ.PeekAt(slot))
+	c := DecodeCompletion(qp.cplBuf[:])
+	if s := qp.slotOf[c.CID]; s != 0 {
+		slot := s - 1
+		qp.SQ.PeekAtInto(slot, qp.cmdBuf[:])
+		sc := DecodeCommand(qp.cmdBuf[:])
 		if sc.CID == c.CID {
 			sc.Journal = false
-			enc := sc.Encode()
-			qp.SQ.WriteAtSlot(slot, enc[:])
+			qp.cmdBuf = sc.Encode()
+			qp.SQ.WriteAtSlot(slot, qp.cmdBuf[:])
 		}
-		delete(qp.slotOf, c.CID)
+		qp.slotOf[c.CID] = 0
+		qp.outstanding--
 	}
 	qp.cqDoorbells++
 	return c, true
@@ -119,7 +130,8 @@ func (qp *QueuePair) HostReap() (Completion, bool) {
 func (qp *QueuePair) PendingJournal() []Command {
 	var out []Command
 	for i := uint32(0); i < qp.SQ.Entries(); i++ {
-		c := DecodeCommand(qp.SQ.PeekAt(i))
+		qp.SQ.PeekAtInto(i, qp.cmdBuf[:])
+		c := DecodeCommand(qp.cmdBuf[:])
 		if c.Journal && c.Opcode != OpFlush {
 			out = append(out, c)
 		}
@@ -133,7 +145,7 @@ func (qp *QueuePair) Doorbells() (sq, cq int64) { return qp.sqDoorbells, qp.cqDo
 func (qp *QueuePair) MSIs() int64               { return qp.msiCount }
 
 // Outstanding returns the number of submitted-but-unreaped commands.
-func (qp *QueuePair) Outstanding() int { return len(qp.slotOf) }
+func (qp *QueuePair) Outstanding() int { return qp.outstanding }
 
 // PeakOutstanding returns the high-water mark of Outstanding over the
 // pair's lifetime — the queue depth the miss pipeline actually drove.

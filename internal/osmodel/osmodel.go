@@ -8,8 +8,6 @@
 package osmodel
 
 import (
-	"container/list"
-
 	"hams/internal/dram"
 	"hams/internal/mem"
 	"hams/internal/pcie"
@@ -98,23 +96,25 @@ type Stats struct {
 	SSDTime    sim.Time
 }
 
-type pageEntry struct {
-	page  uint64
-	dirty bool
-	elem  *list.Element
-}
-
-// MMF is the memory-mapped-file system model.
+// MMF is the memory-mapped-file system model. The page cache is a
+// flat LRU (mem.PageLRU) with a slot-indexed dirty bit and a FIFO
+// dirty queue: msync walks only the pages dirtied since the last
+// flush — in first-dirtied order, which is deterministic — instead of
+// scanning the whole multi-million-entry cache.
 type MMF struct {
 	cfg   Config
 	dramC *dram.DDR4
 	dev   *ssd.Device
 	link  *pcie.Link
 
-	cache    map[uint64]*pageEntry
-	lru      *list.List
-	lastPage uint64 // sequential detection
+	cache    *mem.PageLRU
+	dirty    []bool   // slot -> dirty
+	dirtyQ   []uint64 // pages awaiting msync, first-dirtied order
+	lastPage uint64   // sequential detection
 	dirtyN   int
+
+	zeroPage []byte       // reusable write-back payload (DRAM model is non-functional)
+	split    []mem.Access // SplitByPage scratch
 
 	stats Stats
 }
@@ -128,12 +128,12 @@ func New(cfg Config) *MMF {
 		cfg.CachePages = 1024
 	}
 	return &MMF{
-		cfg:   cfg,
-		dramC: dram.New(cfg.DRAM),
-		dev:   ssd.New(cfg.SSD),
-		link:  pcie.New(cfg.Link),
-		cache: make(map[uint64]*pageEntry),
-		lru:   list.New(),
+		cfg:      cfg,
+		dramC:    dram.New(cfg.DRAM),
+		dev:      ssd.New(cfg.SSD),
+		link:     pcie.New(cfg.Link),
+		cache:    mem.NewPageLRU(),
+		zeroPage: make([]byte, cfg.OSPageBytes),
 	}
 }
 
@@ -151,7 +151,7 @@ func (m *MMF) Stats() Stats { return m.stats }
 func (m *MMF) Warm(base, size uint64) {
 	end := base + size
 	for addr := mem.AlignDown(base, m.cfg.OSPageBytes); addr < end; addr += m.cfg.OSPageBytes {
-		if len(m.cache) >= m.cfg.CachePages {
+		if m.cache.Len() >= m.cfg.CachePages {
 			return
 		}
 		m.insert(addr / m.cfg.OSPageBytes)
@@ -162,7 +162,8 @@ func (m *MMF) Warm(base, size uint64) {
 func (m *MMF) Access(t sim.Time, a mem.Access) Result {
 	var res Result
 	res.Hit = true
-	for _, part := range mem.SplitByPage(a, m.cfg.OSPageBytes) {
+	m.split = mem.AppendSplit(m.split[:0], a, m.cfg.OSPageBytes)
+	for _, part := range m.split {
 		r := m.accessPage(t, part)
 		res.Done = r.Done
 		res.Hit = res.Hit && r.Hit
@@ -185,10 +186,10 @@ func (m *MMF) Access(t sim.Time, a mem.Access) Result {
 func (m *MMF) accessPage(t sim.Time, a mem.Access) Result {
 	var res Result
 	page := a.Addr / m.cfg.OSPageBytes
-	e, ok := m.cache[page]
+	slot, ok := m.cache.Get(page)
 	if ok {
 		m.stats.CacheHits++
-		m.lru.MoveToFront(e.elem)
+		m.cache.MoveToFront(slot)
 		res.Hit = true
 	} else {
 		res.Hit = false
@@ -202,14 +203,15 @@ func (m *MMF) accessPage(t sim.Time, a mem.Access) Result {
 			res.SSD = 0
 		}
 		t = faultDone
-		e = m.cache[page]
+		slot, ok = m.cache.Get(page)
 	}
 	// The access itself is served from the DRAM page cache.
 	done := m.dramC.Access(t, a.Addr, a.Size, a.Op)
 	res.Mem += done - t
 	if a.Op == mem.Write {
-		if !e.dirty {
-			e.dirty = true
+		if ok && !m.dirty[slot] {
+			m.dirty[slot] = true
+			m.dirtyQ = append(m.dirtyQ, page)
 		}
 		m.dirtyN++
 		if m.cfg.PersistFlush && m.cfg.WritebackN > 0 && m.dirtyN >= m.cfg.WritebackN {
@@ -244,7 +246,7 @@ func (m *MMF) fault(t sim.Time, page uint64, addr uint64) sim.Time {
 	// fetched in parallel on the device and pipelined on the link.
 	var last sim.Time
 	for i := 0; i < n; i++ {
-		d, _ := m.dev.Read(now, page+uint64(i), 0)
+		d := m.dev.ReadInto(now, page+uint64(i), 0, nil)
 		d = m.link.ToHost(d, int64(m.cfg.OSPageBytes))
 		d = m.dramC.Bulk(d, (page+uint64(i))*m.cfg.OSPageBytes, uint32(m.cfg.OSPageBytes), mem.Write)
 		if d > last {
@@ -257,40 +259,45 @@ func (m *MMF) fault(t sim.Time, page uint64, addr uint64) sim.Time {
 }
 
 func (m *MMF) insert(page uint64) {
-	if e, ok := m.cache[page]; ok {
-		m.lru.MoveToFront(e.elem)
+	if slot, ok := m.cache.Get(page); ok {
+		m.cache.MoveToFront(slot)
 		return
 	}
-	for len(m.cache) >= m.cfg.CachePages {
-		back := m.lru.Back()
-		victim := back.Value.(*pageEntry)
-		m.lru.Remove(back)
-		delete(m.cache, victim.page)
-		if victim.dirty {
+	for m.cache.Len() >= m.cfg.CachePages {
+		vpage, vslot := m.cache.RemoveBack()
+		if m.dirty[vslot] {
+			m.dirty[vslot] = false
 			// Asynchronous write-back occupies the device.
-			m.dev.Write(0, victim.page, make([]byte, m.cfg.OSPageBytes), false)
+			m.dev.Write(0, vpage, m.zeroPage, false)
 			m.stats.Writebacks++
 		}
 	}
-	e := &pageEntry{page: page}
-	e.elem = m.lru.PushFront(e)
-	m.cache[page] = e
+	slot := m.cache.InsertFront(page)
+	for int(slot) >= len(m.dirty) {
+		m.dirty = append(m.dirty, false)
+	}
+	m.dirty[slot] = false
 }
 
 // writeback flushes dirty pages to the device (msync) and returns the
-// time the last write completes.
+// time the last write completes. Pages are flushed in the order they
+// were first dirtied (the dirty queue); entries whose page was since
+// evicted (written back by insert) or re-flushed are skipped.
 func (m *MMF) writeback(t sim.Time) sim.Time {
 	last := t
-	for _, e := range m.cache {
-		if e.dirty {
-			d, _ := m.dev.Write(t, e.page, make([]byte, m.cfg.OSPageBytes), false)
-			d = m.link.ToDevice(d, int64(m.cfg.OSPageBytes))
-			if d > last {
-				last = d
-			}
-			e.dirty = false
-			m.stats.Writebacks++
+	for _, page := range m.dirtyQ {
+		slot, ok := m.cache.Get(page)
+		if !ok || !m.dirty[slot] {
+			continue
 		}
+		d, _ := m.dev.Write(t, page, m.zeroPage, false)
+		d = m.link.ToDevice(d, int64(m.cfg.OSPageBytes))
+		if d > last {
+			last = d
+		}
+		m.dirty[slot] = false
+		m.stats.Writebacks++
 	}
+	m.dirtyQ = m.dirtyQ[:0]
 	return last
 }

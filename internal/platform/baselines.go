@@ -1,8 +1,6 @@
 package platform
 
 import (
-	"container/list"
-
 	"hams/internal/cpu"
 	"hams/internal/dram"
 	"hams/internal/energy"
@@ -11,27 +9,31 @@ import (
 	"hams/internal/ssd"
 )
 
+// zeroLine / zeroPage4K are shared write payloads for the baselines'
+// functional-data-free device traffic (their DRAM models are
+// non-functional and the devices copy on write, so a shared zero
+// buffer is safe and saves an allocation per write).
+var (
+	zeroLine   [64]byte
+	zeroPage4K [4 * mem.KiB]byte
+)
+
 // ---------------------------------------------------------------------
 // dramCache: a page-granular LRU DRAM cache used by optane-M,
 // flatflash-M and nvdimm-C. Backed by a real DDR4 timing model; the
-// backend closure fetches/evicts pages on the slow side.
+// backend fetches/evicts pages on the slow side. The residency index
+// is a flat mem.PageLRU with a slot-indexed dirty bit — note that, as
+// in the seed, plain residency probes do not touch recency; only
+// insert() refreshes it.
 
 type dramCache struct {
 	d         *dram.DDR4
 	pageBytes uint64
 	capPages  int
-	pages     map[uint64]*cachePage
-	lru       *list.List
+	lru       *mem.PageLRU
+	dirty     []bool
 	promoteN  int // touches before promotion (1 = always cache)
 	touches   map[uint64]int
-
-	hits, misses int64
-}
-
-type cachePage struct {
-	page  uint64
-	dirty bool
-	elem  *list.Element
 }
 
 func newDRAMCache(capBytes, pageBytes uint64, promoteN int) *dramCache {
@@ -45,17 +47,19 @@ func newDRAMCache(capBytes, pageBytes uint64, promoteN int) *dramCache {
 		d:         dram.New(cfg),
 		pageBytes: pageBytes,
 		capPages:  int(capBytes / pageBytes),
-		pages:     make(map[uint64]*cachePage),
-		lru:       list.New(),
+		lru:       mem.NewPageLRU(),
 		promoteN:  promoteN,
 		touches:   make(map[uint64]int),
 	}
 }
 
-func (c *dramCache) resident(addr uint64) (*cachePage, bool) {
-	p, ok := c.pages[addr/c.pageBytes]
-	return p, ok
+// resident returns the slot holding addr's page without touching
+// recency.
+func (c *dramCache) resident(addr uint64) (int32, bool) {
+	return c.lru.Get(addr / c.pageBytes)
 }
+
+func (c *dramCache) markDirty(slot int32) { c.dirty[slot] = true }
 
 // shouldPromote counts a touch and reports whether the page earned a
 // slot in the cache.
@@ -73,7 +77,7 @@ func (c *dramCache) shouldPromote(addr uint64) bool {
 func (c *dramCache) warm(base, size uint64) {
 	end := base + size
 	for addr := base / c.pageBytes * c.pageBytes; addr < end; addr += c.pageBytes {
-		if len(c.pages) >= c.capPages {
+		if c.lru.Len() >= c.capPages {
 			return
 		}
 		c.insert(addr/c.pageBytes, false)
@@ -81,27 +85,28 @@ func (c *dramCache) warm(base, size uint64) {
 }
 
 // insert places a page, returning the evicted dirty page (ok=false if
-// none).
+// none; with multiple evictions the last dirty victim wins, as in the
+// seed).
 func (c *dramCache) insert(page uint64, dirty bool) (uint64, bool) {
-	if p, ok := c.pages[page]; ok {
-		p.dirty = p.dirty || dirty
-		c.lru.MoveToFront(p.elem)
+	if slot, ok := c.lru.Get(page); ok {
+		c.dirty[slot] = c.dirty[slot] || dirty
+		c.lru.MoveToFront(slot)
 		return 0, false
 	}
 	var victim uint64
 	victimDirty := false
-	for len(c.pages) >= c.capPages {
-		back := c.lru.Back()
-		v := back.Value.(*cachePage)
-		c.lru.Remove(back)
-		delete(c.pages, v.page)
-		if v.dirty {
-			victim, victimDirty = v.page, true
+	for c.lru.Len() >= c.capPages {
+		vpage, vslot := c.lru.RemoveBack()
+		if c.dirty[vslot] {
+			victim, victimDirty = vpage, true
+			c.dirty[vslot] = false
 		}
 	}
-	p := &cachePage{page: page, dirty: dirty}
-	p.elem = c.lru.PushFront(p)
-	c.pages[page] = p
+	slot := c.lru.InsertFront(page)
+	for int(slot) >= len(c.dirty) {
+		c.dirty = append(c.dirty, false)
+	}
+	c.dirty[slot] = dirty
 	return victim, victimDirty
 }
 
@@ -175,11 +180,10 @@ func (p *optanePlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, error)
 		done := p.mediaAccess(t, a)
 		return cpu.MemResult{Done: done, SSD: done - t}, nil
 	}
-	if _, ok := p.cache.resident(a.Addr); ok {
+	if slot, ok := p.cache.resident(a.Addr); ok {
 		done := p.cache.d.Access(t, a.Addr, a.Size, a.Op)
 		if a.Op == mem.Write {
-			pg, _ := p.cache.resident(a.Addr)
-			pg.dirty = true
+			p.cache.markDirty(slot)
 		}
 		return cpu.MemResult{Done: done, Mem: done - t}, nil
 	}
@@ -247,9 +251,9 @@ func (p *flatflashPlatform) mmioAccess(t sim.Time, a mem.Access) sim.Time {
 	lba := a.Addr / p.dev.PageBytes()
 	var devDone sim.Time
 	if a.Op == mem.Read {
-		devDone, _ = p.dev.Read(t, lba, 64)
+		devDone = p.dev.ReadInto(t, lba, 64, nil)
 	} else {
-		devDone, _ = p.dev.Write(t, lba, make([]byte, 64), false)
+		devDone, _ = p.dev.Write(t, lba, zeroLine[:], false)
 	}
 	_, mmioDone := p.mmio.Acquire(t, sim.Time(lines)*p.mmioLat)
 	if devDone > mmioDone {
@@ -263,11 +267,10 @@ func (p *flatflashPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, err
 		done := p.mmioAccess(t, a)
 		return cpu.MemResult{Done: done, SSD: done - t}, nil
 	}
-	if _, ok := p.cache.resident(a.Addr); ok {
+	if slot, ok := p.cache.resident(a.Addr); ok {
 		done := p.cache.d.Access(t, a.Addr, a.Size, a.Op)
 		if a.Op == mem.Write {
-			pg, _ := p.cache.resident(a.Addr)
-			pg.dirty = true
+			p.cache.markDirty(slot)
 		}
 		return cpu.MemResult{Done: done, Mem: done - t}, nil
 	}
@@ -276,12 +279,12 @@ func (p *flatflashPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, err
 	if p.cache.shouldPromote(a.Addr) {
 		// Migrate the hot page into host DRAM (background copy).
 		pageAddr := mem.AlignDown(a.Addr, p.cache.pageBytes)
-		d, _ := p.dev.Read(done, pageAddr/p.cache.pageBytes, 0)
+		d := p.dev.ReadInto(done, pageAddr/p.cache.pageBytes, 0, nil)
 		land := p.cache.d.Bulk(d, pageAddr, uint32(p.cache.pageBytes), mem.Write)
 		if victim, dirty := p.cache.insert(pageAddr/p.cache.pageBytes, a.Op == mem.Write); dirty {
 			// FlatFlash cannot guarantee persistency for host-cached
 			// dirty pages; the write-back is best-effort.
-			p.dev.Write(land, victim*p.cache.pageBytes/p.dev.PageBytes(), make([]byte, p.cache.pageBytes), false)
+			p.dev.Write(land, victim*p.cache.pageBytes/p.dev.PageBytes(), zeroPage4K[:p.cache.pageBytes], false)
 		}
 	}
 	return res, nil
@@ -325,20 +328,19 @@ func newNVDIMMC() *nvdimmCPlatform {
 func (p *nvdimmCPlatform) Name() string { return "nvdimm-C" }
 
 func (p *nvdimmCPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, error) {
-	if _, ok := p.cache.resident(a.Addr); ok {
+	if slot, ok := p.cache.resident(a.Addr); ok {
 		done := p.cache.d.Access(t, a.Addr, a.Size, a.Op)
 		if a.Op == mem.Write {
-			pg, _ := p.cache.resident(a.Addr)
-			pg.dirty = true
+			p.cache.markDirty(slot)
 		}
 		return cpu.MemResult{Done: done, Mem: done - t}, nil
 	}
 	// Miss: wait for the next refresh window, then migrate.
 	window := ((t + p.tREFI - 1) / p.tREFI) * p.tREFI
-	devDone, _ := p.dev.Read(window, a.Addr/p.dev.PageBytes(), 0)
+	devDone := p.dev.ReadInto(window, a.Addr/p.dev.PageBytes(), 0, nil)
 	migDone := devDone + p.migLat
 	if victim, dirty := p.cache.insert(a.Addr/p.cache.pageBytes, a.Op == mem.Write); dirty {
-		p.dev.Write(migDone, victim*p.cache.pageBytes/p.dev.PageBytes(), make([]byte, p.cache.pageBytes), false)
+		p.dev.Write(migDone, victim*p.cache.pageBytes/p.dev.PageBytes(), zeroPage4K[:p.cache.pageBytes], false)
 	}
 	done := p.cache.d.Access(migDone, a.Addr, a.Size, a.Op)
 	return cpu.MemResult{Done: done, Mem: done - migDone, SSD: devDone - window, DMA: migDone - devDone + (window - t)}, nil
@@ -383,9 +385,9 @@ func (p *ullDirectPlatform) Access(t sim.Time, a mem.Access) (cpu.MemResult, err
 	lba := a.Addr / p.dev.PageBytes()
 	var done sim.Time
 	if a.Op == mem.Read {
-		done, _ = p.dev.Read(t, lba, 0)
+		done = p.dev.ReadInto(t, lba, 0, nil)
 	} else {
-		done, _ = p.dev.Write(t, lba, make([]byte, 64), false)
+		done, _ = p.dev.Write(t, lba, zeroLine[:], false)
 	}
 	if p.cache != nil {
 		p.cache.insert(a.Addr/p.cache.pageBytes, false)

@@ -27,7 +27,7 @@ func TestDRAMCacheInsertEvictLRU(t *testing.T) {
 	if _, d := c.insert(5, true); d {
 		t.Fatal("refresh caused eviction")
 	}
-	if p, _ := c.resident(5 * 4096); p == nil || !p.dirty {
+	if slot, ok := c.resident(5 * 4096); !ok || !c.dirty[slot] {
 		t.Fatal("refresh did not mark dirty")
 	}
 }
@@ -49,8 +49,8 @@ func TestDRAMCachePromotionThreshold(t *testing.T) {
 func TestDRAMCacheWarmBounded(t *testing.T) {
 	c := newDRAMCache(8*4096, 4096, 1)
 	c.warm(0, 100*4096) // more than capacity
-	if len(c.pages) != 8 {
-		t.Fatalf("warm overfilled: %d pages", len(c.pages))
+	if c.lru.Len() != 8 {
+		t.Fatalf("warm overfilled: %d pages", c.lru.Len())
 	}
 }
 

@@ -33,9 +33,17 @@ type Cell struct {
 	// Scenario names the multi-tenant mix for `mixed` cells; per-tenant
 	// latency percentiles ride in Extra (see EXPERIMENTS.md).
 	Scenario string `json:"scenario,omitempty"`
-	// WallNS is host wall time spent producing the cell. It is the
-	// only nondeterministic field and is zeroed by Canonical.
+	// WallNS is host wall time spent producing the cell. It is
+	// nondeterministic and is zeroed by Canonical.
 	WallNS int64 `json:"wall_ns"`
+	// HostUnitsPerSec is host-side throughput — work items per second
+	// of wall clock (Units / WallNS). It measures the simulator, not
+	// the simulated system, and is gated separately by `hamsbench
+	// compare -host-threshold` with a loose, regression-only bar.
+	// Nondeterministic; zeroed by Canonical. Only meaningful for
+	// hermetic cells (serial runs, Workers == 1): under parallel
+	// workers the wall times are contended and incomparable.
+	HostUnitsPerSec float64 `json:"host_units_per_sec,omitempty"`
 	// SimNS is the simulated elapsed time of the run.
 	SimNS int64 `json:"sim_ns,omitempty"`
 	// Units and UnitsPerSec are work items (pages or SQL ops) and
@@ -73,6 +81,7 @@ func (a Artifact) Canonical() Artifact {
 	copy(cells, a.Cells)
 	for i := range cells {
 		cells[i].WallNS = 0
+		cells[i].HostUnitsPerSec = 0
 	}
 	a.Cells = cells
 	return a
@@ -113,8 +122,12 @@ type Recorder struct {
 	cells []Cell
 }
 
-// Add appends one cell record.
+// Add appends one cell record, deriving the host-throughput channel
+// from the cell's wall time and unit count.
 func (r *Recorder) Add(c Cell) {
+	if c.WallNS > 0 && c.Units > 0 && c.HostUnitsPerSec == 0 {
+		c.HostUnitsPerSec = float64(c.Units) / (float64(c.WallNS) / 1e9)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.cells = append(r.cells, c)
@@ -227,6 +240,49 @@ func Deltas(base, cur Artifact) ([]Delta, error) {
 			Base: b.UnitsPerSec,
 			New:  c.UnitsPerSec,
 			Drop: (b.UnitsPerSec - c.UnitsPerSec) / b.UnitsPerSec,
+		})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Key < ds[j].Key })
+	return ds, nil
+}
+
+// HostDeltas diffs the host-side throughput channel (wall-clock
+// units/sec — the simulator's own speed). Unlike Deltas it is
+// regression-only and deliberately forgiving: cells missing a host
+// reading on either side are skipped, never flagged (profiled runs,
+// pre-channel baselines), and the gate only applies to hermetic
+// artifacts — both runs serial (Workers <= 1), since wall times
+// measured under parallel workers are contended and incomparable.
+func HostDeltas(base, cur Artifact) ([]Delta, error) {
+	if base.Schema != cur.Schema {
+		return nil, fmt.Errorf("report: schema mismatch: base v%d vs new v%d", base.Schema, cur.Schema)
+	}
+	if base.Scale != cur.Scale || base.Seed != cur.Seed {
+		return nil, fmt.Errorf("report: incomparable artifacts: base scale=%g seed=%d vs new scale=%g seed=%d",
+			base.Scale, base.Seed, cur.Scale, cur.Seed)
+	}
+	if base.Workers != 1 || cur.Workers != 1 {
+		return nil, fmt.Errorf("report: host-throughput gate needs serial artifacts (-parallel 1): base workers=%d, new workers=%d",
+			base.Workers, cur.Workers)
+	}
+	curBy := make(map[string]Cell, len(cur.Cells))
+	for _, c := range cur.Cells {
+		curBy[c.Key] = c
+	}
+	var ds []Delta
+	for _, b := range base.Cells {
+		if b.HostUnitsPerSec <= 0 {
+			continue
+		}
+		c, ok := curBy[b.Key]
+		if !ok || c.HostUnitsPerSec <= 0 {
+			continue
+		}
+		ds = append(ds, Delta{
+			Key:  b.Key,
+			Base: b.HostUnitsPerSec,
+			New:  c.HostUnitsPerSec,
+			Drop: (b.HostUnitsPerSec - c.HostUnitsPerSec) / b.HostUnitsPerSec,
 		})
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i].Key < ds[j].Key })

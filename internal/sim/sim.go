@@ -9,10 +9,17 @@
 // must mutate shared state at a future instant (busy-bit clearing,
 // wait-queue release, refresh windows) is registered on the Engine's
 // event heap and applied lazily by AdvanceTo before the next access.
+//
+// The heap is a value-typed 4-ary min-heap ordered by (At, seq): nodes
+// live inline in one slice, so scheduling an event allocates nothing in
+// steady state (the slice's spare capacity is the free list) and firing
+// order is the same total order the previous pointer-heap used. Hot
+// paths schedule through ScheduleCall with a persistent Handler to
+// avoid closure captures; Schedule keeps the closure form for tests and
+// cold paths.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -49,49 +56,37 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // MaxTime is the largest representable simulation time.
 const MaxTime = Time(1<<63 - 1)
 
-// Event is a deferred callback. Fn runs when the engine clock reaches At.
-type Event struct {
-	At Time
-	Fn func(Time)
+// Handler receives deferred events scheduled with ScheduleCall. A
+// single persistent object (a controller bank, a device) implements it
+// and demultiplexes on a0/a1, so the hot path never allocates a
+// closure per event.
+type Handler interface {
+	// OnEvent runs when the clock reaches the event. at is the time the
+	// event was scheduled for (the clock may already be there); a0 and
+	// a1 are the arguments given to ScheduleCall.
+	OnEvent(at Time, a0, a1 int64)
+}
 
+// EventID identifies a scheduled event for Cancel. The zero EventID
+// never matches a real event.
+type EventID int64
+
+// eventNode is one pending event, stored by value in the heap slice.
+type eventNode struct {
+	at  Time
 	seq int64 // tie-break so equal-time events run in schedule order
-	idx int
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	h   Handler
+	a0  int64
+	a1  int64
+	fn  func(Time)
 }
 
 // Engine owns the virtual clock and the event heap.
 // The zero value is ready to use at time zero.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    int64
+	now   Time
+	nodes []eventNode // 4-ary min-heap ordered by (at, seq)
+	seq   int64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -100,43 +95,141 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+func (e *Engine) less(i, j int) bool {
+	if e.nodes[i].at != e.nodes[j].at {
+		return e.nodes[i].at < e.nodes[j].at
+	}
+	return e.nodes[i].seq < e.nodes[j].seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(i, p) {
+			break
+		}
+		e.nodes[i], e.nodes[p] = e.nodes[p], e.nodes[i]
+		i = p
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.nodes)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for k := c + 1; k < hi; k++ {
+			if e.less(k, m) {
+				m = k
+			}
+		}
+		if !e.less(m, i) {
+			break
+		}
+		e.nodes[i], e.nodes[m] = e.nodes[m], e.nodes[i]
+		i = m
+	}
+}
+
+func (e *Engine) push(n eventNode) {
+	e.nodes = append(e.nodes, n)
+	e.siftUp(len(e.nodes) - 1)
+}
+
+// popMin removes and returns the earliest node. len(e.nodes) must be > 0.
+func (e *Engine) popMin() eventNode {
+	top := e.nodes[0]
+	last := len(e.nodes) - 1
+	e.nodes[0] = e.nodes[last]
+	e.nodes[last] = eventNode{} // release fn/h references
+	e.nodes = e.nodes[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
 // Schedule registers fn to run at time at. Scheduling in the past (at <
 // now) runs the callback at the current time on the next AdvanceTo.
-func (e *Engine) Schedule(at Time, fn func(Time)) *Event {
+func (e *Engine) Schedule(at Time, fn func(Time)) EventID {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.seq}
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	e.push(eventNode{at: at, seq: e.seq, fn: fn})
+	return EventID(e.seq)
+}
+
+// ScheduleCall registers h.OnEvent(at, a0, a1) to run at time at. It is
+// the allocation-free form of Schedule: the handler is a persistent
+// object, so no closure is captured per event.
+func (e *Engine) ScheduleCall(at Time, h Handler, a0, a1 int64) EventID {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.push(eventNode{at: at, seq: e.seq, h: h, a0: a0, a1: a1})
+	return EventID(e.seq)
 }
 
 // After registers fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func(Time)) *Event {
+func (e *Engine) After(d Time, fn func(Time)) EventID {
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 || ev.idx >= len(e.events) || e.events[ev.idx] != ev {
+// Cancel removes a pending event. Cancelling an already-fired,
+// already-cancelled or zero EventID is a no-op. Cancel is O(n) over
+// pending events — it exists for tests and recovery paths, never the
+// per-access hot path.
+func (e *Engine) Cancel(id EventID) {
+	if id == 0 {
 		return
 	}
-	heap.Remove(&e.events, ev.idx)
-	ev.idx = -1
+	for i := range e.nodes {
+		if e.nodes[i].seq == int64(id) {
+			last := len(e.nodes) - 1
+			e.nodes[i] = e.nodes[last]
+			e.nodes[last] = eventNode{}
+			e.nodes = e.nodes[:last]
+			if i < last {
+				e.siftDown(i)
+				e.siftUp(i)
+			}
+			return
+		}
+	}
 }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.nodes) }
 
 // NextEventAt returns the timestamp of the earliest pending event, or
 // MaxTime when the heap is empty.
 func (e *Engine) NextEventAt() Time {
-	if len(e.events) == 0 {
+	if len(e.nodes) == 0 {
 		return MaxTime
 	}
-	return e.events[0].At
+	return e.nodes[0].at
+}
+
+// fire pops the earliest node, advances the clock to it and runs it.
+func (e *Engine) fire() {
+	n := e.popMin()
+	if n.at > e.now {
+		e.now = n.at
+	}
+	if n.fn != nil {
+		n.fn(e.now)
+	} else {
+		n.h.OnEvent(n.at, n.a0, n.a1)
+	}
 }
 
 // AdvanceTo moves the clock forward to t, firing every event with
@@ -144,13 +237,8 @@ func (e *Engine) NextEventAt() Time {
 // honored if they also fall at or before t. AdvanceTo never moves the
 // clock backwards.
 func (e *Engine) AdvanceTo(t Time) {
-	for len(e.events) > 0 && e.events[0].At <= t {
-		ev := heap.Pop(&e.events).(*Event)
-		ev.idx = -1
-		if ev.At > e.now {
-			e.now = ev.At
-		}
-		ev.Fn(e.now)
+	for len(e.nodes) > 0 && e.nodes[0].at <= t {
+		e.fire()
 	}
 	if t > e.now {
 		e.now = t
@@ -161,13 +249,8 @@ func (e *Engine) AdvanceTo(t Time) {
 // time of the last event. It returns the number of events fired.
 func (e *Engine) Drain() int {
 	n := 0
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		ev.idx = -1
-		if ev.At > e.now {
-			e.now = ev.At
-		}
-		ev.Fn(e.now)
+	for len(e.nodes) > 0 {
+		e.fire()
 		n++
 	}
 	return n
@@ -176,6 +259,6 @@ func (e *Engine) Drain() int {
 // Reset clears all pending events and rewinds the clock to zero.
 func (e *Engine) Reset() {
 	e.now = 0
-	e.events = nil
+	e.nodes = nil
 	e.seq = 0
 }

@@ -140,7 +140,7 @@ func TestCancelMiddleEventPreservesOrder(t *testing.T) {
 func TestCancelFromInsideCallback(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	var victim *Event
+	var victim EventID
 	e.Schedule(10, func(Time) { e.Cancel(victim) })
 	victim = e.Schedule(20, func(Time) { fired = true })
 	e.AdvanceTo(30)
@@ -349,6 +349,70 @@ func TestTimeString(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
 		}
 	}
+}
+
+// recorder collects handler events for ScheduleCall tests.
+type recorder struct {
+	got [][3]int64
+}
+
+func (r *recorder) OnEvent(at Time, a0, a1 int64) {
+	r.got = append(r.got, [3]int64{int64(at), a0, a1})
+}
+
+func TestScheduleCallFiresWithArgs(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	e.ScheduleCall(20, r, 7, 8)
+	e.ScheduleCall(10, r, 1, 2)
+	e.AdvanceTo(30)
+	want := [][3]int64{{10, 1, 2}, {20, 7, 8}}
+	if len(r.got) != 2 || r.got[0] != want[0] || r.got[1] != want[1] {
+		t.Fatalf("got %v, want %v", r.got, want)
+	}
+}
+
+func TestScheduleCallPassesScheduledTime(t *testing.T) {
+	// An event scheduled in the past clamps to now; the handler must
+	// receive the clamped (effective) schedule time.
+	e := NewEngine()
+	e.AdvanceTo(100)
+	r := &recorder{}
+	e.ScheduleCall(50, r, 0, 0)
+	e.AdvanceTo(100)
+	if len(r.got) != 1 || r.got[0][0] != 100 {
+		t.Fatalf("got %v, want at=100", r.got)
+	}
+}
+
+func TestScheduleCallAndScheduleShareOrdering(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	var order []int64
+	e.Schedule(5, func(Time) { order = append(order, -1) })
+	e.ScheduleCall(5, r, 10, 0)
+	e.Schedule(5, func(Time) { order = append(order, -2) })
+	e.AdvanceTo(5)
+	if len(r.got) != 1 {
+		t.Fatalf("handler events = %v", r.got)
+	}
+	// Closure at seq1 fired first, handler second, closure at seq3 last.
+	if len(order) != 2 || order[0] != -1 || order[1] != -2 {
+		t.Fatalf("closure order = %v", order)
+	}
+}
+
+func TestCancelScheduleCall(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	id := e.ScheduleCall(10, r, 1, 1)
+	e.Cancel(id)
+	e.AdvanceTo(20)
+	if len(r.got) != 0 {
+		t.Fatalf("cancelled handler event fired: %v", r.got)
+	}
+	e.Cancel(id) // double cancel is a no-op
+	e.Cancel(0)  // zero id is a no-op
 }
 
 // Property: for any set of events, AdvanceTo(max) fires all of them in

@@ -9,11 +9,11 @@
 package ssd
 
 import (
-	"container/list"
 	"fmt"
 
 	"hams/internal/flash"
 	"hams/internal/ftl"
+	"hams/internal/mem"
 	"hams/internal/sim"
 )
 
@@ -115,24 +115,24 @@ type Stats struct {
 	BufferResident int
 }
 
-type bufEntry struct {
-	lba   uint64
-	data  []byte
-	dirty bool
-	elem  *list.Element
-}
-
-// Device is one SSD.
+// Device is one SSD. The internal DRAM buffer is a flat LRU
+// (mem.PageLRU) with slot-owned page buffers: inserts copy into the
+// slot's buffer and evictions recycle it, so steady-state buffer
+// traffic allocates nothing. Entries store variable-length data (a
+// 64 B write replaces whatever the slot held), tracked in bufLen.
 type Device struct {
 	cfg Config
 	arr *flash.Array
 	ftl *ftl.FTL
 
-	hil    *sim.Pool
-	bufBus *sim.Resource
-	buf    map[uint64]*bufEntry
-	lru    *list.List // front = most recent
-	bufCap int        // entries
+	hil      *sim.Pool
+	bufBus   *sim.Resource
+	buf      *mem.PageLRU
+	bufData  [][]byte // slot -> owned page-capacity buffer
+	bufLen   []int    // slot -> stored byte count
+	bufDirty []bool
+	bufCap   int    // entries
+	scratch  []byte // miss-path staging (one page)
 
 	stats Stats
 }
@@ -151,9 +151,9 @@ func New(cfg Config) *Device {
 		bufBus: sim.NewResource(),
 	}
 	if cfg.BufferBytes > 0 {
-		d.buf = make(map[uint64]*bufEntry)
-		d.lru = list.New()
+		d.buf = mem.NewPageLRU()
 		d.bufCap = int(cfg.BufferBytes / cfg.Geometry.PageBytes)
+		d.scratch = make([]byte, cfg.Geometry.PageBytes)
 	}
 	return d
 }
@@ -176,7 +176,7 @@ func (d *Device) Capacity() uint64 {
 func (d *Device) Stats() Stats {
 	s := d.stats
 	if d.buf != nil {
-		s.BufferResident = len(d.buf)
+		s.BufferResident = d.buf.Len()
 	}
 	return s
 }
@@ -202,30 +202,35 @@ func (d *Device) bufAccess(t sim.Time, bytes int64) sim.Time {
 // page to flash when full. Returns the time the insert completes (the
 // eviction program runs in the background on the flash resources).
 func (d *Device) bufInsert(t sim.Time, lba uint64, data []byte, dirty bool) sim.Time {
-	if e, ok := d.buf[lba]; ok {
-		e.data = data
-		e.dirty = e.dirty || dirty
-		d.lru.MoveToFront(e.elem)
+	if slot, ok := d.buf.Get(lba); ok {
+		d.bufLen[slot] = copy(d.bufData[slot], data)
+		d.bufDirty[slot] = d.bufDirty[slot] || dirty
+		d.buf.MoveToFront(slot)
 		return d.bufAccess(t, int64(len(data)))
 	}
-	for len(d.buf) >= d.bufCap {
-		back := d.lru.Back()
-		victim := back.Value.(*bufEntry)
-		d.lru.Remove(back)
-		delete(d.buf, victim.lba)
+	for d.buf.Len() >= d.bufCap {
+		vlba, vslot := d.buf.RemoveBack()
 		d.stats.BufferEvicts++
-		if victim.dirty {
+		if d.bufDirty[vslot] {
 			// Background write-back: occupies flash, does not gate t.
-			if _, err := d.ftl.Write(t, victim.lba, victim.data); err != nil {
+			if _, err := d.ftl.Write(t, vlba, d.bufData[vslot][:d.bufLen[vslot]]); err != nil {
 				// Media full: surface by dropping; callers see ErrFull
 				// on their own writes. Data loss accounting only.
 				d.stats.DirtyLost++
 			}
 		}
 	}
-	e := &bufEntry{lba: lba, data: data, dirty: dirty}
-	e.elem = d.lru.PushFront(e)
-	d.buf[lba] = e
+	slot := d.buf.InsertFront(lba)
+	for int(slot) >= len(d.bufData) {
+		d.bufData = append(d.bufData, nil)
+		d.bufLen = append(d.bufLen, 0)
+		d.bufDirty = append(d.bufDirty, false)
+	}
+	if d.bufData[slot] == nil {
+		d.bufData[slot] = make([]byte, d.cfg.Geometry.PageBytes)
+	}
+	d.bufLen[slot] = copy(d.bufData[slot], data)
+	d.bufDirty[slot] = dirty
 	return d.bufAccess(t, int64(len(data)))
 }
 
@@ -239,17 +244,17 @@ func (d *Device) Write(t sim.Time, lba uint64, data []byte, fua bool) (sim.Time,
 		d.stats.FUAWrites++
 	}
 	if d.bufCap > 0 && !fua {
-		return d.bufInsert(now, lba, cloneBytes(data), true), nil
+		return d.bufInsert(now, lba, data, true), nil
 	}
 	if d.bufCap > 0 {
 		// FUA on a buffered device: write through.
-		done := d.bufInsert(now, lba, cloneBytes(data), false)
+		done := d.bufInsert(now, lba, data, false)
 		fdone, err := d.ftl.Write(done, lba, data)
 		if err != nil {
 			return fdone, err
 		}
-		if e, ok := d.buf[lba]; ok {
-			e.dirty = false
+		if slot, ok := d.buf.Get(lba); ok {
+			d.bufDirty[slot] = false
 		}
 		return fdone, nil
 	}
@@ -258,6 +263,21 @@ func (d *Device) Write(t sim.Time, lba uint64, data []byte, fua bool) (sim.Time,
 
 // Read returns one logical page (first `bytes` transferred; 0 = all).
 func (d *Device) Read(t sim.Time, lba uint64, bytes uint32) (sim.Time, []byte) {
+	n := d.PageBytes()
+	if d.bufCap > 0 {
+		if slot, ok := d.buf.Get(lba); ok {
+			n = uint64(d.bufLen[slot])
+		}
+	}
+	buf := make([]byte, n)
+	done := d.ReadInto(t, lba, bytes, buf)
+	return done, buf
+}
+
+// ReadInto performs Read without allocating: up to one page of content
+// lands in dst, zero-filled past the stored bytes. A nil dst charges
+// timing (and buffer-state effects) only.
+func (d *Device) ReadInto(t sim.Time, lba uint64, bytes uint32, dst []byte) sim.Time {
 	now := d.hilEnter(t)
 	d.stats.Reads++
 	n := int64(bytes)
@@ -265,17 +285,25 @@ func (d *Device) Read(t sim.Time, lba uint64, bytes uint32) (sim.Time, []byte) {
 		n = int64(d.PageBytes())
 	}
 	if d.bufCap > 0 {
-		if e, ok := d.buf[lba]; ok {
+		if slot, ok := d.buf.Get(lba); ok {
 			d.stats.BufferHits++
-			d.lru.MoveToFront(e.elem)
-			return d.bufAccess(now, n), cloneBytes(e.data)
+			d.buf.MoveToFront(slot)
+			m := copy(dst, d.bufData[slot][:d.bufLen[slot]])
+			for i := m; i < len(dst); i++ {
+				dst[i] = 0
+			}
+			return d.bufAccess(now, n)
 		}
 		d.stats.BufferMisses++
-		done, data := d.ftl.Read(now, lba, bytes)
-		done = d.bufInsert(done, lba, data, false)
-		return done, cloneBytes(data)
+		done := d.ftl.ReadInto(now, lba, bytes, d.scratch)
+		done = d.bufInsert(done, lba, d.scratch, false)
+		m := copy(dst, d.scratch)
+		for i := m; i < len(dst); i++ {
+			dst[i] = 0
+		}
+		return done
 	}
-	return d.ftl.Read(now, lba, bytes)
+	return d.ftl.ReadInto(now, lba, bytes, dst)
 }
 
 // Flush forces every dirty buffered page to flash, returning when the
@@ -287,18 +315,16 @@ func (d *Device) Flush(t sim.Time) sim.Time {
 	if d.buf == nil {
 		return latest
 	}
-	// Walk the LRU list (oldest first) rather than the map: FTL page
-	// allocation and flash-channel timing depend on write order, so
-	// flushing in map-iteration order would make device timing
-	// nondeterministic run to run.
-	for el := d.lru.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*bufEntry)
-		if !e.dirty {
+	// Walk the LRU order (oldest first): FTL page allocation and
+	// flash-channel timing depend on write order, so the flush order
+	// must be deterministic run to run.
+	for slot := d.buf.TailSlot(); slot >= 0; slot = d.buf.PrevOf(slot) {
+		if !d.bufDirty[slot] {
 			continue
 		}
-		done, err := d.ftl.Write(now, e.lba, e.data)
+		done, err := d.ftl.Write(now, d.buf.PageOf(slot), d.bufData[slot][:d.bufLen[slot]])
 		if err == nil {
-			e.dirty = false
+			d.bufDirty[slot] = false
 			if done > latest {
 				latest = done
 			}
@@ -311,8 +337,8 @@ func (d *Device) Flush(t sim.Time) sim.Time {
 // without any timing effect.
 func (d *Device) Peek(lba uint64) []byte {
 	if d.buf != nil {
-		if e, ok := d.buf[lba]; ok {
-			return cloneBytes(e.data)
+		if slot, ok := d.buf.Get(lba); ok {
+			return append([]byte(nil), d.bufData[slot][:d.bufLen[slot]]...)
 		}
 	}
 	return d.ftl.Peek(lba)
@@ -323,9 +349,8 @@ func (d *Device) Peek(lba uint64) []byte {
 // target page unreadable until the journal replay rewrites it.
 func (d *Device) Trim(lba uint64) {
 	if d.buf != nil {
-		if e, ok := d.buf[lba]; ok {
-			d.lru.Remove(e.elem)
-			delete(d.buf, lba)
+		if slot, ok := d.buf.Get(lba); ok {
+			d.buf.Remove(slot)
 		}
 	}
 	d.ftl.Trim(lba)
@@ -337,8 +362,7 @@ func (d *Device) Trim(lba uint64) {
 func (d *Device) DropCaches(t sim.Time) sim.Time {
 	done := d.Flush(t)
 	if d.buf != nil {
-		d.buf = make(map[uint64]*bufEntry)
-		d.lru = list.New()
+		d.buf = mem.NewPageLRU() // slot buffers in bufData are reused
 	}
 	return done
 }
@@ -351,17 +375,16 @@ func (d *Device) PowerFail() int {
 		return 0
 	}
 	dirty := 0
-	// LRU order, not map order: the supercap path writes to flash, and
-	// write order must be deterministic (see Flush).
-	for el := d.lru.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*bufEntry)
-		if !e.dirty {
+	// LRU order, not insertion order: the supercap path writes to
+	// flash, and write order must be deterministic (see Flush).
+	for slot := d.buf.TailSlot(); slot >= 0; slot = d.buf.PrevOf(slot) {
+		if !d.bufDirty[slot] {
 			continue
 		}
 		dirty++
 		if d.cfg.Supercap {
-			if _, err := d.ftl.Write(0, e.lba, e.data); err == nil {
-				e.dirty = false
+			if _, err := d.ftl.Write(0, d.buf.PageOf(slot), d.bufData[slot][:d.bufLen[slot]]); err == nil {
+				d.bufDirty[slot] = false
 				continue
 			}
 		}
@@ -369,20 +392,13 @@ func (d *Device) PowerFail() int {
 	}
 	if !d.cfg.Supercap {
 		// Volatile buffer contents are gone.
-		d.buf = make(map[uint64]*bufEntry)
-		d.lru = list.New()
+		d.buf = mem.NewPageLRU()
 	}
 	return dirty
 }
 
 // DirtyLost reports pages dropped across the device's lifetime.
 func (d *Device) DirtyLost() int64 { return d.stats.DirtyLost }
-
-func cloneBytes(b []byte) []byte {
-	c := make([]byte, len(b))
-	copy(c, b)
-	return c
-}
 
 func (d *Device) String() string {
 	return fmt.Sprintf("%s(%.0fGB, buffer %dMB)", d.cfg.Name,
