@@ -1,0 +1,16 @@
+# Build hamsd into a from-scratch image: the simulator is pure Go
+# (CGO_ENABLED=0, stdlib-only), so the runtime stage needs nothing but
+# the static binary.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/hamsd ./cmd/hamsd
+
+FROM scratch
+COPY --from=build /out/hamsd /hamsd
+# See cmd/hamsd doc (or EXPERIMENTS.md) for the full HAMSD_* variable
+# table; everything is env-configured, no flags and no config files.
+ENV HAMSD_ADDR=:8080
+EXPOSE 8080
+ENTRYPOINT ["/hamsd"]

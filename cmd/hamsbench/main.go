@@ -4,8 +4,8 @@
 // Usage:
 //
 //	hamsbench [-scale 3e-6] [-seed 42] [-parallel N] [-json out.json]
-//	          [-mshrs D] [-qos-masks name=mask,...] [-qos-mbps name=N,...]
-//	          [-qos-summary file.md] <target> [target...]
+//	          [-progress] [-mshrs D] [-qos-masks name=mask,...]
+//	          [-qos-mbps name=N,...] [-qos-summary file.md] <target> [target...]
 //	hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json
 //
 // Targets: table1 table2 table3 fig5 fig6 fig7 fig10 fig16 fig17
@@ -30,7 +30,9 @@
 // and -qos-summary appends the victim-delta markdown table to a file
 // ($GITHUB_STEP_SUMMARY in CI).
 // -parallel sets the engine worker count (0 = GOMAXPROCS, 1 = serial);
-// results are bit-identical for any value. -json writes a versioned
+// results are bit-identical for any value. -progress prints one stderr
+// line per experiment cell as it completes (the same per-cell hook
+// hamsd streams over HTTP). -json writes a versioned
 // BENCH artifact with one record per experiment cell; compare diffs
 // two artifacts and exits nonzero when any cell's simulated throughput
 // regressed beyond the threshold (the CI perf gate); -summary appends
@@ -51,15 +53,18 @@ import (
 	"syscall"
 	"time"
 
+	"hams/internal/api"
 	"hams/internal/experiments"
 	"hams/internal/qos"
 	"hams/internal/report"
 	"hams/internal/stats"
 )
 
-var allTargets = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
-	"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "ablation", "sweep",
-	"replay", "mixed", "qos", "mlp"}
+// benchFlags maps JobSpec field names to this CLI's flag spellings for
+// validation-error rendering (see api.RenderFlagErrors).
+var benchFlags = map[string]string{
+	"targets": "target", // positional
+}
 
 func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
@@ -81,6 +86,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	qosMBps := fs.String("qos-mbps", "", "qos target: override isolated-policy throttles in MB/s, e.g. stream=100")
 	qosSummary := fs.String("qos-summary", "", "append the qos isolation delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	mshrs := fs.Int("mshrs", 0, "override the per-bank MSHR depth of HAMS cells (0 = each target's own; >= 2 enables the non-blocking miss pipeline)")
+	progress := fs.Bool("progress", false, "print one line per completed cell to stderr as it finishes")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -89,39 +95,32 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
-	targets := fs.Args()
-	if len(targets) == 0 {
+	if fs.NArg() == 0 {
 		usage(stderr)
 		return 2
 	}
-	targets = expand(targets)
-	// Validate every name and QoS override up front: CI must not
-	// discover a typo only after minutes of earlier targets have
-	// already run (PR 2's convention: malformed input exits 2 before
-	// any cell runs).
-	var unknown []string
-	for _, tgt := range targets {
-		if !known(tgt) {
-			unknown = append(unknown, tgt)
-		}
-	}
-	if len(unknown) > 0 {
-		fmt.Fprintf(stderr, "hamsbench: unknown target(s): %s\n", strings.Join(unknown, ", "))
-		usage(stderr)
-		return 2
-	}
-	masks, mbps, err := parseQoSFlags(*qosMasks, *qosMBps)
+	// Assemble the flag set into the same JobSpec a POST /v1/jobs body
+	// decodes to and validate it the same way: CI must not discover a
+	// typo only after minutes of earlier targets have already run
+	// (PR 2's convention: malformed input exits 2 before any cell runs).
+	masks, mbps, err := splitQoSFlags(*qosMasks, *qosMBps)
 	if err != nil {
 		fmt.Fprintf(stderr, "hamsbench: %v\n", err)
 		return 2
 	}
+	spec := api.JobSpec{
+		Kind: api.KindTarget, Targets: fs.Args(),
+		Scale: *scale, Seed: *seed, Parallel: *parallel, MSHRs: *mshrs,
+		QoSMasks: masks, QoSMBps: mbps,
+	}
+	if err := api.Validate(spec); err != nil {
+		api.RenderFlagErrors(stderr, "hamsbench", err, benchFlags)
+		return 2
+	}
+	targets := experiments.ExpandTargets(spec.Targets)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *mshrs < 0 {
-		fmt.Fprintf(stderr, "hamsbench: -mshrs: want a non-negative depth, got %d\n", *mshrs)
-		return 2
-	}
 	// Profiles are validated up front (the exit-2 convention): a CPU
 	// profile that cannot be created must not be discovered after the
 	// run it was meant to capture has already burned its minutes.
@@ -157,12 +156,21 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 	}
-	o := experiments.Options{
-		Scale: *scale, Seed: *seed, Parallel: *parallel, Ctx: ctx,
-		QoSMasks: masks, QoSMBps: mbps, MSHRs: *mshrs,
+	o, err := spec.ExperimentOptions()
+	if err != nil {
+		fmt.Fprintf(stderr, "hamsbench: %v\n", err)
+		return 2
 	}
+	o.Ctx = ctx
 	if *jsonOut != "" {
 		o.Recorder = &report.Recorder{}
+	}
+	if *progress {
+		// One Fprintf per cell: a single Write under the hood, so lines
+		// from concurrent workers do not shear.
+		o.Progress = func(c report.Cell) {
+			fmt.Fprintf(stderr, "cell %-44s %9.1fms\n", c.Key, float64(c.WallNS)/1e6)
+		}
 	}
 	for _, tgt := range targets {
 		if err := run(tgt, o, *qosSummary, stdout); err != nil {
@@ -181,121 +189,48 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// parseQoSFlags validates the -qos-masks/-qos-mbps assignment lists
-// (syntax here; class names against the qos target's scenario).
-func parseQoSFlags(masksArg, mbpsArg string) (map[string]uint64, map[string]float64, error) {
-	masks := make(map[string]uint64)
-	asn, err := qos.ParseAssignments(masksArg)
+// splitQoSFlags parses the -qos-masks/-qos-mbps assignment-list syntax
+// (name=value,...); mask values and class names are validated by
+// api.Validate like any JSON body's.
+func splitQoSFlags(masksArg, mbpsArg string) (map[string]string, map[string]float64, error) {
+	masks, err := qos.ParseAssignments(masksArg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("-qos-masks: %w", err)
 	}
-	for name, v := range asn {
-		// "full" (and a bare name) parse to 0 — the Table convention
-		// for "all ways" — letting one class opt out of partitioning.
-		m, err := qos.ParseMask(v)
-		if err != nil {
-			return nil, nil, fmt.Errorf("-qos-masks: class %q: %w", name, err)
-		}
-		masks[name] = m
+	if len(masks) == 0 {
+		masks = nil
 	}
-	mbps := make(map[string]float64)
-	asn, err = qos.ParseAssignments(mbpsArg)
+	var mbps map[string]float64
+	asn, err := qos.ParseAssignments(mbpsArg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("-qos-mbps: %w", err)
 	}
 	for name, v := range asn {
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 0 {
-			return nil, nil, fmt.Errorf("-qos-mbps: class %q: want a positive MB/s value, got %q", name, v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-qos-mbps: class %q: want a MB/s number, got %q", name, v)
+		}
+		if mbps == nil {
+			mbps = make(map[string]float64, len(asn))
 		}
 		mbps[name] = f
-	}
-	if err := experiments.ValidateQoSOverrides(masks, mbps); err != nil {
-		return nil, nil, err
 	}
 	return masks, mbps, nil
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] [-qos-masks a=0xf,...] [-qos-mbps a=N,...] [-qos-summary f.md] <%s|all>\n",
-		strings.Join(allTargets, "|"))
+	fmt.Fprintf(w, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] [-progress] [-qos-masks a=0xf,...] [-qos-mbps a=N,...] [-qos-summary f.md] <%s|all>\n",
+		strings.Join(experiments.TargetNames(), "|"))
 	fmt.Fprintln(w, "       hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json")
-}
-
-// expand resolves "all" and drops repeats (first occurrence wins): a
-// target run twice would record duplicate cell keys into the artifact,
-// breaking the key-uniqueness the compare gate relies on.
-func expand(targets []string) []string {
-	seen := make(map[string]bool)
-	var out []string
-	add := func(t string) {
-		if !seen[t] {
-			seen[t] = true
-			out = append(out, t)
-		}
-	}
-	for _, tgt := range targets {
-		if tgt == "all" {
-			for _, t := range allTargets {
-				add(t)
-			}
-			continue
-		}
-		add(tgt)
-	}
-	return out
-}
-
-func known(tgt string) bool {
-	for _, t := range allTargets {
-		if t == tgt {
-			return true
-		}
-	}
-	return false
 }
 
 func run(target string, o experiments.Options, qosSummary string, stdout io.Writer) error {
 	start := time.Now()
 	var tables []*stats.Table
 	var err error
-	one := func(t *stats.Table, e error) ([]*stats.Table, error) {
-		return []*stats.Table{t}, e
-	}
-	switch target {
-	case "table1", "table2", "table3":
-		tables, err = experiments.StaticTables(o, target)
-	case "fig5":
-		tables, err = experiments.Fig5(o)
-	case "fig6":
-		tables, err = experiments.Fig6(o)
-	case "fig7":
-		tables, err = experiments.Fig7(o)
-	case "fig10":
-		tables, err = one(experiments.Fig10(o))
-	case "fig16":
-		tables, err = experiments.Fig16(o)
-	case "fig17":
-		tables, err = one(experiments.Fig17(o))
-	case "fig18":
-		tables, err = one(experiments.Fig18(o))
-	case "fig19":
-		tables, err = one(experiments.Fig19(o))
-	case "fig20":
-		tables, err = experiments.Fig20(o)
-	case "headline":
-		tables, err = one(experiments.Headline(o))
-	case "ablation":
-		tables, err = one(experiments.Ablation(o))
-	case "sweep":
-		tables, err = experiments.AssocShardSweep(o)
-	case "mlp":
-		tables, err = experiments.MLPSweep(o)
-	case "replay":
-		tables, err = experiments.Replay(o)
-	case "mixed":
-		tables, err = experiments.Mixed(o)
-	case "qos":
+	if target == "qos" {
+		// The only CLI-flavored target: its markdown isolation summary
+		// can land in $GITHUB_STEP_SUMMARY.
 		var md string
 		tables, md, err = experiments.QoSWithSummary(o)
 		if err == nil && qosSummary != "" {
@@ -303,6 +238,8 @@ func run(target string, o experiments.Options, qosSummary string, stdout io.Writ
 				return fmt.Errorf("qos summary: %w", werr)
 			}
 		}
+	} else {
+		tables, err = experiments.RunTarget(target, o)
 	}
 	if err != nil {
 		return err

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"hams/internal/api"
 	"hams/internal/report"
 )
 
@@ -72,23 +74,69 @@ func TestStaticTargetRuns(t *testing.T) {
 	}
 }
 
-// TestParseQoSFlagsValues: the accepted syntax maps to the override
-// tables the qos target consumes.
-func TestParseQoSFlagsValues(t *testing.T) {
-	masks, mbps, err := parseQoSFlags("latency=0xf0, stream=0b11", "stream=250")
+// TestSplitQoSFlagsValues: the accepted assignment-list syntax maps to
+// the JobSpec fields api.Validate then checks like any JSON body's.
+func TestSplitQoSFlagsValues(t *testing.T) {
+	masks, mbps, err := splitQoSFlags("latency=0xf0, stream=0b11", "stream=250")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if masks["latency"] != 0xf0 || masks["stream"] != 0b11 || mbps["stream"] != 250 {
+	if masks["latency"] != "0xf0" || masks["stream"] != "0b11" || mbps["stream"] != 250 {
 		t.Fatalf("parsed masks=%v mbps=%v", masks, mbps)
 	}
-	// "full" un-partitions one class (0 = the all-ways convention).
-	masks, _, err = parseQoSFlags("latency=full", "")
-	if err != nil || masks["latency"] != 0 {
+	// "full" is legal mask syntax (the all-ways convention) and must
+	// survive the flag split for Validate to accept downstream.
+	masks, _, err = splitQoSFlags("latency=full", "")
+	if err != nil || masks["latency"] != "full" {
 		t.Fatalf("full mask: masks=%v err=%v", masks, err)
 	}
-	if m, b, err := parseQoSFlags("", ""); err != nil || len(m) != 0 || len(b) != 0 {
+	if m, b, err := splitQoSFlags("", ""); err != nil || m != nil || b != nil {
 		t.Fatalf("empty flags: %v %v %v", m, b, err)
+	}
+}
+
+// TestCLIMatchesAPI is the hamsbench half of the parity acceptance
+// gate: the flag set and the equivalent POST /v1/jobs body must
+// produce byte-identical canonical cell sets, because both roads lead
+// through the same JobSpec builders and target dispatch.
+func TestCLIMatchesAPI(t *testing.T) {
+	artPath := filepath.Join(t.TempDir(), "cli.json")
+	code, _, errOut := exec("-scale", "1e-7", "-seed", "7", "-parallel", "2",
+		"-json", artPath, "mixed")
+	if code != 0 {
+		t.Fatalf("CLI exit %d, stderr: %s", code, errOut)
+	}
+	art, err := report.Load(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := api.JobSpec{Kind: api.KindTarget, Targets: []string{"mixed"},
+		Scale: 1e-7, Seed: 7, Parallel: 2}
+	if err := api.Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := api.Execute(spec, api.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, apiCells := report.CanonicalCells(art.Cells), report.CanonicalCells(cells)
+	if len(cli) == 0 || !reflect.DeepEqual(cli, apiCells) {
+		t.Fatalf("CLI and API cells differ:\nCLI: %+v\nAPI: %+v", cli, apiCells)
+	}
+}
+
+// TestProgressFlagStreamsCells: -progress emits one stderr line per
+// cell without perturbing the result tables.
+func TestProgressFlagStreamsCells(t *testing.T) {
+	code, out, errOut := exec("-scale", "1e-8", "-progress", "table1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Table I") {
+		t.Fatalf("table not rendered:\n%s", out)
+	}
+	if !strings.Contains(errOut, "cell tables/table1") {
+		t.Fatalf("no progress line on stderr:\n%s", errOut)
 	}
 }
 

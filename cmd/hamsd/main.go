@@ -1,0 +1,207 @@
+// Command hamsd serves HAMS as a long-running HTTP service: clients
+// POST versioned JobSpec bodies (the same schema the CLIs assemble
+// from flags — see internal/api), upload recorded trace containers,
+// and stream per-cell results as they complete. One shared worker
+// pool multiplexes every job; per-client in-flight caps provide
+// admission control.
+//
+// API (see EXPERIMENTS.md for the walkthrough):
+//
+//	POST   /v1/jobs             submit an api.JobSpec        → 202 JobStatus
+//	GET    /v1/jobs             list job statuses
+//	GET    /v1/jobs/{id}        one job's status
+//	DELETE /v1/jobs/{id}        cancel (queued never runs; running stops dispatch)
+//	GET    /v1/jobs/{id}/cells  NDJSON stream of report.Cell results
+//	POST   /v1/traces           upload a trace-v2 container  → 201 {"id": ...}
+//	GET    /v1/stats            JSON aggregate statistics
+//	GET    /metrics             Prometheus text format
+//	GET    /healthz             liveness (503 while draining)
+//
+// Configuration is environment-only (twelve-factor style):
+//
+//	HAMSD_ADDR          listen address            (default ":8080")
+//	HAMSD_WORKERS       shared pool worker count  (default 0 = GOMAXPROCS)
+//	HAMSD_MAX_JOBS      jobs simulating at once   (default 4)
+//	HAMSD_CLIENT_CAP    default per-client in-flight job cap (default 0 = unlimited)
+//	HAMSD_CLIENT_CAPS   per-client overrides, e.g. "ci=8,adhoc=2"
+//	HAMSD_STATS_PERIOD  aggregate-stats log period (default 10s)
+//	HAMSD_DRAIN_TIMEOUT graceful-shutdown bound    (default 30s)
+//	HAMSD_LOG           "json" (default) or "text"
+//
+// On SIGINT/SIGTERM the daemon drains: new submissions get 503,
+// in-flight jobs and open streams finish (up to HAMSD_DRAIN_TIMEOUT),
+// then the worker pool shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"hams/internal/qos"
+)
+
+type config struct {
+	Addr         string
+	Workers      int
+	MaxJobs      int
+	ClientCap    int
+	ClientCaps   map[string]int
+	StatsPeriod  time.Duration
+	DrainTimeout time.Duration
+	LogFormat    string
+}
+
+// envConfig reads the HAMSD_* environment; malformed values are
+// validation errors (the daemon refuses to start half-configured).
+func envConfig(getenv func(string) string) (config, error) {
+	cfg := config{
+		Addr:         ":8080",
+		StatsPeriod:  10 * time.Second,
+		DrainTimeout: 30 * time.Second,
+		LogFormat:    "json",
+	}
+	if v := getenv("HAMSD_ADDR"); v != "" {
+		cfg.Addr = v
+	}
+	for _, iv := range []struct {
+		name string
+		dst  *int
+	}{
+		{"HAMSD_WORKERS", &cfg.Workers},
+		{"HAMSD_MAX_JOBS", &cfg.MaxJobs},
+		{"HAMSD_CLIENT_CAP", &cfg.ClientCap},
+	} {
+		v := getenv(iv.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return cfg, fmt.Errorf("%s: want a non-negative integer, got %q", iv.name, v)
+		}
+		*iv.dst = n
+	}
+	if v := getenv("HAMSD_CLIENT_CAPS"); v != "" {
+		asn, err := qos.ParseAssignments(v)
+		if err != nil {
+			return cfg, fmt.Errorf("HAMSD_CLIENT_CAPS: %w", err)
+		}
+		cfg.ClientCaps = make(map[string]int, len(asn))
+		for name, raw := range asn {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("HAMSD_CLIENT_CAPS: client %q: want a non-negative integer, got %q", name, raw)
+			}
+			cfg.ClientCaps[name] = n
+		}
+	}
+	for _, dv := range []struct {
+		name string
+		dst  *time.Duration
+	}{
+		{"HAMSD_STATS_PERIOD", &cfg.StatsPeriod},
+		{"HAMSD_DRAIN_TIMEOUT", &cfg.DrainTimeout},
+	} {
+		v := getenv(dv.name)
+		if v == "" {
+			continue
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return cfg, fmt.Errorf("%s: want a positive duration (e.g. \"10s\"), got %q", dv.name, v)
+		}
+		*dv.dst = d
+	}
+	switch v := getenv("HAMSD_LOG"); v {
+	case "", "json", "text":
+		if v != "" {
+			cfg.LogFormat = v
+		}
+	default:
+		return cfg, fmt.Errorf("HAMSD_LOG: want \"json\" or \"text\", got %q", v)
+	}
+	return cfg, nil
+}
+
+func newLogger(w io.Writer, format string) *slog.Logger {
+	if format == "text" {
+		return slog.New(slog.NewTextHandler(w, nil))
+	}
+	return slog.New(slog.NewJSONHandler(w, nil))
+}
+
+func main() {
+	os.Exit(realMain(os.Getenv, os.Stderr))
+}
+
+// realMain is main with injectable environment and log stream. It
+// blocks until a termination signal completes the drain.
+func realMain(getenv func(string) string, logw io.Writer) int {
+	cfg, err := envConfig(getenv)
+	if err != nil {
+		fmt.Fprintf(logw, "hamsd: %v\n", err)
+		return 2
+	}
+	log := newLogger(logw, cfg.LogFormat)
+
+	m := newManager(managerConfig{
+		Workers: cfg.Workers, MaxActive: cfg.MaxJobs,
+		DefaultCap: cfg.ClientCap, ClientCaps: cfg.ClientCaps,
+		Log: log,
+	})
+	srv := newServer(m, log)
+	httpServer := &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan struct{})
+	go srv.logStats(cfg.StatsPeriod, stop)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	log.Info("hamsd listening", "addr", cfg.Addr, "workers", m.pool.Workers(),
+		"max_jobs", cap(m.sem), "caps", fmt.Sprint(cfg.ClientCaps))
+
+	select {
+	case err := <-errCh:
+		close(stop)
+		log.Error("listen failed", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, let HTTP connections and accepted
+	// jobs finish within the bound, then release the pool.
+	log.Info("draining", "timeout", cfg.DrainTimeout.String())
+	m.Drain()
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancelShutdown()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("shutdown", "err", err)
+	}
+	jobsDone := make(chan struct{})
+	go func() { m.Wait(); close(jobsDone) }()
+	select {
+	case <-jobsDone:
+	case <-shutdownCtx.Done():
+		log.Warn("drain timeout: exiting with jobs still running")
+		close(stop)
+		return 1
+	}
+	close(stop)
+	log.Info("hamsd stopped")
+	return 0
+}

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"time"
+
+	"hams/internal/api"
+	"hams/internal/trace"
+)
+
+// maxBodyBytes bounds request bodies: job specs are small; trace
+// containers can be larger but a daemon must not buffer arbitrary
+// uploads.
+const maxBodyBytes = 64 << 20
+
+// server wires the manager to the HTTP API. It is handler-first so
+// httptest drives the identical mux production serves.
+type server struct {
+	m   *manager
+	log *slog.Logger
+}
+
+func newServer(m *manager, log *slog.Logger) *server {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &server{m: m, log: log}
+}
+
+// handler builds the versioned route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/cells", s.handleCells)
+	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorBody is every non-2xx JSON response: the same field-error shape
+// the CLIs render to stderr.
+type errorBody struct {
+	Errors api.Errors `json:"errors"`
+}
+
+func writeErrors(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Errors: api.AsErrors(err)})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec api.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErrors(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	if err := api.Validate(spec); err != nil {
+		writeErrors(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.m.Submit(spec)
+	switch {
+	case errors.Is(err, errDraining):
+		writeErrors(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, errOverCap):
+		writeErrors(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		writeErrors(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Jobs())
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErrors(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	s.m.Cancel(j.id)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleCells streams the job's result cells as NDJSON: everything
+// produced so far immediately, then one line per cell as it completes,
+// ending when the job reaches a terminal state. A request arriving
+// after completion gets the canonical (CLI-identical) ordering in one
+// response.
+func (s *server) handleCells(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	i := 0
+	for {
+		cells, done, changed := j.next(i)
+		for _, c := range cells {
+			if err := enc.Encode(c); err != nil {
+				return
+			}
+			i++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleTraceUpload decodes a v2 container from the request body and
+// stores it under a fresh ID scenario jobs can reference as
+// tenants[i].trace.
+func (s *server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	tf, err := trace.Decode(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErrors(w, http.StatusBadRequest, fmt.Errorf("decoding trace container: %w", err))
+		return
+	}
+	id := s.m.traces.Put(tf)
+	s.log.Info("trace uploaded", "trace", id, "name", tf.Name, "threads", len(tf.Threads), "steps", tf.Steps())
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":      id,
+		"name":    tf.Name,
+		"version": tf.Version,
+		"threads": len(tf.Threads),
+		"steps":   tf.Steps(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Stats())
+}
+
+// handleMetrics renders the same snapshot in Prometheus text format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.m.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP hamsd_jobs Jobs by state.\n# TYPE hamsd_jobs gauge\n")
+	states := make([]string, 0, len(st.Jobs))
+	for state := range st.Jobs {
+		states = append(states, state)
+	}
+	sort.Strings(states)
+	for _, state := range states {
+		fmt.Fprintf(w, "hamsd_jobs{state=%q} %d\n", state, st.Jobs[state])
+	}
+	fmt.Fprintf(w, "# HELP hamsd_workers Worker goroutines in the shared cell pool.\n# TYPE hamsd_workers gauge\nhamsd_workers %d\n", st.Workers)
+	fmt.Fprintf(w, "# HELP hamsd_workers_busy Workers currently simulating a cell.\n# TYPE hamsd_workers_busy gauge\nhamsd_workers_busy %d\n", st.Busy)
+	fmt.Fprintf(w, "# HELP hamsd_cells_completed_total Experiment cells completed since start.\n# TYPE hamsd_cells_completed_total counter\nhamsd_cells_completed_total %d\n", st.Cells)
+	fmt.Fprintf(w, "# HELP hamsd_traces Uploaded trace containers held in memory.\n# TYPE hamsd_traces gauge\nhamsd_traces %d\n", st.Traces)
+	drain := 0
+	if st.Draining {
+		drain = 1
+	}
+	fmt.Fprintf(w, "# HELP hamsd_draining Whether the daemon refuses new jobs.\n# TYPE hamsd_draining gauge\nhamsd_draining %d\n", drain)
+	clients := make([]string, 0, len(st.Clients))
+	for c := range st.Clients {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	fmt.Fprintf(w, "# HELP hamsd_job_duration_ms Completed-job wall time quantiles per client.\n# TYPE hamsd_job_duration_ms summary\n")
+	for _, c := range clients {
+		cs := st.Clients[c]
+		fmt.Fprintf(w, "hamsd_job_duration_ms{client=%q,quantile=\"0.5\"} %g\n", c, cs.P50MS)
+		fmt.Fprintf(w, "hamsd_job_duration_ms{client=%q,quantile=\"0.95\"} %g\n", c, cs.P95MS)
+		fmt.Fprintf(w, "hamsd_job_duration_ms{client=%q,quantile=\"0.99\"} %g\n", c, cs.P99MS)
+		fmt.Fprintf(w, "hamsd_jobs_inflight{client=%q} %d\n", c, cs.Inflight)
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.m.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// logStats emits the periodic aggregate line until stop closes.
+func (s *server) logStats(period time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			st := s.m.Stats()
+			s.log.Info("stats",
+				"queued", st.Jobs[api.StateQueued],
+				"running", st.Jobs[api.StateRunning],
+				"done", st.Jobs[api.StateDone],
+				"failed", st.Jobs[api.StateFailed],
+				"workers", st.Workers,
+				"busy", st.Busy,
+				"cells", st.Cells,
+			)
+		case <-stop:
+			return
+		}
+	}
+}

@@ -30,12 +30,21 @@ import (
 	"io"
 	"os"
 
-	"hams/internal/core/tagstore"
+	"hams/internal/api"
 	"hams/internal/cpu"
 	"hams/internal/experiments"
-	"hams/internal/platform"
-	"hams/internal/qos"
 )
+
+// simFlags maps JobSpec field names to this CLI's flag spellings for
+// validation-error rendering (see api.RenderFlagErrors).
+var simFlags = map[string]string{
+	"platform":    "platform", // positional
+	"workload":    "workload", // positional
+	"page_bytes":  "-page",
+	"queue_depth": "-qd",
+	"qos_masks":   "-qos-mask",
+	"qos_mbps":    "-qos-mbps",
+}
 
 func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
@@ -67,41 +76,35 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: hamssim [flags] <platform> <workload>")
 		return 2
 	}
-	pol, err := tagstore.ParsePolicy(*policy)
+	// Assemble the flags into the same JobSpec a POST /v1/jobs body
+	// decodes to; one validator covers both roads.
+	spec := api.JobSpec{
+		Kind: api.KindRun, Platform: fs.Arg(0), Workload: fs.Arg(1),
+		Scale: *scale, Seed: *seed,
+		PageBytes: *page, Ways: *ways, Banks: *banks, Policy: *policy,
+		MSHRs: *mshrs, QueueDepth: *qd,
+	}
+	if *qosMask != "" {
+		spec.QoSMasks = map[string]string{"workload": *qosMask}
+	}
+	if *qosMBps != 0 {
+		spec.QoSMBps = map[string]float64{"workload": *qosMBps}
+	}
+	if err := api.Validate(spec); err != nil {
+		api.RenderFlagErrors(stderr, "hamssim", err, simFlags)
+		return 2
+	}
+	popt, err := spec.PlatformOptions()
 	if err != nil {
-		fmt.Fprintf(stderr, "hamssim: %v\n", err)
+		api.RenderFlagErrors(stderr, "hamssim", err, simFlags)
 		return 2
 	}
-	if *mshrs < 0 {
-		fmt.Fprintf(stderr, "hamssim: -mshrs: want a non-negative depth, got %d\n", *mshrs)
-		return 2
-	}
-	if *qd < 0 {
-		fmt.Fprintf(stderr, "hamssim: -qd: want a non-negative cap, got %d\n", *qd)
-		return 2
-	}
-	mask, err := qos.ParseMask(*qosMask)
+	o, err := spec.ExperimentOptions()
 	if err != nil {
-		fmt.Fprintf(stderr, "hamssim: -qos-mask: %v\n", err)
+		api.RenderFlagErrors(stderr, "hamssim", err, simFlags)
 		return 2
 	}
-	if *qosMBps < 0 {
-		fmt.Fprintf(stderr, "hamssim: -qos-mbps: want a non-negative MB/s value, got %g\n", *qosMBps)
-		return 2
-	}
-	platName, wlName := fs.Arg(0), fs.Arg(1)
-	o := experiments.Options{Scale: *scale, Seed: *seed}
-	popt := platform.Options{
-		HAMSPage: *page, HAMSWays: *ways, HAMSBanks: *banks, HAMSPolicy: pol,
-		HAMSMSHRs: *mshrs, HAMSQueueDepth: *qd,
-	}
-	if mask != 0 || *qosMBps > 0 {
-		// The whole workload runs as one CLOS with the given budget.
-		popt.HAMSQoS = &qos.Table{Classes: []qos.Class{
-			{Name: "workload", WayMask: mask, MBps: *qosMBps},
-		}}
-	}
-	r, err := experiments.Run(platName, wlName, o, popt, nil)
+	r, err := experiments.RunOne(o, spec.Platform, spec.Workload, popt)
 	if err != nil {
 		fmt.Fprintf(stderr, "hamssim: %v\n", err)
 		return 1

@@ -41,12 +41,16 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
-// TestUnknownPlatformExit1: a well-formed invocation naming an
-// unknown platform is a runtime failure (exit 1), not usage.
-func TestUnknownPlatformExit1(t *testing.T) {
+// TestUnknownPlatformExit2: an unknown platform name is caught by the
+// shared JobSpec validator before anything runs (exit 2) — the same
+// field error hamsd returns as HTTP 400, named after the positional.
+func TestUnknownPlatformExit2(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := realMain([]string{"-scale", "1e-9", "no-such-platform", "seqRd"}, &out, &errb); code != 1 {
-		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	if code := realMain([]string{"-scale", "1e-9", "no-such-platform", "seqRd"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr: %s", code, errb.String())
+	}
+	if s := errb.String(); !strings.Contains(s, "platform") || !strings.Contains(s, "no-such-platform") {
+		t.Fatalf("diagnostic does not name the platform: %s", s)
 	}
 }
 

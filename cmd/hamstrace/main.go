@@ -26,8 +26,8 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"hams/internal/api"
 	"hams/internal/mem"
-	"hams/internal/platform"
 	"hams/internal/replay"
 	"hams/internal/stats"
 	"hams/internal/trace"
@@ -128,29 +128,31 @@ func replayCmd(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() != 1 {
 		return usage(stderr)
 	}
-	if *mshrs < 0 {
-		fmt.Fprintf(stderr, "hamstrace: -mshrs: want a non-negative depth, got %d\n", *mshrs)
+	// The flag set assembles into the same scenario JobSpec a
+	// POST /v1/jobs body decodes to — the sole unnamed trace tenant is
+	// the "expand by recorded label" shape.
+	spec := api.JobSpec{
+		Kind:     api.KindScenario,
+		Platform: *plat,
+		MSHRs:    *mshrs,
+		Name:     filepath.Base(fs.Arg(0)),
+		Tenants:  []api.TenantSpec{{Trace: fs.Arg(0)}},
+	}
+	if err := api.Validate(spec); err != nil {
+		api.RenderFlagErrors(stderr, "hamstrace", err, map[string]string{"platform": "-platform"})
 		return 2
 	}
-	f, err := os.Open(fs.Arg(0))
+	sc, err := spec.Scenario(api.FileTraces{})
 	if err != nil {
 		return fatal(stderr, err)
-	}
-	tf, err := trace.Decode(f)
-	f.Close()
-	if err != nil {
-		return fatal(stderr, err)
-	}
-	sc := replay.Scenario{
-		Name:     filepath.Base(fs.Arg(0)),
-		Platform: *plat,
-		PlatOpts: platform.Options{HAMSMSHRs: *mshrs},
-		Tenants:  replay.FromFile(tf),
 	}
 	res, err := replay.Run(sc, replay.Options{})
 	if err != nil {
 		return fatal(stderr, err)
 	}
+	// Every tenant replays the same container; reopen it once for the
+	// header line.
+	tf := sc.Tenants[0].Trace
 	st := res.CPU
 	fmt.Fprintf(stdout, "trace        %s (v%d, %d thread(s), %d step(s))\n", sc.Name, tf.Version, len(tf.Threads), tf.Steps())
 	fmt.Fprintf(stdout, "platform     %s\n", res.Platform)

@@ -1,0 +1,39 @@
+#!/bin/sh
+# End-to-end hamsd walkthrough against a daemon on $HAMSD_URL
+# (default localhost:8080). Mirrors examples/hamsd/README.md; also the
+# substance of the CI smoke job.
+set -eu
+
+URL="${HAMSD_URL:-http://localhost:8080}"
+DIR="$(dirname "$0")"
+
+echo "== health =="
+curl -fsS "$URL/healthz"
+
+echo "== submit run.json =="
+ID=$(curl -fsS -X POST "$URL/v1/jobs" -d @"$DIR/run.json" |
+	sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+echo "accepted: $ID"
+
+echo "== poll to completion =="
+for _ in $(seq 1 600); do
+	STATE=$(curl -fsS "$URL/v1/jobs/$ID" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+	case "$STATE" in
+	done) break ;;
+	failed | canceled)
+		echo "job ended $STATE" >&2
+		exit 1
+		;;
+	esac
+	sleep 0.5
+done
+[ "$STATE" = done ] || { echo "timed out in state $STATE" >&2; exit 1; }
+
+echo "== cells (NDJSON) =="
+CELLS=$(curl -fsS "$URL/v1/jobs/$ID/cells")
+echo "$CELLS"
+[ -n "$CELLS" ] || { echo "empty cell stream" >&2; exit 1; }
+
+echo "== stats =="
+curl -fsS "$URL/v1/stats"
+echo "walkthrough OK"

@@ -1,0 +1,193 @@
+package api
+
+import (
+	"fmt"
+
+	"hams/internal/core/tagstore"
+	"hams/internal/experiments"
+	"hams/internal/platform"
+	"hams/internal/qos"
+	"hams/internal/replay"
+)
+
+// The builders in this file turn a validated JobSpec into the engine's
+// native option structs. They are the extracted common half of what
+// each CLI used to assemble from its flags inline — hamssim, hamstrace
+// and hamsbench now build a JobSpec and call these, so a flag set and
+// a JSON body are literally one construction path. Call Validate
+// first; the builders still surface parse errors rather than panic,
+// but they do not re-check cross-field rules.
+
+// PlatformOptions builds the platform option set of a run or scenario
+// job. For run jobs a single-class QoS budget (qos_masks/qos_mbps with
+// one name) becomes a one-class table bounding the whole workload, the
+// hamssim -qos-mask/-qos-mbps semantics.
+func (s JobSpec) PlatformOptions() (platform.Options, error) {
+	pol, err := tagstore.ParsePolicy(s.Policy)
+	if err != nil {
+		return platform.Options{}, fmt.Errorf("api: policy: %w", err)
+	}
+	p := platform.Options{
+		HAMSPage:       s.PageBytes,
+		HAMSWays:       s.Ways,
+		HAMSBanks:      s.Banks,
+		HAMSPolicy:     pol,
+		HAMSMSHRs:      s.MSHRs,
+		HAMSQueueDepth: s.QueueDepth,
+		HAMSNVDIMM:     s.NVDIMM,
+	}
+	if s.Kind == KindRun {
+		cls, err := s.runClass()
+		if err != nil {
+			return platform.Options{}, err
+		}
+		if cls != nil {
+			p.HAMSQoS = &qos.Table{Classes: []qos.Class{*cls}}
+		}
+	}
+	return p, nil
+}
+
+// runClass folds a run job's single-name qos_masks/qos_mbps entries
+// into one qos.Class, or nil when neither bounds anything (an explicit
+// empty/"full" mask with no throttle is the unbounded default, exactly
+// as hamssim treats its flag defaults).
+func (s *JobSpec) runClass() (*qos.Class, error) {
+	name := ""
+	for _, n := range qos.AssignmentNames(s.QoSMasks) {
+		name = n
+	}
+	for n := range s.QoSMBps {
+		name = n
+	}
+	if name == "" {
+		return nil, nil
+	}
+	mask, err := qos.ParseMask(s.QoSMasks[name])
+	if err != nil {
+		return nil, fmt.Errorf("api: qos_masks: %w", err)
+	}
+	mbps := s.QoSMBps[name]
+	if mask == 0 && mbps <= 0 {
+		return nil, nil
+	}
+	return &qos.Class{Name: name, WayMask: mask, MBps: mbps}, nil
+}
+
+// qosTable builds a scenario job's CLOS table (nil when the spec
+// declares no classes: unpartitioned sharing).
+func (s JobSpec) qosTable() (*qos.Table, error) {
+	if len(s.QoS) == 0 {
+		return nil, nil
+	}
+	t := &qos.Table{Classes: make([]qos.Class, len(s.QoS))}
+	for i, c := range s.QoS {
+		mask, err := qos.ParseMask(c.WayMask)
+		if err != nil {
+			return nil, fmt.Errorf("api: qos[%d].way_mask: %w", i, err)
+		}
+		t.Classes[i] = qos.Class{Name: c.Name, WayMask: mask, MBps: c.MBps}
+	}
+	return t, nil
+}
+
+// Scenario materializes a scenario job: trace references resolve
+// through tr, and a sole unnamed trace tenant expands to one tenant
+// per recorded label (replay.FromFile — the hamstrace-replay shape).
+func (s JobSpec) Scenario(tr TraceResolver) (replay.Scenario, error) {
+	popt, err := s.PlatformOptions()
+	if err != nil {
+		return replay.Scenario{}, err
+	}
+	table, err := s.qosTable()
+	if err != nil {
+		return replay.Scenario{}, err
+	}
+	sc := replay.Scenario{
+		Name:     s.Name,
+		Platform: s.Platform,
+		PlatOpts: popt,
+		QoS:      table,
+	}
+	if sc.Name == "" {
+		sc.Name = "scenario"
+	}
+	for i, t := range s.Tenants {
+		if t.Trace == "" {
+			sc.Tenants = append(sc.Tenants, replay.Tenant{
+				Name:     t.Name,
+				Workload: t.Workload,
+				Seed:     t.Seed,
+				Class:    t.Class,
+				Base:     t.Base,
+				Scale:    t.Scale,
+				Hot:      t.HotBytes,
+				HotFrac:  t.HotFrac,
+			})
+			continue
+		}
+		if tr == nil {
+			return replay.Scenario{}, fmt.Errorf("api: tenants[%d]: no trace resolver for %q", i, t.Trace)
+		}
+		tf, err := tr.Trace(t.Trace)
+		if err != nil {
+			return replay.Scenario{}, fmt.Errorf("api: tenants[%d]: %w", i, err)
+		}
+		if t.Name == "" {
+			// The unnamed sole-tenant form: the container's own labels
+			// name the tenants. Class/Base still apply to every one.
+			for _, exp := range replay.FromFile(tf) {
+				exp.Class = t.Class
+				exp.Base = t.Base
+				sc.Tenants = append(sc.Tenants, exp)
+			}
+			continue
+		}
+		sc.Tenants = append(sc.Tenants, replay.Tenant{
+			Name:       t.Name,
+			Trace:      tf,
+			TraceLabel: t.TraceLabel,
+			Class:      t.Class,
+			Base:       t.Base,
+		})
+	}
+	return sc, nil
+}
+
+// ExperimentOptions builds the harness options of a job. Zero scale
+// and seed map to the harness defaults (3e-6, 42) — the same defaults
+// every CLI flag set carries.
+func (s JobSpec) ExperimentOptions() (experiments.Options, error) {
+	o := experiments.DefaultOptions()
+	if s.Scale > 0 {
+		o.Scale = s.Scale
+	}
+	if s.Seed != 0 {
+		o.Seed = s.Seed
+	}
+	o.Parallel = s.Parallel
+	o.MSHRs = s.MSHRs
+	if s.Kind == KindTarget {
+		// Target jobs thread qos_masks/qos_mbps through to the qos
+		// target as policy overrides rather than a platform table.
+		if len(s.QoSMasks) > 0 {
+			masks := make(map[string]uint64, len(s.QoSMasks))
+			for name, v := range s.QoSMasks {
+				m, err := qos.ParseMask(v)
+				if err != nil {
+					return o, fmt.Errorf("api: qos_masks: class %q: %w", name, err)
+				}
+				masks[name] = m
+			}
+			o.QoSMasks = masks
+		}
+		if len(s.QoSMBps) > 0 {
+			mbps := make(map[string]float64, len(s.QoSMBps))
+			for name, v := range s.QoSMBps {
+				mbps[name] = v
+			}
+			o.QoSMBps = mbps
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,33 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderFlagErrors prints err's field errors one per line as
+// "<prog>: <flag>: <msg>" — the CLI rendering of the same Errors
+// value hamsd returns as HTTP 400 JSON. flags maps a JSON field name
+// to that CLI's flag spelling (e.g. "qos_masks" → "-qos-mask" in
+// hamssim, or "platform" → the bare positional word); unmapped fields
+// default to "-" plus the field name with underscores dashed.
+func RenderFlagErrors(w io.Writer, prog string, err error, flags map[string]string) {
+	for _, fe := range AsErrors(err) {
+		base, rest := splitField(fe.Field)
+		label, ok := flags[base]
+		if !ok {
+			label = "-" + strings.ReplaceAll(base, "_", "-")
+		}
+		fmt.Fprintf(w, "%s: %s%s: %s\n", prog, label, rest, fe.Msg)
+	}
+}
+
+// splitField separates a field path's leading name from its index and
+// sub-field suffix: "tenants[2].workload" → ("tenants", "[2].workload").
+func splitField(field string) (base, rest string) {
+	if i := strings.IndexAny(field, "[."); i >= 0 {
+		return field[:i], field[i:]
+	}
+	return field, ""
+}

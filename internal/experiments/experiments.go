@@ -12,6 +12,7 @@ import (
 	"hams/internal/energy"
 	"hams/internal/platform"
 	"hams/internal/report"
+	"hams/internal/runner"
 	"hams/internal/sim"
 	"hams/internal/stats"
 	"hams/internal/workload"
@@ -38,6 +39,20 @@ type Options struct {
 	// in-flight cells run to completion — the simulator core does not
 	// poll the context); nil = Background.
 	Ctx context.Context
+
+	// Runner, when set, executes every engine cell batch instead of a
+	// per-target Engine built from Parallel/Shuffle — how hamsd
+	// multiplexes many concurrent jobs onto one shared runner.Pool.
+	// Determinism is unaffected: results are a pure function of the
+	// cells, not of which pool ran them.
+	Runner runner.CellRunner
+	// Progress, when set, is invoked once per completed engine cell
+	// with the cell's artifact record — the mid-run hook behind hamsd
+	// result streaming and `hamsbench -progress`. It fires in
+	// completion order from worker goroutines (possibly concurrently)
+	// and must not block for long; the returned tables and recorded
+	// artifacts are identical with or without it.
+	Progress func(report.Cell)
 
 	// QoSMasks / QoSMBps override the `qos` target's isolated-policy
 	// way masks and bandwidth throttles per class name (hamsbench

@@ -41,8 +41,15 @@ func runCellJobs(o Options, target string, jobs []cellJob) ([]any, error) {
 			Fn:  func(ctx context.Context) (any, error) { return fn(ctx, seed) },
 		}
 	}
-	eng := runner.Engine{Workers: o.Parallel, ShuffleSeed: o.Shuffle}
-	results, err := eng.Run(o.ctx(), cells)
+	var cr runner.CellRunner = runner.Engine{Workers: o.Parallel, ShuffleSeed: o.Shuffle}
+	if o.Runner != nil {
+		cr = o.Runner
+	}
+	var onResult func(runner.Result)
+	if o.Progress != nil {
+		onResult = func(r runner.Result) { o.Progress(reportCellFor(target, r)) }
+	}
+	results, err := cr.RunCells(o.ctx(), cells, onResult)
 	if err != nil {
 		// Name a failing cell: in a 100+-cell matrix "unknown platform"
 		// alone would leave the bad configuration to bisection.
@@ -171,6 +178,40 @@ func runMatrix(o Options, target string, cells []matrixCell) ([]RunResult, error
 		out[i] = mo.run
 	}
 	return out, nil
+}
+
+// RunOne executes a single workload × platform run as one engine cell
+// (key "run/<workload>@<platform>") — the execution path of job-API
+// `run` jobs and the hamssim CLI, shared so a flag set and a JSON body
+// produce byte-identical runs. Unlike matrix cells the workload seed
+// is Options.Seed itself (no per-cell derivation): a one-shot run has
+// no sibling cells to stay decorrelated from, and hamssim's documented
+// -seed semantics predate the engine.
+func RunOne(o Options, platName, wlName string, popt platform.Options) (RunResult, error) {
+	popt = o.applyMSHRs(popt)
+	jobs := []cellJob{{
+		key: wlName + "@" + platName,
+		fn: func(ctx context.Context, seed int64) (any, error) {
+			co := o
+			co.Seed = seed
+			r, err := Run(platName, wlName, co, popt, nil)
+			if err != nil {
+				return nil, err
+			}
+			out := matrixOut{run: r, cell: runReportCell(r)}
+			out.run.Plat = nil
+			return out, nil
+		},
+	}}
+	vals, err := runCellJobs(o, "run", jobs)
+	if err != nil {
+		return RunResult{}, err
+	}
+	mo, ok := vals[0].(matrixOut)
+	if !ok {
+		return RunResult{}, fmt.Errorf("experiments: run cell returned %T", vals[0])
+	}
+	return mo.run, nil
 }
 
 // StaticTables renders the paper's static tables (I-III) through the

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hams/internal/stats"
+)
+
+// This file is the single name→target dispatch table. It used to live
+// in cmd/hamsbench; it moved here so the CLI and the job API
+// (internal/api) resolve and run the exact same target set — a
+// hamsbench invocation and a POST /v1/jobs body naming the same
+// targets produce byte-identical BENCH cells.
+
+// TargetNames lists every experiment target in canonical order (the
+// order `all` expands to).
+func TargetNames() []string {
+	return []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
+		"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline",
+		"ablation", "sweep", "replay", "mixed", "qos", "mlp"}
+}
+
+// KnownTarget reports whether RunTarget accepts the name.
+func KnownTarget(name string) bool {
+	for _, t := range TargetNames() {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ExpandTargets resolves "all" and drops repeats (first occurrence
+// wins): a target run twice would record duplicate cell keys into the
+// artifact, breaking the key-uniqueness the compare gate relies on.
+func ExpandTargets(targets []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(t string) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for _, tgt := range targets {
+		if tgt == "all" {
+			for _, t := range TargetNames() {
+				add(t)
+			}
+			continue
+		}
+		add(tgt)
+	}
+	return out
+}
+
+// RunTarget executes one named target and returns its rendered
+// tables; cells land in o.Recorder when set. The qos target runs
+// without its markdown summary here — hamsbench layers that on via
+// QoSWithSummary.
+func RunTarget(name string, o Options) ([]*stats.Table, error) {
+	one := func(t *stats.Table, e error) ([]*stats.Table, error) {
+		return []*stats.Table{t}, e
+	}
+	switch name {
+	case "table1", "table2", "table3":
+		return StaticTables(o, name)
+	case "fig5":
+		return Fig5(o)
+	case "fig6":
+		return Fig6(o)
+	case "fig7":
+		return Fig7(o)
+	case "fig10":
+		return one(Fig10(o))
+	case "fig16":
+		return Fig16(o)
+	case "fig17":
+		return one(Fig17(o))
+	case "fig18":
+		return one(Fig18(o))
+	case "fig19":
+		return one(Fig19(o))
+	case "fig20":
+		return Fig20(o)
+	case "headline":
+		return one(Headline(o))
+	case "ablation":
+		return one(Ablation(o))
+	case "sweep":
+		return AssocShardSweep(o)
+	case "mlp":
+		return MLPSweep(o)
+	case "replay":
+		return Replay(o)
+	case "mixed":
+		return Mixed(o)
+	case "qos":
+		return QoS(o)
+	default:
+		return nil, fmt.Errorf("experiments: unknown target %q", name)
+	}
+}

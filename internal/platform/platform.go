@@ -88,6 +88,24 @@ func Names() []string {
 	}
 }
 
+// AllNames lists every name New accepts: the Fig. 16 platforms plus
+// the §III-C bypass strategies and the software HAMS prototype.
+// Validators (the job API, CLIs) check against this list so an
+// unknown platform is rejected before any simulation state is built.
+func AllNames() []string {
+	return append(Names(), "hams-SW", "ull-direct", "ull-buff")
+}
+
+// Known reports whether New accepts the platform name.
+func Known(name string) bool {
+	for _, n := range AllNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // MappingPage returns the MMU translation granularity a platform maps
 // memory with: the HAMS variants map whole MoS pages (Fig. 20a varies
 // the size); 0 means the harness's 4 KiB system default. Every driver

@@ -140,6 +140,30 @@ func (r *Recorder) Len() int {
 	return len(r.cells)
 }
 
+// Cells returns a copy of the recorded cells in record order.
+func (r *Recorder) Cells() []Cell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Cell, len(r.cells))
+	copy(out, r.cells)
+	return out
+}
+
+// CanonicalCells returns a copy of cells with the volatile host-side
+// fields zeroed, the per-cell analogue of Artifact.Canonical: two runs
+// of the same configuration must produce byte-identical canonical cell
+// sets regardless of host timing or how the cells were submitted (CLI
+// flags vs the job API) — the parity contract the api tests pin.
+func CanonicalCells(cells []Cell) []Cell {
+	out := make([]Cell, len(cells))
+	copy(out, cells)
+	for i := range out {
+		out[i].WallNS = 0
+		out[i].HostUnitsPerSec = 0
+	}
+	return out
+}
+
 // Artifact assembles the recorded cells into an artifact.
 func (r *Recorder) Artifact(name string, scale float64, seed int64, workers int) Artifact {
 	r.mu.Lock()

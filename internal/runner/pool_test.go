@@ -1,0 +1,191 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// poolCells builds n cells computing i*i with stable keys.
+func poolCells(prefix string, n int) []Cell {
+	cells := make([]Cell, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = Cell{
+			Key: fmt.Sprintf("%s/%d", prefix, i),
+			Fn:  func(ctx context.Context) (any, error) { return i * i, nil },
+		}
+	}
+	return cells
+}
+
+// TestPoolMatchesEngine: a batch run on a shared pool returns exactly
+// what a per-batch Engine returns — canonical order, same values.
+func TestPoolMatchesEngine(t *testing.T) {
+	cells := poolCells("sq", 17)
+	want, err := Engine{Workers: 4}.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(3)
+	defer p.Close()
+	got, err := p.RunCells(context.Background(), cells, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pool returned %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || got[i].Value != want[i].Value {
+			t.Fatalf("result %d = (%s, %v), want (%s, %v)", i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+		}
+	}
+}
+
+// TestPoolConcurrentBatches: many batches share one pool without
+// cross-talk; each batch's results stay canonical and complete.
+func TestPoolConcurrentBatches(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const batches = 9
+	var wg sync.WaitGroup
+	errs := make([]error, batches)
+	for b := 0; b < batches; b++ {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cells := poolCells(fmt.Sprintf("b%d", b), 11)
+			res, err := p.RunCells(context.Background(), cells, nil)
+			if err != nil {
+				errs[b] = err
+				return
+			}
+			for i, r := range res {
+				if r.Value != i*i {
+					errs[b] = fmt.Errorf("batch %d cell %d = %v, want %d", b, i, r.Value, i*i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Completed(); got != batches*11 {
+		t.Fatalf("Completed() = %d, want %d", got, batches*11)
+	}
+}
+
+// TestPoolBatchIsolation: one batch's error cancels its own remaining
+// cells but leaves a concurrent batch untouched.
+func TestPoolBatchIsolation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	bad := []Cell{
+		{Key: "ok", Fn: func(ctx context.Context) (any, error) { return 1, nil }},
+		{Key: "bad", Fn: func(ctx context.Context) (any, error) { return nil, boom }},
+	}
+	if _, err := p.RunCells(context.Background(), bad, nil); !errors.Is(err, boom) {
+		t.Fatalf("bad batch error = %v, want %v", err, boom)
+	}
+	good, err := p.RunCells(context.Background(), poolCells("g", 5), nil)
+	if err != nil {
+		t.Fatalf("good batch after failed batch: %v", err)
+	}
+	if len(good) != 5 || good[4].Value != 16 {
+		t.Fatalf("good batch results corrupted: %+v", good)
+	}
+}
+
+// TestPoolOnResultFiresPerCell: the completion hook runs exactly once
+// per cell and sees the stored result.
+func TestPoolOnResultFiresPerCell(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var fired atomic.Int64
+	res, err := p.RunCells(context.Background(), poolCells("h", 13), func(r Result) {
+		if r.Err != nil {
+			t.Errorf("hook saw error: %v", r.Err)
+		}
+		fired.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 13 || fired.Load() != 13 {
+		t.Fatalf("results %d, hook fired %d, want 13/13", len(res), fired.Load())
+	}
+}
+
+// TestPoolClosedRefusesWork: RunCells on a closed pool errors instead
+// of deadlocking, and Close is idempotent.
+func TestPoolClosedRefusesWork(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	p.Close()
+	if _, err := p.RunCells(context.Background(), poolCells("x", 1), nil); err == nil {
+		t.Fatal("RunCells on closed pool succeeded")
+	}
+}
+
+// TestPoolCancelledContextStopsDispatch: a cancelled batch context
+// stops dispatch and reports ctx.Err without wedging the pool.
+func TestPoolCancelledContextStopsDispatch(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	cells := []Cell{
+		{Key: "slow", Fn: func(ctx context.Context) (any, error) {
+			close(started)
+			<-release
+			return 1, nil
+		}},
+		{Key: "never", Fn: func(ctx context.Context) (any, error) { return 2, nil }},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.RunCells(ctx, cells, nil)
+		done <- err
+	}()
+	<-started
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Pool must still serve new batches.
+	if _, err := p.RunCells(context.Background(), poolCells("y", 3), nil); err != nil {
+		t.Fatalf("pool wedged after cancelled batch: %v", err)
+	}
+}
+
+// TestEngineOnResultHook: the per-batch Engine fires the same hook
+// (the hamsbench -progress path) without changing results.
+func TestEngineOnResultHook(t *testing.T) {
+	var fired atomic.Int64
+	res, err := Engine{Workers: 2}.RunCells(context.Background(), poolCells("e", 7), func(r Result) {
+		fired.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 7 || fired.Load() != 7 {
+		t.Fatalf("results %d, hook fired %d, want 7/7", len(res), fired.Load())
+	}
+	for i, r := range res {
+		if r.Value != i*i {
+			t.Fatalf("hook changed results: cell %d = %v", i, r.Value)
+		}
+	}
+}

@@ -40,6 +40,19 @@ type Result struct {
 	Err   error
 }
 
+// CellRunner executes a batch of cells and returns their results in
+// canonical (input) order. onResult, when non-nil, is invoked once per
+// cell as it completes — from whichever goroutine ran the cell, in
+// completion order, concurrently with other cells — the mid-run
+// progress hook that hamsd streaming and `hamsbench -progress` build
+// on. The hook observes results; it must not mutate them, and the
+// determinism contract is unchanged: the returned slice is identical
+// whether or not a hook is installed. Implemented by Engine (one pool
+// per batch) and Pool (a long-lived shared pool for daemon use).
+type CellRunner interface {
+	RunCells(ctx context.Context, cells []Cell, onResult func(Result)) ([]Result, error)
+}
+
 // Engine executes cells across a worker pool.
 type Engine struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS.
@@ -57,6 +70,11 @@ type Engine struct {
 // keep their results. A cancelled ctx stops dispatch and returns
 // ctx.Err().
 func (e Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
+	return e.RunCells(ctx, cells, nil)
+}
+
+// RunCells is Run with a per-cell completion hook (see CellRunner).
+func (e Engine) RunCells(ctx context.Context, cells []Cell, onResult func(Result)) ([]Result, error) {
 	if len(cells) == 0 {
 		return nil, nil
 	}
@@ -101,6 +119,9 @@ func (e Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
 				results[i] = Result{Key: c.Key, Value: v, Wall: time.Since(start), Err: err}
 				if err != nil {
 					once.Do(func() { firstErr = err; cancel() })
+				}
+				if onResult != nil {
+					onResult(results[i])
 				}
 			}
 		}()
