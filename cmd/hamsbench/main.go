@@ -5,11 +5,13 @@
 //
 //	hamsbench [-scale 3e-6] [-seed 42] [-parallel N] [-json out.json]
 //	          [-progress] [-mshrs D] [-qos-masks name=mask,...]
-//	          [-qos-mbps name=N,...] [-qos-summary file.md] <target> [target...]
+//	          [-qos-mbps name=N,...] [-qos-summary file.md]
+//	          [-slo-p99 40us] <target> [target...]
 //	hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json
 //
 // Targets: table1 table2 table3 fig5 fig6 fig7 fig10 fig16 fig17
-// fig18 fig19 fig20 headline ablation sweep replay mixed qos mlp all
+// fig18 fig19 fig20 headline ablation sweep replay mixed qos autoqos
+// mlp all
 //
 // sweep runs the associativity × shard grid (MoS cache geometry) on
 // the random microbenchmarks and rndIns. replay runs the record→replay
@@ -28,7 +30,14 @@
 // bandwidth counters; -qos-masks and -qos-mbps override the isolated
 // policy's way masks (hex, e.g. latency=0xfc) and throttles (MB/s),
 // and -qos-summary appends the victim-delta markdown table to a file
-// ($GITHUB_STEP_SUMMARY in CI).
+// ($GITHUB_STEP_SUMMARY in CI). autoqos reruns the qos co-location
+// with the AIMD feedback controller holding the victim's rolling p99
+// to an SLO while maximizing the streamer's throughput, compared
+// against all four static policies; -slo-p99 overrides the p99
+// objective and -qos-summary also collects its delta table.
+// compare fails (exit 1) when the two artifacts' cell sets diverge —
+// cells present on only one side were never gated, so the divergence
+// is reported key-by-key instead of silently skipped.
 // -parallel sets the engine worker count (0 = GOMAXPROCS, 1 = serial);
 // results are bit-identical for any value. -progress prints one stderr
 // line per experiment cell as it completes (the same per-cell hook
@@ -85,6 +94,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	qosMasks := fs.String("qos-masks", "", "qos target: override isolated-policy way masks, e.g. latency=0xfc,stream=0x03")
 	qosMBps := fs.String("qos-mbps", "", "qos target: override isolated-policy throttles in MB/s, e.g. stream=100")
 	qosSummary := fs.String("qos-summary", "", "append the qos isolation delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	sloP99 := fs.Duration("slo-p99", 0, "autoqos target: victim rolling-p99 objective for the feedback controller (0 = built-in default)")
 	mshrs := fs.Int("mshrs", 0, "override the per-bank MSHR depth of HAMS cells (0 = each target's own; >= 2 enables the non-blocking miss pipeline)")
 	progress := fs.Bool("progress", false, "print one line per completed cell to stderr as it finishes")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -112,6 +122,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Kind: api.KindTarget, Targets: fs.Args(),
 		Scale: *scale, Seed: *seed, Parallel: *parallel, MSHRs: *mshrs,
 		QoSMasks: masks, QoSMBps: mbps,
+	}
+	if *sloP99 != 0 {
+		spec.SLO = &api.SLOSpec{TargetP99NS: sloP99.Nanoseconds()}
 	}
 	if err := api.Validate(spec); err != nil {
 		api.RenderFlagErrors(stderr, "hamsbench", err, benchFlags)
@@ -219,7 +232,7 @@ func splitQoSFlags(masksArg, mbpsArg string) (map[string]string, map[string]floa
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] [-progress] [-qos-masks a=0xf,...] [-qos-mbps a=N,...] [-qos-summary f.md] <%s|all>\n",
+	fmt.Fprintf(w, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] [-progress] [-qos-masks a=0xf,...] [-qos-mbps a=N,...] [-qos-summary f.md] [-slo-p99 D] <%s|all>\n",
 		strings.Join(experiments.TargetNames(), "|"))
 	fmt.Fprintln(w, "       hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json")
 }
@@ -228,9 +241,10 @@ func run(target string, o experiments.Options, qosSummary string, stdout io.Writ
 	start := time.Now()
 	var tables []*stats.Table
 	var err error
-	if target == "qos" {
-		// The only CLI-flavored target: its markdown isolation summary
-		// can land in $GITHUB_STEP_SUMMARY.
+	switch target {
+	case "qos":
+		// The CLI-flavored targets: their markdown summaries can land
+		// in $GITHUB_STEP_SUMMARY.
 		var md string
 		tables, md, err = experiments.QoSWithSummary(o)
 		if err == nil && qosSummary != "" {
@@ -238,7 +252,15 @@ func run(target string, o experiments.Options, qosSummary string, stdout io.Writ
 				return fmt.Errorf("qos summary: %w", werr)
 			}
 		}
-	} else {
+	case "autoqos":
+		var md string
+		tables, md, err = experiments.AutoQoSWithSummary(o)
+		if err == nil && qosSummary != "" {
+			if werr := appendFile(qosSummary, md); werr != nil {
+				return fmt.Errorf("autoqos summary: %w", werr)
+			}
+		}
+	default:
 		tables, err = experiments.RunTarget(target, o)
 	}
 	if err != nil {
@@ -249,6 +271,24 @@ func run(target string, o experiments.Options, qosSummary string, stdout io.Writ
 	}
 	fmt.Fprintf(stdout, "(%s generated in %v)\n\n", target, time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// setDiffMarkdown renders the compare gate's cell-set divergence as a
+// markdown section ("" when the sets match).
+func setDiffMarkdown(added, removed []string) string {
+	if len(added)+len(removed) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n### Cell sets diverge (%d added, %d removed)\n\n", len(added), len(removed))
+	for _, k := range added {
+		fmt.Fprintf(&b, "- `+ %s`\n", k)
+	}
+	for _, k := range removed {
+		fmt.Fprintf(&b, "- `- %s`\n", k)
+	}
+	b.WriteString("\nbaseline and candidate must cover the same cells; regenerate the baseline if the change is intentional\n")
+	return b.String()
 }
 
 // appendFile appends text to path, creating it if needed.
@@ -309,6 +349,12 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hamsbench compare: %v\n", err)
 		return 2
 	}
+	// Cell-set divergence is a gate failure in its own right, not a
+	// silent skip: a cell present on only one side means the gate never
+	// compared it, so a regression there would pass unexamined. Report
+	// every added/removed key and fail; regenerating the baseline is the
+	// fix when the divergence is intentional.
+	added, removed := report.SetDiff(base, cur)
 	var hostDeltas []report.Delta
 	if *hostThreshold > 0 {
 		hostDeltas, err = report.HostDeltas(base, cur)
@@ -322,10 +368,22 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		if *hostThreshold > 0 {
 			md += report.Markdown(fmt.Sprintf("Host-throughput gate (wall clock): %s vs %s", fs.Arg(0), fs.Arg(1)), hostDeltas, *hostThreshold)
 		}
+		md += setDiffMarkdown(added, removed)
 		if err := appendFile(*summary, md); err != nil {
 			fmt.Fprintf(stderr, "hamsbench compare: summary: %v\n", err)
 			return 2
 		}
+	}
+	if len(added)+len(removed) > 0 {
+		fmt.Fprintf(stderr, "hamsbench compare: cell sets diverge (%d added, %d removed):\n", len(added), len(removed))
+		for _, k := range added {
+			fmt.Fprintf(stderr, "  + %s\n", k)
+		}
+		for _, k := range removed {
+			fmt.Fprintf(stderr, "  - %s\n", k)
+		}
+		fmt.Fprintln(stderr, "baseline and candidate must cover the same cells; regenerate the baseline if the change is intentional")
+		return 1
 	}
 	regs := report.Threshold(deltas, *threshold)
 	if len(regs) > 0 {

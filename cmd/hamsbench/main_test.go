@@ -223,6 +223,45 @@ func TestCompareHostThreshold(t *testing.T) {
 	}
 }
 
+// TestCompareRejectsDivergentCellSets: a baseline whose cell set no
+// longer matches the candidate's (targets added or removed) must fail
+// with a diagnostic naming every stray key — never silently skip the
+// unmatched cells and report a pass over the intersection.
+func TestCompareRejectsDivergentCellSets(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cand := filepath.Join(dir, "cand.json")
+	writeArtifact(t, base, 1, 100, 1000)
+	art := report.Artifact{
+		Schema: report.SchemaVersion, Name: "t", Scale: 1e-8, Seed: 42, Workers: 1,
+		Cells: []report.Cell{
+			{Key: "t/cell", Target: "t", UnitsPerSec: 100, HostUnitsPerSec: 1000},
+			{Key: "autoqos/new", Target: "autoqos", UnitsPerSec: 50, HostUnitsPerSec: 500},
+		},
+	}
+	if err := report.WriteFile(cand, art); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, errOut := exec("compare", base, cand)
+	if code != 1 {
+		t.Fatalf("divergent cell sets: exit %d, want 1 (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "diverge") || !strings.Contains(errOut, "+ autoqos/new") {
+		t.Fatalf("diagnostic does not name the stray cell:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "regenerate the baseline") {
+		t.Fatalf("diagnostic does not say how to fix it:\n%s", errOut)
+	}
+
+	// The reverse direction — a cell the baseline has but the candidate
+	// lost — fails the same way.
+	code, _, errOut = exec("compare", cand, base)
+	if code != 1 || !strings.Contains(errOut, "- autoqos/new") {
+		t.Fatalf("removed cell: exit %d, stderr:\n%s", code, errOut)
+	}
+}
+
 // TestHelpExitsZero: -h prints usage and exits 0 (the ExitOnError
 // behavior scripts rely on, preserved across the FlagSet refactor).
 func TestHelpExitsZero(t *testing.T) {

@@ -383,6 +383,21 @@ func TestValidationReturns400(t *testing.T) {
 	if eb.Errors[0].Field != "kind" {
 		t.Fatalf("field = %q, want kind", eb.Errors[0].Field)
 	}
+	// A policy timeline scheduled at t=0 (or in the past) is rejected
+	// up front — the initial table IS the t=0 state.
+	spec := api.JobSpec{Kind: api.KindScenario, Platform: "hams-LE", Name: "pair",
+		Tenants: []api.TenantSpec{{Name: "a", Workload: "rndRd", Class: "bulk"}},
+		QoS:     []api.ClassSpec{{Name: "bulk"}},
+		QoSPolicy: []api.PolicyChangeSpec{
+			{AtNS: 0, Class: "bulk", WayMask: "0x1"},
+		}}
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("t=0 policy change: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "qos_policy[0].at_ns") {
+		t.Fatalf("400 body does not name the timeline field: %s", body)
+	}
 	// Unknown JSON fields are schema violations, not silently dropped.
 	r2, err := http.Post(ts.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"kind":"run","platform":"hams-LE","workload":"seqRd","bogus":1}`))

@@ -6,7 +6,8 @@
 //
 //	hamssim [-scale 3e-6] [-seed 42] [-page 131072] [-ways 1] [-banks 1]
 //	        [-policy lru|clock|random] [-mshrs 1] [-qd 0]
-//	        [-qos-mask 0xf] [-qos-mbps N] <platform> <workload>
+//	        [-qos-mask 0xf] [-qos-mbps N]
+//	        [-qos-policy at:class:mask:mbps,...] <platform> <workload>
 //
 // Platforms: mmap optane-P optane-M flatflash-P flatflash-M nvdimm-C
 // hams-LP hams-LE hams-TP hams-TE oracle ull-direct ull-buff
@@ -22,6 +23,11 @@
 // -qos-mbps caps its archive bandwidth (MBA throttle) — the whole
 // workload runs as one class of service, so the flags bound how much
 // of the cache and archive this workload could take from a neighbor.
+// -qos-policy schedules runtime reprogrammings of that class on the
+// simulated clock: comma-separated at:class:mask:mbps entries (e.g.
+// "2ms:workload:0x3:100,4ms:workload:full:0"), each strictly after
+// t=0 and nondecreasing. Mask changes take effect at the next victim
+// selection; throttle changes keep accrued debt.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"hams/internal/api"
 	"hams/internal/cpu"
 	"hams/internal/experiments"
+	"hams/internal/qos"
 )
 
 // simFlags maps JobSpec field names to this CLI's flag spellings for
@@ -44,6 +51,7 @@ var simFlags = map[string]string{
 	"queue_depth": "-qd",
 	"qos_masks":   "-qos-mask",
 	"qos_mbps":    "-qos-mbps",
+	"qos_policy":  "-qos-policy",
 }
 
 func main() {
@@ -66,6 +74,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	qd := fs.Int("qd", 0, "HAMS per-bank NVMe queue-depth cap (0 = unbounded)")
 	qosMask := fs.String("qos-mask", "", "confine MoS installs to these ways (CAT mask, e.g. 0x3; empty = all ways)")
 	qosMBps := fs.Float64("qos-mbps", 0, "cap archive bandwidth in MB/s (MBA throttle; 0 = unthrottled)")
+	qosPolicy := fs.String("qos-policy", "", "schedule runtime class reprogrammings: at:class:mask:mbps[,...] (e.g. 2ms:workload:0x3:100)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -89,6 +98,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *qosMBps != 0 {
 		spec.QoSMBps = map[string]float64{"workload": *qosMBps}
+	}
+	if *qosPolicy != "" {
+		entries, err := qos.ParseSchedule(*qosPolicy)
+		if err != nil {
+			fmt.Fprintf(stderr, "hamssim: -qos-policy: %v\n", err)
+			return 2
+		}
+		for _, e := range entries {
+			spec.QoSPolicy = append(spec.QoSPolicy, api.PolicyChangeSpec{
+				AtNS: int64(e.At), Class: e.Class, WayMask: qos.FormatMask(e.Mask), MBps: e.MBps,
+			})
+		}
 	}
 	if err := api.Validate(spec); err != nil {
 		api.RenderFlagErrors(stderr, "hamssim", err, simFlags)

@@ -23,6 +23,8 @@ func TestFlagValidation(t *testing.T) {
 		{"bad qos mask", []string{"-qos-mask", "zz", "hams-LE", "seqRd"}, "-qos-mask"},
 		{"negative mbps", []string{"-qos-mbps", "-4", "hams-LE", "seqRd"}, "-qos-mbps"},
 		{"unparseable flag", []string{"-scale", "x", "hams-LE", "seqRd"}, "invalid"},
+		{"bad qos policy syntax", []string{"-qos-policy", "zz", "hams-LE", "seqRd"}, "-qos-policy"},
+		{"qos policy at t=0", []string{"-qos-policy", "0s:workload:0x3:100", "hams-LE", "seqRd"}, "t=0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

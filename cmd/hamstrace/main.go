@@ -6,7 +6,8 @@
 // Usage:
 //
 //	hamstrace record [-scale 1e-6] [-seed 42] [-threads all] <workload> <file>
-//	hamstrace replay [-platform hams-LE] [-mshrs D] <file>
+//	hamstrace replay [-platform hams-LE] [-mshrs D] [-qos-mask 0xf]
+//	          [-qos-mbps N] [-qos-policy at:trace:mask:mbps,...] <file>
 //	hamstrace info <file>
 //
 // record writes a v2 container: one labeled stream per thread plus the
@@ -16,6 +17,14 @@
 // 0-based thread index. replay's -mshrs replays the trace under the
 // non-blocking miss pipeline at that per-bank depth (0/1 = the
 // blocking default). info and replay decode v1 traces too.
+//
+// replay's QoS flags bound the whole trace as one class of service
+// named "trace": -qos-mask confines its MoS installs (CAT), -qos-mbps
+// caps its archive bandwidth (MBA), and -qos-policy schedules runtime
+// reprogrammings of that class on the simulated clock (comma-separated
+// at:trace:mask:mbps entries, each strictly after t=0 and
+// nondecreasing; mask changes apply at the next victim selection,
+// throttle changes keep accrued debt).
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"hams/internal/api"
 	"hams/internal/mem"
+	"hams/internal/qos"
 	"hams/internal/replay"
 	"hams/internal/stats"
 	"hams/internal/trace"
@@ -59,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) int {
 	fmt.Fprintln(w, "usage: hamstrace record [-scale S] [-seed N] [-threads all|K] <workload> <file>")
-	fmt.Fprintln(w, "       hamstrace replay [-platform P] [-mshrs D] <file>")
+	fmt.Fprintln(w, "       hamstrace replay [-platform P] [-mshrs D] [-qos-mask M] [-qos-mbps N] [-qos-policy S] <file>")
 	fmt.Fprintln(w, "       hamstrace info <file>")
 	return 2
 }
@@ -119,6 +129,9 @@ func replayCmd(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	plat := fs.String("platform", "hams-LE", "platform to replay against")
 	mshrs := fs.Int("mshrs", 0, "HAMS per-bank MSHR depth (0/1 = blocking pipeline, >= 2 = non-blocking)")
+	qosMask := fs.String("qos-mask", "", "confine the trace's MoS installs to these ways (CAT mask, e.g. 0x3; empty = all ways)")
+	qosMBps := fs.Float64("qos-mbps", 0, "cap the trace's archive bandwidth in MB/s (MBA throttle; 0 = unthrottled)")
+	qosPolicy := fs.String("qos-policy", "", `schedule runtime class reprogrammings: at:class:mask:mbps[,...] (the trace runs as class "trace")`)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -138,8 +151,32 @@ func replayCmd(args []string, stdout, stderr io.Writer) int {
 		Name:     filepath.Base(fs.Arg(0)),
 		Tenants:  []api.TenantSpec{{Trace: fs.Arg(0)}},
 	}
+	// Any QoS flag folds the whole trace into one class of service named
+	// "trace" — the single-class shape hamssim uses for run jobs, carried
+	// here as a one-row CLOS table so the scenario validator and the
+	// policy timeline see a declared class.
+	if *qosMask != "" || *qosMBps != 0 || *qosPolicy != "" {
+		spec.QoS = []api.ClassSpec{{Name: "trace", WayMask: *qosMask, MBps: *qosMBps}}
+		spec.Tenants[0].Class = "trace"
+	}
+	if *qosPolicy != "" {
+		entries, err := qos.ParseSchedule(*qosPolicy)
+		if err != nil {
+			fmt.Fprintf(stderr, "hamstrace: -qos-policy: %v\n", err)
+			return 2
+		}
+		for _, e := range entries {
+			spec.QoSPolicy = append(spec.QoSPolicy, api.PolicyChangeSpec{
+				AtNS: int64(e.At), Class: e.Class, WayMask: qos.FormatMask(e.Mask), MBps: e.MBps,
+			})
+		}
+	}
 	if err := api.Validate(spec); err != nil {
-		api.RenderFlagErrors(stderr, "hamstrace", err, map[string]string{"platform": "-platform"})
+		api.RenderFlagErrors(stderr, "hamstrace", err, map[string]string{
+			"platform":   "-platform",
+			"qos":        "-qos-mask",
+			"qos_policy": "-qos-policy",
+		})
 		return 2
 	}
 	sc, err := spec.Scenario(api.FileTraces{})

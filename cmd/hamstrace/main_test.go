@@ -22,6 +22,8 @@ func TestUsageAndValidation(t *testing.T) {
 		{"record bad threads", []string{"record", "-threads", "x", "seqRd", "out.trace"}},
 		{"replay no file", []string{"replay"}},
 		{"replay negative mshrs", []string{"replay", "-mshrs", "-3", "f.trace"}},
+		{"replay bad qos policy", []string{"replay", "-qos-policy", "zz", "f.trace"}},
+		{"replay qos policy at t=0", []string{"replay", "-qos-policy", "0s:trace:0x3:100", "f.trace"}},
 		{"info no file", []string{"info"}},
 	}
 	for _, tc := range cases {

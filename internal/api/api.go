@@ -103,6 +103,46 @@ type JobSpec struct {
 	Name    string       `json:"name,omitempty"`
 	Tenants []TenantSpec `json:"tenants,omitempty"`
 	QoS     []ClassSpec  `json:"qos,omitempty"`
+
+	// QoSPolicy schedules runtime class reprogrammings on the
+	// simulated clock (kinds run and scenario). Entries must be
+	// strictly after t=0 — the initial table IS the t=0 state — and
+	// nondecreasing in time; each change rewrites one class's way mask
+	// and bandwidth cap mid-run with CAT/MBA-MSR semantics (next
+	// victim selection; accrued throttle debt kept). Added in schema
+	// v1's lifetime as a purely additive field: absent means no
+	// timeline, so v1 decoders and encoders interoperate unchanged.
+	QoSPolicy []PolicyChangeSpec `json:"qos_policy,omitempty"`
+	// SLO attaches the AIMD feedback controller. For scenario jobs
+	// Class names the victim tenant class to defend; for target jobs
+	// (the autoqos target) Class stays empty — the target owns its
+	// victim — and only the p99 objective applies. Additive, like
+	// QoSPolicy.
+	SLO *SLOSpec `json:"slo,omitempty"`
+}
+
+// PolicyChangeSpec is one scheduled runtime reprogramming of a QoS
+// class (the wire form of replay.PolicyChange).
+type PolicyChangeSpec struct {
+	// AtNS is the simulated time of the change in nanoseconds
+	// (strictly positive; the schedule is nondecreasing).
+	AtNS int64 `json:"at_ns"`
+	// Class names the class to reprogram.
+	Class string `json:"class"`
+	// WayMask is the new CAT capacity mask in its CLI/wire spelling
+	// ("0xfc", "0b1010"); empty or "full" means all ways.
+	WayMask string `json:"way_mask,omitempty"`
+	// MBps is the new MBA-style archive-bandwidth cap (0 =
+	// unthrottled).
+	MBps float64 `json:"mbps,omitempty"`
+}
+
+// SLOSpec is the wire form of the feedback controller's objective
+// (qos.SLO with only the victim class and the p99 target exposed; the
+// AIMD actuation bounds keep their library defaults).
+type SLOSpec struct {
+	Class       string `json:"class,omitempty"`
+	TargetP99NS int64  `json:"target_p99_ns"`
 }
 
 // TenantSpec is one traffic source of a scenario job: exactly one of

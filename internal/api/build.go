@@ -8,6 +8,7 @@ import (
 	"hams/internal/platform"
 	"hams/internal/qos"
 	"hams/internal/replay"
+	"hams/internal/sim"
 )
 
 // The builders in this file turn a validated JobSpec into the engine's
@@ -41,11 +42,44 @@ func (s JobSpec) PlatformOptions() (platform.Options, error) {
 		if err != nil {
 			return platform.Options{}, err
 		}
+		if cls == nil && len(s.QoSPolicy) > 0 {
+			// A timeline with no static budget still needs the class to
+			// exist: the policy's class name defines a full-mask,
+			// unthrottled class for the changes to reprogram.
+			cls = &qos.Class{Name: s.QoSPolicy[0].Class}
+		}
 		if cls != nil {
 			p.HAMSQoS = &qos.Table{Classes: []qos.Class{*cls}}
 		}
+		if len(s.QoSPolicy) > 0 {
+			timeline, err := s.qosTimeline(func(name string) (qos.ClassID, bool) {
+				return 0, cls != nil && name == cls.Name
+			})
+			if err != nil {
+				return platform.Options{}, err
+			}
+			p.HAMSQoSPolicy = timeline
+		}
 	}
 	return p, nil
+}
+
+// qosTimeline resolves the wire policy schedule into qos.TimedChange
+// entries via the given class-name resolver.
+func (s JobSpec) qosTimeline(byName func(string) (qos.ClassID, bool)) ([]qos.TimedChange, error) {
+	out := make([]qos.TimedChange, len(s.QoSPolicy))
+	for i, ch := range s.QoSPolicy {
+		id, ok := byName(ch.Class)
+		if !ok {
+			return nil, fmt.Errorf("api: qos_policy[%d]: unknown QoS class %q", i, ch.Class)
+		}
+		mask, err := qos.ParseMask(ch.WayMask)
+		if err != nil {
+			return nil, fmt.Errorf("api: qos_policy[%d].way_mask: %w", i, err)
+		}
+		out[i] = qos.TimedChange{At: sim.Time(ch.AtNS), Class: id, Mask: mask, MBps: ch.MBps}
+	}
+	return out, nil
 }
 
 // runClass folds a run job's single-name qos_masks/qos_mbps entries
@@ -112,6 +146,18 @@ func (s JobSpec) Scenario(tr TraceResolver) (replay.Scenario, error) {
 	if sc.Name == "" {
 		sc.Name = "scenario"
 	}
+	for i, ch := range s.QoSPolicy {
+		mask, err := qos.ParseMask(ch.WayMask)
+		if err != nil {
+			return replay.Scenario{}, fmt.Errorf("api: qos_policy[%d].way_mask: %w", i, err)
+		}
+		sc.Policy = append(sc.Policy, replay.PolicyChange{
+			At: sim.Time(ch.AtNS), Class: ch.Class, Mask: mask, MBps: ch.MBps,
+		})
+	}
+	if s.SLO != nil {
+		sc.SLO = &qos.SLO{Class: s.SLO.Class, TargetP99: sim.Time(s.SLO.TargetP99NS)}
+	}
 	for i, t := range s.Tenants {
 		if t.Trace == "" {
 			sc.Tenants = append(sc.Tenants, replay.Tenant{
@@ -167,6 +213,9 @@ func (s JobSpec) ExperimentOptions() (experiments.Options, error) {
 	}
 	o.Parallel = s.Parallel
 	o.MSHRs = s.MSHRs
+	if s.SLO != nil {
+		o.SLOTargetP99 = sim.Time(s.SLO.TargetP99NS)
+	}
 	if s.Kind == KindTarget {
 		// Target jobs thread qos_masks/qos_mbps through to the qos
 		// target as policy overrides rather than a platform table.

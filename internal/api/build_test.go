@@ -28,7 +28,7 @@ func TestPlatformOptionsMirrorsSpec(t *testing.T) {
 		HAMSPage: 1 << 16, HAMSWays: 4, HAMSBanks: 2, HAMSPolicy: tagstore.Clock,
 		HAMSMSHRs: 4, HAMSQueueDepth: 8, HAMSNVDIMM: 1 << 20,
 	}
-	if p != want {
+	if !reflect.DeepEqual(p, want) {
 		t.Fatalf("got %+v, want %+v", p, want)
 	}
 }

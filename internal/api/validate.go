@@ -120,6 +120,32 @@ func Validate(spec JobSpec) error {
 		mbps[name] = v
 	}
 
+	// Policy-timeline entries are syntax-checked for every kind; which
+	// classes they may address is kind-specific below.
+	var prevAt int64
+	for i, ch := range spec.QoSPolicy {
+		field := fmt.Sprintf("qos_policy[%d]", i)
+		if ch.AtNS <= 0 {
+			add(field+".at_ns", "change scheduled at %dns; changes must be strictly after t=0 (the initial table is the t=0 state — past-time changes are rejected, never applied late)", ch.AtNS)
+		} else if ch.AtNS < prevAt {
+			add(field+".at_ns", "change at %dns is before the previous change at %dns (schedule must be nondecreasing)", ch.AtNS, prevAt)
+		} else {
+			prevAt = ch.AtNS
+		}
+		if ch.Class == "" {
+			add(field+".class", "required")
+		}
+		if _, err := qos.ParseMask(ch.WayMask); err != nil {
+			add(field+".way_mask", "%v", err)
+		}
+		if ch.MBps < 0 {
+			add(field+".mbps", "want a non-negative MB/s value, got %g", ch.MBps)
+		}
+	}
+	if spec.SLO != nil && spec.SLO.TargetP99NS <= 0 {
+		add("slo.target_p99_ns", "want a positive p99 objective in ns, got %d", spec.SLO.TargetP99NS)
+	}
+
 	switch spec.Kind {
 	case KindRun:
 		if spec.Platform == "" {
@@ -153,6 +179,21 @@ func Validate(spec JobSpec) error {
 		if len(names) > 1 {
 			add("qos_masks", "run jobs take a single class of service, got %d names", len(names))
 		}
+		// The policy timeline must reprogram that single class (it may
+		// also be the only thing defining it).
+		for i, ch := range spec.QoSPolicy {
+			if ch.Class == "" {
+				continue
+			}
+			if len(names) > 0 && !names[ch.Class] {
+				add(fmt.Sprintf("qos_policy[%d].class", i), "run jobs have a single class of service; %q does not match the qos_masks/qos_mbps class", ch.Class)
+			} else if len(names) == 0 && ch.Class != spec.QoSPolicy[0].Class {
+				add(fmt.Sprintf("qos_policy[%d].class", i), "run jobs have a single class of service; %q does not match %q", ch.Class, spec.QoSPolicy[0].Class)
+			}
+		}
+		if spec.SLO != nil {
+			add("slo", "not valid for run jobs (a single class has no victim/aggressor split; use kind %q or the autoqos target)", KindScenario)
+		}
 
 	case KindTarget:
 		if len(spec.Targets) == 0 {
@@ -182,6 +223,23 @@ func Validate(spec JobSpec) error {
 				add("qos_masks", "%v", err)
 			}
 		}
+		if len(spec.QoSPolicy) > 0 {
+			add("qos_policy", "not valid for target jobs (targets pin their own scenarios; use kind %q)", KindScenario)
+		}
+		if spec.SLO != nil {
+			if spec.SLO.Class != "" {
+				add("slo.class", "not valid for target jobs (the autoqos target owns its victim class)")
+			}
+			autoqos := false
+			for _, t := range experiments.ExpandTargets(spec.Targets) {
+				if t == "autoqos" {
+					autoqos = true
+				}
+			}
+			if !autoqos {
+				add("slo", "only meaningful with the autoqos target in targets")
+			}
+		}
 
 	case KindScenario:
 		if spec.Platform == "" {
@@ -200,6 +258,28 @@ func Validate(spec JobSpec) error {
 		}
 		validateClasses(spec, add)
 		validateTenants(spec, add)
+		classes := make(map[string]bool, len(spec.QoS))
+		for _, c := range spec.QoS {
+			classes[c.Name] = true
+		}
+		if len(spec.QoSPolicy) > 0 && len(spec.QoS) == 0 {
+			add("qos_policy", "requires a qos table to reprogram")
+		}
+		for i, ch := range spec.QoSPolicy {
+			if ch.Class != "" && len(spec.QoS) > 0 && !classes[ch.Class] {
+				add(fmt.Sprintf("qos_policy[%d].class", i), "unknown QoS class %q (declare it in the qos table)", ch.Class)
+			}
+		}
+		if spec.SLO != nil {
+			if len(spec.QoS) == 0 {
+				add("slo", "requires a qos table (the controller reprograms its classes)")
+			}
+			if spec.SLO.Class == "" {
+				add("slo.class", "required for scenario jobs (names the victim class to defend)")
+			} else if len(spec.QoS) > 0 && !classes[spec.SLO.Class] {
+				add("slo.class", "unknown QoS class %q (declare it in the qos table)", spec.SLO.Class)
+			}
+		}
 	}
 
 	if len(es) > 0 {

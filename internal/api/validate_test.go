@@ -43,6 +43,25 @@ func TestValidateAcceptsWellFormedSpecs(t *testing.T) {
 		// Sole unnamed trace tenant: the hamstrace-replay shape.
 		{Kind: KindScenario, Platform: "hams-LE",
 			Tenants: []TenantSpec{{Trace: "t.trace"}}},
+		// Dynamic QoS: a policy timeline and an SLO on a scenario job.
+		func() JobSpec {
+			s := validScenario()
+			s.QoSPolicy = []PolicyChangeSpec{
+				{AtNS: 1e6, Class: "bulk", WayMask: "0x1", MBps: 100},
+				{AtNS: 2e6, Class: "bulk", WayMask: "full"},
+			}
+			s.SLO = &SLOSpec{Class: "bulk", TargetP99NS: 5000}
+			return s
+		}(),
+		// A run job's timeline may be the only thing naming its class.
+		func() JobSpec {
+			s := validRun()
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: 1e6, Class: "workload", WayMask: "0x3"}}
+			return s
+		}(),
+		// A target job carries only the p99 objective, with autoqos on.
+		{Kind: KindTarget, Targets: []string{"autoqos"},
+			SLO: &SLOSpec{TargetP99NS: 5000}},
 	} {
 		if err := Validate(spec); err != nil {
 			t.Errorf("Validate(%+v) = %v, want nil", spec, err)
@@ -217,6 +236,107 @@ func TestValidateRejectsMalformedSpecs(t *testing.T) {
 			s.QoS[0].MBps = -1
 			return s
 		}(), "qos[0].mbps"},
+		{"policy change at t=0", func() JobSpec {
+			s := validScenario()
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: 0, Class: "bulk"}}
+			return s
+		}(), "qos_policy[0].at_ns"},
+		{"policy change in the past", func() JobSpec {
+			s := validScenario()
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: -5, Class: "bulk"}}
+			return s
+		}(), "qos_policy[0].at_ns"},
+		{"policy schedule decreasing", func() JobSpec {
+			s := validScenario()
+			s.QoSPolicy = []PolicyChangeSpec{
+				{AtNS: 2e6, Class: "bulk"},
+				{AtNS: 1e6, Class: "bulk"},
+			}
+			return s
+		}(), "qos_policy[1].at_ns"},
+		{"policy change without class", func() JobSpec {
+			s := validScenario()
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: 1e6}}
+			return s
+		}(), "qos_policy[0].class"},
+		{"policy change bad mask", func() JobSpec {
+			s := validScenario()
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: 1e6, Class: "bulk", WayMask: "xyz"}}
+			return s
+		}(), "qos_policy[0].way_mask"},
+		{"policy change negative mbps", func() JobSpec {
+			s := validScenario()
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: 1e6, Class: "bulk", MBps: -1}}
+			return s
+		}(), "qos_policy[0].mbps"},
+		{"policy change unknown class", func() JobSpec {
+			s := validScenario()
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: 1e6, Class: "gold"}}
+			return s
+		}(), "qos_policy[0].class"},
+		{"scenario policy without table", func() JobSpec {
+			s := validScenario()
+			s.QoS = nil
+			s.Tenants[1].Class = ""
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: 1e6, Class: "bulk"}}
+			return s
+		}(), "qos_policy"},
+		{"non-positive slo target", func() JobSpec {
+			s := validScenario()
+			s.SLO = &SLOSpec{Class: "bulk"}
+			return s
+		}(), "slo.target_p99_ns"},
+		{"scenario slo without table", func() JobSpec {
+			s := validScenario()
+			s.QoS = nil
+			s.Tenants[1].Class = ""
+			s.SLO = &SLOSpec{Class: "bulk", TargetP99NS: 5000}
+			return s
+		}(), "slo"},
+		{"scenario slo without class", func() JobSpec {
+			s := validScenario()
+			s.SLO = &SLOSpec{TargetP99NS: 5000}
+			return s
+		}(), "slo.class"},
+		{"scenario slo unknown class", func() JobSpec {
+			s := validScenario()
+			s.SLO = &SLOSpec{Class: "gold", TargetP99NS: 5000}
+			return s
+		}(), "slo.class"},
+		{"run policy second class", func() JobSpec {
+			s := validRun()
+			s.QoSPolicy = []PolicyChangeSpec{
+				{AtNS: 1e6, Class: "a"},
+				{AtNS: 2e6, Class: "b"},
+			}
+			return s
+		}(), "qos_policy[1].class"},
+		{"run policy off the budget class", func() JobSpec {
+			s := validRun()
+			s.QoSMasks = map[string]string{"workload": "0x3"}
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: 1e6, Class: "other"}}
+			return s
+		}(), "qos_policy[0].class"},
+		{"run with slo", func() JobSpec {
+			s := validRun()
+			s.SLO = &SLOSpec{TargetP99NS: 5000}
+			return s
+		}(), "slo"},
+		{"target with policy", func() JobSpec {
+			s := validTarget()
+			s.QoSPolicy = []PolicyChangeSpec{{AtNS: 1e6, Class: "stream"}}
+			return s
+		}(), "qos_policy"},
+		{"target slo with class", func() JobSpec {
+			s := JobSpec{Kind: KindTarget, Targets: []string{"autoqos"},
+				SLO: &SLOSpec{Class: "latency", TargetP99NS: 5000}}
+			return s
+		}(), "slo.class"},
+		{"target slo without autoqos", func() JobSpec {
+			s := validTarget()
+			s.SLO = &SLOSpec{TargetP99NS: 5000}
+			return s
+		}(), "slo"},
 		{"too many classes", func() JobSpec {
 			s := validScenario()
 			s.QoS = nil
@@ -307,7 +427,9 @@ func TestJobSpecJSONRoundTrip(t *testing.T) {
 			 "base": 4096, "scale": 2e-6, "hot_bytes": 1024, "hot_fraction": 0.5},
 			{"name": "b", "trace": "upload-1", "trace_label": "oltp"}
 		],
-		"qos": [{"name": "bulk", "way_mask": "0x3", "mbps": 100}]
+		"qos": [{"name": "bulk", "way_mask": "0x3", "mbps": 100}],
+		"qos_policy": [{"at_ns": 2000000, "class": "bulk", "way_mask": "0x1", "mbps": 50}],
+		"slo": {"class": "bulk", "target_p99_ns": 5000}
 	}`)
 	var spec JobSpec
 	if err := json.Unmarshal(in, &spec); err != nil {
@@ -326,6 +448,13 @@ func TestJobSpecJSONRoundTrip(t *testing.T) {
 	}
 	if spec.QoS[0].WayMask != "0x3" || spec.QoS[0].MBps != 100 {
 		t.Fatalf("class decode lost fields: %+v", spec.QoS[0])
+	}
+	if len(spec.QoSPolicy) != 1 ||
+		spec.QoSPolicy[0] != (PolicyChangeSpec{AtNS: 2000000, Class: "bulk", WayMask: "0x1", MBps: 50}) {
+		t.Fatalf("qos_policy decode lost fields: %+v", spec.QoSPolicy)
+	}
+	if spec.SLO == nil || *spec.SLO != (SLOSpec{Class: "bulk", TargetP99NS: 5000}) {
+		t.Fatalf("slo decode lost fields: %+v", spec.SLO)
 	}
 	out, err := json.Marshal(spec)
 	if err != nil {

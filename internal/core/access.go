@@ -49,6 +49,13 @@ func errBeyondCapacity(a mem.Access, cap uint64) error {
 // copies).
 func (c *Controller) accessPage(t sim.Time, a mem.Access) (AccessResult, uint64, error) {
 	start := t
+	// Dynamic QoS: latch every scheduled policy change due by this
+	// arrival. Arrivals are globally nondecreasing (the multi-core
+	// driver's contract), so the timeline is applied at deterministic
+	// step boundaries before any routing or victim selection.
+	if c.qosPolIdx < len(c.qosPolicy) {
+		c.applyPolicy(t)
+	}
 	page := a.Addr / c.cfg.PageBytes
 	b, set := c.route(page)
 

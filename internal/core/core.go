@@ -127,6 +127,19 @@ type Config struct {
 	// QoSSamplePeriod spaces the MBM monitor's samples in simulated
 	// time; 0 = qos.DefaultSamplePeriod.
 	QoSSamplePeriod sim.Time
+	// QoSPolicy is a sim-time-scheduled timeline of runtime class
+	// reprogrammings (resolved against QoS, which must be set). Each
+	// change is latched deterministically at the first request arriving
+	// at or after its time: the new way mask confines victim selection
+	// from the next miss on (resident pages in now-forbidden ways stay
+	// valid and hittable, in-flight fills complete into their reserved
+	// slots — never retroactive), and the throttle is re-based at the
+	// new rate without forgiving accrued debt.
+	QoSPolicy []qos.TimedChange
+	// QoSController is an optional SLO feedback controller driven off
+	// the MBM sample ticker; its actions are applied with QoSPolicy
+	// semantics. Requires QoS.
+	QoSController *qos.Controller
 
 	NVDIMM dram.NVDIMMConfig
 	SSD    ssd.Config
@@ -316,6 +329,14 @@ type Controller struct {
 	qosMasks []uint64 // per-class effective way masks
 	qosThr   *qos.Throttle
 	qosMon   *qos.Monitor
+	// Dynamic QoS: the controller mutates its private clone of the
+	// table (qosTab), never Config.QoS, so the caller's scenario stays
+	// reusable with its initial classes intact.
+	qosTab       *qos.Table
+	qosPolicy    []qos.TimedChange
+	qosPolIdx    int
+	qosCtl       *qos.Controller
+	qosReconfigs int64
 
 	// Steady-state scratch: the devices copy what they are handed and
 	// the NVDIMM store copies what it reads out, so one page buffer per
@@ -366,9 +387,30 @@ func New(cfg Config) (*Controller, error) {
 		evictBuf: make([]byte, cfg.PageBytes),
 	}
 	if cfg.QoS != nil {
-		c.qosMasks = cfg.QoS.Masks(cfg.Ways)
-		c.qosThr = qos.NewThrottle(cfg.QoS)
-		c.qosMon = qos.NewMonitor(cfg.QoS, cfg.QoSSamplePeriod)
+		c.qosTab = cfg.QoS.Clone()
+		c.qosMasks = c.qosTab.Masks(cfg.Ways)
+		c.qosThr = qos.NewThrottle(c.qosTab)
+		c.qosMon = qos.NewMonitor(c.qosTab, cfg.QoSSamplePeriod)
+	}
+	if len(cfg.QoSPolicy) > 0 {
+		if cfg.QoS == nil {
+			return nil, fmt.Errorf("core: QoS policy timeline requires a QoS table")
+		}
+		if err := qos.ValidateSchedule(cfg.QoSPolicy, cfg.QoS.Len(), cfg.Ways); err != nil {
+			return nil, err
+		}
+		c.qosPolicy = cfg.QoSPolicy
+	}
+	if cfg.QoSController != nil {
+		if cfg.QoS == nil {
+			return nil, fmt.Errorf("core: QoS feedback controller requires a QoS table")
+		}
+		c.qosCtl = cfg.QoSController
+		c.qosMon.OnEmit(func(s qos.Sample) {
+			for _, act := range c.qosCtl.OnSample(s, c.qosMon.Period()) {
+				c.applyChange(act.Class, act.Mask, act.MBps)
+			}
+		})
 	}
 	c.cacheBytes = nv.Capacity() - cfg.PinnedBytes
 	c.cacheBytes = mem.AlignDown(c.cacheBytes, cfg.PageBytes)
@@ -590,6 +632,72 @@ func (c *Controller) QoSSamples() []qos.Sample {
 		return nil
 	}
 	return c.qosMon.Samples()
+}
+
+// Reprogram mutates class cls's way mask and bandwidth cap at
+// runtime — the validated entry point behind ad-hoc (non-timeline)
+// reconfiguration. Semantics match a hardware CAT/MBA MSR rewrite:
+// the new mask confines victim selection from the next miss on, but
+// is never retroactive — pages resident in now-forbidden ways stay
+// valid and hittable until natural eviction, and an in-flight MSHR
+// fill completes into the slot it reserved even if the shrunk mask no
+// longer covers that way. The throttle is re-based at the new rate
+// with accrued debt intact (qos.Throttle.SetRate). mask 0 = full;
+// mbps 0 = unthrottled.
+func (c *Controller) Reprogram(cls qos.ClassID, mask uint64, mbps float64) error {
+	if c.qosTab == nil {
+		return fmt.Errorf("core: Reprogram without a QoS table")
+	}
+	if int(cls) >= c.qosTab.Len() {
+		return fmt.Errorf("core: Reprogram class %d out of range (table has %d)", cls, c.qosTab.Len())
+	}
+	if mask&^qos.FullMask(c.cfg.Ways) != 0 {
+		return fmt.Errorf("core: Reprogram mask %#x selects ways beyond the %d-way array", mask, c.cfg.Ways)
+	}
+	if mbps < 0 {
+		return fmt.Errorf("core: Reprogram negative throttle %.1f MB/s", mbps)
+	}
+	c.applyChange(cls, mask, mbps)
+	return nil
+}
+
+// applyChange installs one already-validated class reprogramming.
+func (c *Controller) applyChange(cls qos.ClassID, mask uint64, mbps float64) {
+	eff := mask
+	if eff == 0 {
+		eff = qos.FullMask(c.cfg.Ways)
+	}
+	c.qosMasks[cls] = eff
+	c.qosThr.SetRate(cls, mbps)
+	// The clone keeps the raw (0 = full) mask so reporting renders it
+	// the way it was programmed.
+	_ = c.qosTab.Set(cls, mask, mbps)
+	c.qosReconfigs++
+}
+
+// applyPolicy latches every scheduled change due at or before t.
+func (c *Controller) applyPolicy(t sim.Time) {
+	for c.qosPolIdx < len(c.qosPolicy) && c.qosPolicy[c.qosPolIdx].At <= t {
+		ch := c.qosPolicy[c.qosPolIdx]
+		c.qosPolIdx++
+		c.applyChange(ch.Class, ch.Mask, ch.MBps)
+	}
+}
+
+// QoSReconfigs counts runtime class reprogrammings applied this run
+// (timeline changes + feedback-controller actions).
+func (c *Controller) QoSReconfigs() int64 { return c.qosReconfigs }
+
+// QoSCurrent returns a copy of the current (possibly reprogrammed)
+// class table, nil when QoS is disabled. Masks keep the 0 = full
+// convention.
+func (c *Controller) QoSCurrent() []qos.Class {
+	if c.qosTab == nil {
+		return nil
+	}
+	out := make([]qos.Class, len(c.qosTab.Classes))
+	copy(out, c.qosTab.Classes)
+	return out
 }
 
 // bankOf routes a MoS page to its bank (page-interleaved).

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hams/internal/mem"
+	"hams/internal/qos"
+	"hams/internal/sim"
+)
+
+// TestReprogramValidation: runtime mutation is validated exactly like
+// construction — no table, bad class, out-of-array mask and negative
+// throttles are refused before anything changes.
+func TestReprogramValidation(t *testing.T) {
+	bare := mustNew(t, DefaultConfig(Extend, Loose))
+	if err := bare.Reprogram(0, 0, 0); err == nil {
+		t.Fatal("Reprogram without a QoS table accepted")
+	}
+
+	cfg := DefaultConfig(Extend, Loose)
+	cfg.Ways = 4
+	cfg.QoS = &qos.Table{Classes: []qos.Class{{Name: "a"}, {Name: "b"}}}
+	c := mustNew(t, cfg)
+	if err := c.Reprogram(5, 0, 0); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+	if err := c.Reprogram(0, 0x10, 0); err == nil {
+		t.Fatal("mask beyond the 4-way array accepted")
+	}
+	if err := c.Reprogram(0, 0x3, -1); err == nil {
+		t.Fatal("negative throttle accepted")
+	}
+	if n := c.QoSReconfigs(); n != 0 {
+		t.Fatalf("rejected Reprograms still counted: %d", n)
+	}
+	if err := c.Reprogram(1, 0x3, 100); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.QoSReconfigs(); n != 1 {
+		t.Fatalf("QoSReconfigs = %d, want 1", n)
+	}
+	cur := c.QoSCurrent()
+	if cur[1].WayMask != 0x3 || cur[1].MBps != 100 {
+		t.Fatalf("QoSCurrent[1] = %+v", cur[1])
+	}
+	// The caller's table is never mutated — the controller works on a
+	// clone.
+	if cfg.QoS.Classes[1].WayMask != 0 || cfg.QoS.Classes[1].MBps != 0 {
+		t.Fatalf("Reprogram leaked into Config.QoS: %+v", cfg.QoS.Classes[1])
+	}
+}
+
+// TestMaskShrinkWithInFlightFill: shrinking a class's mask while one of
+// its fills is in flight into a now-forbidden way must (a) let the fill
+// complete into the slot reserved at victim-selection time, (b) keep
+// the resident page hittable afterwards — CAT masks gate victim
+// selection, never residency — and (c) confine every later install to
+// the shrunken mask.
+func TestMaskShrinkWithInFlightFill(t *testing.T) {
+	cfg := DefaultConfig(Extend, Loose)
+	cfg.Ways = 4
+	cfg.MSHRs = 4
+	cfg.QoS = &qos.Table{Classes: []qos.Class{{Name: "only"}}} // full mask
+	c := mustNew(t, cfg)
+	E := uint64(c.CacheEntries())
+	P := c.PageBytes()
+	sets := E / 4
+
+	// Miss A starts a fill; under LRU on an empty set it reserves way 0.
+	rA, err := c.Access(0, mem.Access{Addr: 0, Size: 64, Op: mem.Write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rA.Hit {
+		t.Fatal("first access must miss")
+	}
+	// While that fill is still in flight, forbid ways 0-1.
+	if rA.Done <= sim.Microsecond {
+		t.Fatalf("fill finished too fast (%d) to be in flight at the reprogram", rA.Done)
+	}
+	if err := c.Reprogram(0, 0b1100, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// (a)+(b): after the fill lands, page A is resident and hittable
+	// even though it sits in a forbidden way.
+	now := rA.Done + sim.Second
+	rA2, err := c.Access(now, mem.Access{Addr: 0, Size: 64, Op: mem.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rA2.Hit {
+		t.Fatal("page filled into a now-forbidden way must stay hittable")
+	}
+
+	// (c): three more same-set misses must victimize only within ways
+	// 2-3; page A in way 0 is never evicted.
+	for i := 1; i <= 3; i++ {
+		now += sim.Second
+		r, err := c.Access(now, mem.Access{Addr: uint64(i) * sets * P, Size: 64, Op: mem.Write})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Hit {
+			t.Fatalf("miss %d unexpectedly hit", i)
+		}
+	}
+	now += sim.Second
+	b := c.banks[0]
+	if e := b.tags.Entry(0); !e.Valid || e.Tag != 0 {
+		t.Fatalf("way 0 lost page A: %+v", e)
+	}
+	if e := b.tags.Entry(1); e.Valid {
+		t.Fatalf("way 1 (forbidden) was filled after the shrink: %+v", e)
+	}
+	for w := 2; w < 4; w++ {
+		if e := b.tags.Entry(w); !e.Valid {
+			t.Fatalf("way %d (allowed) empty after 3 post-shrink misses", w)
+		}
+	}
+	rA3, err := c.Access(now, mem.Access{Addr: 0, Size: 64, Op: mem.Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rA3.Hit {
+		t.Fatal("page A evicted by post-shrink victim selection")
+	}
+}
+
+// TestThrottleLowerKeepsDebt: lowering a class's MBA cap mid-run keeps
+// the leaky bucket's accrued debt — the next transfer still waits out
+// the backlog admitted under the old rate, and only bytes admitted
+// after the change drain at the new slope.
+func TestThrottleLowerKeepsDebt(t *testing.T) {
+	mk := func() *Controller {
+		cfg := DefaultConfig(Extend, Loose)
+		cfg.QoS = &qos.Table{Classes: []qos.Class{{Name: "s", MBps: 1000}}}
+		return mustNew(t, cfg)
+	}
+	keep, lower := mk(), mk()
+	P := keep.PageBytes()
+
+	// One miss accrues a page worth of fill debt (at 1000 MB/s ≈ 1
+	// byte/ns that is PageBytes ns of backlog).
+	step := func(c *Controller, now sim.Time, page uint64) AccessResult {
+		t.Helper()
+		r, err := c.Access(now, mem.Access{Addr: page * P, Size: 64, Op: mem.Write})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1k, r1l := step(keep, 0, 0), step(lower, 0, 0)
+	if r1k != r1l {
+		t.Fatalf("identical first misses diverged: %+v vs %+v", r1k, r1l)
+	}
+
+	// Halve one controller's cap while the debt is outstanding.
+	if err := lower.Reprogram(0, 0, 500); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second miss pays the same admission debt in both runs: the
+	// backlog was accrued under the old rate and is never forgiven (nor
+	// re-priced) by the cap change.
+	now := r1k.Done + sim.Microsecond
+	r2k, r2l := step(keep, now, 1), step(lower, now, 1)
+	if r2k.Throttle == 0 {
+		t.Fatal("second miss saw no throttle: debt did not accrue")
+	}
+	if r2l.Throttle != r2k.Throttle {
+		t.Fatalf("cap change re-priced accrued debt: %d vs %d", r2l.Throttle, r2k.Throttle)
+	}
+
+	// The second transfer's own bytes drain at the new slope, so the
+	// third miss waits strictly longer under the halved cap.
+	now = r2k.Done + sim.Microsecond
+	if now < r2l.Done {
+		now = r2l.Done + sim.Microsecond
+	}
+	r3k, r3l := step(keep, now, 2), step(lower, now, 2)
+	if r3l.Throttle <= r3k.Throttle {
+		t.Fatalf("halved cap did not slow the post-change drain: %d vs %d", r3l.Throttle, r3k.Throttle)
+	}
+}
+
+// TestPolicyTimelineLatching: scheduled changes are latched at the
+// first request at or after their time — deterministically on the
+// simulated clock, never retroactively.
+func TestPolicyTimelineLatching(t *testing.T) {
+	cfg := DefaultConfig(Extend, Loose)
+	cfg.Ways = 4
+	cfg.QoS = &qos.Table{Classes: []qos.Class{{Name: "a"}}}
+	cfg.QoSPolicy = []qos.TimedChange{
+		{At: 2 * sim.Microsecond, Class: 0, Mask: 0b0011},
+		{At: 4 * sim.Microsecond, Class: 0, Mask: 0b0011, MBps: 100},
+	}
+	c := mustNew(t, cfg)
+	P := c.PageBytes()
+
+	if _, err := c.Access(sim.Microsecond, mem.Access{Addr: 0, Size: 64, Op: mem.Read}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.QoSReconfigs(); n != 0 {
+		t.Fatalf("change latched before its time: %d reconfigs", n)
+	}
+	// A request past both timestamps latches both, in order.
+	if _, err := c.Access(5*sim.Microsecond, mem.Access{Addr: P, Size: 64, Op: mem.Read}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.QoSReconfigs(); n != 2 {
+		t.Fatalf("QoSReconfigs = %d, want both scheduled changes latched", n)
+	}
+	cur := c.QoSCurrent()
+	if cur[0].WayMask != 0b0011 || cur[0].MBps != 100 {
+		t.Fatalf("final class state = %+v", cur[0])
+	}
+}
+
+// TestPolicyConfigValidation: a timeline without a table, or one that
+// fails schedule validation (t=0 entries, bad class/mask), is refused
+// at construction.
+func TestPolicyConfigValidation(t *testing.T) {
+	base := func() Config {
+		cfg := DefaultConfig(Extend, Loose)
+		cfg.Ways = 4
+		return cfg
+	}
+
+	cfg := base()
+	cfg.QoSPolicy = []qos.TimedChange{{At: sim.Microsecond, Class: 0}}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "table") {
+		t.Fatalf("timeline without a table: err = %v", err)
+	}
+
+	cfg = base()
+	cfg.QoS = &qos.Table{Classes: []qos.Class{{Name: "a"}}}
+	cfg.QoSPolicy = []qos.TimedChange{{At: 0, Class: 0}}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "t=0") {
+		t.Fatalf("t=0 change: err = %v", err)
+	}
+
+	cfg = base()
+	cfg.QoSController = &qos.Controller{}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "table") {
+		t.Fatalf("controller without a table: err = %v", err)
+	}
+}

@@ -60,6 +60,11 @@ type Options struct {
 	QoSMasks map[string]uint64
 	QoSMBps  map[string]float64
 
+	// SLOTargetP99 overrides the `autoqos` target's rolling-p99
+	// objective for the feedback-controlled cell (hamsbench -slo-p99);
+	// 0 keeps the built-in target.
+	SLOTargetP99 sim.Time
+
 	// MSHRs, when nonzero, overrides the per-bank MSHR depth of every
 	// HAMS matrix cell that does not pin its own (hamsbench -mshrs):
 	// a one-flag way to regenerate any figure under the non-blocking

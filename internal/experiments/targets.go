@@ -17,7 +17,7 @@ import (
 func TargetNames() []string {
 	return []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
 		"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline",
-		"ablation", "sweep", "replay", "mixed", "qos", "mlp"}
+		"ablation", "sweep", "replay", "mixed", "qos", "autoqos", "mlp"}
 }
 
 // KnownTarget reports whether RunTarget accepts the name.
@@ -97,6 +97,8 @@ func RunTarget(name string, o Options) ([]*stats.Table, error) {
 		return Mixed(o)
 	case "qos":
 		return QoS(o)
+	case "autoqos":
+		return AutoQoS(o)
 	default:
 		return nil, fmt.Errorf("experiments: unknown target %q", name)
 	}

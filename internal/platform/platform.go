@@ -63,6 +63,14 @@ type Options struct {
 	// monitors per-class occupancy/bandwidth. nil = no QoS (other
 	// platforms ignore the table).
 	HAMSQoS *qos.Table
+	// HAMSQoSPolicy is a sim-time-scheduled timeline of runtime class
+	// reprogrammings, latched deterministically at request arrivals
+	// (requires HAMSQoS; other platforms ignore it).
+	HAMSQoSPolicy []qos.TimedChange
+	// HAMSQoSController attaches an SLO feedback controller driven off
+	// the MBM sample ticker (requires HAMSQoS; other platforms ignore
+	// it).
+	HAMSQoSController *qos.Controller
 	// HAMSNVDIMM overrides the NVDIMM module size (cache-pressure
 	// ablation; the QoS isolation cells use it to provoke contention
 	// at bench scale); 0 = the paper's 8 GiB. The pinned region
@@ -266,6 +274,8 @@ func newHAMS(m core.Mode, tp core.Topology, o Options) (*hamsPlatform, error) {
 	}
 	cfg.Replacement = o.HAMSPolicy
 	cfg.QoS = o.HAMSQoS
+	cfg.QoSPolicy = o.HAMSQoSPolicy
+	cfg.QoSController = o.HAMSQoSController
 	if o.HAMSNVDIMM != 0 {
 		cfg.NVDIMM.DRAM.Capacity = o.HAMSNVDIMM
 		// Keep the pinned region (queues + PRP pools) a quarter of a
@@ -359,6 +369,8 @@ func newHAMSSoftware(o Options) (*hamsSWPlatform, error) {
 		cfg.QueueDepth = o.HAMSQueueDepth
 	}
 	cfg.QoS = o.HAMSQoS
+	cfg.QoSPolicy = o.HAMSQoSPolicy
+	cfg.QoSController = o.HAMSQoSController
 	ctl, err := core.New(cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,295 @@
+package qos
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hams/internal/sim"
+)
+
+// controllerTable is the two-class victim/aggressor shape every
+// controller test actuates on: victim "svc" holds 3 of 4 ways, the
+// streamer 1, uncapped.
+func controllerTable() *Table {
+	return &Table{Classes: []Class{
+		{Name: "svc", WayMask: 0xe},
+		{Name: "stream", WayMask: 0x1},
+	}}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	tb := controllerTable()
+	good := SLO{Class: "svc", TargetP99: 1000}
+	if _, err := NewController(good, tb, 4); err != nil {
+		t.Fatalf("valid SLO rejected: %v", err)
+	}
+	bad := []SLO{
+		{TargetP99: 1000},                // no class
+		{Class: "nope", TargetP99: 1000}, // unknown class
+		{Class: "svc"},                   // no target
+		{Class: "svc", TargetP99: -5},    // negative target
+		{Class: "svc", TargetP99: 1000, MinMBps: 100, MaxMBps: 50}, // ceiling < floor
+		{Class: "svc", TargetP99: 1000, MinWays: 4},                // no ways left for the victim
+	}
+	for i, s := range bad {
+		if _, err := NewController(s, tb, 4); err == nil {
+			t.Errorf("bad SLO %d accepted: %+v", i, s)
+		}
+	}
+	one := &Table{Classes: []Class{{Name: "svc"}}}
+	if _, err := NewController(good, one, 4); err == nil {
+		t.Fatal("one-class table accepted: nothing to actuate on")
+	}
+}
+
+// feed pushes n identical victim latencies into the window.
+func feed(c *Controller, lat sim.Time, n int) {
+	for i := 0; i < n; i++ {
+		c.Observe(0, lat)
+	}
+}
+
+func TestControllerP99(t *testing.T) {
+	c, err := NewController(SLO{Class: "svc", TargetP99: 1000, Window: 100}, controllerTable(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below minObservations the estimate is withheld.
+	feed(c, 500, minObservations-1)
+	if got := c.P99(); got != 0 {
+		t.Fatalf("p99 before min observations = %d, want 0", got)
+	}
+	c.Observe(0, 500)
+	if got := c.P99(); got != 500 {
+		t.Fatalf("uniform p99 = %d, want 500", got)
+	}
+	// Non-victim observations are filtered out.
+	feed2 := func() { c.Observe(1, 1e9) }
+	for i := 0; i < 200; i++ {
+		feed2()
+	}
+	if got := c.P99(); got != 500 {
+		t.Fatalf("aggressor latencies leaked into the victim window: p99 = %d", got)
+	}
+	// Nearest-rank p99 over 100 samples is the 99th smallest: one
+	// outlier stays under the rank, two land on it.
+	feed(c, 500, 99)
+	c.Observe(0, 9000)
+	if got := c.P99(); got != 500 {
+		t.Fatalf("p99 with one outlier in 100 = %d, want 500", got)
+	}
+	c.Observe(0, 9000)
+	if got := c.P99(); got != 9000 {
+		t.Fatalf("p99 with two outliers in 100 = %d, want 9000", got)
+	}
+}
+
+// TestControllerAIMD pins the multiplicative-decrease /
+// additive-increase trajectory: cap seeding from measured bandwidth,
+// halving on violation, way halving on gross violation, and AddMBps
+// recovery after Hold compliant samples.
+func TestControllerAIMD(t *testing.T) {
+	slo := SLO{Class: "svc", TargetP99: 1000, Window: 64,
+		MinMBps: 10, MaxMBps: 4000, AddMBps: 100, Hold: 2}
+	c, err := NewController(slo, controllerTable(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sample window: the aggressor moved 200 bytes in 1µs = 200 MB/s.
+	s := Sample{FillBytes: []int64{0, 150}, WBBytes: []int64{0, 50}}
+	period := sim.Time(1000)
+
+	// Mild violation (target < p99 <= 2×target): cap seeds from half the
+	// measured bandwidth, ways stay. period.Seconds() rounds in binary,
+	// so the MB/s checks carry a tolerance.
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-6 }
+	feed(c, 1500, 64)
+	acts := c.OnSample(s, period)
+	if len(acts) != 1 || acts[0].Class != 1 || !approx(acts[0].MBps, 100) || acts[0].Mask != 0x1 {
+		t.Fatalf("seed actions = %+v, want stream capped at 100 MB/s", acts)
+	}
+	if ways, cap := c.State(); ways != 1 || !approx(cap, 100) {
+		t.Fatalf("state = %d ways, %.0f MB/s", ways, cap)
+	}
+
+	// Second violation halves the existing cap.
+	if acts = c.OnSample(s, period); len(acts) != 1 || !approx(acts[0].MBps, 50) {
+		t.Fatalf("halved actions = %+v, want 50 MB/s", acts)
+	}
+
+	// Repeated halving clamps at MinMBps, then stops emitting (no change).
+	c.OnSample(s, period) // 25
+	c.OnSample(s, period) // 12.5
+	c.OnSample(s, period) // 10 (floor)
+	if acts = c.OnSample(s, period); len(acts) != 0 {
+		t.Fatalf("cap at floor still emitted %+v", acts)
+	}
+	if _, cap := c.State(); cap != 10 {
+		t.Fatalf("cap = %.0f, want the 10 MB/s floor", cap)
+	}
+
+	// Compliance: the first compliant sample holds, the second adds
+	// AddMBps back.
+	feed(c, 500, 64)
+	if acts = c.OnSample(s, period); len(acts) != 0 {
+		t.Fatalf("first compliant sample acted: %+v", acts)
+	}
+	if acts = c.OnSample(s, period); len(acts) != 1 || acts[0].MBps != 110 {
+		t.Fatalf("additive increase = %+v, want 110 MB/s", acts)
+	}
+}
+
+// TestControllerGrossViolation pins the way-halving path and the
+// victim-mask complement emitted alongside it.
+func TestControllerGrossViolation(t *testing.T) {
+	tb := &Table{Classes: []Class{
+		{Name: "svc", WayMask: 0xf0},
+		{Name: "stream", WayMask: 0x0f, MBps: 800},
+	}}
+	c, err := NewController(SLO{Class: "svc", TargetP99: 1000, Window: 64, MinMBps: 10}, tb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(c, 5000, 64) // p99 = 5×target: gross
+	acts := c.OnSample(Sample{}, 1000)
+	// Aggressor drops 4→2 ways and halves its cap; the victim picks up
+	// the complement.
+	want := map[ClassID]Action{
+		1: {Class: 1, Mask: 0x3, MBps: 400},
+		0: {Class: 0, Mask: 0xfc, MBps: 0},
+	}
+	if len(acts) != 2 {
+		t.Fatalf("actions = %+v", acts)
+	}
+	for _, a := range acts {
+		if a != want[a.Class] {
+			t.Fatalf("action %+v, want %+v", a, want[a.Class])
+		}
+	}
+	// Way floor: repeated gross violations never starve below MinWays.
+	for i := 0; i < 10; i++ {
+		c.OnSample(Sample{}, 1000)
+	}
+	if ways, _ := c.State(); ways != 1 {
+		t.Fatalf("ways = %d, want the MinWays floor 1", ways)
+	}
+}
+
+func TestThrottleSetRateKeepsDebt(t *testing.T) {
+	tb := &Table{Classes: []Class{{Name: "s", MBps: 1000}}} // 1 byte/ns
+	th := NewThrottle(tb)
+	// Accrue 1000ns of debt: 1000 bytes at 1 byte/ns from t=0.
+	th.Admit(0, 0, 1000)
+	if nf := th.NextFree(0); nf != 1000 {
+		t.Fatalf("nextFree = %d, want 1000", nf)
+	}
+	// Halving the rate re-bases the slope but never forgives the debt.
+	th.SetRate(0, 500)
+	if nf := th.NextFree(0); nf != 1000 {
+		t.Fatalf("SetRate forgave debt: nextFree = %d, want 1000", nf)
+	}
+	if got := th.RateMBps(0); got != 500 {
+		t.Fatalf("RateMBps = %g", got)
+	}
+	// The next transfer pays the old debt and drains at the new rate:
+	// admitted at 1000, 500 bytes at 2 ns/byte → nextFree 2000.
+	if got := th.Admit(0, 10, 500); got != 1000 {
+		t.Fatalf("Admit after SetRate = %d, want 1000", got)
+	}
+	if nf := th.NextFree(0); nf != 2000 {
+		t.Fatalf("nextFree after re-based drain = %d, want 2000", nf)
+	}
+	// Lifting the throttle (0 MB/s) stops delaying but the accrued
+	// window stays behind us.
+	th.SetRate(0, 0)
+	if got := th.Admit(0, 3000, 1<<20); got != 3000 {
+		t.Fatalf("unthrottled Admit = %d", got)
+	}
+}
+
+func TestTableCloneAndSet(t *testing.T) {
+	orig := controllerTable()
+	cl := orig.Clone()
+	if err := cl.Set(1, 0x3, 250); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Classes[1].WayMask != 0x3 || cl.Classes[1].MBps != 250 {
+		t.Fatalf("Set lost: %+v", cl.Classes[1])
+	}
+	if orig.Classes[1].WayMask != 0x1 || orig.Classes[1].MBps != 0 {
+		t.Fatalf("Set leaked into the original table: %+v", orig.Classes[1])
+	}
+	if err := cl.Set(5, 0, 0); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+	if err := cl.Set(0, 0, -1); err == nil {
+		t.Fatal("negative MBps accepted")
+	}
+	var nilTable *Table
+	if nilTable.Clone() != nil {
+		t.Fatal("nil Clone must stay nil")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	got, err := ParseSchedule("2ms:svc:0x3:100, 4ms:svc:full:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ScheduleEntry{
+		{At: 2 * sim.Millisecond, Class: "svc", Mask: 0x3, MBps: 100},
+		{At: 4 * sim.Millisecond, Class: "svc", Mask: 0, MBps: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("entries = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got, err := ParseSchedule(""); err != nil || got != nil {
+		t.Fatalf("empty schedule = %+v, %v", got, err)
+	}
+	for _, in := range []string{
+		"2ms:svc:0x3",        // missing field
+		"2ms:svc:0x3:100:x",  // extra field
+		"nope:svc:0x3:100",   // bad duration
+		"2ms:svc:zz:100",     // bad mask
+		"2ms:svc:0x3:banana", // bad MBps
+	} {
+		if _, err := ParseSchedule(in); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", in)
+		}
+	}
+}
+
+func TestValidateSchedule(t *testing.T) {
+	ok := []TimedChange{{At: 100, Class: 1, Mask: 0x3}, {At: 100, Class: 0}, {At: 200, Class: 1, MBps: 50}}
+	if err := ValidateSchedule(ok, 2, 4); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		changes []TimedChange
+		wantSub string
+	}{
+		{"t=0", []TimedChange{{At: 0, Class: 0}}, "strictly after t=0"},
+		{"negative", []TimedChange{{At: -5, Class: 0}}, "strictly after t=0"},
+		{"decreasing", []TimedChange{{At: 200, Class: 0}, {At: 100, Class: 0}}, "nondecreasing"},
+		{"class", []TimedChange{{At: 100, Class: 7}}, "class"},
+		{"mask", []TimedChange{{At: 100, Class: 0, Mask: 0x10}}, "mask"},
+		{"mbps", []TimedChange{{At: 100, Class: 0, MBps: -1}}, "MB/s"},
+	}
+	for _, c := range cases {
+		err := ValidateSchedule(c.changes, 2, 4)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}

@@ -72,6 +72,7 @@ type Monitor struct {
 	samples []Sample
 	winFill []int64 // traffic since the last sample
 	winWB   []int64
+	onEmit  func(Sample)
 }
 
 // DefaultSamplePeriod spaces MBM samples 100 µs of simulated time
@@ -178,12 +179,22 @@ func (m *Monitor) Tick(now sim.Time) {
 			m.winWB[i] = 0
 		}
 		m.samples = append(m.samples, s)
+		if m.onEmit != nil {
+			m.onEmit(s)
+		}
 		m.next += m.period
 		if len(m.samples) >= maxSamples {
 			m.compact()
 		}
 	}
 }
+
+// OnEmit registers a callback invoked synchronously for every freshly
+// emitted sample, before any history compaction — the hook the SLO
+// feedback controller rides: it sees each window exactly once, at its
+// native period, on the same single-threaded timeline that produced
+// it. Only one callback is supported; nil unregisters.
+func (m *Monitor) OnEmit(fn func(Sample)) { m.onEmit = fn }
 
 // compact halves the sample history and doubles the period, merging
 // each dropped sample's window traffic into its survivor.

@@ -1,0 +1,107 @@
+package qos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"hams/internal/sim"
+)
+
+// TimedChange is one scheduled runtime CLOS reprogramming with the
+// class resolved to its ID — the form the MoS controller consumes. At
+// simulated time At, class Class's way mask becomes Mask (0 = full)
+// and its archive cap MBps (0 = unthrottled); both are rewritten
+// together, like reprogramming the class's CAT/MBA MSR pair.
+type TimedChange struct {
+	At    sim.Time
+	Class ClassID
+	Mask  uint64
+	MBps  float64
+}
+
+// ValidateSchedule checks a resolved policy timeline against a table
+// of n classes on a ways-associative array. Every change must be
+// strictly in the future (At > 0 — the t=0 state belongs in the
+// initial table, so a zero or past time is a configuration error, not
+// a change to apply late), nondecreasing in time, address a class the
+// table defines, select no ways beyond the array, and carry a
+// non-negative cap.
+func ValidateSchedule(changes []TimedChange, n, ways int) error {
+	full := FullMask(ways)
+	var prev sim.Time
+	for i, ch := range changes {
+		if ch.At <= 0 {
+			return fmt.Errorf("qos: policy[%d]: change scheduled at %v; changes must be strictly after t=0 (the initial table is the t=0 state)", i, ch.At)
+		}
+		if ch.At < prev {
+			return fmt.Errorf("qos: policy[%d]: change at %v is before the previous change at %v (schedule must be nondecreasing)", i, ch.At, prev)
+		}
+		prev = ch.At
+		if int(ch.Class) >= n {
+			return fmt.Errorf("qos: policy[%d]: class %d out of range (table has %d)", i, ch.Class, n)
+		}
+		if ch.Mask&^full != 0 {
+			return fmt.Errorf("qos: policy[%d]: mask %#x selects ways beyond the %d-way array", i, ch.Mask, ways)
+		}
+		if ch.MBps < 0 {
+			return fmt.Errorf("qos: policy[%d]: negative throttle %.1f MB/s", i, ch.MBps)
+		}
+	}
+	return nil
+}
+
+// ScheduleEntry is the name-keyed wire/CLI form of one scheduled
+// change; the replay engine resolves Class against the scenario's
+// table into a TimedChange.
+type ScheduleEntry struct {
+	At    sim.Time
+	Class string
+	Mask  uint64
+	MBps  float64
+}
+
+// ParseSchedule parses the CLI policy-timeline syntax: comma-separated
+// "at:class:mask:mbps" entries, e.g.
+//
+//	2ms:stream:0x03:100,4ms:stream:full:0
+//
+// at is a Go duration ("500us", "2ms"); mask uses ParseMask syntax
+// (empty or "full" = all ways); mbps is the MBA cap in MB/s (empty or
+// 0 = unthrottled). The empty string is an empty schedule. Ordering
+// and class names are validated later against the table
+// (ValidateSchedule), not here.
+func ParseSchedule(s string) ([]ScheduleEntry, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []ScheduleEntry
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("qos: malformed policy change %q (want at:class:mask:mbps, e.g. 2ms:stream:0x03:100)", part)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("qos: policy change %q: bad time %q (want a duration like 2ms)", part, fields[0])
+		}
+		cls := strings.TrimSpace(fields[1])
+		if cls == "" {
+			return nil, fmt.Errorf("qos: policy change %q: empty class name", part)
+		}
+		mask, err := ParseMask(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("qos: policy change %q: %v", part, err)
+		}
+		mbps := 0.0
+		if v := strings.TrimSpace(fields[3]); v != "" {
+			mbps, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("qos: policy change %q: bad MB/s value %q", part, fields[3])
+			}
+		}
+		out = append(out, ScheduleEntry{At: sim.Time(d.Nanoseconds()), Class: cls, Mask: mask, MBps: mbps})
+	}
+	return out, nil
+}

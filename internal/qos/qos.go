@@ -101,6 +101,38 @@ func (t *Table) Add(c Class) (ClassID, error) {
 	return ClassID(len(t.Classes) - 1), nil
 }
 
+// Clone returns a deep copy of the table (nil clones to nil). The MoS
+// controller clones the table it was configured with before applying
+// any runtime mutation, so a policy timeline or feedback controller
+// can never leak reprogrammed masks back into the caller's Scenario —
+// which the live-vs-replay contract requires to be reusable with its
+// initial classes intact.
+func (t *Table) Clone() *Table {
+	if t == nil {
+		return nil
+	}
+	out := &Table{Classes: make([]Class, len(t.Classes))}
+	copy(out.Classes, t.Classes)
+	return out
+}
+
+// Set reprograms class id's way mask and bandwidth cap in place — the
+// runtime-mutation entry point behind scheduled PolicyChanges and the
+// feedback controller. The mask keeps the Table convention (0 = full);
+// it is not validated against an associativity here — the controller
+// applying the change owns that check (core.Controller.Reprogram).
+func (t *Table) Set(id ClassID, mask uint64, mbps float64) error {
+	if t == nil || int(id) >= len(t.Classes) {
+		return fmt.Errorf("qos: class %d out of range", id)
+	}
+	if mbps < 0 {
+		return fmt.Errorf("qos: class %q: negative throttle %.1f MB/s", t.Classes[id].Name, mbps)
+	}
+	t.Classes[id].WayMask = mask
+	t.Classes[id].MBps = mbps
+	return nil
+}
+
 // ByName resolves a class name to its ID.
 func (t *Table) ByName(name string) (ClassID, bool) {
 	if t == nil {

@@ -34,6 +34,42 @@ func NewThrottle(t *Table) *Throttle {
 	return th
 }
 
+// SetRate reprograms class c's bandwidth cap mid-run (the MBA-MSR
+// rewrite of a runtime policy change). Only the rate changes: the
+// class's drain point survives, so debt accrued under the old rate is
+// never forgiven — a class that over-drew at a loose cap and is cut to
+// a tight one still waits out every reservation it already made, and
+// only traffic admitted after the change is paced at the new rate.
+// mbps <= 0 lifts the throttle (again keeping accrued debt).
+func (th *Throttle) SetRate(c ClassID, mbps float64) {
+	if int(c) >= len(th.nsPerByte) {
+		return
+	}
+	if mbps > 0 {
+		th.nsPerByte[c] = 1e3 / mbps
+	} else {
+		th.nsPerByte[c] = 0
+	}
+}
+
+// RateMBps returns class c's current cap (0 = unthrottled).
+func (th *Throttle) RateMBps(c ClassID) float64 {
+	if int(c) >= len(th.nsPerByte) || th.nsPerByte[c] == 0 {
+		return 0
+	}
+	return 1e3 / th.nsPerByte[c]
+}
+
+// NextFree exposes class c's drain point — the earliest instant new
+// traffic can start. Tests pin the debt-keeping contract of SetRate
+// against it.
+func (th *Throttle) NextFree(c ClassID) sim.Time {
+	if int(c) >= len(th.nextFree) {
+		return 0
+	}
+	return th.nextFree[c]
+}
+
 // Admit charges bytes of archive traffic to class c at time now and
 // returns the time the transfer may start (>= now). The delay, if
 // any, is the MBA throttle's injected stall.

@@ -88,6 +88,30 @@ type Scenario struct {
 	// have full masks and no throttle reproduces the nil behavior
 	// bit-for-bit (pinned by TestQoSFullMaskParity).
 	QoS *qos.Table
+	// Policy is a sim-time-scheduled timeline of runtime class
+	// reprogrammings (requires QoS; class names resolve against it).
+	// Changes latch deterministically at request arrivals, so a
+	// scenario with a policy timeline still replays bit-for-bit.
+	Policy []PolicyChange
+	// SLO attaches the AIMD feedback controller (internal/qos): hold
+	// the named victim class's rolling p99 at the target by adapting
+	// the other classes' way masks and bandwidth caps at runtime.
+	// Requires QoS; composes with Policy (scheduled changes and
+	// controller actions apply through the same mutation path).
+	SLO *qos.SLO
+}
+
+// PolicyChange is one scheduled reprogramming of a scenario's class:
+// at simulated time At, class Class's way mask becomes Mask (0 =
+// full) and its bandwidth cap MBps (0 = unthrottled). The mask change
+// takes effect at the next victim selection — resident pages in
+// now-forbidden ways stay hittable, in-flight fills complete — and
+// the throttle re-bases without forgiving accrued debt.
+type PolicyChange struct {
+	At    sim.Time
+	Class string
+	Mask  uint64
+	MBps  float64
 }
 
 // Options tunes synthetic tenant stream generation (trace-backed
@@ -138,6 +162,13 @@ type Result struct {
 	// QoS holds the per-class monitoring counters in CLOS order (nil
 	// without a QoS table or on platforms without a MoS controller).
 	QoS []qos.ClassStats
+	// QoSReconfigs counts runtime class reprogrammings applied during
+	// the run (timeline changes + feedback-controller actions).
+	QoSReconfigs int64
+	// QoSFinal is the class table as it stood at the end of the run
+	// (masks keep the 0 = full convention); nil without dynamic QoS
+	// exposure.
+	QoSFinal []qos.Class
 }
 
 // UnitsPerSec returns aggregate work items per second of simulated time.
@@ -350,6 +381,38 @@ func Run(sc Scenario, o Options) (Result, error) {
 	if sc.QoS != nil {
 		popt.HAMSQoS = sc.QoS
 	}
+	ways := sc.PlatOpts.HAMSWays
+	if ways <= 0 {
+		ways = 1
+	}
+	if len(sc.Policy) > 0 {
+		if sc.QoS == nil {
+			return Result{}, fmt.Errorf("replay: scenario %q schedules policy changes but has no QoS table", sc.Name)
+		}
+		timeline := make([]qos.TimedChange, len(sc.Policy))
+		for i, ch := range sc.Policy {
+			id, ok := sc.QoS.ByName(ch.Class)
+			if !ok {
+				return Result{}, fmt.Errorf("replay: scenario %q: policy change %d: unknown QoS class %q", sc.Name, i, ch.Class)
+			}
+			timeline[i] = qos.TimedChange{At: ch.At, Class: id, Mask: ch.Mask, MBps: ch.MBps}
+		}
+		if err := qos.ValidateSchedule(timeline, sc.QoS.Len(), ways); err != nil {
+			return Result{}, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+		}
+		popt.HAMSQoSPolicy = timeline
+	}
+	var ctl *qos.Controller
+	if sc.SLO != nil {
+		if sc.QoS == nil {
+			return Result{}, fmt.Errorf("replay: scenario %q sets an SLO but has no QoS table", sc.Name)
+		}
+		ctl, err = qos.NewController(*sc.SLO, sc.QoS, ways)
+		if err != nil {
+			return Result{}, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+		}
+		popt.HAMSQoSController = ctl
+	}
 	plat, err := platform.New(sc.Platform, popt)
 	if err != nil {
 		return Result{}, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
@@ -403,6 +466,13 @@ func Run(sc Scenario, o Options) (Result, error) {
 	}
 	runner.Observe(func(core int, a mem.Access, issue, done sim.Time) {
 		hists[coreTenant[core]].Add(done - issue)
+		// The SLO controller samples the same single-threaded
+		// completion stream the histograms do, so its rolling p99 —
+		// and therefore its reprogramming trajectory — is a pure
+		// function of simulated time (replay ≡ live).
+		if ctl != nil {
+			ctl.Observe(coreClass[core], done-issue)
+		}
 	})
 	st, err := runner.Run(streams)
 	if err != nil {
@@ -412,6 +482,8 @@ func Run(sc Scenario, o Options) (Result, error) {
 	if sc.QoS != nil {
 		if qe, ok := plat.(qosExposer); ok {
 			res.QoS = qe.Controller().QoSStats()
+			res.QoSReconfigs = qe.Controller().QoSReconfigs()
+			res.QoSFinal = qe.Controller().QoSCurrent()
 		}
 	}
 	for ti := range sc.Tenants {

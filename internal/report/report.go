@@ -313,6 +313,34 @@ func HostDeltas(base, cur Artifact) ([]Delta, error) {
 	return ds, nil
 }
 
+// SetDiff reports how two artifacts' cell-key sets diverge: keys
+// present only in cur (added) and only in base (removed), both
+// sorted. Unlike Deltas it covers every cell — including
+// throughput-free ones — so the compare gate can refuse a comparison
+// whose baseline no longer describes the candidate's target list
+// instead of silently skipping the unmatched cells.
+func SetDiff(base, cur Artifact) (added, removed []string) {
+	baseBy := make(map[string]bool, len(base.Cells))
+	for _, c := range base.Cells {
+		baseBy[c.Key] = true
+	}
+	curBy := make(map[string]bool, len(cur.Cells))
+	for _, c := range cur.Cells {
+		curBy[c.Key] = true
+		if !baseBy[c.Key] {
+			added = append(added, c.Key)
+		}
+	}
+	for _, c := range base.Cells {
+		if !curBy[c.Key] {
+			removed = append(removed, c.Key)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
+
 // Threshold filters deltas down to the regressions: cells whose drop
 // exceeds the threshold (a fraction, e.g. 0.15) and cells that
 // vanished from the new artifact.

@@ -101,6 +101,41 @@ func TestCompareFlagsMissingCells(t *testing.T) {
 	}
 }
 
+// TestSetDiff pins the divergence detector the compare gate runs
+// before thresholding: cell keys only in the candidate come back as
+// added, keys only in the baseline as removed, both sorted.
+func TestSetDiff(t *testing.T) {
+	base := sampleArtifact()
+	cur := sampleArtifact()
+	if added, removed := SetDiff(base, cur); len(added)+len(removed) != 0 {
+		t.Fatalf("identical artifacts diverge: +%v -%v", added, removed)
+	}
+	cur.Cells = append(cur.Cells[1:],
+		Cell{Key: "autoqos/stream+latency/auto@hams-LE"},
+		Cell{Key: "autoqos/stream+latency/shared@hams-LE"})
+	added, removed := SetDiff(base, cur)
+	wantAdded := []string{
+		"autoqos/stream+latency/auto@hams-LE",
+		"autoqos/stream+latency/shared@hams-LE",
+	}
+	wantRemoved := []string{"fig20/a/seqSel/4KB"}
+	if !stringSliceEq(added, wantAdded) || !stringSliceEq(removed, wantRemoved) {
+		t.Fatalf("SetDiff = +%v -%v, want +%v -%v", added, removed, wantAdded, wantRemoved)
+	}
+}
+
+func stringSliceEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestCompareRejectsIncomparable(t *testing.T) {
 	base := sampleArtifact()
 	cur := sampleArtifact()
