@@ -6,12 +6,13 @@
 //	hamsbench [-scale 3e-6] [-seed 42] [-parallel N] [-json out.json]
 //	          [-progress] [-mshrs D] [-qos-masks name=mask,...]
 //	          [-qos-mbps name=N,...] [-qos-summary file.md]
-//	          [-slo-p99 40us] <target> [target...]
+//	          [-slo-p99 40us] [-checkpoint img] [-from-checkpoint img]
+//	          [-sampled-summary file.md] <target> [target...]
 //	hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json
 //
 // Targets: table1 table2 table3 fig5 fig6 fig7 fig10 fig16 fig17
 // fig18 fig19 fig20 headline ablation sweep replay mixed qos autoqos
-// mlp all
+// mlp sampled all
 //
 // sweep runs the associativity × shard grid (MoS cache geometry) on
 // the random microbenchmarks and rndIns. replay runs the record→replay
@@ -35,6 +36,17 @@
 // to an SLO while maximizing the streamer's throughput, compared
 // against all four static policies; -slo-p99 overrides the p99
 // objective and -qos-summary also collects its delta table.
+// sampled is the checkpointed-simulation gate: a split cell pins the
+// SMARTS-style interval-sampling error against the full measured phase
+// (mean and p50 within 10% per tenant), and a fan-out cell restores N
+// measured cells from one warm-up checkpoint, demands bit-identity
+// with N live warm-ups, and fails unless the amortization beats the
+// 2x wall-clock floor. -checkpoint writes the sampled scenario's
+// warm-up image to a file before any target runs; -from-checkpoint
+// feeds such an image back so the fan-out cells restore without
+// re-warming (same -seed, or every restore fails the match check);
+// -sampled-summary appends the warm-up amortization markdown table to
+// a file ($GITHUB_STEP_SUMMARY in CI).
 // compare fails (exit 1) when the two artifacts' cell sets diverge —
 // cells present on only one side were never gated, so the divergence
 // is reported key-by-key instead of silently skipped.
@@ -63,6 +75,7 @@ import (
 	"time"
 
 	"hams/internal/api"
+	"hams/internal/checkpoint"
 	"hams/internal/experiments"
 	"hams/internal/qos"
 	"hams/internal/report"
@@ -95,6 +108,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	qosMBps := fs.String("qos-mbps", "", "qos target: override isolated-policy throttles in MB/s, e.g. stream=100")
 	qosSummary := fs.String("qos-summary", "", "append the qos isolation delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	sloP99 := fs.Duration("slo-p99", 0, "autoqos target: victim rolling-p99 objective for the feedback controller (0 = built-in default)")
+	ckptOut := fs.String("checkpoint", "", "write the sampled scenario's warm-up checkpoint image to this file before any target runs")
+	ckptIn := fs.String("from-checkpoint", "", "sampled target: restore fan-out cells from this image instead of warming up live (must match -seed)")
+	sampledSummary := fs.String("sampled-summary", "", "append the sampled target's warm-up amortization table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	mshrs := fs.Int("mshrs", 0, "override the per-bank MSHR depth of HAMS cells (0 = each target's own; >= 2 enables the non-blocking miss pipeline)")
 	progress := fs.Bool("progress", false, "print one line per completed cell to stderr as it finishes")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -175,6 +191,37 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	o.Ctx = ctx
+	// Checkpoint plumbing follows the validation-first convention: a
+	// malformed image (or an uncreatable output path) must surface as
+	// exit 2 before any cell has burned its minutes. A well-formed
+	// image that does not match the scenario fails later, at restore.
+	if *ckptIn != "" {
+		img, err := api.FileCheckpoints{}.Checkpoint(*ckptIn)
+		if err != nil {
+			fmt.Fprintf(stderr, "hamsbench: -from-checkpoint: %v\n", err)
+			return 2
+		}
+		o.Checkpoint = img
+	}
+	if *ckptOut != "" {
+		f, err := os.Create(*ckptOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "hamsbench: -checkpoint: %v\n", err)
+			return 2
+		}
+		img, err := experiments.SampledCheckpoint(o)
+		if err == nil {
+			err = checkpoint.Encode(f, img)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "hamsbench: -checkpoint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (platform %s, %d steps/thread of warm-up)\n", *ckptOut, img.Platform, img.Warmup)
+	}
 	if *jsonOut != "" {
 		o.Recorder = &report.Recorder{}
 	}
@@ -186,7 +233,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	for _, tgt := range targets {
-		if err := run(tgt, o, *qosSummary, stdout); err != nil {
+		if err := run(tgt, o, *qosSummary, *sampledSummary, stdout); err != nil {
 			fmt.Fprintf(stderr, "hamsbench: %s: %v\n", tgt, err)
 			return 1
 		}
@@ -232,12 +279,12 @@ func splitQoSFlags(masksArg, mbpsArg string) (map[string]string, map[string]floa
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] [-progress] [-qos-masks a=0xf,...] [-qos-mbps a=N,...] [-qos-summary f.md] [-slo-p99 D] <%s|all>\n",
+	fmt.Fprintf(w, "usage: hamsbench [-scale S] [-seed N] [-parallel N] [-json out.json] [-progress] [-qos-masks a=0xf,...] [-qos-mbps a=N,...] [-qos-summary f.md] [-slo-p99 D] [-checkpoint img] [-from-checkpoint img] [-sampled-summary f.md] <%s|all>\n",
 		strings.Join(experiments.TargetNames(), "|"))
 	fmt.Fprintln(w, "       hamsbench compare [-threshold 0.15] [-summary file.md] baseline.json new.json")
 }
 
-func run(target string, o experiments.Options, qosSummary string, stdout io.Writer) error {
+func run(target string, o experiments.Options, qosSummary, sampledSummary string, stdout io.Writer) error {
 	start := time.Now()
 	var tables []*stats.Table
 	var err error
@@ -258,6 +305,14 @@ func run(target string, o experiments.Options, qosSummary string, stdout io.Writ
 		if err == nil && qosSummary != "" {
 			if werr := appendFile(qosSummary, md); werr != nil {
 				return fmt.Errorf("autoqos summary: %w", werr)
+			}
+		}
+	case "sampled":
+		var md string
+		tables, md, err = experiments.SampledWithSummary(o)
+		if err == nil && sampledSummary != "" {
+			if werr := appendFile(sampledSummary, md); werr != nil {
+				return fmt.Errorf("sampled summary: %w", werr)
 			}
 		}
 	default:

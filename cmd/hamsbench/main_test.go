@@ -62,6 +62,34 @@ func TestTargetValidationExitsTwo(t *testing.T) {
 	}
 }
 
+// TestCheckpointFlagValidationExitsTwo: the checkpoint flags follow
+// the same up-front convention — a missing or malformed image and an
+// uncreatable output path exit 2 before any cell runs.
+func TestCheckpointFlagValidationExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "trunc.ckpt")
+	if err := os.WriteFile(bad, []byte("HAMC\x01\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"from-checkpoint missing file", []string{"-from-checkpoint", filepath.Join(dir, "gone.ckpt"), "sampled"}},
+		{"from-checkpoint truncated image", []string{"-from-checkpoint", bad, "sampled"}},
+		{"checkpoint uncreatable path", []string{"-checkpoint", filepath.Join(dir, "no", "such", "dir.ckpt"), "sampled"}},
+	}
+	for _, tc := range cases {
+		code, _, errOut := exec(tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, errOut)
+		}
+		if errOut == "" {
+			t.Errorf("%s: no diagnostic on stderr", tc.name)
+		}
+	}
+}
+
 // TestStaticTargetRuns: a full realMain pass over a static table —
 // the cheapest end-to-end run — exits 0 and renders the table.
 func TestStaticTargetRuns(t *testing.T) {

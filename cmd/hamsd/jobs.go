@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hams/internal/api"
+	"hams/internal/checkpoint"
 	"hams/internal/report"
 	"hams/internal/runner"
 	"hams/internal/trace"
@@ -127,6 +128,45 @@ func (s *traceStore) Trace(ref string) (*trace.File, error) {
 	return tf, nil
 }
 
+// checkpointStore holds uploaded checkpoint images by ID — the hamsd
+// side of api.CheckpointResolver. IDs, not paths, exactly like traces:
+// a job body must not be able to read arbitrary daemon-filesystem
+// files.
+type checkpointStore struct {
+	mu   sync.Mutex
+	seq  int
+	byID map[string]*checkpoint.Image
+}
+
+func newCheckpointStore() *checkpointStore {
+	return &checkpointStore{byID: make(map[string]*checkpoint.Image)}
+}
+
+func (s *checkpointStore) Put(img *checkpoint.Image) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	id := fmt.Sprintf("ckpt-%d", s.seq)
+	s.byID[id] = img
+	return id
+}
+
+func (s *checkpointStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+func (s *checkpointStore) Checkpoint(ref string) (*checkpoint.Image, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	img, ok := s.byID[ref]
+	if !ok {
+		return nil, fmt.Errorf("hamsd: unknown checkpoint %q (upload it via POST /v1/checkpoints first)", ref)
+	}
+	return img, nil
+}
+
 // managerConfig sizes the manager; see envConfig for the variables.
 type managerConfig struct {
 	Workers    int            // shared cell pool size (<=0 = GOMAXPROCS)
@@ -141,12 +181,13 @@ type managerConfig struct {
 // are ignored server-side — so N concurrent jobs multiplex onto a
 // fixed simulation capacity instead of oversubscribing the host.
 type manager struct {
-	log    *slog.Logger
-	pool   *runner.Pool
-	traces *traceStore
-	sem    chan struct{}
-	defCap int
-	caps   map[string]int
+	log         *slog.Logger
+	pool        *runner.Pool
+	traces      *traceStore
+	checkpoints *checkpointStore
+	sem         chan struct{}
+	defCap      int
+	caps        map[string]int
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -172,16 +213,17 @@ func newManager(cfg managerConfig) *manager {
 		log = slog.Default()
 	}
 	return &manager{
-		log:       log,
-		pool:      runner.NewPool(cfg.Workers),
-		traces:    newTraceStore(),
-		sem:       make(chan struct{}, maxActive),
-		defCap:    cfg.DefaultCap,
-		caps:      cfg.ClientCaps,
-		jobs:      make(map[string]*job),
-		inflight:  make(map[string]int),
-		durations: make(map[string][]float64),
-		exec:      api.Execute,
+		log:         log,
+		pool:        runner.NewPool(cfg.Workers),
+		traces:      newTraceStore(),
+		checkpoints: newCheckpointStore(),
+		sem:         make(chan struct{}, maxActive),
+		defCap:      cfg.DefaultCap,
+		caps:        cfg.ClientCaps,
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]int),
+		durations:   make(map[string][]float64),
+		exec:        api.Execute,
 	}
 }
 
@@ -257,10 +299,11 @@ func (m *manager) run(ctx context.Context, j *job) {
 	j.mu.Unlock()
 
 	cells, err := m.exec(j.spec, api.ExecOptions{
-		Ctx:      ctx,
-		Runner:   m.pool,
-		Traces:   m.traces,
-		Progress: j.addCell,
+		Ctx:         ctx,
+		Runner:      m.pool,
+		Traces:      m.traces,
+		Checkpoints: m.checkpoints,
+		Progress:    j.addCell,
 	})
 	m.finish(j, cells, err)
 }
@@ -392,13 +435,14 @@ type clientStats struct {
 // statsSnapshot is the GET /v1/stats body and the 10s log line's
 // source.
 type statsSnapshot struct {
-	Jobs     map[string]int         `json:"jobs"` // state -> count
-	Workers  int                    `json:"workers"`
-	Busy     int                    `json:"workers_busy"`
-	Cells    int64                  `json:"cells_completed"`
-	Traces   int                    `json:"traces"`
-	Clients  map[string]clientStats `json:"clients"`
-	Draining bool                   `json:"draining"`
+	Jobs        map[string]int         `json:"jobs"` // state -> count
+	Workers     int                    `json:"workers"`
+	Busy        int                    `json:"workers_busy"`
+	Cells       int64                  `json:"cells_completed"`
+	Traces      int                    `json:"traces"`
+	Checkpoints int                    `json:"checkpoints"`
+	Clients     map[string]clientStats `json:"clients"`
+	Draining    bool                   `json:"draining"`
 }
 
 func (m *manager) Stats() statsSnapshot {
@@ -407,11 +451,12 @@ func (m *manager) Stats() statsSnapshot {
 			api.StateQueued: 0, api.StateRunning: 0, api.StateDone: 0,
 			api.StateFailed: 0, api.StateCanceled: 0,
 		},
-		Workers: m.pool.Workers(),
-		Busy:    m.pool.Busy(),
-		Cells:   m.pool.Completed(),
-		Traces:  m.traces.Len(),
-		Clients: make(map[string]clientStats),
+		Workers:     m.pool.Workers(),
+		Busy:        m.pool.Busy(),
+		Cells:       m.pool.Completed(),
+		Traces:      m.traces.Len(),
+		Checkpoints: m.checkpoints.Len(),
+		Clients:     make(map[string]clientStats),
 	}
 	for _, st := range m.Jobs() {
 		s.Jobs[st.State]++

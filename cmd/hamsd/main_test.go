@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hams/internal/api"
+	"hams/internal/checkpoint"
 	"hams/internal/replay"
 	"hams/internal/report"
 	"hams/internal/workload"
@@ -360,6 +361,103 @@ func TestTraceUploadAndScenario(t *testing.T) {
 	if final := waitJob(t, ts, bad.ID); final.State != api.StateFailed ||
 		!strings.Contains(final.Error, "unknown trace") {
 		t.Fatalf("bogus trace job: %s (%s)", final.State, final.Error)
+	}
+}
+
+// TestCheckpointUploadAndRestore: an uploaded checkpoint image is
+// addressable by ID from a scenario job, and the restored job's cell
+// is byte-identical to the same scenario run live with a warm-up
+// phase — the restore≡live guarantee through the whole HTTP stack.
+func TestCheckpointUploadAndRestore(t *testing.T) {
+	ts, _ := newTestServer(t, managerConfig{})
+	// Explicit tenant seeds keep the engine's per-cell seed derivation
+	// out of the picture: the in-process warm-up below and the hamsd
+	// job rebuild identical streams from the spec alone.
+	spec := api.JobSpec{Kind: api.KindScenario, Platform: "hams-LE",
+		Name: "restored", Scale: 1e-6,
+		Tenants: []api.TenantSpec{{Name: "seqRd", Workload: "seqRd", Seed: 7}}}
+	// seqRd at this scale runs ~300 steps/thread: warm up a third,
+	// leaving a real measured phase to compare.
+	const warmup = 100
+	warmSpec := spec
+	warmSpec.Warmup = warmup
+	sc, err := warmSpec.Scenario(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := replay.Warmup(sc, replay.Options{Scale: spec.Scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := checkpoint.Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/checkpoints", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d: %s", resp.StatusCode, body)
+	}
+	var up struct {
+		ID       string `json:"id"`
+		Platform string `json:"platform"`
+		Warmup   int64  `json:"warmup"`
+		Sections int    `json:"sections"`
+	}
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.ID == "" || up.Platform != "hams-LE" || up.Warmup != warmup || up.Sections == 0 {
+		t.Fatalf("upload response: %s", body)
+	}
+
+	restoredSpec := spec
+	restoredSpec.Checkpoint = up.ID
+	restored := waitJob(t, ts, submit(t, ts, restoredSpec).ID)
+	if restored.State != api.StateDone {
+		t.Fatalf("restored job: %s (%s)", restored.State, restored.Error)
+	}
+	live := waitJob(t, ts, submit(t, ts, warmSpec).ID)
+	if live.State != api.StateDone {
+		t.Fatalf("live job: %s (%s)", live.State, live.Error)
+	}
+	rc := fetchCells(t, ts, restored.ID)
+	lc := fetchCells(t, ts, live.ID)
+	if len(rc) != 1 || rc[0].Key != "mixed/restored@hams-LE" {
+		t.Fatalf("restored cells: %+v", rc)
+	}
+	if rc[0].Extra["units:seqRd"] == 0 {
+		t.Fatalf("restored cell has an empty measured phase: %+v", rc[0])
+	}
+	// Host wall-clock and its derived throughput are the only
+	// nondeterministic cell fields.
+	rc[0].WallNS, lc[0].WallNS = 0, 0
+	rc[0].HostUnitsPerSec, lc[0].HostUnitsPerSec = 0, 0
+	if !reflect.DeepEqual(rc, lc) {
+		t.Fatalf("restored cell diverged from live phase-split run:\nrestored: %+v\nlive:     %+v", rc, lc)
+	}
+
+	// A bogus reference fails the job with a useful error, not a hang.
+	badSpec := spec
+	badSpec.Checkpoint = "ckpt-999"
+	if final := waitJob(t, ts, submit(t, ts, badSpec).ID); final.State != api.StateFailed ||
+		!strings.Contains(final.Error, "unknown checkpoint") {
+		t.Fatalf("bogus checkpoint job: %s (%s)", final.State, final.Error)
+	}
+
+	// A malformed image is a 400 at upload time, never stored.
+	resp, err = http.Post(ts.URL+"/v1/checkpoints", "application/octet-stream",
+		strings.NewReader("HAMCgarbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed upload: %d", resp.StatusCode)
 	}
 }
 

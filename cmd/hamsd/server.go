@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hams/internal/api"
+	"hams/internal/checkpoint"
 	"hams/internal/trace"
 )
 
@@ -41,6 +42,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/cells", s.handleCells)
 	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	mux.HandleFunc("POST /v1/checkpoints", s.handleCheckpointUpload)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -176,6 +178,28 @@ func (s *server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleCheckpointUpload decodes a checkpoint image from the request
+// body and stores it under a fresh ID scenario jobs can reference as
+// their checkpoint field — resolved by ID only, never as a daemon-side
+// file path (the trace-upload rule).
+func (s *server) handleCheckpointUpload(w http.ResponseWriter, r *http.Request) {
+	img, err := checkpoint.Decode(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErrors(w, http.StatusBadRequest, fmt.Errorf("decoding checkpoint image: %w", err))
+		return
+	}
+	id := s.m.checkpoints.Put(img)
+	s.log.Info("checkpoint uploaded", "checkpoint", id, "platform", img.Platform, "warmup", img.Warmup, "sections", len(img.Sections))
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":       id,
+		"version":  img.Version,
+		"platform": img.Platform,
+		"sim_ns":   img.SimTime,
+		"warmup":   img.Warmup,
+		"sections": len(img.Sections),
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.m.Stats())
 }
@@ -197,6 +221,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP hamsd_workers_busy Workers currently simulating a cell.\n# TYPE hamsd_workers_busy gauge\nhamsd_workers_busy %d\n", st.Busy)
 	fmt.Fprintf(w, "# HELP hamsd_cells_completed_total Experiment cells completed since start.\n# TYPE hamsd_cells_completed_total counter\nhamsd_cells_completed_total %d\n", st.Cells)
 	fmt.Fprintf(w, "# HELP hamsd_traces Uploaded trace containers held in memory.\n# TYPE hamsd_traces gauge\nhamsd_traces %d\n", st.Traces)
+	fmt.Fprintf(w, "# HELP hamsd_checkpoints Uploaded checkpoint images held in memory.\n# TYPE hamsd_checkpoints gauge\nhamsd_checkpoints %d\n", st.Checkpoints)
 	drain := 0
 	if st.Draining {
 		drain = 1

@@ -8,6 +8,10 @@
 //	hamstrace record [-scale 1e-6] [-seed 42] [-threads all] <workload> <file>
 //	hamstrace replay [-platform hams-LE] [-mshrs D] [-qos-mask 0xf]
 //	          [-qos-mbps N] [-qos-policy at:trace:mask:mbps,...] <file>
+//	hamstrace checkpoint [-scale S] [-seed N] [-platform P] [-mshrs D]
+//	          [-warmup K] <workload> <file>
+//	hamstrace restore [-scale S] [-seed N] [-platform P] [-mshrs D]
+//	          <workload> <file>
 //	hamstrace info <file>
 //
 // record writes a v2 container: one labeled stream per thread plus the
@@ -25,9 +29,19 @@
 // at:trace:mask:mbps entries, each strictly after t=0 and
 // nondecreasing; mask changes apply at the next victim selection,
 // throttle changes keep accrued debt).
+//
+// checkpoint runs a workload's first K per-thread steps as a warm-up,
+// quiesces the platform and freezes it into a versioned checkpoint
+// image; restore rebuilds the same scenario from the same flags,
+// overlays the image and runs only the measured remainder — the
+// restored run's statistics are bit-identical to the live phase-split
+// run's (the determinism contract the replay package pins). info
+// recognizes checkpoint images by magic and prints the header plus
+// per-layer section sizes; a malformed image exits 2 before any work.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +50,7 @@ import (
 	"strconv"
 
 	"hams/internal/api"
+	"hams/internal/checkpoint"
 	"hams/internal/mem"
 	"hams/internal/qos"
 	"hams/internal/replay"
@@ -60,6 +75,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return record(args[1:], stdout, stderr)
 	case "replay":
 		return replayCmd(args[1:], stdout, stderr)
+	case "checkpoint":
+		return checkpointCmd(args[1:], stdout, stderr)
+	case "restore":
+		return restoreCmd(args[1:], stdout, stderr)
 	case "info":
 		return info(args[1:], stdout, stderr)
 	default:
@@ -70,8 +89,144 @@ func run(args []string, stdout, stderr io.Writer) int {
 func usage(w io.Writer) int {
 	fmt.Fprintln(w, "usage: hamstrace record [-scale S] [-seed N] [-threads all|K] <workload> <file>")
 	fmt.Fprintln(w, "       hamstrace replay [-platform P] [-mshrs D] [-qos-mask M] [-qos-mbps N] [-qos-policy S] <file>")
+	fmt.Fprintln(w, "       hamstrace checkpoint [-scale S] [-seed N] [-platform P] [-mshrs D] [-warmup K] <workload> <file>")
+	fmt.Fprintln(w, "       hamstrace restore [-scale S] [-seed N] [-platform P] [-mshrs D] <workload> <file>")
 	fmt.Fprintln(w, "       hamstrace info <file>")
 	return 2
+}
+
+// checkpointSpec assembles the single-tenant phase-split scenario the
+// checkpoint/restore pair shares: the same JobSpec shape a
+// POST /v1/jobs scenario body decodes to, so both CLI subcommands and
+// the HTTP path validate and build identically. The tenant is named
+// after its workload; restore must rebuild the exact scenario the
+// image was saved from, so every knob lives in the flags both
+// subcommands repeat.
+func checkpointSpec(plat string, mshrs int, wl string) api.JobSpec {
+	return api.JobSpec{
+		Kind:     api.KindScenario,
+		Platform: plat,
+		MSHRs:    mshrs,
+		Name:     wl,
+		Tenants:  []api.TenantSpec{{Name: wl, Workload: wl}},
+	}
+}
+
+func checkpointCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("checkpoint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1e-6, "instruction-count scale vs Table III")
+	seed := fs.Int64("seed", 42, "workload random seed")
+	plat := fs.String("platform", "hams-LE", "platform to warm up")
+	mshrs := fs.Int("mshrs", 0, "HAMS per-bank MSHR depth (0/1 = blocking pipeline, >= 2 = non-blocking)")
+	warmup := fs.Int64("warmup", 0, "warm-up length in per-thread steps (required, positive)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 2 {
+		return usage(stderr)
+	}
+	if *warmup <= 0 {
+		fmt.Fprintf(stderr, "hamstrace: -warmup must be positive (the image freezes the platform after that many per-thread steps), got %d\n", *warmup)
+		return 2
+	}
+	spec := checkpointSpec(*plat, *mshrs, fs.Arg(0))
+	spec.Warmup = *warmup
+	if err := api.Validate(spec); err != nil {
+		api.RenderFlagErrors(stderr, "hamstrace", err, map[string]string{
+			"platform": "-platform",
+			"warmup":   "-warmup",
+		})
+		return 2
+	}
+	sc, err := spec.Scenario(nil, nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "hamstrace: %v\n", err)
+		return 2
+	}
+	// Validation done; only now create (and truncate) the output file.
+	f, err := os.Create(fs.Arg(1))
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	img, err := replay.Warmup(sc, replay.Options{Scale: *scale, Seed: *seed})
+	if err == nil {
+		err = checkpoint.Encode(f, img)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	fmt.Fprintf(stdout, "checkpointed %s on %s after %d steps/thread to %s (%d sections)\n",
+		fs.Arg(0), img.Platform, img.Warmup, fs.Arg(1), len(img.Sections))
+	return 0
+}
+
+func restoreCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("restore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1e-6, "instruction-count scale vs Table III")
+	seed := fs.Int64("seed", 42, "workload random seed")
+	plat := fs.String("platform", "hams-LE", "platform to restore onto")
+	mshrs := fs.Int("mshrs", 0, "HAMS per-bank MSHR depth (0/1 = blocking pipeline, >= 2 = non-blocking)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 2 {
+		return usage(stderr)
+	}
+	spec := checkpointSpec(*plat, *mshrs, fs.Arg(0))
+	spec.Checkpoint = fs.Arg(1)
+	if err := api.Validate(spec); err != nil {
+		api.RenderFlagErrors(stderr, "hamstrace", err, map[string]string{
+			"platform":   "-platform",
+			"checkpoint": "file", // positional
+		})
+		return 2
+	}
+	// The builder resolves (opens, decodes, bounds-checks) the image:
+	// a malformed container fails here, before any simulation — the
+	// same exit-2 contract info applies to it.
+	sc, err := spec.Scenario(api.FileTraces{}, api.FileCheckpoints{})
+	if err != nil {
+		fmt.Fprintf(stderr, "hamstrace: %v\n", err)
+		return 2
+	}
+	res, err := replay.Run(sc, replay.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	st := res.CPU
+	fmt.Fprintf(stdout, "restored     %s from %s (v%d, %d steps/thread of warm-up, quiesced at %dns)\n",
+		fs.Arg(0), fs.Arg(1), sc.Checkpoint.Version, sc.Checkpoint.Warmup, sc.Checkpoint.SimTime)
+	fmt.Fprintf(stdout, "platform     %s\n", res.Platform)
+	fmt.Fprintf(stdout, "instructions %d (measured phase)\n", st.Instructions)
+	fmt.Fprintf(stdout, "elapsed      %v\n", st.Elapsed)
+	fmt.Fprintf(stdout, "work units   %d (%.0f/s)\n", res.Units, res.UnitsPerSec())
+	fmt.Fprintf(stdout, "energy (J)   %.3f\n\n", res.Energy.Total())
+	fmt.Fprintln(stdout, tenantTable(res))
+	return 0
+}
+
+// tenantTable renders the per-tenant latency table replay and restore
+// share.
+func tenantTable(res replay.Result) *stats.Table {
+	t := stats.NewTable("Per-tenant latency breakdown",
+		"tenant", "threads", "units", "accesses", "mean", "p50", "p95", "p99", "max")
+	for _, ten := range res.Tenants {
+		t.AddRow(ten.Name, fmt.Sprint(ten.Threads), fmt.Sprint(ten.Units), fmt.Sprint(ten.Accesses),
+			fmt.Sprintf("%dns", ten.Mean), fmt.Sprintf("%dns", ten.P50),
+			fmt.Sprintf("%dns", ten.P95), fmt.Sprintf("%dns", ten.P99), fmt.Sprintf("%dns", ten.Max))
+	}
+	return t
 }
 
 func record(args []string, stdout, stderr io.Writer) int {
@@ -179,7 +334,7 @@ func replayCmd(args []string, stdout, stderr io.Writer) int {
 		})
 		return 2
 	}
-	sc, err := spec.Scenario(api.FileTraces{})
+	sc, err := spec.Scenario(api.FileTraces{}, api.FileCheckpoints{})
 	if err != nil {
 		return fatal(stderr, err)
 	}
@@ -200,14 +355,7 @@ func replayCmd(args []string, stdout, stderr io.Writer) int {
 		pct(st.L1Hits, st.L1Hits+st.L1Misses), pct(st.L2Hits, st.L2Hits+st.L2Misses))
 	fmt.Fprintf(stdout, "breakdown    OS=%v mem=%v DMA=%v SSD=%v\n", st.OSTime, st.MemTime, st.DMATime, st.SSDTime)
 	fmt.Fprintf(stdout, "energy (J)   %.3f\n\n", res.Energy.Total())
-	t := stats.NewTable("Per-tenant latency breakdown",
-		"tenant", "threads", "units", "accesses", "mean", "p50", "p95", "p99", "max")
-	for _, ten := range res.Tenants {
-		t.AddRow(ten.Name, fmt.Sprint(ten.Threads), fmt.Sprint(ten.Units), fmt.Sprint(ten.Accesses),
-			fmt.Sprintf("%dns", ten.Mean), fmt.Sprintf("%dns", ten.P50),
-			fmt.Sprintf("%dns", ten.P95), fmt.Sprintf("%dns", ten.P99), fmt.Sprintf("%dns", ten.Max))
-	}
-	fmt.Fprintln(stdout, t)
+	fmt.Fprintln(stdout, tenantTable(res))
 	return 0
 }
 
@@ -220,6 +368,22 @@ func info(args []string, stdout, stderr io.Writer) int {
 		return fatal(stderr, err)
 	}
 	defer f.Close()
+	// Sniff the magic: info understands both container families. A
+	// checkpoint image is fully bounds-checked by Decode, so a
+	// malformed one exits 2 here, before any work.
+	var magic [4]byte
+	n, _ := io.ReadFull(f, magic[:])
+	if checkpoint.IsMagic(magic[:n]) {
+		img, err := checkpoint.Decode(io.MultiReader(bytes.NewReader(magic[:n]), f))
+		if err != nil {
+			fmt.Fprintf(stderr, "hamstrace: %v\n", err)
+			return 2
+		}
+		return checkpointInfo(img, stdout)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fatal(stderr, err)
+	}
 	tf, err := trace.Decode(f)
 	if err != nil {
 		return fatal(stderr, err)
@@ -268,6 +432,25 @@ func info(args []string, stdout, stderr io.Writer) int {
 	if accesses > 0 {
 		fmt.Fprintf(stdout, "addr range   [%#x, %#x)\n", minAddr, maxAddr)
 	}
+	return 0
+}
+
+// checkpointInfo renders a checkpoint image's header and per-layer
+// section sizes (payloads stay opaque — the sizes are the point: they
+// say where a fat image's bytes live without info having to understand
+// eight subsystems' wire layouts).
+func checkpointInfo(img *checkpoint.Image, stdout io.Writer) int {
+	fmt.Fprintf(stdout, "checkpoint   v%d\n", img.Version)
+	fmt.Fprintf(stdout, "platform     %s\n", img.Platform)
+	fmt.Fprintf(stdout, "sim time     %dns\n", img.SimTime)
+	fmt.Fprintf(stdout, "warmup       %d steps/thread\n", img.Warmup)
+	fmt.Fprintf(stdout, "sections     %d\n", len(img.Sections))
+	var total int
+	for _, sec := range img.Sections {
+		fmt.Fprintf(stdout, "  %-12s %10d bytes\n", sec.Name, len(sec.Data))
+		total += len(sec.Data)
+	}
+	fmt.Fprintf(stdout, "payload      %d bytes\n", total)
 	return 0
 }
 

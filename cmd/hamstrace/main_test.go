@@ -96,3 +96,98 @@ func TestReplayMissingFile(t *testing.T) {
 		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
 	}
 }
+
+// TestCheckpointInfoRestoreRoundTrip drives the checkpoint flow end to
+// end: warm-up + save, info on the image (the same subcommand that
+// reads traces — it sniffs the magic), and a restored measured phase
+// with real work in it.
+func TestCheckpointInfoRestoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "warm.ckpt")
+	var out, errb bytes.Buffer
+	// seqRd at the default 1e-6 scale runs ~300 steps/thread: a
+	// 100-step warm-up leaves a real measured phase behind.
+	if code := run([]string{"checkpoint", "-warmup", "100", "seqRd", path}, &out, &errb); code != 0 {
+		t.Fatalf("checkpoint exit %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "checkpointed seqRd") {
+		t.Fatalf("checkpoint output: %s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"info", path}, &out, &errb); code != 0 {
+		t.Fatalf("info exit %d\nstderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"checkpoint   v1", "platform     hams-LE",
+		"warmup       100 steps/thread", "sim/engine", "mem/nvdimm", "payload"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("info output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"restore", "seqRd", path}, &out, &errb); code != 0 {
+		t.Fatalf("restore exit %d\nstderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"restored     seqRd", "100 steps/thread of warm-up",
+		"Per-tenant latency breakdown"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("restore output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "work units   0 ") {
+		t.Fatalf("restored measured phase is empty:\n%s", out.String())
+	}
+
+	// A structurally different platform refuses the image up front.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"restore", "-platform", "hams-TE", "seqRd", path}, &out, &errb); code != 1 {
+		t.Fatalf("cross-platform restore exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "hams-TE") {
+		t.Fatalf("mismatch error does not name the platform:\n%s", errb.String())
+	}
+}
+
+// TestCheckpointValidation: malformed checkpoint/restore input exits 2
+// before any file is created or any simulation runs.
+func TestCheckpointValidation(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "never.ckpt")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"checkpoint no args", []string{"checkpoint"}},
+		{"checkpoint missing warmup", []string{"checkpoint", "seqRd", out}},
+		{"checkpoint negative warmup", []string{"checkpoint", "-warmup", "-5", "seqRd", out}},
+		{"checkpoint unknown workload", []string{"checkpoint", "-warmup", "100", "nope", out}},
+		{"checkpoint unknown platform", []string{"checkpoint", "-warmup", "100", "-platform", "pdp11", "seqRd", out}},
+		{"restore no args", []string{"restore"}},
+		{"restore unknown workload", []string{"restore", "nope", out}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var o, e bytes.Buffer
+			if code := run(tc.args, &o, &e); code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, e.String())
+			}
+			if _, err := os.Stat(out); !os.IsNotExist(err) {
+				t.Fatalf("output file created before validation (stat err: %v)", err)
+			}
+		})
+	}
+
+	// A truncated image is a runtime failure (1) with a decode error,
+	// reported before any simulation work.
+	bad := filepath.Join(dir, "trunc.ckpt")
+	if err := os.WriteFile(bad, []byte("HAMC\x01\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var o, e bytes.Buffer
+	if code := run([]string{"restore", "seqRd", bad}, &o, &e); code != 2 {
+		t.Fatalf("truncated image exit %d, want 2\nstderr: %s", code, e.String())
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"hams/internal/checkpoint"
 	"hams/internal/trace"
 )
 
@@ -103,6 +104,20 @@ type JobSpec struct {
 	Name    string       `json:"name,omitempty"`
 	Tenants []TenantSpec `json:"tenants,omitempty"`
 	QoS     []ClassSpec  `json:"qos,omitempty"`
+
+	// Checkpoint references a platform checkpoint image to restore the
+	// scenario from instead of running a warm-up phase: an uploaded
+	// checkpoint ID under hamsd (POST /v1/checkpoints), a file path
+	// under the CLIs (CheckpointResolver decides). The image carries
+	// its own warm-up length, so Checkpoint and Warmup are mutually
+	// exclusive. Scenario jobs only. Added in schema v1's lifetime as
+	// a purely additive field, like QoSPolicy.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// Warmup splits a scenario run into a warm-up phase (each tenant
+	// thread's first Warmup steps, statistics discarded) and a
+	// measured phase that alone is reported — replay.Scenario.Warmup.
+	// Scenario jobs only; additive.
+	Warmup int64 `json:"warmup,omitempty"`
 
 	// QoSPolicy schedules runtime class reprogrammings on the
 	// simulated clock (kinds run and scenario). Entries must be
@@ -227,4 +242,30 @@ func (FileTraces) Trace(ref string) (*trace.File, error) {
 		return nil, fmt.Errorf("api: trace %s: %w", ref, err)
 	}
 	return tf, nil
+}
+
+// CheckpointResolver turns a JobSpec.Checkpoint reference into a
+// decoded platform image. hamsd resolves IDs against its upload store
+// — by ID only, the same no-arbitrary-file rule as traces; the CLIs
+// resolve file paths (FileCheckpoints).
+type CheckpointResolver interface {
+	Checkpoint(ref string) (*checkpoint.Image, error)
+}
+
+// FileCheckpoints resolves checkpoint references as filesystem paths —
+// the CLI side of the CheckpointResolver seam.
+type FileCheckpoints struct{}
+
+// Checkpoint opens and decodes the image at path ref.
+func (FileCheckpoints) Checkpoint(ref string) (*checkpoint.Image, error) {
+	f, err := os.Open(ref)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	img, err := checkpoint.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("api: checkpoint %s: %w", ref, err)
+	}
+	return img, nil
 }

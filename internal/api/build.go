@@ -126,9 +126,11 @@ func (s JobSpec) qosTable() (*qos.Table, error) {
 }
 
 // Scenario materializes a scenario job: trace references resolve
-// through tr, and a sole unnamed trace tenant expands to one tenant
-// per recorded label (replay.FromFile — the hamstrace-replay shape).
-func (s JobSpec) Scenario(tr TraceResolver) (replay.Scenario, error) {
+// through tr, a checkpoint reference resolves through cr (nil cr
+// fails any checkpoint-backed spec), and a sole unnamed trace tenant
+// expands to one tenant per recorded label (replay.FromFile — the
+// hamstrace-replay shape).
+func (s JobSpec) Scenario(tr TraceResolver, cr CheckpointResolver) (replay.Scenario, error) {
 	popt, err := s.PlatformOptions()
 	if err != nil {
 		return replay.Scenario{}, err
@@ -142,9 +144,20 @@ func (s JobSpec) Scenario(tr TraceResolver) (replay.Scenario, error) {
 		Platform: s.Platform,
 		PlatOpts: popt,
 		QoS:      table,
+		Warmup:   s.Warmup,
 	}
 	if sc.Name == "" {
 		sc.Name = "scenario"
+	}
+	if s.Checkpoint != "" {
+		if cr == nil {
+			return replay.Scenario{}, fmt.Errorf("api: no checkpoint resolver for %q", s.Checkpoint)
+		}
+		img, err := cr.Checkpoint(s.Checkpoint)
+		if err != nil {
+			return replay.Scenario{}, fmt.Errorf("api: checkpoint: %w", err)
+		}
+		sc.Checkpoint = img
 	}
 	for i, ch := range s.QoSPolicy {
 		mask, err := qos.ParseMask(ch.WayMask)

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"hams/internal/checkpoint"
 	"hams/internal/core/tagstore"
 	"hams/internal/platform"
 	"hams/internal/qos"
@@ -68,7 +69,7 @@ func TestPlatformOptionsRunQoS(t *testing.T) {
 
 func TestScenarioBuildsTenantsAndTable(t *testing.T) {
 	spec := validScenario()
-	sc, err := spec.Scenario(nil)
+	sc, err := spec.Scenario(nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestScenarioSoleUnnamedTraceTenant(t *testing.T) {
 	if err := Validate(spec); err != nil {
 		t.Fatal(err)
 	}
-	sc, err := spec.Scenario(FileTraces{})
+	sc, err := spec.Scenario(FileTraces{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +137,64 @@ func TestScenarioSoleUnnamedTraceTenant(t *testing.T) {
 func TestScenarioTraceWithoutResolver(t *testing.T) {
 	spec := JobSpec{Kind: KindScenario, Platform: "hams-LE",
 		Tenants: []TenantSpec{{Trace: "x.trace"}}}
-	if _, err := spec.Scenario(nil); err == nil {
+	if _, err := spec.Scenario(nil, nil); err == nil {
 		t.Fatal("want an error without a resolver")
 	}
-	if _, err := spec.Scenario(FileTraces{}); err == nil {
+	if _, err := spec.Scenario(FileTraces{}, nil); err == nil {
 		t.Fatal("want an error for a missing file")
+	}
+}
+
+// TestScenarioCheckpointResolution: a checkpoint reference resolves
+// through the seam into Scenario.Checkpoint (and its warm-up carries
+// through), a nil resolver fails loudly, and a file resolver surfaces
+// open/decode errors with the reference in the message.
+func TestScenarioCheckpointResolution(t *testing.T) {
+	base := JobSpec{Kind: KindScenario, Platform: "hams-LE", Name: "restored",
+		Tenants: []TenantSpec{{Name: "seqRd", Workload: "seqRd", Seed: 7}}}
+
+	warm := base
+	warm.Warmup = 20
+	sc, err := warm.Scenario(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Warmup != 20 {
+		t.Fatalf("Warmup lost in build: %d", sc.Warmup)
+	}
+	img, err := replay.Warmup(sc, replay.Options{Scale: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "warm.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkpoint.Encode(f, img); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	spec := base
+	spec.Checkpoint = path
+	if err := Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Scenario(nil, nil); err == nil {
+		t.Fatal("want an error without a checkpoint resolver")
+	}
+	sc, err = spec.Scenario(nil, FileCheckpoints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Checkpoint == nil || sc.Checkpoint.Warmup != 20 {
+		t.Fatalf("checkpoint not resolved: %+v", sc.Checkpoint)
+	}
+
+	spec.Checkpoint = filepath.Join(t.TempDir(), "missing.ckpt")
+	if _, err := spec.Scenario(nil, FileCheckpoints{}); err == nil {
+		t.Fatal("want an error for a missing image file")
 	}
 }
 

@@ -21,6 +21,9 @@ type ExecOptions struct {
 	// Traces resolves TenantSpec.Trace references; nil fails any
 	// trace-backed scenario.
 	Traces TraceResolver
+	// Checkpoints resolves JobSpec.Checkpoint references; nil fails
+	// any checkpoint-backed scenario.
+	Checkpoints CheckpointResolver
 	// Progress fires once per completed cell, in completion order,
 	// possibly concurrently (see experiments.Options.Progress).
 	Progress func(report.Cell)
@@ -52,7 +55,7 @@ func Execute(spec JobSpec, eo ExecOptions) ([]report.Cell, error) {
 			return nil, err
 		}
 	case KindScenario:
-		sc, err := spec.Scenario(eo.Traces)
+		sc, err := spec.Scenario(eo.Traces, eo.Checkpoints)
 		if err != nil {
 			return nil, err
 		}

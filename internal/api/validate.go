@@ -145,6 +145,15 @@ func Validate(spec JobSpec) error {
 	if spec.SLO != nil && spec.SLO.TargetP99NS <= 0 {
 		add("slo.target_p99_ns", "want a positive p99 objective in ns, got %d", spec.SLO.TargetP99NS)
 	}
+	if spec.Warmup < 0 {
+		add("warmup", "want a non-negative warm-up length in steps, got %d", spec.Warmup)
+	}
+	// A checkpoint image records its own warm-up length; restating one
+	// alongside it is either redundant or contradictory, so the wire
+	// contract keeps them exclusive.
+	if spec.Checkpoint != "" && spec.Warmup != 0 {
+		add("warmup", "mutually exclusive with checkpoint (the image records its own warm-up)")
+	}
 
 	switch spec.Kind {
 	case KindRun:
@@ -194,6 +203,12 @@ func Validate(spec JobSpec) error {
 		if spec.SLO != nil {
 			add("slo", "not valid for run jobs (a single class has no victim/aggressor split; use kind %q or the autoqos target)", KindScenario)
 		}
+		if spec.Checkpoint != "" {
+			add("checkpoint", "not valid for run jobs (use kind %q)", KindScenario)
+		}
+		if spec.Warmup != 0 {
+			add("warmup", "not valid for run jobs (use kind %q)", KindScenario)
+		}
 
 	case KindTarget:
 		if len(spec.Targets) == 0 {
@@ -239,6 +254,13 @@ func Validate(spec JobSpec) error {
 			if !autoqos {
 				add("slo", "only meaningful with the autoqos target in targets")
 			}
+		}
+
+		if spec.Checkpoint != "" {
+			add("checkpoint", "not valid for target jobs (hamsbench -from-checkpoint feeds the sampled target; use kind %q for restore jobs)", KindScenario)
+		}
+		if spec.Warmup != 0 {
+			add("warmup", "not valid for target jobs (targets pin their own scenarios; use kind %q)", KindScenario)
 		}
 
 	case KindScenario:

@@ -62,6 +62,18 @@ func TestValidateAcceptsWellFormedSpecs(t *testing.T) {
 		// A target job carries only the p99 objective, with autoqos on.
 		{Kind: KindTarget, Targets: []string{"autoqos"},
 			SLO: &SLOSpec{TargetP99NS: 5000}},
+		// A phase-split scenario, and the same shape restored from a
+		// checkpoint image (which records its own warm-up length).
+		func() JobSpec {
+			s := validScenario()
+			s.Warmup = 500
+			return s
+		}(),
+		func() JobSpec {
+			s := validScenario()
+			s.Checkpoint = "warm.ckpt"
+			return s
+		}(),
 	} {
 		if err := Validate(spec); err != nil {
 			t.Errorf("Validate(%+v) = %v, want nil", spec, err)
@@ -216,6 +228,21 @@ func TestValidateRejectsMalformedSpecs(t *testing.T) {
 			s.Tenants[0].HotFrac = 1.5
 			return s
 		}(), "tenants[0].hot_fraction"},
+		{"negative warmup", func() JobSpec {
+			s := validScenario()
+			s.Warmup = -1
+			return s
+		}(), "warmup"},
+		{"checkpoint and warmup together", func() JobSpec {
+			s := validScenario()
+			s.Checkpoint = "warm.ckpt"
+			s.Warmup = 500
+			return s
+		}(), "warmup"},
+		{"run with checkpoint", func() JobSpec { s := validRun(); s.Checkpoint = "warm.ckpt"; return s }(), "checkpoint"},
+		{"run with warmup", func() JobSpec { s := validRun(); s.Warmup = 500; return s }(), "warmup"},
+		{"target with checkpoint", func() JobSpec { s := validTarget(); s.Checkpoint = "warm.ckpt"; return s }(), "checkpoint"},
+		{"target with warmup", func() JobSpec { s := validTarget(); s.Warmup = 500; return s }(), "warmup"},
 		{"class without name", func() JobSpec {
 			s := validScenario()
 			s.QoS = append(s.QoS, ClassSpec{WayMask: "0x1"})

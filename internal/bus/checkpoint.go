@@ -1,0 +1,34 @@
+package bus
+
+import (
+	"hams/internal/checkpoint"
+	"hams/internal/sim"
+)
+
+// SaveState serializes the channel: the shared server, the lock
+// register and the burst/lock accounting.
+func (b *SharedBus) SaveState(enc *checkpoint.Enc) {
+	b.bus.SaveState(enc)
+	enc.Bool(b.lock)
+	enc.I64(b.lockSets)
+	enc.I64(b.lockWaits)
+	enc.I64(b.cmdBursts)
+	enc.I64(b.dataMoved)
+	enc.I64(int64(b.lockedTime))
+	enc.I64(int64(b.lockSince))
+}
+
+// RestoreState overlays the channel.
+func (b *SharedBus) RestoreState(d *checkpoint.Dec) error {
+	if err := b.bus.RestoreState(d); err != nil {
+		return err
+	}
+	b.lock = d.Bool()
+	b.lockSets = d.I64()
+	b.lockWaits = d.I64()
+	b.cmdBursts = d.I64()
+	b.dataMoved = d.I64()
+	b.lockedTime = sim.Time(d.I64())
+	b.lockSince = sim.Time(d.I64())
+	return d.Err()
+}

@@ -1,0 +1,31 @@
+package checkpoint
+
+// Sampler is a SMARTS-style interval schedule (Wunderlich et al.,
+// ISCA '03) driven by the simulated clock: starting at the measured
+// phase's origin, windows of Measure nanoseconds are observed and the
+// following Skip nanoseconds are fast-forwarded past — the simulation
+// still executes (functional warming keeps every cache and device
+// model exact), but statistics collection is gated to the measured
+// windows. The zero Sampler observes everything.
+type Sampler struct {
+	Measure int64 // observed window length, ns
+	Skip    int64 // unobserved gap between windows, ns
+}
+
+// Enabled reports whether the schedule actually skips anything.
+func (s Sampler) Enabled() bool { return s.Measure > 0 && s.Skip > 0 }
+
+// Period returns one measure+skip cycle length.
+func (s Sampler) Period() int64 { return s.Measure + s.Skip }
+
+// Sampled reports whether an event at offset t (nanoseconds since the
+// measured phase's origin) falls inside an observed window.
+func (s Sampler) Sampled(t int64) bool {
+	if !s.Enabled() {
+		return true
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t%s.Period() < s.Measure
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+
+	"hams/internal/checkpoint"
+	"hams/internal/sim"
+)
+
+// Checkpoint section names. One section per platform layer, so
+// `hamstrace info` reports per-layer sizes and a future schema can add
+// layers without disturbing these.
+const (
+	secEngine = "sim/engine"
+	secCtl    = "core/ctl"
+	secBanks  = "core/banks"
+	secNVDIMM = "mem/nvdimm"
+	secSSD    = "ssd/device"
+	secIO     = "io/interconnect"
+)
+
+// Quiesce drives the platform to the checkpointable boundary: every
+// pending event fires (advancing the clock to the last one), which
+// retires every in-flight NVMe command and MSHR fill. It returns
+// ErrNotQuiesced if any in-flight state survives — a wiring bug, since
+// draining the event heap completes everything the pipeline issued.
+func (c *Controller) Quiesce() error {
+	c.engine.Drain()
+	if n := c.engine.Pending(); n != 0 {
+		return fmt.Errorf("%w: %d events still pending after drain", checkpoint.ErrNotQuiesced, n)
+	}
+	for _, b := range c.banks {
+		if len(b.live) != 0 {
+			return fmt.Errorf("%w: bank %d has %d in-flight commands", checkpoint.ErrNotQuiesced, b.id, len(b.live))
+		}
+		if b.mshrs != nil && b.mshrs.Live() != 0 {
+			return fmt.Errorf("%w: bank %d has %d live MSHRs", checkpoint.ErrNotQuiesced, b.id, b.mshrs.Live())
+		}
+	}
+	return nil
+}
+
+// Now returns the platform's simulated clock — after Quiesce, the
+// instant the last in-flight event retired.
+func (c *Controller) Now() sim.Time { return c.engine.Now() }
+
+// AdvanceTo moves the quiesced platform's clock forward to t (never
+// backward). A phase-split run aligns the platform clock with the
+// cores' warm-up horizon before checkpointing, so the measured phase
+// resumes on one timeline whether it continues live or from a restore.
+func (c *Controller) AdvanceTo(t sim.Time) { c.engine.AdvanceTo(t) }
+
+// SaveCheckpoint quiesces the platform and appends one section per
+// layer to img. The NVDIMM section carries the full functional store,
+// which includes every bank's queue rings and persisted head/tail
+// pointers; the bank section carries only the SRAM-side state
+// (tag arrays, counters, cursors).
+func (c *Controller) SaveCheckpoint(img *checkpoint.Image) error {
+	if err := c.Quiesce(); err != nil {
+		return err
+	}
+	img.SimTime = int64(c.engine.Now())
+
+	var eng checkpoint.Enc
+	c.engine.SaveState(&eng)
+	img.Add(secEngine, &eng)
+
+	var ctl checkpoint.Enc
+	c.saveCtl(&ctl)
+	img.Add(secCtl, &ctl)
+
+	var banks checkpoint.Enc
+	banks.Count(len(c.banks))
+	for _, b := range c.banks {
+		b.saveState(&banks)
+	}
+	img.Add(secBanks, &banks)
+
+	var nv checkpoint.Enc
+	c.nvdimm.SaveState(&nv)
+	img.Add(secNVDIMM, &nv)
+
+	var dev checkpoint.Enc
+	c.dev.SaveState(&dev)
+	img.Add(secSSD, &dev)
+
+	var io checkpoint.Enc
+	io.Bool(c.link != nil)
+	if c.link != nil {
+		c.link.SaveState(&io)
+	}
+	io.Bool(c.dbus != nil)
+	if c.dbus != nil {
+		c.dbus.SaveState(&io)
+	}
+	img.Add(secIO, &io)
+	return nil
+}
+
+// RestoreCheckpoint overlays img onto a freshly built controller with
+// the same configuration. Order matters: the NVDIMM store is restored
+// before the banks so the queue-ring pointer caches reload from the
+// restored bytes, not the fresh ones.
+func (c *Controller) RestoreCheckpoint(img *checkpoint.Image) error {
+	sec := func(name string) (*checkpoint.Dec, error) { return img.Section(name) }
+
+	d, err := sec(secEngine)
+	if err != nil {
+		return err
+	}
+	if err := c.engine.RestoreState(d); err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+
+	d, err = sec(secNVDIMM)
+	if err != nil {
+		return err
+	}
+	if err := c.nvdimm.RestoreState(d); err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+
+	d, err = sec(secSSD)
+	if err != nil {
+		return err
+	}
+	if err := c.dev.RestoreState(d); err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+
+	d, err = sec(secIO)
+	if err != nil {
+		return err
+	}
+	hasLink := d.Bool()
+	if d.Err() == nil && hasLink != (c.link != nil) {
+		return fmt.Errorf("%w: topology mismatch (link)", checkpoint.ErrMismatch)
+	}
+	if c.link != nil {
+		if err := c.link.RestoreState(d); err != nil {
+			return err
+		}
+	}
+	hasBus := d.Bool()
+	if d.Err() == nil && hasBus != (c.dbus != nil) {
+		return fmt.Errorf("%w: topology mismatch (bus)", checkpoint.ErrMismatch)
+	}
+	if c.dbus != nil {
+		if err := c.dbus.RestoreState(d); err != nil {
+			return err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+
+	d, err = sec(secCtl)
+	if err != nil {
+		return err
+	}
+	if err := c.restoreCtl(d); err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+
+	d, err = sec(secBanks)
+	if err != nil {
+		return err
+	}
+	n := d.Count(len(c.banks))
+	if derr := d.Err(); derr != nil {
+		return derr
+	}
+	if n != len(c.banks) {
+		return fmt.Errorf("%w: controller has %d banks, image has %d", checkpoint.ErrMismatch, len(c.banks), n)
+	}
+	for _, b := range c.banks {
+		if err := b.restoreState(d); err != nil {
+			return err
+		}
+	}
+	return d.Finish()
+}
+
+// saveCtl serializes controller-level state: a geometry stanza the
+// restore side verifies, the stats, the persist/lock horizons and the
+// whole QoS layer (masks, throttle, monitor, table, policy cursor,
+// feedback controller).
+func (c *Controller) saveCtl(enc *checkpoint.Enc) {
+	enc.U64(c.cfg.PageBytes)
+	enc.I64(int64(c.cfg.Banks))
+	enc.I64(int64(c.cfg.Ways))
+	enc.I64(int64(c.cfg.MSHRs))
+	enc.U64(c.cacheBytes)
+	enc.U64(c.pinnedBase)
+
+	s := &c.stats
+	enc.I64(s.Accesses)
+	enc.I64(s.Hits)
+	enc.I64(s.Misses)
+	enc.I64(s.Evictions)
+	enc.I64(s.RedundantSquashed)
+	enc.I64(s.WaitQ)
+	enc.I64(s.Fills)
+	enc.I64(s.FullPageWrites)
+	enc.I64(s.Coalesced)
+	enc.I64(s.HitUnderMiss)
+	enc.I64(s.MSHRStalls)
+	enc.I64(int64(s.NVDIMMTime))
+	enc.I64(int64(s.DMATime))
+	enc.I64(int64(s.SSDTime))
+	enc.I64(int64(s.WaitTime))
+	enc.I64(int64(s.TotalTime))
+	enc.I64(int64(s.ThrottleTime))
+	enc.I64(s.Replayed)
+
+	enc.I64(int64(c.lockFreeAt))
+
+	enc.Bool(c.qosMon != nil)
+	if c.qosMon != nil {
+		enc.Count(len(c.qosMasks))
+		for _, m := range c.qosMasks {
+			enc.U64(m)
+		}
+		c.qosThr.SaveState(enc)
+		c.qosMon.SaveState(enc)
+		c.qosTab.SaveState(enc)
+		enc.I64(int64(c.qosPolIdx))
+		enc.I64(c.qosReconfigs)
+		enc.Bool(c.qosCtl != nil)
+		if c.qosCtl != nil {
+			c.qosCtl.SaveState(enc)
+		}
+	}
+}
+
+func (c *Controller) restoreCtl(d *checkpoint.Dec) error {
+	pageBytes := d.U64()
+	banks := d.I64()
+	ways := d.I64()
+	mshrs := d.I64()
+	cacheBytes := d.U64()
+	pinnedBase := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if pageBytes != c.cfg.PageBytes || int(banks) != c.cfg.Banks || int(ways) != c.cfg.Ways ||
+		int(mshrs) != c.cfg.MSHRs || cacheBytes != c.cacheBytes || pinnedBase != c.pinnedBase {
+		return fmt.Errorf("%w: geometry differs (image: page=%d banks=%d ways=%d mshrs=%d cache=%d pinned=%d)",
+			checkpoint.ErrMismatch, pageBytes, banks, ways, mshrs, cacheBytes, pinnedBase)
+	}
+
+	s := &c.stats
+	s.Accesses = d.I64()
+	s.Hits = d.I64()
+	s.Misses = d.I64()
+	s.Evictions = d.I64()
+	s.RedundantSquashed = d.I64()
+	s.WaitQ = d.I64()
+	s.Fills = d.I64()
+	s.FullPageWrites = d.I64()
+	s.Coalesced = d.I64()
+	s.HitUnderMiss = d.I64()
+	s.MSHRStalls = d.I64()
+	s.NVDIMMTime = sim.Time(d.I64())
+	s.DMATime = sim.Time(d.I64())
+	s.SSDTime = sim.Time(d.I64())
+	s.WaitTime = sim.Time(d.I64())
+	s.TotalTime = sim.Time(d.I64())
+	s.ThrottleTime = sim.Time(d.I64())
+	s.Replayed = d.I64()
+
+	c.lockFreeAt = sim.Time(d.I64())
+
+	hasQoS := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if hasQoS != (c.qosMon != nil) {
+		return fmt.Errorf("%w: QoS layer presence differs", checkpoint.ErrMismatch)
+	}
+	if c.qosMon != nil {
+		nm := d.Count(len(c.qosMasks))
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if nm != len(c.qosMasks) {
+			return fmt.Errorf("%w: %d class masks, image has %d", checkpoint.ErrMismatch, len(c.qosMasks), nm)
+		}
+		for i := range c.qosMasks {
+			c.qosMasks[i] = d.U64()
+		}
+		if err := c.qosThr.RestoreState(d); err != nil {
+			return err
+		}
+		if err := c.qosMon.RestoreState(d); err != nil {
+			return err
+		}
+		if err := c.qosTab.RestoreState(d); err != nil {
+			return err
+		}
+		c.qosPolIdx = int(d.I64())
+		c.qosReconfigs = d.I64()
+		hasCtl := d.Bool()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if hasCtl != (c.qosCtl != nil) {
+			return fmt.Errorf("%w: SLO controller presence differs", checkpoint.ErrMismatch)
+		}
+		if c.qosCtl != nil {
+			if err := c.qosCtl.RestoreState(d); err != nil {
+				return err
+			}
+		}
+	}
+	return d.Err()
+}
+
+// saveState serializes a bank's SRAM-side state. The queue rings and
+// their persisted pointers live in the NVDIMM store section; in-flight
+// tables are empty at the quiesced boundary (enforced by Quiesce).
+func (b *bank) saveState(enc *checkpoint.Enc) {
+	b.tags.SaveState(enc)
+	b.qp.SaveState(enc)
+	b.prp.SaveState(enc)
+	enc.Bool(b.mshrs != nil)
+	if b.mshrs != nil {
+		enc.I64(b.mshrs.nextSeq)
+	}
+	enc.Bool(b.owner != nil)
+	if b.owner != nil {
+		enc.Count(len(b.owner))
+		for _, o := range b.owner {
+			enc.U64(uint64(o))
+		}
+	}
+	enc.I64(int64(b.lastIODone))
+	enc.I64(int64(b.lastArrival))
+}
+
+func (b *bank) restoreState(d *checkpoint.Dec) error {
+	if err := b.tags.RestoreState(d); err != nil {
+		return fmt.Errorf("bank %d tags: %w", b.id, err)
+	}
+	if err := b.qp.RestoreState(d); err != nil {
+		return fmt.Errorf("bank %d queue pair: %w", b.id, err)
+	}
+	if err := b.prp.RestoreState(d); err != nil {
+		return fmt.Errorf("bank %d PRP pool: %w", b.id, err)
+	}
+	hasMSHR := d.Bool()
+	if d.Err() == nil && hasMSHR != (b.mshrs != nil) {
+		return fmt.Errorf("%w: bank %d MSHR file presence differs", checkpoint.ErrMismatch, b.id)
+	}
+	if b.mshrs != nil {
+		b.mshrs.nextSeq = d.I64()
+		b.mshrs.Reset()
+	}
+	hasOwner := d.Bool()
+	if d.Err() == nil && hasOwner != (b.owner != nil) {
+		return fmt.Errorf("%w: bank %d owner table presence differs", checkpoint.ErrMismatch, b.id)
+	}
+	if b.owner != nil {
+		n := d.Count(len(b.owner))
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if n != len(b.owner) {
+			return fmt.Errorf("%w: bank %d owner table is %d slots, image has %d", checkpoint.ErrMismatch, b.id, len(b.owner), n)
+		}
+		for i := range b.owner {
+			b.owner[i] = uint8(d.U64())
+		}
+	}
+	b.live = b.live[:0]
+	b.lastIODone = sim.Time(d.I64())
+	b.lastArrival = sim.Time(d.I64())
+	return d.Err()
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hams/internal/checkpoint"
+	"hams/internal/mem"
+	"hams/internal/sim"
+)
+
+// driveMixed issues a deterministic read/write mix and returns the
+// completion times, so two controllers can be compared access by
+// access.
+func driveMixed(t *testing.T, c *Controller, start sim.Time, n int) []sim.Time {
+	t.Helper()
+	P := c.PageBytes()
+	E := uint64(c.CacheEntries())
+	out := make([]sim.Time, 0, n)
+	now := start
+	for i := 0; i < n; i++ {
+		op := mem.Read
+		if i%3 == 0 {
+			op = mem.Write
+		}
+		// Stride past the cache every few accesses to keep misses,
+		// fills and evictions in play.
+		page := uint64(i) % (E + E/2 + 1)
+		r, err := c.Access(now, mem.Access{Addr: page * P, Size: 64, Op: op})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r.Done)
+		now += sim.Microsecond
+	}
+	return out
+}
+
+// TestCheckpointRestoreContinues: a controller saved mid-workload and
+// restored onto a fresh instance continues bit-for-bit — same
+// completion times, same stats, same data bytes.
+func TestCheckpointRestoreContinues(t *testing.T) {
+	cfg := DefaultConfig(Extend, Tight)
+	cfg.MSHRs = 4
+	a := mustNew(t, cfg)
+	driveMixed(t, a, 0, 64)
+
+	img := &checkpoint.Image{Version: checkpoint.SchemaVersion}
+	if err := a.SaveCheckpoint(img); err != nil {
+		t.Fatal(err)
+	}
+	b := mustNew(t, cfg)
+	if err := b.RestoreCheckpoint(img); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged after restore:\nlive     %+v\nrestored %+v", a.Stats(), b.Stats())
+	}
+	if a.Now() != b.Now() {
+		t.Fatalf("clock diverged: %d vs %d", a.Now(), b.Now())
+	}
+
+	// Continue both on the same schedule: every completion time and the
+	// final stats must match.
+	resume := a.Now() + sim.Microsecond
+	ta := driveMixed(t, a, resume, 64)
+	tb := driveMixed(t, b, resume, 64)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("access %d completed at %d live, %d restored", i, ta[i], tb[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged after continuation:\nlive     %+v\nrestored %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestCheckpointAfterPowerFailRecovery: the checkpoint boundary
+// composes with the durability path — an image taken right after
+// PowerFail + journal-replay Recover captures the recovered state
+// exactly (victim bytes restored, SRAM MSHR files and busy bits
+// re-zeroed), and a restore of it behaves identically to the
+// recovered controller.
+func TestCheckpointAfterPowerFailRecovery(t *testing.T) {
+	cfg := DefaultConfig(Extend, Tight)
+	cfg.MSHRs = 4
+	a := mustNew(t, cfg)
+	E := uint64(a.CacheEntries())
+	P := a.PageBytes()
+
+	payload := []byte("dirty victim payload")
+	if _, err := a.Write(0, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Write(sim.Microsecond, E*P, []byte("incoming"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := a.PowerFail(sim.Microsecond + r.Wait + 10)
+	if pf.InFlight == 0 {
+		t.Fatal("no commands in flight at the cut — test lost its window")
+	}
+	rec, err := a.Recover(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Replayed == 0 {
+		t.Fatal("journal replay found nothing to re-issue")
+	}
+
+	img := &checkpoint.Image{Version: checkpoint.SchemaVersion}
+	if err := a.SaveCheckpoint(img); err != nil {
+		t.Fatal(err)
+	}
+	b := mustNew(t, cfg)
+	if err := b.RestoreCheckpoint(img); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered victim bytes travel with the image.
+	got := make([]byte, len(payload))
+	b.PeekData(0, got)
+	if string(got) != string(payload) {
+		t.Fatalf("victim bytes lost through the checkpoint: %q", got)
+	}
+	// SRAM state is empty on both sides of the boundary.
+	for _, bank := range b.banks {
+		if bank.mshrs.Live() != 0 {
+			t.Fatalf("bank %d: restored MSHR file has %d live entries", bank.id, bank.mshrs.Live())
+		}
+		if len(bank.live) != 0 {
+			t.Fatalf("bank %d: restored in-flight table has %d entries", bank.id, len(bank.live))
+		}
+	}
+	// And the recovered pair behaves identically from here on.
+	resume := a.Now() + sim.Microsecond
+	ta := driveMixed(t, a, resume, 32)
+	tb := driveMixed(t, b, resume, 32)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("access %d completed at %d recovered, %d restored", i, ta[i], tb[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestRestoreGeometryMismatch: an image restores only onto the
+// hardware it was saved from.
+func TestRestoreGeometryMismatch(t *testing.T) {
+	cfg := DefaultConfig(Extend, Loose)
+	a := mustNew(t, cfg)
+	driveMixed(t, a, 0, 8)
+	img := &checkpoint.Image{Version: checkpoint.SchemaVersion}
+	if err := a.SaveCheckpoint(img); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mut := range map[string]func(*Config){
+		"ways":  func(c *Config) { c.Ways = 4 },
+		"banks": func(c *Config) { c.Banks = 4 },
+		"mshrs": func(c *Config) { c.MSHRs = 8 },
+	} {
+		other := DefaultConfig(Extend, Loose)
+		mut(&other)
+		b := mustNew(t, other)
+		if err := b.RestoreCheckpoint(img); !errors.Is(err, checkpoint.ErrMismatch) {
+			t.Errorf("%s mismatch: err = %v, want ErrMismatch", name, err)
+		}
+	}
+
+	// Topology mismatch (Tight has no PCIe link): also refused.
+	other := DefaultConfig(Extend, Tight)
+	b := mustNew(t, other)
+	if err := b.RestoreCheckpoint(img); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Errorf("topology mismatch: err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestRestoreCorruptSection: a truncated layer payload is refused
+// with ErrCorrupt, never a panic.
+func TestRestoreCorruptSection(t *testing.T) {
+	cfg := DefaultConfig(Extend, Loose)
+	a := mustNew(t, cfg)
+	driveMixed(t, a, 0, 8)
+	img := &checkpoint.Image{Version: checkpoint.SchemaVersion}
+	if err := a.SaveCheckpoint(img); err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Sections {
+		mutilated := &checkpoint.Image{Version: img.Version, Sections: make([]checkpoint.Section, len(img.Sections))}
+		copy(mutilated.Sections, img.Sections)
+		s := &mutilated.Sections[i]
+		if len(s.Data) < 4 {
+			continue
+		}
+		s.Data = s.Data[:len(s.Data)/2]
+		b := mustNew(t, cfg)
+		if err := b.RestoreCheckpoint(mutilated); err == nil {
+			t.Errorf("truncated section %q restored without error", s.Name)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package tagstore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hams/internal/checkpoint"
+	"hams/internal/sim"
+)
+
+// SaveState serializes the tag array: every entry (tag, V/D/B bits,
+// busy/free/ready horizons), the full replacement-policy state (LRU
+// stamps and tick, CLOCK reference bits and hands) and, for the
+// Random policy, the number of draws consumed from the seeded source.
+func (s *Store) SaveState(enc *checkpoint.Enc) {
+	enc.Count(len(s.entries))
+	for i := range s.entries {
+		e := &s.entries[i]
+		enc.U64(e.Tag)
+		enc.Bool(e.Valid)
+		enc.Bool(e.Dirty)
+		enc.Bool(e.Busy)
+		enc.Bool(e.EvictBusy)
+		enc.I64(int64(e.BusyUntil))
+		enc.I64(int64(e.FreeAt))
+		enc.I64(int64(e.ReadyAt))
+	}
+	for _, v := range s.stamp {
+		enc.U64(v)
+	}
+	enc.U64(s.tick)
+	enc.Bool(s.ref != nil)
+	if s.ref != nil {
+		for _, v := range s.ref {
+			enc.Bool(v)
+		}
+		for _, v := range s.hand {
+			enc.I64(int64(v))
+		}
+	}
+	enc.Bool(s.src != nil)
+	if s.src != nil {
+		enc.I64(s.src.n)
+	}
+}
+
+// RestoreState overlays the tag array. Geometry and policy are
+// structural; the Random-policy RNG is re-seeded and fast-forwarded by
+// the saved draw count, which reproduces its position exactly (every
+// draw advances the generator one step).
+func (s *Store) RestoreState(d *checkpoint.Dec) error {
+	n := d.Count(len(s.entries))
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(s.entries) {
+		return fmt.Errorf("%w: tag array has %d slots, image has %d", checkpoint.ErrMismatch, len(s.entries), n)
+	}
+	for i := range s.entries {
+		e := &s.entries[i]
+		e.Tag = d.U64()
+		e.Valid = d.Bool()
+		e.Dirty = d.Bool()
+		e.Busy = d.Bool()
+		e.EvictBusy = d.Bool()
+		e.BusyUntil = sim.Time(d.I64())
+		e.FreeAt = sim.Time(d.I64())
+		e.ReadyAt = sim.Time(d.I64())
+	}
+	for i := range s.stamp {
+		s.stamp[i] = d.U64()
+	}
+	s.tick = d.U64()
+	hasClock := d.Bool()
+	if d.Err() == nil && hasClock != (s.ref != nil) {
+		return fmt.Errorf("%w: replacement policy mismatch (clock state)", checkpoint.ErrMismatch)
+	}
+	if s.ref != nil {
+		for i := range s.ref {
+			s.ref[i] = d.Bool()
+		}
+		for i := range s.hand {
+			s.hand[i] = int(d.I64())
+		}
+	}
+	hasRNG := d.Bool()
+	if d.Err() == nil && hasRNG != (s.src != nil) {
+		return fmt.Errorf("%w: replacement policy mismatch (rng state)", checkpoint.ErrMismatch)
+	}
+	if s.src != nil {
+		draws := d.I64()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		// Bound the fast-forward so a hostile image cannot spin the
+		// CPU: 1<<32 draws is an order of magnitude beyond the miss
+		// count of the longest runs.
+		if draws < 0 || draws > 1<<32 {
+			return fmt.Errorf("%w: rng draw count %d out of range", checkpoint.ErrCorrupt, draws)
+		}
+		src := rand.NewSource(s.seed).(rand.Source64)
+		for i := int64(0); i < draws; i++ {
+			src.Uint64()
+		}
+		s.src = &countingSource{src: src, n: draws}
+		s.rng = rand.New(s.src)
+	}
+	return d.Err()
+}

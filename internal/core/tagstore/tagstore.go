@@ -101,9 +101,27 @@ type Store struct {
 	tick  uint64
 	ref   []bool // CLOCK reference bit per slot
 	hand  []int  // CLOCK hand per set
+	seed  int64
+	src   *countingSource
 	rng   *rand.Rand
 	cand  []int // Random candidate scratch (per-call reuse, never kept)
 }
+
+// countingSource wraps the seeded source so the store knows how many
+// draws have been consumed — the RNG "cursor" a checkpoint carries.
+// Both Int63 and Uint64 advance the underlying generator by exactly
+// one step, so replaying the count with either call restores the
+// position bit-for-bit.
+type countingSource struct {
+	src rand.Source64
+	n   int64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(s int64) { c.src.Seed(s); c.n = 0 }
 
 // New builds a store. Entries not divisible by Ways are truncated to
 // the largest smaller multiple (the controller sizes the cache region
@@ -130,7 +148,9 @@ func New(cfg Config) (*Store, error) {
 		s.ref = make([]bool, n)
 		s.hand = make([]int, sets)
 	case Random:
-		s.rng = rand.New(rand.NewSource(cfg.Seed))
+		s.seed = cfg.Seed
+		s.src = &countingSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}
+		s.rng = rand.New(s.src)
 		s.cand = make([]int, 0, cfg.Ways)
 	}
 	return s, nil

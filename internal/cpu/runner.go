@@ -154,6 +154,7 @@ type Runner struct {
 	l2      *Cache
 	obs     AccessObserver
 	classes []uint8
+	start   sim.Time
 }
 
 // NewRunner builds a runner.
@@ -164,6 +165,13 @@ func NewRunner(cfg Config, m MemSystem) *Runner {
 // Observe registers an access observer; nil disables observation.
 // Observation never changes simulated results.
 func (r *Runner) Observe(fn AccessObserver) { r.obs = fn }
+
+// SetStart sets the simulated instant cores begin issuing at (default
+// 0). A measured phase resuming after a warm-up — live or from a
+// restored checkpoint — starts its cores at the platform's quiesced
+// clock so arrival timestamps continue the same timeline; Elapsed and
+// BusyTime count from this origin, covering only the measured phase.
+func (r *Runner) SetStart(t sim.Time) { r.start = t }
 
 // SetClasses assigns each core (by stream index) the QoS class tagged
 // onto every memory-system access it issues — including the L1/L2
@@ -181,7 +189,7 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 	var st Stats
 	cores := make([]*coreState, 0, r.cfg.Cores)
 	for i := 0; i < r.cfg.Cores && i < len(streams); i++ {
-		cs := &coreState{stream: streams[i], l1: NewCache(r.cfg.L1)}
+		cs := &coreState{stream: streams[i], l1: NewCache(r.cfg.L1), now: r.start}
 		if i < len(r.classes) {
 			cs.class = r.classes[i]
 		}
@@ -273,8 +281,9 @@ func (r *Runner) Run(streams []Stream) (Stats, error) {
 		if cs.now > st.Elapsed {
 			st.Elapsed = cs.now
 		}
-		st.BusyTime += cs.now
+		st.BusyTime += cs.now - r.start
 	}
+	st.Elapsed -= r.start
 	st.L2Hits = r.l2.Hits()
 	st.L2Misses = r.l2.Misses()
 	for _, cs := range cores {

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 
+	"hams/internal/checkpoint"
 	"hams/internal/cpu"
 	"hams/internal/energy"
 	"hams/internal/platform"
@@ -64,6 +65,16 @@ type Options struct {
 	// objective for the feedback-controlled cell (hamsbench -slo-p99);
 	// 0 keeps the built-in target.
 	SLOTargetP99 sim.Time
+
+	// Checkpoint, when set, pre-pays the sampled target's warm-up:
+	// the fan-out cell restores its N cells from this image instead of
+	// warming up live once (hamsbench -from-checkpoint). The image
+	// must come from the sampled scenario at the same seed — produced
+	// by SampledCheckpoint / hamsbench -checkpoint — or the cell fails
+	// (a structural mismatch refuses the restore; a same-shape image
+	// from another seed trips the live-twin bit-identity check). nil
+	// keeps the self-contained behavior.
+	Checkpoint *checkpoint.Image
 
 	// MSHRs, when nonzero, overrides the per-bank MSHR depth of every
 	// HAMS matrix cell that does not pin its own (hamsbench -mshrs):

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hams/internal/report"
+)
+
+// sampledArtifact runs the sampled target with a recorder and returns
+// the canonical artifact bytes. The fan-out cell's wall-clock speedup
+// floor is disarmed for the duration: under test instrumentation host
+// timing ratios mean nothing, and the floor gates a ratio, never the
+// cell contents these tests compare.
+func sampledArtifact(t *testing.T, o Options) []byte {
+	t.Helper()
+	defer func(prev bool) { sampledGateWallClock = prev }(sampledGateWallClock)
+	sampledGateWallClock = false
+	o.Recorder = &report.Recorder{}
+	if _, err := Sampled(o); err != nil {
+		t.Fatal(err)
+	}
+	art := o.Recorder.Artifact("sampled", o.Scale, o.Seed, o.Parallel)
+	b, err := art.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Satellite: the sampled target's cells — the sampling-error numbers
+// and the restored-run results the fan-out cell publishes — are
+// byte-identical for any worker count and any dispatch order.
+func TestSampledParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled target runs full warm-ups; skipped in -short")
+	}
+	serial := Options{Seed: tiny.Seed, Parallel: 1}
+	want := sampledArtifact(t, serial)
+	for _, key := range []string{
+		`"sampled/warm+measure/split@hams-LE"`,
+		`"sampled/warm+measure/fanout@hams-LE"`,
+	} {
+		if !bytes.Contains(want, []byte(key)) {
+			t.Fatalf("artifact missing cell %s:\n%s", key, want[:min(len(want), 600)])
+		}
+	}
+	for _, o := range []Options{
+		{Seed: tiny.Seed, Parallel: 8},
+		{Seed: tiny.Seed, Parallel: 3, Shuffle: 777},
+	} {
+		if got := sampledArtifact(t, o); !bytes.Equal(got, want) {
+			t.Fatalf("sampled artifact diverged for parallel=%d shuffle=%d", o.Parallel, o.Shuffle)
+		}
+	}
+}
+
+// The summary markdown must carry the amortization table (speedup
+// column included) and the per-tenant sampling comparison.
+func TestSampledMarkdownShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled target runs full warm-ups; skipped in -short")
+	}
+	defer func(prev bool) { sampledGateWallClock = prev }(sampledGateWallClock)
+	sampledGateWallClock = false
+	_, md, err := SampledWithSummary(Options{Seed: tiny.Seed, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"| cells | warm-up steps/thread |",
+		"speedup",
+		"| svc |",
+		"| bulk |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("summary markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -17,7 +17,8 @@ import (
 func TargetNames() []string {
 	return []string{"table1", "table2", "table3", "fig5", "fig6", "fig7",
 		"fig10", "fig16", "fig17", "fig18", "fig19", "fig20", "headline",
-		"ablation", "sweep", "replay", "mixed", "qos", "autoqos", "mlp"}
+		"ablation", "sweep", "replay", "mixed", "qos", "autoqos", "mlp",
+		"sampled"}
 }
 
 // KnownTarget reports whether RunTarget accepts the name.
@@ -99,6 +100,8 @@ func RunTarget(name string, o Options) ([]*stats.Table, error) {
 		return QoS(o)
 	case "autoqos":
 		return AutoQoS(o)
+	case "sampled":
+		return Sampled(o)
 	default:
 		return nil, fmt.Errorf("experiments: unknown target %q", name)
 	}

@@ -312,7 +312,11 @@ func (a *Array) EraseBlock(t sim.Time, p PPN) sim.Time {
 		base.Page = pg
 		ppn := a.Geo.Compose(base)
 		if d, ok := a.data[ppn]; ok {
-			a.freeBufs = append(a.freeBufs, d)
+			// Restored stale pages carry an elided (empty) payload —
+			// only full-size buffers are safe to recycle into programs.
+			if uint64(len(d)) == a.Geo.PageBytes {
+				a.freeBufs = append(a.freeBufs, d)
+			}
 			delete(a.data, ppn)
 		}
 	}

@@ -171,6 +171,15 @@ func (f *FTL) Mapped(lba uint64) bool {
 	return ok
 }
 
+// Live reports whether ppn currently backs a mapped LBA. Programmed
+// pages that fail this are stale: invalidated by an overwrite or trim,
+// unreadable through the translation layer, waiting for GC to erase
+// their block.
+func (f *FTL) Live(p flash.PPN) bool {
+	_, ok := f.p2l.get(uint64(p))
+	return ok
+}
+
 // planeCoords returns the Addr template for a global plane index.
 func (f *FTL) planeCoords(plane int) flash.Addr {
 	g := f.geo

@@ -1,0 +1,108 @@
+package nvme
+
+import (
+	"fmt"
+	"sort"
+
+	"hams/internal/checkpoint"
+)
+
+// Reload refreshes the cached head/tail pointers from the backing
+// store. Checkpoint restore overlays the store bytes after the ring
+// was constructed, so the write-through cache must be re-primed —
+// exactly what NewRing does on a post-power-failure store.
+func (r *Ring) Reload() {
+	r.hd = r.readPtr(r.base)
+	r.tl = r.readPtr(r.base + 4)
+}
+
+// SaveState serializes the pair's SRAM-side state: doorbell/MSI
+// counters, the CID allocator cursor and the MLP high-water mark. The
+// ring contents and persisted head/tail pointers live in the backing
+// store and travel with its checkpoint; the CID→slot table and
+// outstanding count are empty at every quiesced boundary and are
+// validated as such rather than serialized.
+func (qp *QueuePair) SaveState(enc *checkpoint.Enc) {
+	enc.I64(qp.sqDoorbells)
+	enc.I64(qp.cqDoorbells)
+	enc.I64(qp.msiCount)
+	enc.U64(uint64(qp.nextCID))
+	enc.I64(int64(qp.outstanding))
+	enc.I64(int64(qp.peak))
+}
+
+// RestoreState overlays the pair's counters and re-primes the ring
+// pointer caches from the (already restored) backing store.
+func (qp *QueuePair) RestoreState(d *checkpoint.Dec) error {
+	qp.sqDoorbells = d.I64()
+	qp.cqDoorbells = d.I64()
+	qp.msiCount = d.I64()
+	qp.nextCID = uint16(d.U64())
+	qp.outstanding = int(d.I64())
+	qp.peak = int(d.I64())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if qp.outstanding != 0 {
+		return fmt.Errorf("%w: %d commands outstanding in image", checkpoint.ErrNotQuiesced, qp.outstanding)
+	}
+	for i := range qp.slotOf {
+		qp.slotOf[i] = 0
+	}
+	qp.SQ.Reload()
+	qp.CQ.Reload()
+	return nil
+}
+
+// SaveState serializes the allocator: the free-slot LIFO (order
+// matters — it decides which physical slot the next Alloc hands out)
+// and the in-use table, which is empty at a quiesced boundary but
+// serialized anyway so recovery-time checkpoints (taken with journal
+// clones still allocated) round-trip too.
+func (p *PRPPool) SaveState(enc *checkpoint.Enc) {
+	enc.Count(len(p.free))
+	for _, s := range p.free {
+		enc.I64(int64(s))
+	}
+	addrs := make([]uint64, 0, len(p.inUse))
+	for a := range p.inUse {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	enc.Count(len(addrs))
+	for _, a := range addrs {
+		enc.U64(a)
+		enc.I64(int64(p.inUse[a]))
+	}
+}
+
+// RestoreState overlays the allocator. Slot indices are validated
+// against the pool's configured capacity.
+func (p *PRPPool) RestoreState(d *checkpoint.Dec) error {
+	nfree := d.Count(p.capacity)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.free = p.free[:0]
+	for i := 0; i < nfree; i++ {
+		s := int(d.I64())
+		if s < 0 || s >= p.capacity {
+			return fmt.Errorf("%w: free PRP slot %d out of range", checkpoint.ErrCorrupt, s)
+		}
+		p.free = append(p.free, s)
+	}
+	nUse := d.Count(p.capacity)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.inUse = make(map[uint64]int, nUse)
+	for i := 0; i < nUse; i++ {
+		a := d.U64()
+		s := int(d.I64())
+		if s < 0 || s >= p.capacity {
+			return fmt.Errorf("%w: in-use PRP slot %d out of range", checkpoint.ErrCorrupt, s)
+		}
+		p.inUse[a] = s
+	}
+	return d.Err()
+}

@@ -1,0 +1,25 @@
+package pcie
+
+import "hams/internal/checkpoint"
+
+// SaveState serializes the link: both direction servers and the TLP
+// counters.
+func (l *Link) SaveState(enc *checkpoint.Enc) {
+	l.up.SaveState(enc)
+	l.down.SaveState(enc)
+	enc.I64(l.sent)
+	enc.I64(l.rcvd)
+}
+
+// RestoreState overlays the link.
+func (l *Link) RestoreState(d *checkpoint.Dec) error {
+	if err := l.up.RestoreState(d); err != nil {
+		return err
+	}
+	if err := l.down.RestoreState(d); err != nil {
+		return err
+	}
+	l.sent = d.I64()
+	l.rcvd = d.I64()
+	return d.Err()
+}

@@ -1,0 +1,52 @@
+package platform
+
+import (
+	"fmt"
+
+	"hams/internal/checkpoint"
+	"hams/internal/core"
+)
+
+// checkpointable is the private capability the HAMS variants share.
+// Other platforms (mmap, optane, flatflash, oracle, …) hold no state a
+// SMARTS-style workflow needs to resume — their caches are warmed
+// structurally — so Save refuses them rather than writing a misleading
+// partial image.
+type checkpointable interface {
+	Controller() *core.Controller
+}
+
+// Save quiesces p and captures its full architectural state into a
+// versioned image. warmup records how much leading work (in generator
+// steps per thread) produced this state; restore-side scenarios use it
+// to fast-forward their streams to the same point.
+func Save(p Platform, warmup int64) (*checkpoint.Image, error) {
+	cp, ok := p.(checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("%w: platform %q has no checkpointable state", checkpoint.ErrUnsupported, p.Name())
+	}
+	img := &checkpoint.Image{
+		Version:  checkpoint.SchemaVersion,
+		Platform: p.Name(),
+		Warmup:   warmup,
+	}
+	if err := cp.Controller().SaveCheckpoint(img); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Restore overlays img onto a freshly built p. The platform must be
+// constructed with the same name and geometry the image was saved
+// from; any divergence is ErrMismatch, detected before state is
+// touched where possible.
+func Restore(p Platform, img *checkpoint.Image) error {
+	cp, ok := p.(checkpointable)
+	if !ok {
+		return fmt.Errorf("%w: platform %q has no checkpointable state", checkpoint.ErrUnsupported, p.Name())
+	}
+	if img.Platform != p.Name() {
+		return fmt.Errorf("%w: image was saved from %q, restoring onto %q", checkpoint.ErrMismatch, img.Platform, p.Name())
+	}
+	return cp.Controller().RestoreCheckpoint(img)
+}

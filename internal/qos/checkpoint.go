@@ -1,0 +1,213 @@
+package qos
+
+import (
+	"fmt"
+
+	"hams/internal/checkpoint"
+	"hams/internal/sim"
+)
+
+// SaveState serializes the regulator: per-class rates (which runtime
+// reprogramming may have changed since construction) and the accrued
+// leaky-bucket debt.
+func (th *Throttle) SaveState(enc *checkpoint.Enc) {
+	enc.Count(len(th.nsPerByte))
+	for i := range th.nsPerByte {
+		enc.F64(th.nsPerByte[i])
+		enc.I64(int64(th.nextFree[i]))
+	}
+}
+
+// RestoreState overlays the regulator. The class count is structural.
+func (th *Throttle) RestoreState(d *checkpoint.Dec) error {
+	n := d.Count(len(th.nsPerByte))
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(th.nsPerByte) {
+		return fmt.Errorf("%w: throttle has %d classes, image has %d", checkpoint.ErrMismatch, len(th.nsPerByte), n)
+	}
+	for i := 0; i < n; i++ {
+		th.nsPerByte[i] = d.F64()
+		th.nextFree[i] = sim.Time(d.I64())
+	}
+	return d.Err()
+}
+
+// SaveState serializes the class table: runtime reprogramming mutates
+// masks and rates in place, so the table travels with the image.
+func (t *Table) SaveState(enc *checkpoint.Enc) {
+	enc.Count(len(t.Classes))
+	for _, c := range t.Classes {
+		enc.String(c.Name)
+		enc.U64(c.WayMask)
+		enc.F64(c.MBps)
+	}
+}
+
+// RestoreState overlays the table. Class identity (count and names) is
+// structural; only masks and rates are overlaid.
+func (t *Table) RestoreState(d *checkpoint.Dec) error {
+	n := d.Count(len(t.Classes))
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(t.Classes) {
+		return fmt.Errorf("%w: table has %d classes, image has %d", checkpoint.ErrMismatch, len(t.Classes), n)
+	}
+	for i := range t.Classes {
+		name := d.String(4096)
+		mask := d.U64()
+		mbps := d.F64()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if name != t.Classes[i].Name {
+			return fmt.Errorf("%w: class %d is %q, image has %q", checkpoint.ErrMismatch, i, t.Classes[i].Name, name)
+		}
+		t.Classes[i].WayMask = mask
+		t.Classes[i].MBps = mbps
+	}
+	return nil
+}
+
+// SaveState serializes the monitor: per-class counters, the sampling
+// cadence (period doubles under compaction), and the sample history.
+// The emit hook is wiring, not state.
+func (m *Monitor) SaveState(enc *checkpoint.Enc) {
+	enc.Count(len(m.stats))
+	for i := range m.stats {
+		s := &m.stats[i]
+		enc.String(s.Name)
+		enc.I64(s.Accesses)
+		enc.I64(s.Hits)
+		enc.I64(s.Misses)
+		enc.I64(s.FillBytes)
+		enc.I64(s.WBBytes)
+		enc.I64(int64(s.ThrottleNS))
+		enc.I64(s.Occupancy)
+		enc.I64(s.OccupancyPeak)
+	}
+	enc.I64(int64(m.period))
+	enc.I64(int64(m.next))
+	enc.Bool(m.started)
+	enc.Count(len(m.samples))
+	for i := range m.samples {
+		sm := &m.samples[i]
+		enc.I64(int64(sm.At))
+		for _, v := range sm.Occupancy {
+			enc.I64(v)
+		}
+		for _, v := range sm.FillBytes {
+			enc.I64(v)
+		}
+		for _, v := range sm.WBBytes {
+			enc.I64(v)
+		}
+	}
+	for _, v := range m.winFill {
+		enc.I64(v)
+	}
+	for _, v := range m.winWB {
+		enc.I64(v)
+	}
+}
+
+// RestoreState overlays the monitor. Class count and names are
+// structural; each sample carries one value per class.
+func (m *Monitor) RestoreState(d *checkpoint.Dec) error {
+	n := d.Count(len(m.stats))
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(m.stats) {
+		return fmt.Errorf("%w: monitor has %d classes, image has %d", checkpoint.ErrMismatch, len(m.stats), n)
+	}
+	for i := range m.stats {
+		s := &m.stats[i]
+		name := d.String(4096)
+		if d.Err() == nil && name != s.Name {
+			return fmt.Errorf("%w: monitor class %d is %q, image has %q", checkpoint.ErrMismatch, i, s.Name, name)
+		}
+		s.Accesses = d.I64()
+		s.Hits = d.I64()
+		s.Misses = d.I64()
+		s.FillBytes = d.I64()
+		s.WBBytes = d.I64()
+		s.ThrottleNS = sim.Time(d.I64())
+		s.Occupancy = d.I64()
+		s.OccupancyPeak = d.I64()
+	}
+	m.period = sim.Time(d.I64())
+	m.next = sim.Time(d.I64())
+	m.started = d.Bool()
+	nsamp := d.Count(maxSamples)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	m.samples = make([]Sample, nsamp)
+	for i := range m.samples {
+		sm := &m.samples[i]
+		sm.At = sim.Time(d.I64())
+		sm.Occupancy = make([]int64, n)
+		sm.FillBytes = make([]int64, n)
+		sm.WBBytes = make([]int64, n)
+		for j := 0; j < n; j++ {
+			sm.Occupancy[j] = d.I64()
+		}
+		for j := 0; j < n; j++ {
+			sm.FillBytes[j] = d.I64()
+		}
+		for j := 0; j < n; j++ {
+			sm.WBBytes[j] = d.I64()
+		}
+	}
+	for i := range m.winFill {
+		m.winFill[i] = d.I64()
+	}
+	for i := range m.winWB {
+		m.winWB[i] = d.I64()
+	}
+	return d.Err()
+}
+
+// SaveState serializes the feedback controller: the rolling victim-
+// latency window (with cursor and fill), the desired and last-emitted
+// aggressor-group state, and the compliant-sample hold counter. The
+// SLO itself is scenario configuration, rebuilt on restore.
+func (c *Controller) SaveState(enc *checkpoint.Enc) {
+	enc.Count(len(c.lat))
+	for _, v := range c.lat {
+		enc.I64(int64(v))
+	}
+	enc.I64(int64(c.idx))
+	enc.I64(int64(c.count))
+	enc.I64(int64(c.aggrWays))
+	enc.F64(c.aggrCap)
+	enc.I64(int64(c.curWays))
+	enc.F64(c.curCap)
+	enc.I64(int64(c.holds))
+}
+
+// RestoreState overlays the controller. The window size is structural
+// (SLO.Window).
+func (c *Controller) RestoreState(d *checkpoint.Dec) error {
+	n := d.Count(len(c.lat))
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(c.lat) {
+		return fmt.Errorf("%w: controller window is %d, image has %d", checkpoint.ErrMismatch, len(c.lat), n)
+	}
+	for i := range c.lat {
+		c.lat[i] = sim.Time(d.I64())
+	}
+	c.idx = int(d.I64())
+	c.count = int(d.I64())
+	c.aggrWays = int(d.I64())
+	c.aggrCap = d.F64()
+	c.curWays = int(d.I64())
+	c.curCap = d.F64()
+	c.holds = int(d.I64())
+	return d.Err()
+}

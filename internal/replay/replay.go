@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"hams/internal/checkpoint"
 	"hams/internal/core"
 	"hams/internal/cpu"
 	"hams/internal/energy"
@@ -71,6 +72,12 @@ type Tenant struct {
 	// latency-sensitive service with HotFrac 1 has a fully cacheable
 	// working set: every miss it suffers is inflicted by a neighbor.
 	HotFrac float64
+	// Dataset overrides the workload's Table III footprint in bytes
+	// (0 = the spec value). Checkpoint-centric scenarios pin it: the
+	// touched footprint is the state an image must carry, and a 16 GiB
+	// default span makes save/restore cost scale with the address
+	// space instead of the working set.
+	Dataset uint64
 }
 
 // Scenario composes N tenants onto one platform. Every tenant thread
@@ -99,6 +106,26 @@ type Scenario struct {
 	// Requires QoS; composes with Policy (scheduled changes and
 	// controller actions apply through the same mutation path).
 	SLO *qos.SLO
+	// Warmup splits the run into two phases: each tenant thread's
+	// first Warmup steps execute as a warm-up whose statistics are
+	// discarded, then the platform is quiesced and the remaining steps
+	// run as the measured phase on the same timeline. Reported stats
+	// (CPU, units, histograms, energy) cover only the measured phase.
+	// 0 keeps the single-phase behavior unchanged.
+	Warmup int64
+	// Checkpoint, when non-nil, replaces the warm-up phase with a
+	// restore: the platform is rebuilt cold (no Warm installs), the
+	// image is overlaid onto it, every stream is fast-forwarded past
+	// the image's recorded warm-up, and the measured phase proceeds
+	// exactly as if the warm-up had just run live. The scenario's
+	// platform, geometry and tenants must match the ones the image was
+	// saved from.
+	Checkpoint *checkpoint.Image
+	// Sample gates statistics collection of the measured phase to
+	// SMARTS-style observed windows (simulation stays exact; only
+	// histogram feeding is gated). The zero Sampler disables sampling.
+	// Sampled percentiles land in Result.Sampled next to the full ones.
+	Sample checkpoint.Sampler
 }
 
 // PolicyChange is one scheduled reprogramming of a scenario's class:
@@ -169,6 +196,18 @@ type Result struct {
 	// (masks keep the 0 = full convention); nil without dynamic QoS
 	// exposure.
 	QoSFinal []qos.Class
+	// Sampled holds per-tenant latency percentiles measured only over
+	// accesses issued inside the scenario sampler's observed windows
+	// (nil unless Scenario.Sample is enabled). Comparing these against
+	// Tenants pins the sampling error.
+	Sampled []SampledTenant
+}
+
+// SampledTenant is one tenant's interval-sampled measurement.
+type SampledTenant struct {
+	Name                     string
+	Accesses                 int64
+	Mean, P50, P95, P99, Max sim.Time
 }
 
 // UnitsPerSec returns aggregate work items per second of simulated time.
@@ -316,6 +355,9 @@ func (t Tenant) rawStreams(o Options) ([]cpu.Stream, []trace.Region, error) {
 	if t.HotFrac > 0 {
 		wo.HotFraction = t.HotFrac
 	}
+	if t.Dataset != 0 {
+		wo.DatasetBytes = t.Dataset
+	}
 	var warm []trace.Region
 	for _, r := range spec.HotRegions(wo) {
 		warm = append(warm, trace.Region{Base: r.Base, Size: r.Size})
@@ -354,14 +396,52 @@ func resolveClasses(sc Scenario) ([]qos.ClassID, error) {
 	return out, nil
 }
 
+// limitStream caps a stream at a fixed number of leading steps — the
+// warm-up phase drives the real stream objects through it, so the
+// measured phase continues them from exactly step N+1.
+type limitStream struct {
+	inner cpu.Stream
+	left  int64
+}
+
+func (s *limitStream) Next() (cpu.Step, bool) {
+	if s.left <= 0 {
+		return cpu.Step{}, false
+	}
+	s.left--
+	return s.inner.Next()
+}
+
 // Run executes a scenario. Warm regions of every tenant are installed
 // first (warming is untimed and idempotent; with a QoS table each
 // tenant warms inside its own way partition), then all tenant threads
 // run concurrently on one runner; per-access latencies are folded into
-// per-tenant histograms via the runner's observer hook.
+// per-tenant histograms via the runner's observer hook. With Warmup or
+// Checkpoint set, only the measured phase is reported.
 func Run(sc Scenario, o Options) (Result, error) {
+	res, _, err := run(sc, o, false)
+	return res, err
+}
+
+// Warmup executes only the scenario's warm-up phase (Scenario.Warmup
+// must be positive and Checkpoint unset) and captures the quiesced
+// platform into a checkpoint image. N scenarios restored from the one
+// image reproduce N live phase-split runs bit-for-bit while paying the
+// warm-up cost once.
+func Warmup(sc Scenario, o Options) (*checkpoint.Image, error) {
+	if sc.Warmup <= 0 {
+		return nil, fmt.Errorf("replay: scenario %q: Warmup requires a positive warm-up length", sc.Name)
+	}
+	if sc.Checkpoint != nil {
+		return nil, fmt.Errorf("replay: scenario %q: cannot warm up from a checkpoint", sc.Name)
+	}
+	_, img, err := run(sc, o, true)
+	return img, err
+}
+
+func run(sc Scenario, o Options, saveOnly bool) (Result, *checkpoint.Image, error) {
 	if len(sc.Tenants) == 0 {
-		return Result{}, fmt.Errorf("replay: scenario %q has no tenants", sc.Name)
+		return Result{}, nil, fmt.Errorf("replay: scenario %q has no tenants", sc.Name)
 	}
 	// Tenant names key per-tenant seeds, latency buckets and report
 	// columns: a duplicate would silently merge two tenants into one
@@ -369,13 +449,29 @@ func Run(sc Scenario, o Options) (Result, error) {
 	names := make(map[string]bool, len(sc.Tenants))
 	for _, t := range sc.Tenants {
 		if names[t.Name] {
-			return Result{}, fmt.Errorf("replay: scenario %q has two tenants named %q", sc.Name, t.Name)
+			return Result{}, nil, fmt.Errorf("replay: scenario %q has two tenants named %q", sc.Name, t.Name)
 		}
 		names[t.Name] = true
 	}
+	warmupSteps := sc.Warmup
+	if warmupSteps < 0 {
+		return Result{}, nil, fmt.Errorf("replay: scenario %q: negative warm-up %d", sc.Name, warmupSteps)
+	}
+	if sc.Checkpoint != nil {
+		// The image records how much warm-up produced it; the scenario
+		// may restate the same figure but must not contradict it.
+		if warmupSteps != 0 && warmupSteps != sc.Checkpoint.Warmup {
+			return Result{}, nil, fmt.Errorf("replay: scenario %q sets warm-up %d but its checkpoint recorded %d",
+				sc.Name, warmupSteps, sc.Checkpoint.Warmup)
+		}
+		warmupSteps = sc.Checkpoint.Warmup
+	}
+	if sc.Sample.Measure < 0 || sc.Sample.Skip < 0 {
+		return Result{}, nil, fmt.Errorf("replay: scenario %q: negative sampling window", sc.Name)
+	}
 	classes, err := resolveClasses(sc)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	popt := sc.PlatOpts
 	if sc.QoS != nil {
@@ -387,35 +483,35 @@ func Run(sc Scenario, o Options) (Result, error) {
 	}
 	if len(sc.Policy) > 0 {
 		if sc.QoS == nil {
-			return Result{}, fmt.Errorf("replay: scenario %q schedules policy changes but has no QoS table", sc.Name)
+			return Result{}, nil, fmt.Errorf("replay: scenario %q schedules policy changes but has no QoS table", sc.Name)
 		}
 		timeline := make([]qos.TimedChange, len(sc.Policy))
 		for i, ch := range sc.Policy {
 			id, ok := sc.QoS.ByName(ch.Class)
 			if !ok {
-				return Result{}, fmt.Errorf("replay: scenario %q: policy change %d: unknown QoS class %q", sc.Name, i, ch.Class)
+				return Result{}, nil, fmt.Errorf("replay: scenario %q: policy change %d: unknown QoS class %q", sc.Name, i, ch.Class)
 			}
 			timeline[i] = qos.TimedChange{At: ch.At, Class: id, Mask: ch.Mask, MBps: ch.MBps}
 		}
 		if err := qos.ValidateSchedule(timeline, sc.QoS.Len(), ways); err != nil {
-			return Result{}, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+			return Result{}, nil, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
 		}
 		popt.HAMSQoSPolicy = timeline
 	}
 	var ctl *qos.Controller
 	if sc.SLO != nil {
 		if sc.QoS == nil {
-			return Result{}, fmt.Errorf("replay: scenario %q sets an SLO but has no QoS table", sc.Name)
+			return Result{}, nil, fmt.Errorf("replay: scenario %q sets an SLO but has no QoS table", sc.Name)
 		}
 		ctl, err = qos.NewController(*sc.SLO, sc.QoS, ways)
 		if err != nil {
-			return Result{}, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+			return Result{}, nil, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
 		}
 		popt.HAMSQoSController = ctl
 	}
 	plat, err := platform.New(sc.Platform, popt)
 	if err != nil {
-		return Result{}, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+		return Result{}, nil, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
 	}
 	cw, _ := plat.(classWarmer)
 	res := Result{Scenario: sc.Name, Platform: sc.Platform, Tenants: make([]TenantStats, len(sc.Tenants))}
@@ -426,13 +522,18 @@ func Run(sc Scenario, o Options) (Result, error) {
 	for ti, t := range sc.Tenants {
 		ss, warm, err := t.streams(o)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
-		for _, rgn := range warm {
-			if sc.QoS != nil && cw != nil {
-				cw.WarmClass(rgn.Base, rgn.Size, classes[ti])
-			} else {
-				plat.Warm(rgn.Base, rgn.Size)
+		// A restored platform already holds the warmed state the live
+		// run installed before its warm-up phase; re-warming would
+		// perturb the image's replacement-policy state.
+		if sc.Checkpoint == nil {
+			for _, rgn := range warm {
+				if sc.QoS != nil && cw != nil {
+					cw.WarmClass(rgn.Base, rgn.Size, classes[ti])
+				} else {
+					plat.Warm(rgn.Base, rgn.Size)
+				}
 			}
 		}
 		res.Tenants[ti].Name = t.Name
@@ -456,16 +557,105 @@ func Run(sc Scenario, o Options) (Result, error) {
 	if pg := platform.MappingPage(sc.Platform, sc.PlatOpts); pg != 0 {
 		ccfg.TLB.PageBytes = pg
 	}
+
+	// Phase boundary: t0 is the simulated instant the measured phase
+	// begins — 0 for a single-phase run, the quiesced warm-up horizon
+	// otherwise. Both the live and the restored path land on the same
+	// t0 with the same platform and stream state (the determinism the
+	// fan-out tests pin).
+	var t0 sim.Time
+	if sc.Checkpoint != nil {
+		if err := platform.Restore(plat, sc.Checkpoint); err != nil {
+			return Result{}, nil, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+		}
+		// Fast-forward every stream past the warm-up the image already
+		// executed: the generators land in the exact state the live
+		// warm-up left them in.
+		for _, s := range streams {
+			for i := int64(0); i < warmupSteps; i++ {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+			}
+		}
+		t0 = sim.Time(sc.Checkpoint.SimTime)
+	} else if warmupSteps > 0 {
+		wrunner := cpu.NewRunner(ccfg, plat)
+		if sc.QoS != nil {
+			wrunner.SetClasses(coreClass)
+		}
+		// The warm-up phase feeds only the SLO controller (its state at
+		// the boundary is part of the platform state a checkpoint
+		// carries); histograms see measured accesses only.
+		if ctl != nil {
+			wrunner.Observe(func(core int, a mem.Access, issue, done sim.Time) {
+				ctl.Observe(coreClass[core], done-issue)
+			})
+		}
+		limited := make([]cpu.Stream, len(streams))
+		for i, s := range streams {
+			limited[i] = &limitStream{inner: s, left: warmupSteps}
+		}
+		wst, err := wrunner.Run(limited)
+		if err != nil {
+			return Result{}, nil, fmt.Errorf("replay: scenario %q warm-up on %s: %w", sc.Name, sc.Platform, err)
+		}
+		t0 = wst.Elapsed
+		if qe, ok := plat.(qosExposer); ok {
+			mos := qe.Controller()
+			if err := mos.Quiesce(); err != nil {
+				return Result{}, nil, fmt.Errorf("replay: scenario %q warm-up: %w", sc.Name, err)
+			}
+			// The platform clock and the slowest core's horizon meet at
+			// t0, so a saved image and the continuing live run agree on
+			// when the measured phase starts.
+			if now := mos.Now(); now > t0 {
+				t0 = now
+			}
+			mos.AdvanceTo(t0)
+		}
+	}
+	if saveOnly {
+		img, err := platform.Save(plat, warmupSteps)
+		if err != nil {
+			return Result{}, nil, fmt.Errorf("replay: scenario %q: %w", sc.Name, err)
+		}
+		return Result{}, img, nil
+	}
+
+	// The warm-up's work counts are not the measured phase's: capture
+	// the boundary and subtract. The restored path recomputes the same
+	// boundary from its fast-forwarded generators.
+	warmUnits := make([]int64, len(sc.Tenants))
+	for ti := range sc.Tenants {
+		for _, s := range tenantStreams[ti] {
+			if p, ok := s.(workload.Progress); ok {
+				warmUnits[ti] += p.Units()
+			}
+		}
+	}
+
 	hists := make([]*stats.Histogram, len(sc.Tenants))
 	for i := range hists {
 		hists[i] = stats.NewHistogram()
 	}
+	var shists []*stats.Histogram
+	if sc.Sample.Enabled() {
+		shists = make([]*stats.Histogram, len(sc.Tenants))
+		for i := range shists {
+			shists[i] = stats.NewHistogram()
+		}
+	}
 	runner := cpu.NewRunner(ccfg, plat)
+	runner.SetStart(t0)
 	if sc.QoS != nil {
 		runner.SetClasses(coreClass)
 	}
 	runner.Observe(func(core int, a mem.Access, issue, done sim.Time) {
 		hists[coreTenant[core]].Add(done - issue)
+		if shists != nil && sc.Sample.Sampled(int64(issue-t0)) {
+			shists[coreTenant[core]].Add(done - issue)
+		}
 		// The SLO controller samples the same single-threaded
 		// completion stream the histograms do, so its rolling p99 —
 		// and therefore its reprogramming trajectory — is a pure
@@ -476,7 +666,7 @@ func Run(sc Scenario, o Options) (Result, error) {
 	})
 	st, err := runner.Run(streams)
 	if err != nil {
-		return Result{}, fmt.Errorf("replay: scenario %q on %s: %w", sc.Name, sc.Platform, err)
+		return Result{}, nil, fmt.Errorf("replay: scenario %q on %s: %w", sc.Name, sc.Platform, err)
 	}
 	res.CPU = st
 	if sc.QoS != nil {
@@ -492,6 +682,7 @@ func Run(sc Scenario, o Options) (Result, error) {
 				res.Tenants[ti].Units += p.Units()
 			}
 		}
+		res.Tenants[ti].Units -= warmUnits[ti]
 		res.Units += res.Tenants[ti].Units
 		h := hists[ti]
 		res.Tenants[ti].Accesses = h.Count()
@@ -504,12 +695,26 @@ func Run(sc Scenario, o Options) (Result, error) {
 			res.Tenants[ti].QoS = res.QoS[classes[ti]]
 		}
 	}
+	if shists != nil {
+		res.Sampled = make([]SampledTenant, len(sc.Tenants))
+		for ti, h := range shists {
+			res.Sampled[ti] = SampledTenant{
+				Name:     sc.Tenants[ti].Name,
+				Accesses: h.Count(),
+				Mean:     h.Mean(),
+				P50:      h.Percentile(50),
+				P95:      h.Percentile(95),
+				P99:      h.Percentile(99),
+				Max:      h.Max(),
+			}
+		}
+	}
 	in := plat.EnergyInputs()
 	in.Elapsed = st.Elapsed
 	in.Cores = ccfg.Cores
 	in.CPUBusy = busyTime(ccfg, st)
 	res.Energy = energy.Compute(energy.DefaultParams(), in)
-	return res, nil
+	return res, nil, nil
 }
 
 // busyTime mirrors the live harness's core-activity estimate (compute

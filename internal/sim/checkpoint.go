@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+
+	"hams/internal/checkpoint"
+)
+
+// SaveState serializes the clock and the scheduling cursor. The event
+// heap itself is never serialized: callers quiesce (Drain) first, so
+// Pending() is zero at every save boundary. seq travels with the image
+// because it tie-breaks equal-time events — a restored run must hand
+// out the same sequence numbers the live run would.
+func (e *Engine) SaveState(enc *checkpoint.Enc) {
+	enc.I64(int64(e.now))
+	enc.I64(e.seq)
+}
+
+// RestoreState overlays the clock and cursor, discarding any pending
+// events (the image was taken quiesced, so a freshly built engine has
+// none worth keeping).
+func (e *Engine) RestoreState(d *checkpoint.Dec) error {
+	e.now = Time(d.I64())
+	e.seq = d.I64()
+	e.nodes = e.nodes[:0]
+	return d.Err()
+}
+
+// SaveState serializes the server horizon and its counters.
+func (r *Resource) SaveState(enc *checkpoint.Enc) {
+	enc.I64(int64(r.nextFree))
+	enc.I64(int64(r.busy))
+	enc.I64(r.served)
+	enc.I64(int64(r.waited))
+}
+
+// RestoreState overlays the server horizon and counters.
+func (r *Resource) RestoreState(d *checkpoint.Dec) error {
+	r.nextFree = Time(d.I64())
+	r.busy = Time(d.I64())
+	r.served = d.I64()
+	r.waited = Time(d.I64())
+	return d.Err()
+}
+
+// SaveState serializes every server's horizon plus the pool counters.
+func (p *Pool) SaveState(enc *checkpoint.Enc) {
+	enc.Count(len(p.servers))
+	for _, s := range p.servers {
+		enc.I64(int64(s))
+	}
+	enc.I64(int64(p.busy))
+	enc.I64(p.served)
+}
+
+// RestoreState overlays the pool. The server count is structural (it
+// comes from configuration, not the wire), so a mismatch is corruption.
+func (p *Pool) RestoreState(d *checkpoint.Dec) error {
+	n := d.Count(len(p.servers))
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(p.servers) {
+		return fmt.Errorf("%w: pool has %d servers, image has %d", checkpoint.ErrMismatch, len(p.servers), n)
+	}
+	for i := range p.servers {
+		p.servers[i] = Time(d.I64())
+	}
+	p.busy = Time(d.I64())
+	p.served = d.I64()
+	return d.Err()
+}
