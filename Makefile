@@ -1,0 +1,46 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GOBIN := $(CURDIR)/bin
+
+.PHONY: all build test test-shuffle race lint hamslint fmt clean
+
+all: build test lint
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Shuffled order flushes out inter-test coupling; -count=1 defeats the
+# cache so everything actually reruns.
+test-shuffle:
+	go test -shuffle=on -count=1 ./...
+
+race:
+	go test -race ./...
+
+# lint = formatting + go vet + the repo's own contract linter. A
+# hamslint finding fails the target; suppress only with a reasoned
+# //hamslint:allow <analyzer> — <reason> (see EXPERIMENTS.md).
+lint: fmt hamslint
+	go vet ./...
+
+hamslint: $(GOBIN)/hamslint
+	go vet -vettool=$(GOBIN)/hamslint ./...
+
+# Rebuild unconditionally: the binary hashes itself into vet's cache
+# key, so a stale tool would silently lint with old analyzers.
+$(GOBIN)/hamslint: FORCE
+	go build -o $(GOBIN)/hamslint ./cmd/hamslint
+
+FORCE:
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+clean:
+	rm -rf $(GOBIN)

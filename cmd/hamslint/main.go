@@ -1,0 +1,243 @@
+// Command hamslint is the repo's contract linter: a multichecker over
+// the analyzers in internal/analysis/... (maporder, hostclock,
+// wirebound, validatefirst, statszero) that machine-checks the
+// determinism and wire-safety invariants every golden test assumes.
+//
+// It speaks the `go vet -vettool` protocol, so the canonical
+// invocation — what CI runs — is:
+//
+//	go build -o /tmp/hamslint ./cmd/hamslint
+//	go vet -vettool=/tmp/hamslint ./...
+//
+// vet hands the tool one type-checked compilation unit at a time (a
+// JSON .cfg file naming sources and export data) and caches results
+// per package, so incremental runs are cheap. Run directly with
+// package patterns, hamslint re-invokes `go vet` on itself:
+//
+//	hamslint ./...
+//
+// Exit codes follow the repo convention: 0 clean, 1 findings (or
+// failed build), 2 usage error. Suppressions are
+// `//hamslint:allow <analyzer> — <reason>` on or above the offending
+// line; see EXPERIMENTS.md "The determinism contract".
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"hams/internal/analysis"
+	"hams/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable args and streams (testable; exit
+// codes: 0 clean, 1 findings or build failure, 2 usage error).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	// The three vettool protocol entry points, exactly as cmd/go
+	// drives them (see go/src/cmd/go/internal/vet/vetflag.go and
+	// work/buildid.go): -V=full for cache keying, -flags for flag
+	// discovery, and a single *.cfg argument per compilation unit.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			fmt.Fprintf(stdout, "hamslint version devel buildID=%s\n", selfID())
+			return 0
+		case args[0] == "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(args[0], stderr)
+		case args[0] == "help" || args[0] == "-h" || args[0] == "--help":
+			usage(stdout)
+			return 0
+		}
+	}
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			fmt.Fprintf(stderr, "hamslint: unknown flag %s\n", a)
+			usage(stderr)
+			return 2
+		}
+	}
+	return runStandalone(args, stdout, stderr)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: hamslint <packages>    # e.g. hamslint ./...
+   or: go vet -vettool=$(which hamslint) <packages>
+
+analyzers:
+`)
+	for _, a := range suite.Analyzers {
+		fmt.Fprintf(w, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprint(w, "\nsuppress a finding with: //hamslint:allow <analyzer> — <reason>\n")
+}
+
+// selfID hashes the executable so go vet's result cache invalidates
+// whenever an analyzer changes (a fixed version string would let a
+// stale cache mask new findings).
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runStandalone re-invokes go vet with this binary as the vettool, so
+// package loading, export data, and caching are all cmd/go's problem.
+func runStandalone(patterns []string, stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "hamslint: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); ok {
+			return 1
+		}
+		fmt.Fprintf(stderr, "hamslint: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the fields of cmd/go's vet .cfg JSON that the
+// checker needs (see go/src/cmd/go/internal/work/exec.go vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one compilation unit described by a vet .cfg file.
+func runUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "hamslint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "hamslint: decoding %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Always write the facts file: cmd/go records it for downstream
+	// vet runs, and its absence fails the build. hamslint's analyzers
+	// are package-local, so the file is an empty placeholder.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "hamslint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report it better
+			}
+			fmt.Fprintf(stderr, "hamslint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Types come from the export data cmd/go already compiled —
+	// exactly the unitchecker arrangement.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compImp.Import(path)
+	})
+	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "hamslint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	findings, err := analysis.RunPackage(fset, files, pkg, info, cfg.ModulePath, suite.Analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "hamslint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

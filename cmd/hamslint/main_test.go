@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Protocol branches, in-process via realMain.
+
+func TestProtocolVersion(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exit %d, stderr %s", code, errb.String())
+	}
+	// cmd/go parses `<name> version <vers> buildID=<id>` (one line,
+	// four fields) for its action cache key.
+	fields := strings.Fields(strings.TrimSpace(out.String()))
+	if len(fields) != 4 || fields[0] != "hamslint" || fields[1] != "version" ||
+		!strings.HasPrefix(fields[3], "buildID=") {
+		t.Fatalf("-V=full output %q does not match the vettool handshake", out.String())
+	}
+}
+
+func TestProtocolFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("-flags output %q, want []", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := realMain([]string{"help"}, &out, &errb); code != 0 {
+		t.Fatalf("help: exit %d", code)
+	}
+	for _, a := range []string{"maporder", "hostclock", "wirebound", "validatefirst", "statszero"} {
+		if !strings.Contains(out.String(), a) {
+			t.Errorf("help output missing analyzer %s", a)
+		}
+	}
+}
+
+// End-to-end: the built binary, standalone mode, against tiny
+// self-contained modules under testdata/.
+
+var buildOnce = struct {
+	sync.Once
+	bin string
+	err error
+}{}
+
+func hamslintBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "hamslint-smoke")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "hamslint")
+		out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+		if err != nil {
+			buildOnce.err = err
+			os.RemoveAll(dir)
+			return
+		}
+		_ = out
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatalf("building hamslint: %v", buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+// runSmoke runs `hamslint ./...` inside the named testdata module,
+// hermetically (no network, no parent module).
+func runSmoke(t *testing.T, module string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(hamslintBin(t), "./...")
+	cmd.Dir = filepath.Join("testdata", module)
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running hamslint in %s: %v\n%s", module, err, buf.String())
+	}
+	return code, buf.String()
+}
+
+func TestSmokeDirtyModuleFails(t *testing.T) {
+	code, out := runSmoke(t, "dirty")
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1\n%s", code, out)
+	}
+	// Each seeded violation produces a pointed file:line diagnostic
+	// naming its analyzer.
+	for _, want := range []struct{ file, analyzer string }{
+		{"internal/core/core.go", "maporder"},
+		{"internal/sim/sim.go", "hostclock"},
+		{"internal/trace/trace.go", "wirebound"},
+	} {
+		hit := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, want.file+":") && strings.Contains(line, want.analyzer+":") {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("no %s finding pointing at %s in:\n%s", want.analyzer, want.file, out)
+		}
+	}
+}
+
+func TestSmokeCleanModulePasses(t *testing.T) {
+	code, out := runSmoke(t, "clean")
+	if code != 0 {
+		t.Fatalf("clean module: exit %d, want 0\n%s", code, out)
+	}
+}

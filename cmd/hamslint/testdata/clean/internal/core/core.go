@@ -1,0 +1,14 @@
+// The same shape as the dirty module's core package, written the way
+// the contract asks: collect, then sort.
+package core
+
+import "sort"
+
+func Names(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

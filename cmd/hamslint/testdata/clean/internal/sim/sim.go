@@ -1,0 +1,21 @@
+// Clean counterpart: virtual time advances from a config-carried
+// seedable source, never the host clock.
+package sim
+
+import "math/rand"
+
+type Config struct{ Seed int64 }
+
+type Sim struct {
+	now int64
+	rng *rand.Rand
+}
+
+func New(cfg Config) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func (s *Sim) Advance(ns int64) int64 {
+	s.now += ns
+	return s.now
+}

@@ -1,0 +1,29 @@
+// Clean counterpart: the wire-read count is bounds-checked against
+// the remaining buffer before it sizes an allocation.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+type dec struct {
+	buf []byte
+	off int
+}
+
+func (d *dec) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func Decode(buf []byte) ([]uint64, error) {
+	d := &dec{buf: buf}
+	n := d.u32()
+	if int(n) > len(d.buf)/8 {
+		return nil, fmt.Errorf("trace: count %d exceeds remaining payload", n)
+	}
+	out := make([]uint64, n)
+	return out, nil
+}

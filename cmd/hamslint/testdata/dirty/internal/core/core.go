@@ -1,0 +1,11 @@
+// Seeded maporder violation: the collected keys are never sorted, so
+// callers observe randomized order.
+package core
+
+func Names(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	return names
+}

@@ -1,0 +1,6 @@
+// Seeded hostclock violation: wall-clock read inside the simulator.
+package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,23 @@
+// Seeded wirebound violation: an allocation sized straight from a
+// wire-read count with no bounds check.
+package trace
+
+import "encoding/binary"
+
+type dec struct {
+	buf []byte
+	off int
+}
+
+func (d *dec) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func Decode(buf []byte) []uint64 {
+	d := &dec{buf: buf}
+	n := d.u32()
+	out := make([]uint64, n)
+	return out
+}

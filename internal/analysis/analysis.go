@@ -1,0 +1,142 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to express the
+// repo's standing contracts (determinism, wire safety, validate-first,
+// the simulated/host stats split) as independent analyzers and drive
+// them from `go vet -vettool=hamslint`.
+//
+// The x/tools module is deliberately not vendored — the container
+// builds offline — so the Analyzer/Pass/Diagnostic surface below
+// mirrors the upstream names and semantics closely enough that a
+// future migration is mechanical: an Analyzer is a named Run function
+// over a type-checked package, reporting position-anchored
+// diagnostics.
+//
+// Framework-level policy (shared by every analyzer, applied by Run in
+// run.go rather than per-analyzer):
+//
+//   - Test files (*_test.go) are exempt. The contracts govern what
+//     the simulator produces, not how tests probe it.
+//   - A finding may be suppressed by an adjacent
+//     `//hamslint:allow <analyzer> — <reason>` comment; the reason is
+//     mandatory and unused suppressions are themselves findings (see
+//     suppress.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// An Analyzer describes one checker: a name (used in diagnostics and
+// suppression comments), a doc string, and a Run function invoked once
+// per type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hamslint:allow comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer
+	// enforces and why.
+	Doc string
+
+	// Run inspects one package via the Pass and reports findings
+	// through pass.Report. The error return is for operational
+	// failures (never for findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Module is the module path the package belongs to ("hams" for
+	// this repo). Scope decisions are module-relative so the same
+	// analyzers work unchanged on the smoke-test fixture modules.
+	Module string
+
+	// Report delivers one finding. The driver owns suppression
+	// filtering; analyzers always report.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RelPath is the package path relative to the module: "" for the
+// module root, "internal/sim" for hams/internal/sim. go vet hands test
+// variants paths like "hams/internal/sim [hams/internal/sim.test]" and
+// external test packages like "hams/internal/sim_test"; both are
+// normalized onto the package under test so scope decisions are
+// uniform.
+func (p *Pass) RelPath() string {
+	return relPath(p.Module, p.Pkg.Path())
+}
+
+func relPath(module, pkgPath string) string {
+	// "pkg [pkg.test]" → "pkg"
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	if pkgPath == module {
+		return ""
+	}
+	if rest, ok := strings.CutPrefix(pkgPath, module+"/"); ok {
+		return rest
+	}
+	// Foreign package (stdlib or another module): return the full
+	// path; it will not match any module-relative scope.
+	return pkgPath
+}
+
+// IsTestFile reports whether the file is a *_test.go file, which every
+// analyzer exempts.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	name := filepath.Base(p.Fset.Position(f.Package).Filename)
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// SourceFiles returns the package's non-test files, the analyzers'
+// working set.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		if !p.IsTestFile(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CalleeFunc resolves the called function or method of a call
+// expression, or nil if it cannot be determined (e.g. a call through a
+// function-typed variable).
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

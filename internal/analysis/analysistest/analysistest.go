@@ -1,0 +1,257 @@
+// Package analysistest runs one analyzer over fixture packages under
+// testdata/src and checks its findings against `// want "regexp"`
+// markers, mirroring golang.org/x/tools/go/analysis/analysistest
+// closely enough that fixtures would port unchanged.
+//
+// Fixture layout (x/tools convention):
+//
+//	<analyzer>/testdata/src/<import/path>/*.go
+//
+// The import path is meaningful: hamslint analyzers scope themselves
+// by module-relative package path, so a fixture under
+// testdata/src/hams/internal/core exercises the determinism scope and
+// one under testdata/src/hams/internal/api exercises the allowlist.
+//
+// Each expected finding is declared on its line:
+//
+//	for k := range m { // want `range over map`
+//
+// The marker text is a regular expression matched against the finding
+// message; multiple markers on one line expect multiple findings.
+// Fixtures may import other fixture packages (resolved under
+// testdata/src) and the standard library (type-checked from $GOROOT
+// source, so the harness works offline).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"hams/internal/analysis"
+
+	// Register the full suite's analyzer names so fixtures may carry
+	// suppression comments for sibling analyzers without tripping the
+	// unknown-analyzer check.
+	_ "hams/internal/analysis/suite"
+)
+
+// Module is the module path fixtures are attributed to; scope checks
+// are module-relative, so testdata/src/hams/internal/core is treated
+// exactly like the real internal/core.
+const Module = "hams"
+
+// sharedFset backs every fixture load in the process; the stdlib
+// source importer is expensive (it type-checks from $GOROOT/src), so
+// one instance is shared.
+var (
+	sharedFset = token.NewFileSet()
+	stdOnce    sync.Once
+	stdImp     types.Importer
+)
+
+func stdImporter() types.Importer {
+	stdOnce.Do(func() { stdImp = importer.ForCompiler(sharedFset, "source", nil) })
+	return stdImp
+}
+
+// fixtureImporter resolves fixture-local packages from root, falling
+// back to the stdlib source importer.
+type fixtureImporter struct {
+	root  string
+	cache map[string]*types.Package
+	infos map[string]*loaded
+}
+
+type loaded struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		l, err := fi.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return l.pkg, nil
+	}
+	return stdImporter().Import(path)
+}
+
+func (fi *fixtureImporter) load(path, dir string) (*loaded, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: fi}
+	pkg, err := conf.Check(path, sharedFset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	l := &loaded{files: files, pkg: pkg, info: info}
+	fi.cache[path] = pkg
+	fi.infos[path] = l
+	return l, nil
+}
+
+// Run loads each fixture package under testdata/src, runs the analyzer
+// through the full driver (suppression policy included), and checks
+// findings against the want markers.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src")
+	fi := &fixtureImporter{
+		root:  root,
+		cache: make(map[string]*types.Package),
+		infos: make(map[string]*loaded),
+	}
+	for _, path := range pkgPaths {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		l, err := fi.load(path, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := analysis.RunPackage(sharedFset, l.files, l.pkg, l.info, Module, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, path, l.files, findings)
+	}
+}
+
+type want struct {
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// check compares findings against want markers, both keyed by
+// file:line.
+func check(t *testing.T, pkgPath string, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, f := range files {
+		fname := sharedFset.Position(f.Package).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// "// want `re`" may be a comment of its own or ride
+				// at the end of another comment (e.g. after a
+				// hamslint:allow directive, whose unused-check finding
+				// anchors to the directive's own line).
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text[idx:], "// want"))
+				line := sharedFset.Position(c.Pos()).Line
+				key := fmt.Sprintf("%s:%d", fname, line)
+				for _, pat := range parseWant(t, text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re, text: pat})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.hit && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding [%s]: %s", key, f.Analyzer, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s: expected finding matching %q, got none (package %s)", key, w.text, pkgPath)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted or backquoted patterns from a want
+// comment body.
+func parseWant(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("unterminated want pattern: %s", s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("bad want pattern %s: %v", s[:end+1], err)
+			}
+			out = append(out, pat)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("unterminated want pattern: %s", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("bad want pattern start: %s", s)
+		}
+	}
+	return out
+}

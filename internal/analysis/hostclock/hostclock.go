@@ -1,0 +1,124 @@
+// Package hostclock forbids host time and host entropy inside the
+// determinism scope. Simulated results must be a pure function of the
+// job spec; the wall clock, the global math/rand source (runtime-seeded
+// since Go 1.20), math/rand/v2 (always runtime-seeded), crypto/rand,
+// and process identity all leak host state into what should be a
+// closed system — the bug class behind PR 4's wall-time-in-stats find.
+//
+// The sanctioned escapes are structural, not suppressions:
+//
+//   - internal/report and internal/runner own the host-speed channel
+//     (cell wall times, HostUnitsPerSec) and sit outside the scope;
+//   - cmd/* binaries are host-facing and sit outside the scope;
+//   - explicit RNGs seeded from the job spec — rand.New(
+//     rand.NewSource(seed)) where seed traces to runner.DeriveSeed or
+//     a config/struct field — are allowed; a bare literal seed is not,
+//     because it bypasses the per-cell seed-derivation contract.
+package hostclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hams/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hostclock",
+	Doc: "forbids time.Now/global math/rand/os.Getpid-style host state in " +
+		"determinism-critical packages; RNG seeds must trace to DeriveSeed or a config field",
+	Run: run,
+}
+
+// forbidden maps package path → function names that leak host state.
+// An empty set means every package-level function is forbidden except
+// the constructors listed in allowedCtors.
+var forbidden = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true,
+		"Tick": true, "NewTicker": true, "NewTimer": true,
+		"After": true, "AfterFunc": true,
+	},
+	"os":           {"Getpid": true, "Getppid": true},
+	"math/rand":    nil, // global source: runtime-seeded, nondeterministic
+	"math/rand/v2": nil,
+	"crypto/rand":  nil,
+}
+
+// allowedCtors are the explicit-source constructors: deterministic as
+// long as their seed is, which seedTraceable checks separately.
+var allowedCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Deterministic(pass.RelPath()) {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			names, hot := forbidden[path]
+			if !hot || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch {
+			case names != nil && !names[name]:
+				return true
+			case names == nil && allowedCtors[name]:
+				checkSeed(pass, call)
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s in determinism-critical package %s: results must be a pure function of the job spec; simulated time lives on the sim clock, entropy must derive from the spec seed",
+				path, name, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSeed vets the seed expression of rand.NewSource / rand.NewPCG /
+// rand.NewChaCha8. A seed is traceable when it mentions a DeriveSeed
+// call, a field or method of some value (config plumbing), or any
+// variable — all of which tie it to the job spec upstream. A bare
+// constant seed is flagged: per-cell seeds must come through
+// runner.DeriveSeed so cells stay decorrelated and replay-stable.
+func checkSeed(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn.Name() == "New" || fn.Name() == "NewZipf" || len(call.Args) == 0 {
+		return // source/seed vetted at its own construction site
+	}
+	for _, arg := range call.Args {
+		if !constantOnly(pass, arg) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "%s.%s with a bare constant seed in determinism-critical package %s: derive the seed via runner.DeriveSeed or carry it in a config field",
+		fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+}
+
+// constantOnly reports whether the expression is built solely from
+// constants — no variables, fields, or calls to trace a spec seed
+// through.
+func constantOnly(pass *analysis.Pass, e ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		// A named constant reference still counts as constant-only
+		// unless it is declared outside this package (config-style
+		// exported knobs count as plumbing).
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok && c.Pkg() != nil && c.Pkg() != pass.Pkg {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package hostclock_test
+
+import (
+	"testing"
+
+	"hams/internal/analysis/analysistest"
+	"hams/internal/analysis/hostclock"
+)
+
+func TestHostClock(t *testing.T) {
+	analysistest.Run(t, hostclock.Analyzer,
+		"hams/internal/sim",    // positives, seed provenance, suppression round-trip
+		"hams/internal/report", // allowlisted host-speed channel stays silent
+	)
+}

@@ -1,0 +1,10 @@
+// Scope-negative fixture: hams/internal/report is the sanctioned
+// host-speed channel and sits outside the determinism scope — wall
+// clock use here is the package's job.
+package report
+
+import "time"
+
+func stamp() time.Time { return time.Now().UTC() }
+
+func wall(start time.Time) int64 { return int64(time.Since(start)) }

@@ -1,0 +1,85 @@
+// Positive and negative fixtures for hostclock inside the determinism
+// scope (hams/internal/sim).
+package sim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Config stands in for the spec-derived plumbing seeds must trace to.
+type Config struct{ Seed int64 }
+
+// DeriveSeed mirrors runner.DeriveSeed for the fixture.
+func DeriveSeed(base int64, key string) int64 { return base ^ int64(len(key)) }
+
+// Host clock: flagged.
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now in determinism-critical package`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in determinism-critical package`
+}
+
+func ticker() {
+	_ = time.NewTicker(time.Second) // want `time.NewTicker in determinism-critical package`
+}
+
+// Host entropy: flagged.
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand.Intn in determinism-critical package`
+}
+
+func processID() int {
+	return os.Getpid() // want `os.Getpid in determinism-critical package`
+}
+
+func cryptoEntropy(b []byte) {
+	crand.Read(b) // want `crypto/rand.Read in determinism-critical package`
+}
+
+// Seed provenance: a bare constant seed bypasses DeriveSeed.
+
+func literalSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `bare constant seed`
+}
+
+// Spec-derived seeds: accepted.
+
+func configSeed(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+func derivedSeed(base int64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(base, "cell")))
+}
+
+func localDerived(cfg Config) *rand.Rand {
+	seed := cfg.Seed + 1
+	return rand.New(rand.NewSource(seed))
+}
+
+// Methods on an explicit Rand are fine anywhere — determinism rides on
+// the seed, not the call.
+func drawn(rng *rand.Rand) int { return rng.Intn(10) }
+
+// Durations and sim-time arithmetic do not touch the host clock.
+func simTime(d time.Duration) time.Duration { return 2 * d }
+
+// Suppression round-trip.
+
+func suppressedWall() int64 {
+	//hamslint:allow hostclock — progress logging only; value never reaches a stat
+	return time.Now().UnixNano()
+}
+
+func unusedSuppression(d time.Duration) time.Duration {
+	//hamslint:allow hostclock — nothing on the next line uses the host clock // want `unused hamslint:allow hostclock`
+	return 3 * d
+}

@@ -1,0 +1,266 @@
+// Package maporder flags `range` over a map inside the determinism
+// scope. Go randomizes map iteration order per run, so any map-order
+// dependence there breaks the bit-for-bit contract — the exact bug
+// class behind the PR 2 FTL-flush fix (map-order writes during
+// ssd.Device Flush/PowerFail produced run-dependent journal layouts).
+//
+// A range over a map is accepted without a suppression when the loop
+// is provably order-insensitive:
+//
+//   - every statement only writes map/set entries (m[k] = v,
+//     delete(m, k)) or commutatively accumulates integers
+//     (n += x, n++, n |= x, …) — reordering iterations cannot change
+//     the outcome;
+//   - or the loop only collects keys/values into a slice that is
+//     sorted by the immediately following statement (the canonical
+//     collect-then-sort fix idiom).
+//
+// Everything else needs either a rewrite onto a deterministic order
+// or an explicit `//hamslint:allow maporder — <reason>`.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hams/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map in determinism-critical packages unless the " +
+		"loop body is provably order-insensitive or carries a hamslint:allow",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Deterministic(pass.RelPath()) {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		exempt := sortExempt(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if exempt[rs] || orderInsensitive(pass, rs.Body.List) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map %s in determinism-critical package %s: iteration order is randomized; iterate a sorted key slice or prove the body order-insensitive",
+				render(rs.X), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	default:
+		return "expression"
+	}
+}
+
+// orderInsensitive reports whether every statement in the body commutes
+// across iterations.
+func orderInsensitive(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !stmtInsensitive(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func stmtInsensitive(pass *analysis.Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return assignInsensitive(pass, s)
+	case *ast.IncDecStmt:
+		return isIntLike(pass.TypesInfo.TypeOf(s.X))
+	case *ast.ExprStmt:
+		// delete(m, k) removes an entry keyed by this iteration;
+		// deletions commute.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil || callsFunction(s.Cond) {
+			return false
+		}
+		if !orderInsensitive(pass, s.Body.List) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return orderInsensitive(pass, e.List)
+		case *ast.IfStmt:
+			return stmtInsensitive(pass, e)
+		}
+		return false
+	case *ast.BlockStmt:
+		return orderInsensitive(pass, s.List)
+	case *ast.BranchStmt:
+		// `continue` skips an iteration; skipping commutes. `break`
+		// depends on which iteration came first.
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+// assignInsensitive accepts map/set writes (m[k] = v: each iteration
+// owns its key) and commutative integer accumulation (n += x, n |= x,
+// n &= x, n ^= x, n *= x — all commutative and associative over
+// integers; float accumulation is order-dependent through rounding and
+// is rejected).
+func assignInsensitive(pass *analysis.Pass, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ASSIGN:
+		for _, lhs := range s.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			t := pass.TypesInfo.TypeOf(ix.X)
+			if t == nil {
+				return false
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return len(s.Lhs) == 1 && isIntLike(pass.TypesInfo.TypeOf(s.Lhs[0]))
+	}
+	return false
+}
+
+func isIntLike(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func callsFunction(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortExempt finds map ranges of the collect-then-sort idiom: the body
+// only appends to one slice, and the statement immediately after the
+// loop sorts that slice.
+func sortExempt(pass *analysis.Pass, f *ast.File) map[*ast.RangeStmt]bool {
+	exempt := make(map[*ast.RangeStmt]bool)
+	scan := func(list []ast.Stmt) {
+		for i, s := range list {
+			rs, ok := s.(*ast.RangeStmt)
+			if !ok || i+1 >= len(list) {
+				continue
+			}
+			slice := appendTarget(pass, rs.Body.List)
+			if slice == nil {
+				continue
+			}
+			if sortsSlice(pass, list[i+1], slice) {
+				exempt[rs] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			scan(n.List)
+		case *ast.CaseClause:
+			scan(n.Body)
+		case *ast.CommClause:
+			scan(n.Body)
+		}
+		return true
+	})
+	return exempt
+}
+
+// appendTarget returns the variable appended to when the body is
+// exactly one `x = append(x, …)` statement, else nil.
+func appendTarget(pass *analysis.Pass, body []ast.Stmt) *types.Var {
+	if len(body) != 1 {
+		return nil
+	}
+	as, ok := body[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	v, _ := pass.TypesInfo.ObjectOf(lhs).(*types.Var)
+	return v
+}
+
+// sortsSlice reports whether stmt is a sort call (sort.*, slices.Sort*)
+// whose first argument mentions the slice variable.
+func sortsSlice(pass *analysis.Pass, stmt ast.Stmt, slice *types.Var) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+	default:
+		return false
+	}
+	mentions := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == slice {
+			mentions = true
+		}
+		return !mentions
+	})
+	return mentions
+}

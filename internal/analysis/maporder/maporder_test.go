@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"hams/internal/analysis/analysistest"
+	"hams/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer,
+		"hams/internal/core", // positive + order-insensitive negatives + suppression round-trip
+		"hams/internal/api",  // scope negative: out-of-scope package stays silent
+	)
+}

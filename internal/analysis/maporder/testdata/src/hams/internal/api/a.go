@@ -1,0 +1,12 @@
+// Scope-negative fixture: hams/internal/api is outside the
+// determinism scope, so even a blatantly order-sensitive map range is
+// not maporder's business (api error aggregation has its own
+// conventions).
+package api
+
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

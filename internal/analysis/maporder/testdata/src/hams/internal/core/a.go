@@ -1,0 +1,117 @@
+// Positive and negative fixtures for maporder inside the determinism
+// scope (hams/internal/core).
+package core
+
+import "sort"
+
+// Order-sensitive bodies: flagged.
+
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m in determinism-critical package`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func firstError(m map[string]int) string {
+	for k, v := range m { // want `range over map m in determinism-critical package`
+		if v < 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map m in determinism-critical package`
+		total += v // float addition is rounding-order dependent
+	}
+	return total
+}
+
+// Order-insensitive bodies: accepted without suppression.
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func intAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func counterAndSet(m map[string]int, set map[string]struct{}) int {
+	n := 0
+	for k, v := range m {
+		if v > 0 {
+			set[k] = struct{}{}
+			n++
+		}
+	}
+	return n
+}
+
+func mapToMap(src map[string]int, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func pruneNegative(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func continueOnly(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v == 0 {
+			continue
+		}
+		n += v
+	}
+	return n
+}
+
+// Suppression round-trip: the directive silences the finding; an
+// unused directive is itself a finding.
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//hamslint:allow maporder — order feeds a set union downstream; proven insensitive in TestUnion
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func unusedDirective(m map[string]int) int {
+	total := 0
+	//hamslint:allow maporder — nothing here actually trips the analyzer // want `unused hamslint:allow maporder`
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Ranging over slices is always fine.
+func sliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Finding is one post-suppression diagnostic attributed to its
+// analyzer — the unit the driver prints and CI gates on.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// driverName attributes framework-level findings (malformed or unused
+// suppressions) in output and fixtures.
+const driverName = "hamslint"
+
+// RunPackage runs the analyzers over one type-checked package,
+// applies the suppression policy, and returns the surviving findings
+// sorted by position. module is the package's module path ("hams").
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, module string, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+		ran[a.Name] = true
+	}
+	// The directive grammar is checked against the full suite so a
+	// single-analyzer run (analysistest) never misreads a sibling's
+	// directive as unknown.
+	for _, a := range AllNames() {
+		known[a] = true
+	}
+
+	var findings []Finding
+	collect := func(name string) func(Diagnostic) {
+		return func(d Diagnostic) {
+			findings = append(findings, Finding{Analyzer: name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+	}
+
+	// Suppression directives live in non-test files only (analyzers
+	// never fire in test files, so a test-file directive is dead by
+	// construction).
+	var srcFiles []*ast.File
+	probe := &Pass{Fset: fset, Files: files}
+	for _, f := range files {
+		if !probe.IsTestFile(f) {
+			srcFiles = append(srcFiles, f)
+		}
+	}
+	sup := newSuppressor(fset, srcFiles, known, collect(driverName))
+
+	for _, a := range analyzers {
+		report := collect(a.Name)
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Module:    module,
+			Report: func(d Diagnostic) {
+				if !sup.suppressed(a.Name, d.Pos) {
+					report(d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path(), a.Name, err)
+		}
+	}
+
+	// Only directives for analyzers that actually ran can be judged
+	// unused; a partial run (one analyzer under analysistest) must
+	// not condemn its siblings' directives.
+	sup.unusedAmong(ran, collect(driverName))
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// allNames is populated by the suite package at init time so the
+// suppression grammar knows the full analyzer vocabulary even when
+// only a subset runs.
+var allNames []string
+
+// RegisterNames records the full suite's analyzer names (called once
+// by the suite package).
+func RegisterNames(names []string) { allNames = names }
+
+// AllNames returns the registered suite analyzer names.
+func AllNames() []string { return allNames }
+
+// unusedAmong reports unused directives restricted to analyzers in ran.
+func (s *suppressor) unusedAmong(ran map[string]bool, report func(Diagnostic)) {
+	for _, allows := range s.byFile {
+		for _, a := range allows {
+			if !a.used && ran[a.analyzer] {
+				report(Diagnostic{Pos: a.pos, Message: "unused hamslint:allow " + a.analyzer + ": nothing on this or the next line trips the analyzer; delete the comment"})
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import "strings"
+
+// DeterministicPackages are the module-relative packages whose output
+// must be a pure function of the job spec: every simulated stat they
+// produce has to be bit-for-bit identical across worker counts,
+// dispatch order, replay, and checkpoint/restore. maporder and
+// hostclock enforce their contracts only here.
+//
+// Deliberately absent:
+//
+//   - internal/report — the sanctioned host-speed channel (WallNS,
+//     HostUnitsPerSec, Created timestamps).
+//   - internal/runner — measures per-cell wall time by design; its
+//     determinism obligation (DeriveSeed, canonical reassembly) is
+//     pinned by parallel goldens, not by these analyzers.
+//   - internal/workload, internal/api, internal/bus, … — feed or wrap
+//     the engine; their RNGs are seeded per spec and covered by the
+//     golden tests.
+//   - cmd/* — host-facing binaries (progress output, wall-clock UX).
+var DeterministicPackages = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/ftl",
+	"internal/mem",
+	"internal/nvme",
+	"internal/ssd",
+	"internal/qos",
+	"internal/replay",
+	"internal/trace",
+	"internal/checkpoint",
+	"internal/stats",
+	"internal/experiments",
+}
+
+// DecoderPackages are the packages that parse attacker-controlled wire
+// formats (trace containers, checkpoint images, NVMe command rings);
+// wirebound enforces bounds-before-allocation only here.
+var DecoderPackages = []string{
+	"internal/trace",
+	"internal/checkpoint",
+	"internal/nvme",
+}
+
+// Deterministic reports whether the module-relative package path rel
+// (as returned by Pass.RelPath) is inside the determinism scope.
+// Subpackages inherit their parent's scope (internal/core/tagstore is
+// as determinism-critical as internal/core).
+func Deterministic(rel string) bool { return inScope(rel, DeterministicPackages) }
+
+// Decoder reports whether rel is one of the wire-decoder packages.
+func Decoder(rel string) bool { return inScope(rel, DecoderPackages) }
+
+// CommandMain reports whether rel is a cmd/ binary package, the scope
+// of the validatefirst convention.
+func CommandMain(rel string) bool {
+	return rel == "cmd" || strings.HasPrefix(rel, "cmd/")
+}
+
+func inScope(rel string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}

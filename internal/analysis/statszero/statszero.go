@@ -1,0 +1,107 @@
+// Package statszero keeps the simulated/host stats split honest.
+// report.Cell carries two channels: simulated stats (deterministic,
+// byte-compared by the bench gate) and the host-speed channel (WallNS,
+// HostUnitsPerSec — volatile by nature, zeroed by Canonical). The
+// split only works if host-dependent fields are written in exactly one
+// place: the Recorder path inside internal/report (Recorder.Add
+// derives HostUnitsPerSec; CanonicalCells zeroes both). Any other
+// writer can leak wall-clock noise into a field the gate treats as
+// deterministic — PR 2 found exactly this (wall time folded into a
+// stats field) at bring-up.
+//
+// The analyzer flags, outside internal/report, any composite literal
+// or field assignment that writes report.Cell.WallNS or
+// report.Cell.HostUnitsPerSec. The single sanctioned feed — the
+// runner-engine glue that copies the measured runner.Result.Wall into
+// the cell on its way into the Recorder — carries an explicit
+// hamslint:allow.
+package statszero
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hams/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "statszero",
+	Doc: "flags writes to report.Cell host-dependent fields (WallNS, " +
+		"HostUnitsPerSec) outside the sanctioned Recorder path",
+	Run: run,
+}
+
+// hostFields are the report.Cell fields owned by the host-speed
+// channel.
+var hostFields = map[string]bool{"WallNS": true, "HostUnitsPerSec": true}
+
+func run(pass *analysis.Pass) error {
+	// internal/report owns the channel; everywhere else in the
+	// module (engine glue, cmd binaries) is checked — the scope is
+	// deliberately wider than the determinism list.
+	if pass.RelPath() == "internal/report" {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkLiteral(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	if !isCell(pass, pass.TypesInfo.TypeOf(lit)) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !hostFields[key.Name] {
+			continue
+		}
+		pass.Reportf(kv.Pos(), "report.Cell.%s written outside the Recorder path: host-dependent fields are derived in Recorder.Add and zeroed by Canonical; route wall readings through the runner result instead", key.Name)
+	}
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || !hostFields[sel.Sel.Name] {
+			continue
+		}
+		if !isCell(pass, pass.TypesInfo.TypeOf(sel.X)) {
+			continue
+		}
+		pass.Reportf(sel.Pos(), "report.Cell.%s written outside the Recorder path: host-dependent fields are derived in Recorder.Add and zeroed by Canonical; route wall readings through the runner result instead", sel.Sel.Name)
+	}
+}
+
+// isCell reports whether t is report.Cell (or a pointer/alias to it)
+// from this module's internal/report package.
+func isCell(pass *analysis.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Cell" || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pass.Module+"/internal/report"
+}

@@ -1,0 +1,15 @@
+package statszero_test
+
+import (
+	"testing"
+
+	"hams/internal/analysis/analysistest"
+	"hams/internal/analysis/statszero"
+)
+
+func TestStatsZero(t *testing.T) {
+	analysistest.Run(t, statszero.Analyzer,
+		"hams/internal/experiments", // positives, negatives, suppression round-trips
+		"hams/internal/report",      // scope negative: the Recorder path is exempt
+	)
+}

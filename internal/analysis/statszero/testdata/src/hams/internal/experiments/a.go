@@ -1,0 +1,56 @@
+// Fixtures for statszero: outside internal/report, nothing may write
+// the host-speed fields of report.Cell.
+package experiments
+
+import "hams/internal/report"
+
+// Violations.
+
+func literalWrite(sim, wall int64) report.Cell {
+	return report.Cell{
+		Key:    "bfs",
+		SimNS:  sim,
+		WallNS: wall, // want `report.Cell.WallNS written outside the Recorder path`
+	}
+}
+
+func fieldWrite(c *report.Cell, unitsPerSec float64) {
+	c.HostUnitsPerSec = unitsPerSec // want `report.Cell.HostUnitsPerSec written outside the Recorder path`
+}
+
+func valueFieldWrite(c report.Cell) report.Cell {
+	c.WallNS = 7 // want `report.Cell.WallNS written outside the Recorder path`
+	return c
+}
+
+// Negatives: simulated-channel fields are fair game anywhere, and
+// host-field *reads* are fine.
+
+func simWrite(c *report.Cell, simNS, units int64) {
+	c.SimNS = simNS
+	c.Units = units
+}
+
+func literalSimOnly(sim int64) report.Cell {
+	return report.Cell{Key: "srad", SimNS: sim}
+}
+
+func hostRead(c report.Cell) int64 { return c.WallNS }
+
+// A WallNS field on an unrelated type is not report.Cell.
+type timing struct{ WallNS int64 }
+
+func otherType(t *timing) { t.WallNS = 1 }
+
+// Suppression round-trip: the runner-engine glue carries a reasoned
+// allow; the unused variant below is itself flagged.
+
+func sanctionedGlue(c *report.Cell, wall int64) {
+	//hamslint:allow statszero — engine→Recorder glue: the one sanctioned host-channel write
+	c.WallNS = wall
+}
+
+func cleanButSuppressed(c *report.Cell, simNS int64) {
+	//hamslint:allow statszero — stale directive // want `unused hamslint:allow statszero`
+	c.SimNS = simNS
+}

@@ -1,0 +1,29 @@
+// Stub of the real report package for the statszero fixtures. The
+// analyzer exempts internal/report wholesale — the Recorder path here
+// is the one sanctioned writer of the host-speed fields — so the
+// writes below are negatives by scope.
+package report
+
+type Cell struct {
+	Key             string
+	SimNS           int64
+	Units           int64
+	WallNS          int64
+	HostUnitsPerSec float64
+}
+
+type Recorder struct{ cells []Cell }
+
+func (r *Recorder) Add(c Cell, wallNS int64) {
+	c.WallNS = wallNS // exempt: the Recorder path owns the host channel
+	if wallNS > 0 {
+		c.HostUnitsPerSec = float64(c.Units) / (float64(wallNS) / 1e9)
+	}
+	r.cells = append(r.cells, c)
+}
+
+func Canonical(c Cell) Cell {
+	c.WallNS = 0
+	c.HostUnitsPerSec = 0
+	return c
+}

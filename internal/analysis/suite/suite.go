@@ -1,0 +1,30 @@
+// Package suite assembles the hamslint analyzer set. It exists as its
+// own package (rather than a list in internal/analysis) so the
+// framework does not import its own analyzers.
+package suite
+
+import (
+	"hams/internal/analysis"
+	"hams/internal/analysis/hostclock"
+	"hams/internal/analysis/maporder"
+	"hams/internal/analysis/statszero"
+	"hams/internal/analysis/validatefirst"
+	"hams/internal/analysis/wirebound"
+)
+
+// Analyzers is the full hamslint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	maporder.Analyzer,
+	hostclock.Analyzer,
+	wirebound.Analyzer,
+	validatefirst.Analyzer,
+	statszero.Analyzer,
+}
+
+func init() {
+	names := make([]string, len(Analyzers))
+	for i, a := range Analyzers {
+		names[i] = a.Name
+	}
+	analysis.RegisterNames(names)
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression policy.
+//
+// A finding may be silenced by an adjacent comment:
+//
+//	//hamslint:allow <analyzer> — <reason>
+//
+// on the same line as the finding or on the line directly above it.
+// The separator may be an em dash, "--", or ":"; the reason is
+// mandatory — a suppression is a reviewed exception, and the review
+// lives in the reason. Malformed suppressions (missing reason, unknown
+// analyzer) and suppressions that silence nothing are findings in
+// their own right, so dead exceptions cannot accumulate.
+
+const allowPrefix = "hamslint:allow"
+
+// An allowComment is one parsed //hamslint:allow directive.
+type allowComment struct {
+	pos      token.Pos // of the comment
+	line     int       // line the comment sits on
+	analyzer string    // analyzer it names
+	reason   string    // justification text ("" = malformed)
+	used     bool      // did it suppress at least one finding?
+}
+
+// parseAllows extracts every hamslint:allow directive from the file.
+// Malformed directives are reported immediately via report.
+func parseAllows(fset *token.FileSet, f *ast.File, known map[string]bool, report func(Diagnostic)) []*allowComment {
+	var out []*allowComment
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			// Directive form only: "//hamslint:allow", no space after
+			// "//" — prose that merely mentions the directive (doc
+			// comments, quoted examples) must not parse as one.
+			if !strings.HasPrefix(c.Text, "//"+allowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"+allowPrefix))
+			name, reason := splitAllow(rest)
+			switch {
+			case name == "":
+				report(Diagnostic{Pos: c.Pos(), Message: "malformed hamslint:allow: want //hamslint:allow <analyzer> — <reason>"})
+				continue
+			case !known[name]:
+				report(Diagnostic{Pos: c.Pos(), Message: "hamslint:allow names unknown analyzer " + name})
+				continue
+			case reason == "":
+				report(Diagnostic{Pos: c.Pos(), Message: "hamslint:allow " + name + " needs a reason: //hamslint:allow " + name + " — <why this exception is sound>"})
+				continue
+			}
+			out = append(out, &allowComment{
+				pos:      c.Pos(),
+				line:     fset.Position(c.Pos()).Line,
+				analyzer: name,
+				reason:   reason,
+			})
+		}
+	}
+	return out
+}
+
+// splitAllow splits "maporder — reason text" into name and reason,
+// accepting "—", "--", or ":" as the separator (or none: first word is
+// the name, the rest the reason).
+func splitAllow(s string) (name, reason string) {
+	name, reason, _ = strings.Cut(s, " ")
+	name = strings.TrimSuffix(name, ":") // "maporder: reason" form
+	for _, sep := range []string{"—", "--", ":"} {
+		reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(reason), sep))
+	}
+	return name, strings.TrimSpace(reason)
+}
+
+// suppressor filters one package's diagnostics through its allow
+// directives.
+type suppressor struct {
+	fset *token.FileSet
+	// allows by file token range; matched by position.
+	byFile map[*token.File][]*allowComment
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) *suppressor {
+	s := &suppressor{fset: fset, byFile: make(map[*token.File][]*allowComment)}
+	for _, f := range files {
+		tf := fset.File(f.Package)
+		if tf == nil {
+			continue
+		}
+		s.byFile[tf] = parseAllows(fset, f, known, report)
+	}
+	return s
+}
+
+// suppressed reports whether a finding from analyzer at pos is covered
+// by an allow directive on the same or the preceding line, marking the
+// directive used.
+func (s *suppressor) suppressed(analyzer string, pos token.Pos) bool {
+	tf := s.fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := s.fset.Position(pos).Line
+	hit := false
+	for _, a := range s.byFile[tf] {
+		if a.analyzer == analyzer && (a.line == line || a.line == line-1) {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}

@@ -1,0 +1,88 @@
+// Fixtures for validatefirst: cmd/ mains must finish all validation
+// (exit 2) before creating files or starting simulation work.
+package main
+
+import (
+	"os"
+
+	"hams/internal/experiments"
+)
+
+type spec struct{ out string }
+
+func Validate(s spec) error { return nil }
+
+func main() {}
+
+// Violations: side effects reachable before the last validation call.
+
+func realMainCreatesEarly(s spec) int {
+	f, err := os.Create(s.out) // want `os.Create called before the last validation call in realMainCreatesEarly`
+	if err != nil {
+		return 1
+	}
+	defer f.Close()
+	if err := Validate(s); err != nil {
+		return 2
+	}
+	return 0
+}
+
+func realMainRunsEarly(s spec) int {
+	if err := experiments.RunOne(experiments.Options{}, "hams-LE", "bfs"); err != nil { // want `experiments.RunOne called before the last validation call in realMainRunsEarly`
+		return 1
+	}
+	if err := Validate(s); err != nil {
+		return 2
+	}
+	return 0
+}
+
+// Convention-following shapes: accepted.
+
+func realMainGood(s spec) int {
+	if err := Validate(s); err != nil {
+		return 2
+	}
+	f, err := os.Create(s.out)
+	if err != nil {
+		return 1
+	}
+	defer f.Close()
+	return runGood(s)
+}
+
+func runGood(s spec) int {
+	if err := experiments.RunTarget(experiments.Options{}, "all"); err != nil {
+		return 1
+	}
+	return 0
+}
+
+// A closure handed onward runs after validation by construction; its
+// body is not ordered against the enclosing function's checks.
+func realMainClosure(s spec) (int, func() error) {
+	work := func() error {
+		_, err := os.Create(s.out)
+		return err
+	}
+	if err := Validate(s); err != nil {
+		return 2, nil
+	}
+	return 0, work
+}
+
+// Suppression round-trip: an intentional early create (e.g. probing
+// writability is the validation) is documented in place.
+func realMainProbe(s spec) int {
+	//hamslint:allow validatefirst — the create IS the validation: probing output writability before work
+	f, err := os.Create(s.out)
+	if err != nil {
+		return 2
+	}
+	f.Close()
+	if err := Validate(s); err != nil {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,19 @@
+// Scope-negative fixture: validatefirst only governs cmd/ mains; a
+// library package ordering a create before a validate is its own
+// design decision.
+package api
+
+import "os"
+
+type Spec struct{ Out string }
+
+func Validate(s Spec) error { return nil }
+
+func Materialize(s Spec) error {
+	f, err := os.Create(s.Out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Validate(s)
+}

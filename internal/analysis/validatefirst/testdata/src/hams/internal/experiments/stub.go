@@ -1,0 +1,8 @@
+// Stub of the engine entry points for the validatefirst fixtures.
+package experiments
+
+type Options struct{ Scale float64 }
+
+func RunOne(o Options, platform, workload string) error { return nil }
+
+func RunTarget(o Options, name string) error { return nil }

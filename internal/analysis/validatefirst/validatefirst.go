@@ -1,0 +1,162 @@
+// Package validatefirst enforces the repo's CLI/API convention: every
+// flag and spec validation error exits 2 (or returns field errors)
+// before any file is created or any simulation work starts. A binary
+// that truncates its output file and then rejects a flag leaves debris
+// behind; a binary that simulates for a minute before noticing a typo
+// wastes it. PR 5 retrofitted exactly this into hamssim/hamstrace
+// ("workload validated before truncating output files"); this analyzer
+// keeps the convention from regressing.
+//
+// Scope: functions in cmd/* main packages. Within any function that
+// performs validation (a call whose name starts or ends with
+// "Validate", or RenderFlagErrors — the convention's error renderer),
+// no file-creating or engine-starting call may appear earlier in the
+// source than the function's last validation call. Calls inside nested
+// function literals are ignored (they run later, after validation).
+package validatefirst
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"hams/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "validatefirst",
+	Doc: "in cmd/ mains, flags file creation or engine starts that are " +
+		"reachable before the last Validate/flag-check call",
+	Run: run,
+}
+
+// sideEffects maps package path → function names that create files or
+// start simulation work.
+var sideEffects = map[string]map[string]bool{
+	"os": {
+		"Create": true, "OpenFile": true, "WriteFile": true,
+		"Mkdir": true, "MkdirAll": true, "Truncate": true,
+	},
+	"hams/internal/experiments": {
+		"RunOne": true, "RunTarget": true, "RunScenarios": true,
+	},
+	"hams/internal/api":    {"Execute": true},
+	"hams/internal/replay": {"Run": true, "Warmup": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.CommandMain(pass.RelPath()) || pass.Pkg.Name() != "main" {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type siteKind int
+
+const (
+	kindValidate siteKind = iota
+	kindSideEffect
+)
+
+type site struct {
+	kind siteKind
+	pos  token.Pos
+	name string
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var sites []site
+	// Walk the function body, skipping nested function literals:
+	// a closure handed to the engine runs after validation by
+	// construction.
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := validationCall(pass, call); ok {
+				sites = append(sites, site{kindValidate, call.Pos(), name})
+			} else if name, ok := sideEffectCall(pass, call); ok {
+				sites = append(sites, site{kindSideEffect, call.Pos(), name})
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+
+	var lastValidate token.Pos
+	for _, s := range sites {
+		if s.kind == kindValidate && s.pos > lastValidate {
+			lastValidate = s.pos
+		}
+	}
+	if lastValidate == token.NoPos {
+		return // function does no validation; nothing to order against
+	}
+	for _, s := range sites {
+		if s.kind == kindSideEffect && s.pos < lastValidate {
+			pass.Reportf(s.pos, "%s called before the last validation call in %s: validation errors must exit 2 before any file is created or simulation starts; hoist the checks above this call",
+				s.name, fd.Name.Name)
+		}
+	}
+}
+
+// validationCall recognizes the convention's validation surface:
+// api.Validate, qos.ValidateSchedule, spec builders' Validate methods,
+// and RenderFlagErrors (only ever called on a validation failure).
+func validationCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	name := calleeName(call)
+	if name == "" {
+		return "", false
+	}
+	if strings.HasPrefix(name, "Validate") || strings.HasSuffix(name, "Validate") || name == "RenderFlagErrors" {
+		return name, true
+	}
+	return "", false
+}
+
+func sideEffectCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	names := sideEffects[normalizePath(pass, fn.Pkg().Path())]
+	if names == nil || !names[fn.Name()] {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// normalizePath maps the package path into the "hams/…" namespace the
+// sideEffects table uses, so the analyzer works unchanged inside the
+// smoke-test fixture modules (module smoke → smoke/internal/api).
+func normalizePath(pass *analysis.Pass, path string) string {
+	if rest, ok := strings.CutPrefix(path, pass.Module+"/"); ok {
+		return "hams/" + rest
+	}
+	return path
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,15 @@
+package validatefirst_test
+
+import (
+	"testing"
+
+	"hams/internal/analysis/analysistest"
+	"hams/internal/analysis/validatefirst"
+)
+
+func TestValidateFirst(t *testing.T) {
+	analysistest.Run(t, validatefirst.Analyzer,
+		"hams/cmd/tool",     // positives, good orderings, closure carve-out, suppression
+		"hams/internal/api", // scope negative: library packages stay silent
+	)
+}

@@ -1,0 +1,10 @@
+// Scope-negative fixture: hams/internal/ftl is not a wire decoder;
+// sizing an allocation from a computed count is normal engine work.
+package ftl
+
+import "encoding/binary"
+
+func fromComputed(b []byte) []uint64 {
+	n := binary.LittleEndian.Uint64(b)
+	return make([]uint64, n)
+}

@@ -1,0 +1,113 @@
+// Positive and negative fixtures for wirebound in a decoder package
+// (hams/internal/trace).
+package trace
+
+import "encoding/binary"
+
+const maxCount = 1 << 20
+
+// Dec mirrors the checkpoint decoder's primitive shape.
+type Dec struct {
+	b   []byte
+	off int
+}
+
+func (d *Dec) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *Dec) u64() uint64 {
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *Dec) u16() uint16 {
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func checkCount(n uint64) error { return nil }
+
+// Unbounded wire counts sizing allocations: flagged.
+
+func unboundedMake(d *Dec) []uint64 {
+	n := d.u64()
+	return make([]uint64, n) // want `make sized by wire-read value n with no preceding bounds check`
+}
+
+func unboundedMakeDirect(d *Dec) []byte {
+	return make([]byte, d.u32()) // want `make sized by wire-read value u32\(\) with no preceding bounds check`
+}
+
+func unboundedMap(d *Dec) map[uint64]int {
+	n := int(d.u32())
+	return make(map[uint64]int, n) // want `make sized by wire-read value n with no preceding bounds check`
+}
+
+func unboundedAppendLoop(d *Dec) []uint64 {
+	n := d.u64()
+	var out []uint64
+	for i := uint64(0); i < n; i++ { // want `append loop bounded by wire-read value n with no preceding bounds check`
+		out = append(out, d.u64())
+	}
+	return out
+}
+
+// Bounds-checked counts: accepted.
+
+func boundedMake(d *Dec) ([]uint64, bool) {
+	n := d.u64()
+	if n > maxCount {
+		return nil, false
+	}
+	return make([]uint64, n), true
+}
+
+func boundedAgainstLen(d *Dec, buf []byte) []byte {
+	n := d.u32()
+	if uint64(n) > uint64(len(buf)) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func checkedByHelper(d *Dec) ([]uint64, error) {
+	n := d.u64()
+	if err := checkCount(n); err != nil {
+		return nil, err
+	}
+	return make([]uint64, n), nil
+}
+
+func boundedAppendLoop(d *Dec) []uint64 {
+	n := d.u64()
+	if n > maxCount {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.u64())
+	}
+	return out
+}
+
+// 16-bit reads are intrinsically bounded (≤ 64 KiB): accepted.
+func shortLabel(d *Dec) []byte {
+	n := int(d.u16())
+	return make([]byte, n)
+}
+
+// Constant-sized allocations never depend on the wire.
+func fixedHeader() []byte { return make([]byte, 32) }
+
+// Suppression round-trip.
+
+func suppressedMake(d *Dec) []uint64 {
+	n := d.u64()
+	//hamslint:allow wirebound — caller mmaps the file; n is bounded by the file size upstream
+	return make([]uint64, n)
+}

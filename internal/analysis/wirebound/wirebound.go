@@ -1,0 +1,330 @@
+// Package wirebound enforces bounds-before-allocation in the wire
+// decoders (trace containers, checkpoint images, NVMe rings). An
+// integer read off the wire is attacker-controlled; sizing an
+// allocation or an append loop with it before comparing it against a
+// bound lets a 12-byte file demand gigabytes — the exact class behind
+// PR 3's unbounded access-count OOM and the reason PR 9's checkpoint
+// sections are bounds-checked.
+//
+// The analysis is function-local taint tracking:
+//
+//   - sources: 32/64-bit wire reads — binary.*Endian.Uint32/Uint64,
+//     binary.ReadUvarint/ReadVarint, and the repo's Dec.U32/U64/
+//     I64 primitives. 8/16-bit reads are intrinsically bounded
+//     (≤ 64 KiB) and are not sources. Dec.Count/CountSized take an
+//     explicit max and are the sanctioned bounded read.
+//   - propagation: through assignments, conversions, and arithmetic.
+//   - sanitizers: a comparison of the tainted value against a
+//     constant, len/cap, or another untainted bound, before the use;
+//     or passing it to a checker function (name contains Check/Valid/
+//     Bound/Limit).
+//   - sinks: make(len/cap), and `for i := …; i < n` loops whose body
+//     appends.
+package wirebound
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"hams/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wirebound",
+	Doc: "flags allocations and append loops sized by a wire-read integer " +
+		"that was never compared against a bound",
+	Run: run,
+}
+
+// sourceName matches decoder primitives that yield an unbounded 32/64
+// bit integer straight off the wire.
+var sourceName = regexp.MustCompile(`^(Uint32|Uint64|U32|U64|I64|ReadUvarint|ReadVarint|readU32|readU64|u32|u64|i64)$`)
+
+// checkerName matches helper functions whose job is validating a
+// count; passing a tainted value through one sanitizes it.
+var checkerName = regexp.MustCompile(`(?i)(check|valid|bound|limit|clamp)`)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.Decoder(pass.RelPath()) {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// taintState tracks, per variable object, where it became tainted and
+// where (if anywhere) it was sanitized.
+type taintState struct {
+	pass      *analysis.Pass
+	tainted   map[*types.Var]token.Pos // first tainting position
+	sanitized map[*types.Var]token.Pos // first sanitizing position
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	st := &taintState{
+		pass:      pass,
+		tainted:   make(map[*types.Var]token.Pos),
+		sanitized: make(map[*types.Var]token.Pos),
+	}
+
+	// Pass 1: propagate taint through assignments to a fixed point
+	// (covers n := d.U64(); m := int(n); …), then record sanitizing
+	// comparisons.
+	for {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			if !st.exprTainted(as.Rhs[0]) {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if v, ok := st.pass.TypesInfo.ObjectOf(id).(*types.Var); ok && isIntLike(v.Type()) {
+						if _, seen := st.tainted[v]; !seen {
+							st.tainted[v] = as.Pos()
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			st.recordComparison(n)
+		case *ast.CallExpr:
+			st.recordCheckerCall(n)
+		}
+		return true
+	})
+
+	// Pass 2: flag sinks.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			st.checkMake(n)
+		case *ast.ForStmt:
+			st.checkAppendLoop(n)
+		}
+		return true
+	})
+}
+
+// exprTainted reports whether the expression contains a wire-read call
+// or a tainted variable.
+func (st *taintState) exprTainted(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if st.isSource(n) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if v, ok := st.pass.TypesInfo.ObjectOf(n).(*types.Var); ok {
+				if _, t := st.tainted[v]; t {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (st *taintState) isSource(call *ast.CallExpr) bool {
+	fn := st.pass.CalleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	return sourceName.MatchString(fn.Name())
+}
+
+// varsIn collects the tainted variables mentioned in e.
+func (st *taintState) varsIn(e ast.Expr) []*types.Var {
+	var out []*types.Var
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := st.pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+				if _, t := st.tainted[v]; t {
+					out = append(out, v)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// recordComparison sanitizes tainted variables compared against a
+// bound: the other operand must be constant, len/cap, or untainted —
+// `i < n` with i a fresh loop counter does not bound n.
+func (st *taintState) recordComparison(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	st.sanitizeAgainst(b.X, b.Y)
+	st.sanitizeAgainst(b.Y, b.X)
+}
+
+func (st *taintState) sanitizeAgainst(val, bound ast.Expr) {
+	vars := st.varsIn(val)
+	if len(vars) == 0 {
+		return
+	}
+	if !st.isBound(bound) {
+		return
+	}
+	for _, v := range vars {
+		if _, ok := st.sanitized[v]; !ok {
+			st.sanitized[v] = val.Pos()
+		}
+	}
+}
+
+// isBound reports whether the comparison operand is a legitimate
+// limit: a constant expression, a len/cap call, or any expression free
+// of tainted variables and of fresh loop counters. The conservative
+// carve-out: a bare untainted *local integer variable* like a loop
+// index does not count, because `i < n` is iteration, not validation —
+// unless it is itself compared to something constant elsewhere (then n
+// inherits nothing anyway).
+func (st *taintState) isBound(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := st.pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true // constant or named constant
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			return true
+		}
+		// uint64(len(buf)) and friends
+		for _, a := range e.Args {
+			if st.isBound(a) {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		// A field limit (d.max, cfg.MaxSections) is a bound.
+		return len(st.varsIn(e)) == 0
+	case *ast.BinaryExpr:
+		return st.isBound(e.X) && st.isBound(e.Y)
+	}
+	return false
+}
+
+// recordCheckerCall sanitizes variables passed to validation helpers.
+func (st *taintState) recordCheckerCall(call *ast.CallExpr) {
+	fn := st.pass.CalleeFunc(call)
+	if fn == nil || !checkerName.MatchString(fn.Name()) {
+		return
+	}
+	for _, a := range call.Args {
+		for _, v := range st.varsIn(a) {
+			if _, ok := st.sanitized[v]; !ok {
+				st.sanitized[v] = call.Pos()
+			}
+		}
+	}
+}
+
+// unguardedAt reports whether e mentions a tainted variable with no
+// sanitizer before pos, or is itself a direct wire-read call.
+func (st *taintState) unguardedAt(e ast.Expr, pos token.Pos) (string, bool) {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && st.isSource(call) {
+		if fn := st.pass.CalleeFunc(call); fn != nil {
+			return fn.Name() + "()", true
+		}
+	}
+	for _, v := range st.varsIn(e) {
+		if sp, ok := st.sanitized[v]; !ok || sp > pos {
+			return v.Name(), true
+		}
+	}
+	return "", false
+}
+
+func (st *taintState) checkMake(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return
+	}
+	if b, ok := st.pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return
+	}
+	for _, arg := range call.Args[1:] { // len and cap positions
+		if name, bad := st.unguardedAt(arg, call.Pos()); bad {
+			st.pass.Reportf(call.Pos(), "make sized by wire-read value %s with no preceding bounds check: a hostile input can demand an arbitrary allocation; compare against a limit first (see Dec.Count)", name)
+			return
+		}
+	}
+}
+
+// checkAppendLoop flags `for i := 0; i < n; i++ { … append … }` with a
+// tainted, unsanitized n — the PR 3 OOM shape.
+func (st *taintState) checkAppendLoop(fs *ast.ForStmt) {
+	cond, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return
+	}
+	hasAppend := false
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if b, ok := st.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					hasAppend = true
+				}
+			}
+		}
+		return !hasAppend
+	})
+	if !hasAppend {
+		return
+	}
+	for _, side := range []ast.Expr{cond.X, cond.Y} {
+		for _, v := range st.varsIn(side) {
+			if sp, ok := st.sanitized[v]; !ok || sp > fs.Pos() {
+				st.pass.Reportf(fs.For, "append loop bounded by wire-read value %s with no preceding bounds check: a hostile count can grow the slice without limit; validate %s against a bound first", v.Name(), v.Name())
+				return
+			}
+		}
+	}
+}
+
+func isIntLike(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,15 @@
+package wirebound_test
+
+import (
+	"testing"
+
+	"hams/internal/analysis/analysistest"
+	"hams/internal/analysis/wirebound"
+)
+
+func TestWireBound(t *testing.T) {
+	analysistest.Run(t, wirebound.Analyzer,
+		"hams/internal/trace", // positives, bounded negatives, suppression round-trip
+		"hams/internal/ftl",   // scope negative: non-decoder package stays silent
+	)
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"hams/internal/mem"
@@ -57,27 +58,41 @@ const (
 
 // ValidateQoSOverrides rejects -qos-masks/-qos-mbps entries that do
 // not address a class of the built-in scenario, before anything runs.
+// Entries are checked in sorted-name order so the error reported for a
+// multi-typo invocation is the same on every run (map-order iteration
+// here made the message flap; caught by hamslint/maporder).
 func ValidateQoSOverrides(masks map[string]uint64, mbps map[string]float64) error {
 	known := make(map[string]bool, len(qosClassNames))
 	for _, n := range qosClassNames {
 		known[n] = true
 	}
-	for name := range masks {
+	for _, name := range sortedNames(masks) {
 		if !known[name] {
 			return fmt.Errorf("experiments: -qos-masks: unknown class %q (have %s)",
 				name, strings.Join(qosClassNames, ", "))
 		}
 	}
-	for name, v := range mbps {
+	for _, name := range sortedNames(mbps) {
 		if !known[name] {
 			return fmt.Errorf("experiments: -qos-mbps: unknown class %q (have %s)",
 				name, strings.Join(qosClassNames, ", "))
 		}
-		if v <= 0 {
+		if v := mbps[name]; v <= 0 {
 			return fmt.Errorf("experiments: -qos-mbps: class %q: throttle must be positive, got %g", name, v)
 		}
 	}
 	return nil
+}
+
+// sortedNames returns the map's keys in sorted order, the repo-wide
+// idiom for deterministic iteration over user-supplied maps.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // qosTable assembles one variant's CLOS table. partitioned applies

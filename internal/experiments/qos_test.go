@@ -73,6 +73,29 @@ func TestQoSIsolationGolden(t *testing.T) {
 	}
 }
 
+// TestQoSOverrideErrorDeterministic pins the fix hamslint/maporder
+// forced: with several unknown classes in one invocation, the error
+// must name the lexically-first one on every run, not whichever the
+// map iterator yields. 32 repetitions would flap without the sorted
+// iteration (map order is re-randomized per run and per map).
+func TestQoSOverrideErrorDeterministic(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		masks := map[string]uint64{"zeta": 1, "alpha": 2, "mid": 3}
+		err := ValidateQoSOverrides(masks, nil)
+		if err == nil {
+			t.Fatal("unknown classes accepted")
+		}
+		if !strings.Contains(err.Error(), `unknown class "alpha"`) {
+			t.Fatalf("iteration %d: error names %v, want the lexically-first class alpha", i, err)
+		}
+		mbps := map[string]float64{"zzz": 5, "bbb": 6}
+		err = ValidateQoSOverrides(nil, mbps)
+		if err == nil || !strings.Contains(err.Error(), `unknown class "bbb"`) {
+			t.Fatalf("iteration %d: -qos-mbps error = %v, want it to name bbb", i, err)
+		}
+	}
+}
+
 // TestQoSMarkdownAndOverrides covers the CI summary rendering and the
 // up-front override validation.
 func TestQoSMarkdownAndOverrides(t *testing.T) {
